@@ -1,0 +1,322 @@
+//! End-to-end execution tests: AmuletC source → AFT → firmware → simulated
+//! MSP430FR5969 → observed behaviour.
+//!
+//! These tests drive application handlers directly on the device (without
+//! the full AmuletOS scheduler, which has its own crate) and service system
+//! calls with a minimal stub, so that they pin down the compiler/simulator
+//! contract in isolation.
+
+use amulet_aft::aft::{Aft, AppSource};
+use amulet_core::fault::FaultClass;
+use amulet_core::method::IsolationMethod;
+use amulet_mcu::device::{Device, StopReason};
+use amulet_mcu::isa::Reg;
+
+/// Builds a single-app firmware and returns a loaded device plus the app's
+/// handler address and initial stack pointer.
+fn build_and_load(src: &str, handler: &str, method: IsolationMethod) -> (Device, u32, u32) {
+    let out = Aft::new(method)
+        .add_app(AppSource::new("TestApp", src, &[handler]))
+        .build()
+        .unwrap_or_else(|e| panic!("{method}: build failed: {e}"));
+    let mut dev = Device::msp430fr5969();
+    dev.load_firmware(&out.firmware);
+    let app = &out.firmware.apps[0];
+    let entry = app.handlers[handler];
+    let sp = app.initial_sp;
+    (dev, entry, sp)
+}
+
+/// Runs a handler to completion, servicing syscalls with canned values.
+/// Returns the value left in `R14` (the return-value register) or the fault.
+fn run_handler(dev: &mut Device, entry: u32, sp: u32) -> Result<u16, FaultClass> {
+    dev.prepare_call(entry, sp);
+    for _ in 0..200_000 {
+        match dev.run(1_000_000) {
+            exit => match exit.reason {
+                StopReason::HandlerDone | StopReason::Halted => {
+                    return Ok(dev.cpu.reg(Reg::R14))
+                }
+                StopReason::Syscall { num } => {
+                    // Minimal syscall stub: sensors return 42, time returns
+                    // 1000, everything else returns 0.
+                    let ret = match num {
+                        amulet_aft::sysno::GET_TIME => 1000,
+                        amulet_aft::sysno::READ_SENSOR
+                        | amulet_aft::sysno::GET_ACCEL
+                        | amulet_aft::sysno::GET_HEART_RATE => 42,
+                        _ => 0,
+                    };
+                    dev.cpu.set_reg(Reg::R14, ret);
+                }
+                StopReason::Fault(info) => return Err(info.class),
+                StopReason::StepLimit => panic!("program ran away"),
+            },
+        }
+    }
+    panic!("handler did not finish");
+}
+
+#[test]
+fn arithmetic_loops_and_calls_compute_correctly_under_every_method() {
+    let src = r#"
+        int mul_add(int a, int b, int c) { return a * b + c; }
+        int main(void) {
+            int total = 0;
+            for (int i = 1; i <= 10; i++) { total += i; }
+            return mul_add(total, 2, 5);
+        }
+    "#;
+    for method in IsolationMethod::ALL {
+        let (mut dev, entry, sp) = build_and_load(src, "main", method);
+        let result = run_handler(&mut dev, entry, sp).unwrap();
+        assert_eq!(result, 115, "{method}: (1+..+10)*2+5");
+    }
+}
+
+#[test]
+fn pointer_code_produces_identical_results_under_all_pointer_methods() {
+    let src = r#"
+        int values[6] = {3, 1, 4, 1, 5, 9};
+        int sum(int *p, int n) {
+            int total = 0;
+            for (int i = 0; i < n; i++) { total += *p; p = p + 2; }
+            return total;
+        }
+        int main(void) { return sum(&values[0], 6); }
+    "#;
+    let mut results = Vec::new();
+    for method in [IsolationMethod::NoIsolation, IsolationMethod::Mpu, IsolationMethod::SoftwareOnly] {
+        let (mut dev, entry, sp) = build_and_load(src, "main", method);
+        results.push(run_handler(&mut dev, entry, sp).unwrap());
+    }
+    assert_eq!(results, vec![23, 23, 23]);
+}
+
+#[test]
+fn global_state_persists_across_handler_invocations() {
+    let src = r#"
+        int counter = 10;
+        int bump(void) { counter += 1; return counter; }
+    "#;
+    let (mut dev, entry, sp) = build_and_load(src, "bump", IsolationMethod::Mpu);
+    assert_eq!(run_handler(&mut dev, entry, sp).unwrap(), 11);
+    assert_eq!(run_handler(&mut dev, entry, sp).unwrap(), 12);
+    assert_eq!(run_handler(&mut dev, entry, sp).unwrap(), 13);
+}
+
+#[test]
+fn recursion_works_under_the_mpu_method() {
+    let src = r#"
+        int fib(int n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }
+        int main(void) { return fib(10); }
+    "#;
+    let (mut dev, entry, sp) = build_and_load(src, "main", IsolationMethod::Mpu);
+    assert_eq!(run_handler(&mut dev, entry, sp).unwrap(), 55);
+}
+
+#[test]
+fn character_arrays_use_byte_accesses() {
+    let src = r#"
+        char text[6] = {104, 101, 108, 108, 111, 0};
+        int main(void) {
+            int n = 0;
+            while (text[n] != 0) { n++; }
+            return n;
+        }
+    "#;
+    for method in [IsolationMethod::FeatureLimited, IsolationMethod::SoftwareOnly] {
+        let (mut dev, entry, sp) = build_and_load(src, "main", method);
+        assert_eq!(run_handler(&mut dev, entry, sp).unwrap(), 5, "{method}");
+    }
+}
+
+#[test]
+fn wild_pointer_below_the_app_faults_under_isolating_methods_only() {
+    // 0x4500 lies in the OS code region, well below any app's data.
+    let src = r#"
+        int main(void) {
+            int *p;
+            p = 0x4500;
+            *p = 7;
+            return 1;
+        }
+    "#;
+    for (method, expect_fault) in [
+        (IsolationMethod::NoIsolation, false),
+        (IsolationMethod::Mpu, true),
+        (IsolationMethod::SoftwareOnly, true),
+    ] {
+        let (mut dev, entry, sp) = build_and_load(src, "main", method);
+        let result = run_handler(&mut dev, entry, sp);
+        if expect_fault {
+            assert_eq!(result, Err(FaultClass::DataPointerLowerBound), "{method}");
+        } else {
+            assert_eq!(result, Ok(1), "{method}");
+        }
+    }
+}
+
+#[test]
+fn pointer_above_the_app_faults_via_software_check_or_mpu_hardware() {
+    // 0xF000 lies above the single app's region (towards the top of FRAM).
+    let src = r#"
+        int main(void) {
+            int *p;
+            p = 0xF000;
+            *p = 7;
+            return 1;
+        }
+    "#;
+    // Software Only: the compiler-inserted upper-bound check fires.
+    let (mut dev, entry, sp) = build_and_load(src, "main", IsolationMethod::SoftwareOnly);
+    assert_eq!(run_handler(&mut dev, entry, sp), Err(FaultClass::DataPointerUpperBound));
+
+    // MPU: no software upper check is inserted, so without the MPU the write
+    // would go through — but with the app's MPU configuration installed the
+    // hardware catches it.
+    let out = Aft::new(IsolationMethod::Mpu)
+        .add_app(AppSource::new("TestApp", src, &["main"]))
+        .build()
+        .unwrap();
+    let mut dev = Device::msp430fr5969();
+    dev.load_firmware(&out.firmware);
+    let app = &out.firmware.apps[0];
+    dev.bus.mpu.apply_registers(app.mpu_regs).unwrap();
+    let (entry, sp) = (app.handlers["main"], app.initial_sp);
+    assert_eq!(run_handler(&mut dev, entry, sp), Err(FaultClass::MpuViolation));
+
+    // No Isolation: the stray write silently lands.
+    let (mut dev, entry, sp) = build_and_load(src, "main", IsolationMethod::NoIsolation);
+    assert_eq!(run_handler(&mut dev, entry, sp), Ok(1));
+}
+
+#[test]
+fn array_overrun_faults_under_feature_limited() {
+    let src = r#"
+        int data[8];
+        int main(void) {
+            for (int i = 0; i < 20; i++) { data[i] = i; }
+            return 1;
+        }
+    "#;
+    let (mut dev, entry, sp) = build_and_load(src, "main", IsolationMethod::FeatureLimited);
+    assert_eq!(run_handler(&mut dev, entry, sp), Err(FaultClass::ArrayBounds));
+
+    // The same overrun under No Isolation scribbles past the array without
+    // any fault — exactly the hazard isolation exists to stop.
+    let (mut dev, entry, sp) = build_and_load(src, "main", IsolationMethod::NoIsolation);
+    assert_eq!(run_handler(&mut dev, entry, sp), Ok(1));
+}
+
+#[test]
+fn function_pointers_call_through_and_out_of_bounds_targets_fault() {
+    let good = r#"
+        int triple(int x) { return x * 3; }
+        int main(void) {
+            fnptr f;
+            f = &triple;
+            return f(7);
+        }
+    "#;
+    for method in [IsolationMethod::Mpu, IsolationMethod::SoftwareOnly] {
+        let (mut dev, entry, sp) = build_and_load(good, "main", method);
+        assert_eq!(run_handler(&mut dev, entry, sp).unwrap(), 21, "{method}");
+    }
+
+    // A function pointer forged to point below the app's code region is
+    // rejected by the lower code-bound check.
+    let bad = r#"
+        int main(void) {
+            fnptr f;
+            f = 0x4400;
+            return f(7);
+        }
+    "#;
+    for method in [IsolationMethod::Mpu, IsolationMethod::SoftwareOnly] {
+        let (mut dev, entry, sp) = build_and_load(bad, "main", method);
+        assert_eq!(
+            run_handler(&mut dev, entry, sp),
+            Err(FaultClass::FunctionPointerLowerBound),
+            "{method}"
+        );
+    }
+}
+
+#[test]
+fn quicksort_sorts_correctly_when_compiled_by_the_aft() {
+    let src = r#"
+        int data[16] = {12, 3, 9, 15, 1, 7, 14, 2, 8, 11, 5, 13, 4, 10, 6, 0};
+
+        void swap(int *a, int *b) {
+            int t = *a;
+            *a = *b;
+            *b = t;
+        }
+
+        int partition(int *arr, int low, int high) {
+            int pivot = arr[high];
+            int i = low - 1;
+            for (int j = low; j < high; j++) {
+                if (arr[j] <= pivot) {
+                    i++;
+                    swap(&arr[i], &arr[j]);
+                }
+            }
+            swap(&arr[i + 1], &arr[high]);
+            return i + 1;
+        }
+
+        void quicksort(int *arr, int low, int high) {
+            if (low < high) {
+                int p = partition(arr, low, high);
+                quicksort(arr, low, p - 1);
+                quicksort(arr, p + 1, high);
+            }
+        }
+
+        int main(void) {
+            quicksort(&data[0], 0, 15);
+            int ok = 1;
+            for (int i = 0; i < 16; i++) {
+                if (data[i] != i) { ok = 0; }
+            }
+            return ok;
+        }
+    "#;
+    for method in [IsolationMethod::NoIsolation, IsolationMethod::Mpu, IsolationMethod::SoftwareOnly] {
+        let (mut dev, entry, sp) = build_and_load(src, "main", method);
+        assert_eq!(run_handler(&mut dev, entry, sp).unwrap(), 1, "{method}: array sorted");
+    }
+}
+
+#[test]
+fn isolation_methods_cost_more_cycles_in_the_expected_order() {
+    // A memory-access-heavy kernel: the MPU method (one check per access)
+    // must cost less than Software Only (two checks per access); both allow
+    // pointers.  No Isolation is the floor.
+    let src = r#"
+        int buf[32];
+        int main(void) {
+            int *p;
+            int total = 0;
+            for (int round = 0; round < 8; round++) {
+                p = &buf[0];
+                for (int i = 0; i < 32; i++) { *p = i; total += *p; p = p + 2; }
+            }
+            return total;
+        }
+    "#;
+    let mut cycles = std::collections::BTreeMap::new();
+    for method in [IsolationMethod::NoIsolation, IsolationMethod::Mpu, IsolationMethod::SoftwareOnly] {
+        let (mut dev, entry, sp) = build_and_load(src, "main", method);
+        let before = dev.cycles();
+        run_handler(&mut dev, entry, sp).unwrap();
+        cycles.insert(method, dev.cycles() - before);
+    }
+    let none = cycles[&IsolationMethod::NoIsolation];
+    let mpu = cycles[&IsolationMethod::Mpu];
+    let sw = cycles[&IsolationMethod::SoftwareOnly];
+    assert!(none < mpu, "no-isolation {none} < mpu {mpu}");
+    assert!(mpu < sw, "mpu {mpu} < software-only {sw}");
+}

@@ -1,0 +1,15 @@
+//! Criterion bench for the Figure 2 extrapolation (ARP arithmetic over the
+//! nine-application catalogue).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2");
+    group.bench_function("extrapolate_nine_apps", |b| {
+        b.iter(|| std::hint::black_box(amulet_bench::fig2::compute()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

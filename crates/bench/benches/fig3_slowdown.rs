@@ -1,0 +1,17 @@
+//! Criterion bench for the Figure 3 slowdown measurement (small iteration
+//! count so the bench itself stays quick; the `fig3` binary runs the full
+//! 200-iteration version).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(10);
+    group.bench_function("measure_three_workloads", |b| {
+        b.iter(|| std::hint::black_box(amulet_bench::fig3::measure(3)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

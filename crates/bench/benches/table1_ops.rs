@@ -1,0 +1,16 @@
+//! Criterion bench for the Table 1 operations: the cost of measuring one
+//! memory-access run and one context-switch run per memory model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.bench_function("measure_all_methods", |b| {
+        b.iter(|| std::hint::black_box(amulet_bench::table1::measure(8)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

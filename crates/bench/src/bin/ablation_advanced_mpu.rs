@@ -1,0 +1,13 @@
+//! Ablation B: how much of the MPU method's slowdown an "advanced MPU"
+//! (4+ regions, full coverage — §5 future work) would remove.
+//!
+//! Usage: `cargo run -p amulet-bench --bin ablation_advanced_mpu [iterations]` (default 50).
+
+fn main() {
+    let iterations: u16 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50);
+    let rows = amulet_bench::ablation::advanced_mpu_ablation(iterations);
+    print!("{}", amulet_bench::ablation::render_advanced_mpu(&rows));
+}

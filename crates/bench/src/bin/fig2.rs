@@ -1,0 +1,11 @@
+//! Regenerates Figure 2 of the paper: weekly isolation overhead and battery
+//! impact for the nine Amulet applications.
+//!
+//! Usage: `cargo run -p amulet-bench --bin fig2`.
+
+fn main() {
+    let rows = amulet_bench::fig2::compute();
+    print!("{}", amulet_bench::fig2::render(&rows));
+    println!();
+    println!("{}", amulet_bench::fig2::arp_view());
+}

@@ -1,0 +1,13 @@
+//! Regenerates Figure 3 of the paper: percentage slowdown of the benchmark
+//! applications under each memory-isolation method.
+//!
+//! Usage: `cargo run -p amulet-bench --bin fig3 [iterations]` (default 200).
+
+fn main() {
+    let iterations: u16 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200);
+    let rows = amulet_bench::fig3::measure(iterations);
+    print!("{}", amulet_bench::fig3::render(&rows));
+}

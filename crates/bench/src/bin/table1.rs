@@ -1,0 +1,12 @@
+//! Regenerates Table 1 of the paper on the simulated device.
+//!
+//! Usage: `cargo run -p amulet-bench --bin table1 [rounds]` (default 200).
+
+fn main() {
+    let rounds: u16 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200);
+    let rows = amulet_bench::table1::measure(rounds);
+    print!("{}", amulet_bench::table1::render(&rows));
+}

@@ -1,0 +1,230 @@
+//! Figure 3: percentage slowdown of the benchmark applications under each
+//! memory-isolation method, relative to No Isolation.
+//!
+//! Each benchmark is run `iterations` times (the paper uses 200) on the
+//! simulated device under all four memory models; the slowdown is computed
+//! from total cycles.  The four methods are measured in parallel worker
+//! threads (each owns its own simulated device), which keeps the 4 × 200
+//! handler invocations quick on a host machine.
+
+use amulet_apps::BenchmarkApp;
+use amulet_core::method::IsolationMethod;
+use amulet_os::os::DeliveryOutcome;
+use serde::Serialize;
+use std::fmt::Write as _;
+
+/// One bar of Figure 3.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig3Row {
+    /// Workload name ("Activity Case 1", "Activity Case 2", "Quicksort").
+    pub workload: String,
+    /// Isolation method.
+    pub method: IsolationMethod,
+    /// Total cycles across all iterations.
+    pub cycles: u64,
+    /// Percentage slowdown relative to the No Isolation run of the same
+    /// workload.
+    pub slowdown_percent: f64,
+}
+
+/// A workload: which benchmark app, and which handler sequence constitutes
+/// one iteration.
+struct Workload {
+    name: &'static str,
+    app: fn() -> BenchmarkApp,
+    /// (handler, payload) pairs run once per iteration; only the cycles of
+    /// the *last* pair are accumulated (earlier pairs are setup).
+    setup: &'static [(&'static str, u16)],
+    measured: (&'static str, u16),
+}
+
+fn workloads() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "Activity Case 1",
+            app: amulet_apps::activity_detection,
+            setup: &[("fill", 11)],
+            measured: ("case1", 0),
+        },
+        Workload {
+            name: "Activity Case 2",
+            app: amulet_apps::activity_detection,
+            setup: &[("fill", 11), ("case1", 0)],
+            measured: ("case2", 0),
+        },
+        Workload {
+            name: "Quicksort",
+            app: amulet_apps::quicksort,
+            setup: &[],
+            measured: ("run", 0),
+        },
+    ]
+}
+
+fn run_workload(w: &Workload, source: &str, method: IsolationMethod, iterations: u16) -> u64 {
+    let template = (w.app)();
+    let mut app_source =
+        amulet_aft::aft::AppSource::new(template.name, source, template.handlers);
+    if let Some(stack) = template.stack_override {
+        app_source = app_source.with_stack(stack);
+    }
+    let firmware = amulet_aft::aft::Aft::new(method)
+        .add_app(app_source)
+        .build()
+        .unwrap_or_else(|e| panic!("{method}: failed to build {}: {e}", template.name))
+        .firmware;
+    let mut os = amulet_os::os::AmuletOs::new(firmware);
+    os.boot();
+    for (handler, payload) in w.setup {
+        let (outcome, _) = os.call_handler(0, handler, *payload);
+        assert_eq!(outcome, DeliveryOutcome::Completed, "{method}: setup {handler}");
+    }
+    let mut total = 0;
+    for i in 0..iterations {
+        // Vary the payload so quicksort sorts a different permutation each
+        // iteration (the paper runs 200 distinct iterations).
+        let payload = w.measured.1.wrapping_add(i);
+        let (outcome, cycles) = os.call_handler(0, w.measured.0, payload);
+        assert_eq!(outcome, DeliveryOutcome::Completed, "{method}: {}", w.measured.0);
+        total += cycles;
+    }
+    total
+}
+
+/// Measures Figure 3 with the given number of iterations per workload
+/// (the paper uses 200).
+///
+/// Feature Limited cannot compile the pointer/recursion sources, so its
+/// slowdown is computed against a No-Isolation build of the *ported*
+/// (array-only) source — i.e. each method is compared against an
+/// uninstrumented build of the exact code it runs, which is what "slowdown
+/// caused by the isolation method" means.
+pub fn measure(iterations: u16) -> Vec<Fig3Row> {
+    let iterations = iterations.max(1);
+    let mut rows = Vec::new();
+    for w in workloads() {
+        let template = (w.app)();
+        // Five runs per workload: the four methods, plus an uninstrumented
+        // build of the Feature Limited port to serve as its baseline.  Each
+        // run owns its own simulated device, so they execute on parallel
+        // threads.
+        let mut results: Vec<(usize, u64)> = Vec::new();
+        let jobs: Vec<(IsolationMethod, &str)> = vec![
+            (IsolationMethod::NoIsolation, template.pointer_source),
+            (IsolationMethod::FeatureLimited, template.feature_limited_source),
+            (IsolationMethod::Mpu, template.pointer_source),
+            (IsolationMethod::SoftwareOnly, template.pointer_source),
+            (IsolationMethod::NoIsolation, template.feature_limited_source),
+        ];
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = jobs
+                .iter()
+                .enumerate()
+                .map(|(i, (method, source))| {
+                    let w = &w;
+                    scope.spawn(move |_| (i, run_workload(w, source, *method, iterations)))
+                })
+                .collect();
+            for h in handles {
+                results.push(h.join().expect("measurement thread panicked"));
+            }
+        })
+        .expect("crossbeam scope failed");
+        results.sort_by_key(|(i, _)| *i);
+        let cycles: Vec<u64> = results.into_iter().map(|(_, c)| c).collect();
+        let pointer_baseline = cycles[0].max(1);
+        let ported_baseline = cycles[4].max(1);
+
+        for (slot, method) in IsolationMethod::ALL.iter().enumerate() {
+            let measured = cycles[slot];
+            let baseline = if *method == IsolationMethod::FeatureLimited {
+                ported_baseline
+            } else {
+                pointer_baseline
+            };
+            rows.push(Fig3Row {
+                workload: w.name.to_string(),
+                method: *method,
+                cycles: measured,
+                slowdown_percent: (measured as f64 - baseline as f64) / baseline as f64 * 100.0,
+            });
+        }
+    }
+    rows
+}
+
+/// Renders Figure 3 as a text table.
+pub fn render(rows: &[Fig3Row]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "Figure 3 — percentage slowdown vs No Isolation");
+    let _ = writeln!(
+        s,
+        "{:<18} {:<16} {:>14} {:>12}",
+        "workload", "memory model", "cycles", "slowdown %"
+    );
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:<18} {:<16} {:>14} {:>12.1}",
+            r.workload,
+            r.method.label(),
+            r.cycles,
+            r.slowdown_percent
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row<'a>(rows: &'a [Fig3Row], workload: &str, method: IsolationMethod) -> &'a Fig3Row {
+        rows.iter()
+            .find(|r| r.workload == workload && r.method == method)
+            .unwrap()
+    }
+
+    #[test]
+    fn quicksort_prefers_the_mpu_method() {
+        let rows = measure(10);
+        let mpu = row(&rows, "Quicksort", IsolationMethod::Mpu).slowdown_percent;
+        let sw = row(&rows, "Quicksort", IsolationMethod::SoftwareOnly).slowdown_percent;
+        let fl = row(&rows, "Quicksort", IsolationMethod::FeatureLimited).slowdown_percent;
+        assert!(mpu > 0.0);
+        assert!(mpu < sw, "MPU {mpu}% < Software Only {sw}%");
+        assert!(sw < fl + 30.0, "Feature Limited is in the same ballpark or worse ({fl}%)");
+        assert!(fl > mpu, "Feature Limited {fl}% > MPU {mpu}%");
+    }
+
+    #[test]
+    fn activity_cases_are_memory_heavy_so_mpu_beats_software_only() {
+        let rows = measure(10);
+        for case in ["Activity Case 1", "Activity Case 2"] {
+            let mpu = row(&rows, case, IsolationMethod::Mpu).slowdown_percent;
+            let sw = row(&rows, case, IsolationMethod::SoftwareOnly).slowdown_percent;
+            assert!(mpu < sw, "{case}: MPU {mpu}% < SW {sw}%");
+        }
+    }
+
+    #[test]
+    fn no_isolation_rows_have_zero_slowdown_and_everything_else_is_bounded() {
+        let rows = measure(5);
+        for r in &rows {
+            if r.method == IsolationMethod::NoIsolation {
+                assert_eq!(r.slowdown_percent, 0.0);
+            } else {
+                assert!(r.slowdown_percent > 0.0, "{:?}", r);
+                assert!(r.slowdown_percent < 120.0, "{:?}", r);
+            }
+        }
+    }
+
+    #[test]
+    fn render_lists_all_three_workloads() {
+        let text = render(&measure(3));
+        assert!(text.contains("Activity Case 1"));
+        assert!(text.contains("Activity Case 2"));
+        assert!(text.contains("Quicksort"));
+    }
+}

@@ -1,0 +1,41 @@
+//! # amulet-bench
+//!
+//! The benchmark harness that regenerates every table and figure of
+//! "Application Memory Isolation on Ultra-Low-Power MCUs" (USENIX ATC 2018):
+//!
+//! * [`table1`] — average cycle counts for the basic isolation operations
+//!   (memory access, context switch) under the four memory models;
+//! * [`fig2`] — weekly isolation-overhead cycles and battery-lifetime impact
+//!   for the nine Amulet applications;
+//! * [`fig3`] — percentage slowdown of the Activity Detection and Quicksort
+//!   benchmarks under each isolation method;
+//! * [`ablation`] — the per-app-stack-vs-shared-stack ablation (a §3 design
+//!   decision) and the "advanced MPU" ablation (§5 future work).
+//!
+//! Each module exposes a pure function returning structured rows plus a
+//! `render` helper; the `table1`, `fig2`, `fig3`, `ablation_stacks` and
+//! `ablation_advanced_mpu` binaries print them, and the Criterion benches
+//! wrap the same entry points.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod fig2;
+pub mod fig3;
+pub mod table1;
+
+use amulet_aft::aft::Aft;
+use amulet_core::method::IsolationMethod;
+use amulet_os::os::AmuletOs;
+
+/// Builds a single benchmark app for `method` and boots an OS around it.
+pub fn boot_benchmark(app: &amulet_apps::BenchmarkApp, method: IsolationMethod) -> AmuletOs {
+    let out = Aft::new(method)
+        .add_app(app.app_source(method))
+        .build()
+        .unwrap_or_else(|e| panic!("{method}: failed to build {}: {e}", app.name));
+    let mut os = AmuletOs::new(out.firmware);
+    os.boot();
+    os
+}

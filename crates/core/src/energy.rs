@@ -1,0 +1,193 @@
+//! Energy and battery-lifetime model.
+//!
+//! Figure 2 of the paper converts weekly isolation-overhead cycles into a
+//! battery-lifetime impact percentage.  The conversion is:
+//!
+//! ```text
+//! overhead seconds = overhead cycles / CPU frequency
+//! overhead energy  = overhead seconds × active power
+//! impact %         = overhead energy / weekly energy budget × 100
+//! ```
+//!
+//! The constants default to the MSP430FR5969 running at 16 MHz from a 3 V
+//! supply (≈100 µA/MHz active current per the datasheet) and an Amulet-like
+//! 100 mAh battery with a one-week baseline lifetime.  The absolute figures
+//! depend on these constants, but the paper's headline claim — every
+//! application stays **below 0.5 % battery impact** under either isolation
+//! method — is robust to any reasonable choice, and the benches print both
+//! the constants and the result so the comparison is explicit.
+
+use serde::{Deserialize, Serialize};
+
+/// CPU frequency and active-power model of the MCU.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// CPU clock frequency in Hz.
+    pub frequency_hz: f64,
+    /// Active-mode supply current in amperes at that frequency.
+    pub active_current_a: f64,
+    /// Supply voltage in volts.
+    pub supply_voltage_v: f64,
+}
+
+impl EnergyModel {
+    /// MSP430FR5969 at 16 MHz: ≈100 µA/MHz from a 3 V supply.
+    pub fn msp430fr5969() -> Self {
+        EnergyModel {
+            frequency_hz: 16_000_000.0,
+            active_current_a: 1.6e-3,
+            supply_voltage_v: 3.0,
+        }
+    }
+
+    /// Active power draw in watts.
+    pub fn active_power_w(&self) -> f64 {
+        self.active_current_a * self.supply_voltage_v
+    }
+
+    /// Energy consumed per active CPU cycle, in joules.
+    pub fn joules_per_cycle(&self) -> f64 {
+        self.active_power_w() / self.frequency_hz
+    }
+
+    /// Converts a cycle count to active execution time in seconds.
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.frequency_hz
+    }
+
+    /// Converts a cycle count to energy in joules.
+    pub fn cycles_to_joules(&self, cycles: u64) -> f64 {
+        cycles as f64 * self.joules_per_cycle()
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self::msp430fr5969()
+    }
+}
+
+/// Battery capacity and baseline lifetime of the wearable.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BatteryModel {
+    /// Battery capacity in milliamp-hours.
+    pub capacity_mah: f64,
+    /// Nominal battery voltage in volts.
+    pub voltage_v: f64,
+    /// Baseline battery lifetime, in weeks, with no isolation overhead.  The
+    /// Amulet platform targets multi-week lifetimes; we use one week so the
+    /// weekly energy budget equals the full battery capacity, which is the
+    /// most conservative (largest-impact) assumption.
+    pub baseline_lifetime_weeks: f64,
+}
+
+impl BatteryModel {
+    /// Amulet-like battery: 100 mAh at 3 V with a one-week baseline lifetime.
+    pub fn amulet() -> Self {
+        BatteryModel { capacity_mah: 100.0, voltage_v: 3.0, baseline_lifetime_weeks: 1.0 }
+    }
+
+    /// Total energy stored in the battery, in joules.
+    pub fn capacity_joules(&self) -> f64 {
+        self.capacity_mah / 1000.0 * 3600.0 * self.voltage_v
+    }
+
+    /// Energy budget consumed per week at the baseline lifetime, in joules.
+    pub fn weekly_budget_joules(&self) -> f64 {
+        self.capacity_joules() / self.baseline_lifetime_weeks
+    }
+
+    /// Battery-lifetime impact (in percent) of spending `overhead_joules`
+    /// extra per week.
+    pub fn impact_percent(&self, overhead_joules_per_week: f64) -> f64 {
+        overhead_joules_per_week / self.weekly_budget_joules() * 100.0
+    }
+
+    /// Battery-lifetime impact (in percent) of `overhead_cycles_per_week`
+    /// extra active cycles per week under the given energy model.
+    pub fn impact_percent_from_cycles(
+        &self,
+        energy: &EnergyModel,
+        overhead_cycles_per_week: u64,
+    ) -> f64 {
+        self.impact_percent(energy.cycles_to_joules(overhead_cycles_per_week))
+    }
+
+    /// New battery lifetime, in weeks, after adding the weekly overhead.
+    pub fn lifetime_with_overhead_weeks(&self, overhead_joules_per_week: f64) -> f64 {
+        let baseline_weekly = self.weekly_budget_joules();
+        self.capacity_joules() / (baseline_weekly + overhead_joules_per_week)
+            * (self.baseline_lifetime_weeks / (self.capacity_joules() / baseline_weekly))
+    }
+}
+
+impl Default for BatteryModel {
+    fn default() -> Self {
+        Self::amulet()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, rel: f64) -> bool {
+        (a - b).abs() <= rel * b.abs().max(1e-12)
+    }
+
+    #[test]
+    fn msp430_power_is_a_few_milliwatts() {
+        let e = EnergyModel::msp430fr5969();
+        assert!(close(e.active_power_w(), 4.8e-3, 1e-9), "{}", e.active_power_w());
+        assert!(e.joules_per_cycle() < 1e-9, "sub-nanojoule per cycle");
+    }
+
+    #[test]
+    fn cycles_convert_to_time_and_energy() {
+        let e = EnergyModel::msp430fr5969();
+        assert!(close(e.cycles_to_seconds(16_000_000), 1.0, 1e-12));
+        assert!(close(e.cycles_to_joules(16_000_000), e.active_power_w(), 1e-12));
+    }
+
+    #[test]
+    fn battery_capacity_math() {
+        let b = BatteryModel::amulet();
+        // 100 mAh * 3 V = 0.1 * 3600 * 3 = 1080 J.
+        assert!(close(b.capacity_joules(), 1080.0, 1e-12));
+        assert!(close(b.weekly_budget_joules(), 1080.0, 1e-12));
+    }
+
+    #[test]
+    fn figure2_scale_overheads_stay_below_half_percent() {
+        // The largest per-app overhead in Figure 2 is on the order of a few
+        // billion cycles per week; that must land below the paper's 0.5 %
+        // battery-impact bound under the default models.
+        let e = EnergyModel::msp430fr5969();
+        let b = BatteryModel::amulet();
+        for cycles in [0_u64, 100_000_000, 1_000_000_000, 3_000_000_000] {
+            let impact = b.impact_percent_from_cycles(&e, cycles);
+            assert!(impact < 0.5, "{cycles} cycles => {impact}%");
+        }
+    }
+
+    #[test]
+    fn impact_is_monotone_in_cycles() {
+        let e = EnergyModel::msp430fr5969();
+        let b = BatteryModel::amulet();
+        let mut prev = -1.0;
+        for cycles in [0_u64, 1_000, 1_000_000, 1_000_000_000, 10_000_000_000] {
+            let impact = b.impact_percent_from_cycles(&e, cycles);
+            assert!(impact >= prev);
+            prev = impact;
+        }
+    }
+
+    #[test]
+    fn lifetime_shrinks_with_overhead() {
+        let b = BatteryModel::amulet();
+        let without = b.lifetime_with_overhead_weeks(0.0);
+        let with = b.lifetime_with_overhead_weeks(100.0);
+        assert!(close(without, b.baseline_lifetime_weeks, 1e-12));
+        assert!(with < without);
+    }
+}

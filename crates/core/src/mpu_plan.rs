@@ -1,0 +1,476 @@
+//! MPU configurations for "app *i* running" and "OS running".
+//!
+//! The MSP430FR5969 MPU divides main FRAM into three segments using two
+//! movable boundaries (plus a fourth segment pinned to InfoMem), and each
+//! segment carries read/write/execute bits.  While application *i* runs the
+//! paper programs it as (Figure 1):
+//!
+//! | segment | contents                                   | access |
+//! |---------|--------------------------------------------|--------|
+//! | 0       | InfoMem (unused)                           | `---`  |
+//! | 1       | OS, lower-memory apps, app *i*'s code      | `--X`  |
+//! | 2       | app *i*'s data and stack                   | `RW-`  |
+//! | 3       | higher-memory apps                         | `---`  |
+//!
+//! and while the OS runs:
+//!
+//! | segment | contents                       | access |
+//! |---------|--------------------------------|--------|
+//! | 0       | InfoMem (unused)               | `---`  |
+//! | 1       | OS code                        | `--X`  |
+//! | 2       | OS data (and vectors)          | `RW-`  |
+//! | 3       | applications                   | `RW-`  |
+//!
+//! [`MpuPlan`] captures those configurations abstractly;
+//! [`MpuRegisterValues`] encodes them into the MSP430-style memory-mapped
+//! registers that the OS's MPU driver writes on every context switch.
+
+use crate::addr::{align_down, Addr, AddrRange};
+use crate::error::{CoreError, CoreResult};
+use crate::layout::MemoryMap;
+use crate::perm::Perm;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What a planned MPU segment is protecting.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum SegmentRole {
+    /// The pinned InfoMem segment (segment 0), unused by the paper's design.
+    InfoMem,
+    /// Everything below the running app's data: OS image, lower apps, and the
+    /// running app's own code (execute-only).
+    BelowAppData,
+    /// The running app's data/stack segment (read-write).
+    AppDataStack,
+    /// Apps above the running app (no access).
+    AboveApp,
+    /// OS code while the OS runs (execute-only).
+    OsCode,
+    /// OS data while the OS runs (read-write).
+    OsData,
+    /// The whole application area while the OS runs (read-write so the OS can
+    /// deliver events and copy buffers).
+    AppsRegion,
+    /// The running app's code segment in the "advanced MPU" ablation, where a
+    /// fourth segment lets hardware bound the app from below as well.
+    AppCode,
+    /// Memory below the running app in the "advanced MPU" ablation
+    /// (no access).
+    BelowAppBlocked,
+}
+
+/// Whose execution a plan is for.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum MpuContext {
+    /// The OS (scheduler, services, drivers) is running.
+    OsRunning,
+    /// The named application (at the given build index) is running.
+    AppRunning {
+        /// Application name.
+        name: String,
+        /// Application index in the build.
+        index: usize,
+    },
+}
+
+/// One planned MPU segment: an address range, its permissions, and why.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MpuSegmentPlan {
+    /// Hardware segment index (0 = InfoMem).
+    pub index: usize,
+    /// Address range covered by the segment.
+    pub range: AddrRange,
+    /// Permissions granted to code running while this plan is active.
+    pub perm: Perm,
+    /// What the segment is protecting.
+    pub role: SegmentRole,
+}
+
+/// A full MPU configuration: every segment plus the two movable boundaries.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MpuPlan {
+    /// Whose execution this configuration is for.
+    pub context: MpuContext,
+    /// All segments, ordered by hardware index.
+    pub segments: Vec<MpuSegmentPlan>,
+    /// First movable boundary (between main segments 1 and 2).
+    pub boundary1: Addr,
+    /// Second movable boundary (between main segments 2 and 3).
+    pub boundary2: Addr,
+}
+
+/// Values for the MSP430-style memory-mapped MPU registers.
+///
+/// Encodings follow the FR5969 conventions: boundary registers hold the
+/// address divided by 16, `MPUSAM` packs R/W/X bits per segment in nibbles,
+/// and `MPUCTL0` carries the enable bit and must be written together with the
+/// `0xA5xx` password.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MpuRegisterValues {
+    /// `MPUCTL0`: password (high byte `0xA5`) | enable (bit 0) | lock (bit 1).
+    pub mpuctl0: u16,
+    /// `MPUSEGB1`: first boundary address >> 4.
+    pub mpusegb1: u16,
+    /// `MPUSEGB2`: second boundary address >> 4.
+    pub mpusegb2: u16,
+    /// `MPUSAM`: access bits, segment 1 in bits 0..3, segment 2 in bits
+    /// 4..7, segment 3 in bits 8..11, InfoMem in bits 12..15.
+    pub mpusam: u16,
+}
+
+impl MpuRegisterValues {
+    /// Number of peripheral-register writes the OS performs to install this
+    /// configuration during a context switch (boundaries, access bits, then
+    /// control/enable).  This count is what makes the MPU method's context
+    /// switch more expensive in Table 1.
+    pub const WRITE_COUNT: u32 = 4;
+}
+
+impl MpuPlan {
+    /// Builds the Figure-1 configuration for application `app_index` of the
+    /// given memory map.
+    pub fn for_app(map: &MemoryMap, app_index: usize) -> CoreResult<Self> {
+        let app = map.apps.get(app_index).ok_or_else(|| CoreError::AppImageInvalid {
+            app: format!("#{app_index}"),
+            reason: "no such application in the memory map".into(),
+        })?;
+        let fram = map.platform.fram;
+        let g = map.platform.mpu_boundary_granularity;
+        let b1 = app.data_lower_bound();
+        let b2 = app.upper_bound();
+        for b in [b1, b2] {
+            if b % g != 0 && b != fram.end {
+                return Err(CoreError::UnalignedMpuBoundary { addr: b, granularity: g });
+            }
+        }
+        let segments = vec![
+            MpuSegmentPlan {
+                index: 0,
+                range: map.platform.info_mem,
+                perm: Perm::NONE,
+                role: SegmentRole::InfoMem,
+            },
+            MpuSegmentPlan {
+                index: 1,
+                range: AddrRange::new(fram.start, b1),
+                perm: Perm::X,
+                role: SegmentRole::BelowAppData,
+            },
+            MpuSegmentPlan {
+                index: 2,
+                range: AddrRange::new(b1, b2),
+                perm: Perm::RW,
+                role: SegmentRole::AppDataStack,
+            },
+            MpuSegmentPlan {
+                index: 3,
+                range: AddrRange::new(b2, fram.end),
+                perm: Perm::NONE,
+                role: SegmentRole::AboveApp,
+            },
+        ];
+        Ok(MpuPlan {
+            context: MpuContext::AppRunning { name: app.name.clone(), index: app_index },
+            segments,
+            boundary1: b1,
+            boundary2: b2,
+        })
+    }
+
+    /// Builds the configuration used while the OS itself runs.
+    ///
+    /// The boundary between OS code and OS data is rounded *down* to the MPU
+    /// granularity so that every byte of OS data is writable; the tail of the
+    /// OS code region that falls into the read-write segment is harmless
+    /// because the OS is trusted.
+    pub fn for_os(map: &MemoryMap) -> CoreResult<Self> {
+        let fram = map.platform.fram;
+        let g = map.platform.mpu_boundary_granularity;
+        let b1 = align_down(map.os_code.end, g).max(fram.start);
+        let b2 = map.apps_base();
+        if b2 % g != 0 && b2 != fram.end {
+            return Err(CoreError::UnalignedMpuBoundary { addr: b2, granularity: g });
+        }
+        let segments = vec![
+            MpuSegmentPlan {
+                index: 0,
+                range: map.platform.info_mem,
+                perm: Perm::NONE,
+                role: SegmentRole::InfoMem,
+            },
+            MpuSegmentPlan {
+                index: 1,
+                range: AddrRange::new(fram.start, b1),
+                perm: Perm::X,
+                role: SegmentRole::OsCode,
+            },
+            MpuSegmentPlan {
+                index: 2,
+                range: AddrRange::new(b1, b2),
+                perm: Perm::RW,
+                role: SegmentRole::OsData,
+            },
+            MpuSegmentPlan {
+                index: 3,
+                range: AddrRange::new(b2, fram.end),
+                perm: Perm::RW,
+                role: SegmentRole::AppsRegion,
+            },
+        ];
+        Ok(MpuPlan {
+            context: MpuContext::OsRunning,
+            segments,
+            boundary1: b1,
+            boundary2: b2,
+        })
+    }
+
+    /// Builds the "advanced MPU" ablation configuration for an app: four
+    /// segments that also block the region below the app's code, removing the
+    /// need for any compiler-inserted lower-bound checks (§5 of the paper).
+    pub fn for_app_advanced(map: &MemoryMap, app_index: usize) -> CoreResult<Self> {
+        if map.platform.mpu_main_segments < 4 {
+            return Err(CoreError::TooManySegments {
+                required: 4,
+                available: map.platform.mpu_main_segments,
+            });
+        }
+        let app = map.apps.get(app_index).ok_or_else(|| CoreError::AppImageInvalid {
+            app: format!("#{app_index}"),
+            reason: "no such application in the memory map".into(),
+        })?;
+        let fram = map.platform.fram;
+        let segments = vec![
+            MpuSegmentPlan {
+                index: 0,
+                range: map.platform.info_mem,
+                perm: Perm::NONE,
+                role: SegmentRole::InfoMem,
+            },
+            MpuSegmentPlan {
+                index: 1,
+                range: AddrRange::new(fram.start, app.code_lower_bound()),
+                perm: Perm::NONE,
+                role: SegmentRole::BelowAppBlocked,
+            },
+            MpuSegmentPlan {
+                index: 2,
+                range: app.code,
+                perm: Perm::X,
+                role: SegmentRole::AppCode,
+            },
+            MpuSegmentPlan {
+                index: 3,
+                range: app.data_stack(),
+                perm: Perm::RW,
+                role: SegmentRole::AppDataStack,
+            },
+            MpuSegmentPlan {
+                index: 4,
+                range: AddrRange::new(app.upper_bound(), fram.end),
+                perm: Perm::NONE,
+                role: SegmentRole::AboveApp,
+            },
+        ];
+        Ok(MpuPlan {
+            context: MpuContext::AppRunning { name: app.name.clone(), index: app_index },
+            segments,
+            boundary1: app.data_lower_bound(),
+            boundary2: app.upper_bound(),
+        })
+    }
+
+    /// The permission this plan grants at `addr`, or `None` if the address is
+    /// outside every planned segment (the MPU does not police such addresses
+    /// — e.g. SRAM and peripheral registers — which is exactly the hardware
+    /// shortcoming the paper works around).
+    pub fn permission_at(&self, addr: Addr) -> Option<Perm> {
+        self.segments
+            .iter()
+            .find(|s| s.range.contains(addr))
+            .map(|s| s.perm)
+    }
+
+    /// Encodes the plan into MSP430-style register values (only meaningful
+    /// for 3-main-segment plans; the advanced ablation plan is applied
+    /// through the simulator's extended interface instead).
+    pub fn register_values(&self) -> MpuRegisterValues {
+        let seg_perm = |idx: usize| -> u16 {
+            self.segments
+                .iter()
+                .find(|s| s.index == idx)
+                .map(|s| s.perm.to_bits())
+                .unwrap_or(0)
+        };
+        MpuRegisterValues {
+            mpuctl0: 0xA500 | 0x0001,
+            mpusegb1: (self.boundary1 >> 4) as u16,
+            mpusegb2: (self.boundary2 >> 4) as u16,
+            mpusam: seg_perm(1) | (seg_perm(2) << 4) | (seg_perm(3) << 8) | (seg_perm(0) << 12),
+        }
+    }
+
+    /// True when the plan denies every kind of access to `addr`.
+    pub fn blocks(&self, addr: Addr) -> bool {
+        matches!(self.permission_at(addr), Some(p) if p.is_none())
+    }
+}
+
+impl fmt::Display for MpuPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.context {
+            MpuContext::OsRunning => writeln!(f, "MPU plan (OS running)")?,
+            MpuContext::AppRunning { name, index } => {
+                writeln!(f, "MPU plan (app {name} / #{index} running)")?
+            }
+        }
+        for seg in &self.segments {
+            writeln!(
+                f,
+                "  MPU{} {:<18} ({}) {:?}",
+                seg.index,
+                format!("{}", seg.range),
+                seg.perm,
+                seg.role
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::{AppImageSpec, MemoryMapPlanner, OsImageSpec};
+
+    fn map() -> MemoryMap {
+        MemoryMapPlanner::msp430fr5969()
+            .plan(
+                &OsImageSpec::default(),
+                &[
+                    AppImageSpec::new("App1", 0x800, 0x200, 0x100),
+                    AppImageSpec::new("App2", 0xA00, 0x300, 0x100),
+                    AppImageSpec::new("App3", 0x600, 0x100, 0x80),
+                ],
+            )
+            .unwrap()
+    }
+
+    #[test]
+    fn app_plan_matches_figure1() {
+        let map = map();
+        let plan = MpuPlan::for_app(&map, 1).unwrap();
+        let app = &map.apps[1];
+
+        // Segment 1 covers everything below the app's data and is X-only.
+        assert_eq!(plan.segments[1].perm, Perm::X);
+        assert!(plan.segments[1].range.contains(map.os_code.start));
+        assert!(plan.segments[1].range.contains(map.apps[0].data.start));
+        assert!(plan.segments[1].range.contains(app.code.start));
+
+        // Segment 2 is exactly the app's data/stack and is RW.
+        assert_eq!(plan.segments[2].range, app.data_stack());
+        assert_eq!(plan.segments[2].perm, Perm::RW);
+
+        // Segment 3 blocks the higher app entirely.
+        assert_eq!(plan.segments[3].perm, Perm::NONE);
+        assert!(plan.segments[3].range.contains(map.apps[2].code.start));
+        assert!(plan.segments[3].range.contains(map.apps[2].data.end - 1));
+    }
+
+    #[test]
+    fn app_cannot_touch_higher_app_but_mpu_ignores_lower_memory_writes() {
+        let map = map();
+        let plan = MpuPlan::for_app(&map, 0).unwrap();
+        // Above the app: fully blocked.
+        assert!(plan.blocks(map.apps[1].data.start));
+        // Below the app's data (OS data): execute-only, so a *write* is
+        // denied by the MPU...
+        let os_data_addr = map.os_data.start;
+        assert!(!plan.permission_at(os_data_addr).unwrap().allows(Perm::W));
+        // ...but the compiler's lower-bound check is still required because
+        // execute-only does not stop instruction fetches, and SRAM /
+        // peripherals are not covered at all.
+        assert_eq!(plan.permission_at(map.os_stack.start), None);
+        assert_eq!(plan.permission_at(0x0200), None);
+    }
+
+    #[test]
+    fn os_plan_lets_the_os_reach_app_memory() {
+        let map = map();
+        let plan = MpuPlan::for_os(&map).unwrap();
+        assert_eq!(plan.segments[3].perm, Perm::RW);
+        assert!(plan
+            .permission_at(map.apps[2].data.start)
+            .unwrap()
+            .allows(Perm::RW));
+        // OS data writable.
+        assert!(plan
+            .permission_at(map.os_data.end - 1)
+            .unwrap()
+            .allows(Perm::W));
+    }
+
+    #[test]
+    fn boundaries_are_the_apps_d_and_t() {
+        let map = map();
+        for (i, app) in map.apps.iter().enumerate() {
+            let plan = MpuPlan::for_app(&map, i).unwrap();
+            assert_eq!(plan.boundary1, app.data_lower_bound());
+            assert_eq!(plan.boundary2, app.upper_bound());
+        }
+    }
+
+    #[test]
+    fn register_encoding_roundtrips_boundaries() {
+        let map = map();
+        let plan = MpuPlan::for_app(&map, 2).unwrap();
+        let regs = plan.register_values();
+        assert_eq!((regs.mpusegb1 as u32) << 4, plan.boundary1);
+        assert_eq!((regs.mpusegb2 as u32) << 4, plan.boundary2);
+        assert_eq!(regs.mpuctl0 & 0xFF00, 0xA500, "password byte present");
+        assert_eq!(regs.mpuctl0 & 0x0001, 1, "enable bit set");
+        // Segment 2 nibble should decode to RW.
+        assert_eq!(Perm::from_bits((regs.mpusam >> 4) & 0x7), Perm::RW);
+        // Segment 1 nibble should decode to X.
+        assert_eq!(Perm::from_bits(regs.mpusam & 0x7), Perm::X);
+        // Segment 3 nibble should decode to no access.
+        assert_eq!(Perm::from_bits((regs.mpusam >> 8) & 0x7), Perm::NONE);
+    }
+
+    #[test]
+    fn unknown_app_index_is_an_error() {
+        let map = map();
+        assert!(MpuPlan::for_app(&map, 99).is_err());
+    }
+
+    #[test]
+    fn advanced_plan_requires_advanced_platform() {
+        let map = map();
+        assert!(matches!(
+            MpuPlan::for_app_advanced(&map, 0),
+            Err(CoreError::TooManySegments { .. })
+        ));
+
+        let adv_map = MemoryMapPlanner::new(crate::layout::PlatformSpec::msp430fr5969_advanced_mpu())
+            .unwrap()
+            .plan(
+                &OsImageSpec::default(),
+                &[AppImageSpec::new("App1", 0x800, 0x200, 0x100)],
+            )
+            .unwrap();
+        let plan = MpuPlan::for_app_advanced(&adv_map, 0).unwrap();
+        // The region below the app is now fully blocked in hardware.
+        assert!(plan.blocks(adv_map.os_data.start));
+        assert_eq!(plan.permission_at(adv_map.apps[0].code.start), Some(Perm::X));
+    }
+
+    #[test]
+    fn display_lists_all_segments() {
+        let map = map();
+        let s = MpuPlan::for_app(&map, 0).unwrap().to_string();
+        assert!(s.contains("MPU0"));
+        assert!(s.contains("MPU3"));
+        assert!(s.contains("App1"));
+    }
+}

@@ -1,0 +1,98 @@
+//! Property tests for the memory-map planner and MPU plans: for *any*
+//! buildable set of applications, regions never overlap, every MPU boundary
+//! is expressible, and the Figure-1 permission structure holds.
+
+use amulet_core::layout::{AppImageSpec, MemoryMapPlanner, OsImageSpec};
+use amulet_core::method::IsolationMethod;
+use amulet_core::mpu_plan::MpuPlan;
+use amulet_core::overhead::{OpCounts, OverheadModel};
+use amulet_core::perm::Perm;
+use proptest::prelude::*;
+
+fn app_spec_strategy(i: usize) -> impl Strategy<Value = AppImageSpec> {
+    (0x20u32..0x1800, 0u32..0x400, 0x20u32..0x200).prop_map(move |(code, data, stack)| {
+        AppImageSpec::new(format!("App{i}"), code, data, stack)
+    })
+}
+
+fn apps_strategy() -> impl Strategy<Value = Vec<AppImageSpec>> {
+    (1usize..=4).prop_flat_map(|n| {
+        (0..n).map(app_spec_strategy).collect::<Vec<_>>()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Whenever the planner succeeds, the resulting map is internally
+    /// consistent: validated, non-overlapping, properly ordered, and every
+    /// app's bounds are MPU-expressible.
+    #[test]
+    fn planned_maps_are_consistent(apps in apps_strategy()) {
+        let planner = MemoryMapPlanner::msp430fr5969();
+        let Ok(map) = planner.plan(&OsImageSpec::default(), &apps) else {
+            // Oversized builds may be rejected; that is not a property
+            // violation.
+            return Ok(());
+        };
+        prop_assert!(map.validate().is_ok());
+        let g = map.platform.mpu_boundary_granularity;
+        let mut prev_end = map.os_data.end;
+        for app in &map.apps {
+            prop_assert!(app.code.start >= prev_end);
+            prop_assert!(app.code.end <= app.stack.start);
+            prop_assert_eq!(app.stack.end, app.data.start);
+            prop_assert_eq!(app.data_lower_bound() % g, 0);
+            prop_assert_eq!(app.upper_bound() % g, 0);
+            prop_assert!(app.footprint().len() >= app.code.len());
+            prev_end = app.upper_bound();
+        }
+    }
+
+    /// The Figure-1 MPU plan always grants an app read-write access to its
+    /// own data/stack, denies any access to apps above it, and never lets it
+    /// write below its data region.
+    #[test]
+    fn mpu_plans_enforce_figure1(apps in apps_strategy()) {
+        let planner = MemoryMapPlanner::msp430fr5969();
+        let Ok(map) = planner.plan(&OsImageSpec::default(), &apps) else { return Ok(()) };
+        for (i, app) in map.apps.iter().enumerate() {
+            let plan = MpuPlan::for_app(&map, i).unwrap();
+            // Own data/stack: read-write.
+            prop_assert_eq!(plan.permission_at(app.data_lower_bound()), Some(Perm::RW));
+            prop_assert_eq!(plan.permission_at(app.upper_bound() - 1), Some(Perm::RW));
+            // Own code: execute-only (no writes).
+            let code_perm = plan.permission_at(app.code.start).unwrap();
+            prop_assert!(code_perm.allows(Perm::X) && !code_perm.allows(Perm::W));
+            // Everything below the app's data is never writable.
+            prop_assert!(!plan.permission_at(map.os_code.start).unwrap().allows(Perm::W));
+            // Every higher app is completely blocked.
+            for other in map.apps.iter().skip(i + 1) {
+                prop_assert!(plan.blocks(other.code.start));
+                prop_assert!(plan.blocks(other.data.start));
+            }
+            // Register encoding round-trips the boundaries.
+            let regs = plan.register_values();
+            prop_assert_eq!((regs.mpusegb1 as u32) << 4, plan.boundary1);
+            prop_assert_eq!((regs.mpusegb2 as u32) << 4, plan.boundary2);
+        }
+    }
+
+    /// The analytic overhead model is monotone: more operations never cost
+    /// fewer overhead cycles, for any method.
+    #[test]
+    fn overhead_model_is_monotone(
+        mem_a in 0u64..1_000_000,
+        mem_b in 0u64..1_000_000,
+        sw_a in 0u64..100_000,
+        sw_b in 0u64..100_000,
+    ) {
+        for method in IsolationMethod::ALL {
+            let model = OverheadModel::for_method(method);
+            let small = OpCounts::new(mem_a.min(mem_b), sw_a.min(sw_b));
+            let large = OpCounts::new(mem_a.max(mem_b), sw_a.max(sw_b));
+            prop_assert!(model.overhead(small).total() <= model.overhead(large).total());
+            prop_assert!(model.slowdown_percent(large) >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,483 @@
+//! The memory bus: physical storage, region decoding, peripheral dispatch
+//! and MPU enforcement.
+//!
+//! Every data access and instruction fetch made by the CPU (and by the OS on
+//! the application's behalf) goes through [`Bus`].  The bus decodes the
+//! address into an MSP430FR5969 region, dispatches peripheral-register
+//! accesses to the MPU and timer models, and consults the MPU for FRAM /
+//! InfoMem accesses.  Accesses the MPU denies are reported as
+//! [`BusFault`]s, which the CPU converts into application faults.
+
+use crate::mpu::{ExtendedMpu, Mpu, MpuDecision, MpuRegisterError};
+use crate::timer::Timer;
+use amulet_core::addr::{Addr, AddrRange};
+use amulet_core::layout::PlatformSpec;
+use amulet_core::perm::AccessKind;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which architectural region an address decodes to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Region {
+    /// Memory-mapped peripheral registers.
+    Peripherals,
+    /// Bootstrap-loader ROM (read-only).
+    BootstrapLoader,
+    /// Information memory (FRAM).
+    InfoMem,
+    /// SRAM.
+    Sram,
+    /// Main FRAM (code + data).
+    Fram,
+    /// Interrupt vector table.
+    InterruptVectors,
+    /// A hole in the memory map.
+    Unmapped,
+}
+
+/// Why a bus access failed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum BusFaultCause {
+    /// The MPU denied the access.
+    MpuViolation,
+    /// The extended ("advanced") MPU denied the access.
+    ExtendedMpuViolation,
+    /// The address decodes to a hole in the memory map.
+    Unmapped,
+    /// A write targeted read-only memory (bootstrap loader).
+    ReadOnly,
+    /// An MPU register write violated the password/lock protocol.
+    MpuRegisterProtocol(MpuRegisterError),
+    /// A word access at an odd address (the MSP430 requires aligned words).
+    Misaligned,
+}
+
+/// A failed bus access.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct BusFault {
+    /// The faulting address.
+    pub addr: Addr,
+    /// What kind of access was attempted.
+    pub access: AccessKind,
+    /// Why it failed.
+    pub cause: BusFaultCause,
+}
+
+impl fmt::Display for BusFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} of {:#06x} failed: {:?}", self.access, self.addr, self.cause)
+    }
+}
+
+impl std::error::Error for BusFault {}
+
+/// Counters the bus maintains for the evaluation and the profiler.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BusStats {
+    /// Data reads performed.
+    pub reads: u64,
+    /// Data writes performed.
+    pub writes: u64,
+    /// Instruction-fetch permission checks performed.
+    pub exec_checks: u64,
+    /// Writes that landed in FRAM (more energy-expensive on real hardware).
+    pub fram_writes: u64,
+    /// Peripheral-register writes (MPU/timer configuration traffic).
+    pub peripheral_writes: u64,
+    /// Accesses denied by the MPU or extended MPU.
+    pub denied: u64,
+}
+
+/// The system bus.
+#[derive(Clone, Serialize, Deserialize)]
+pub struct Bus {
+    platform: PlatformSpec,
+    #[serde(with = "serde_bytes_box")]
+    mem: Box<[u8]>,
+    /// The FR5969-style MPU.
+    pub mpu: Mpu,
+    /// The hypothetical advanced MPU used by the §5 ablation.
+    pub ext_mpu: ExtendedMpu,
+    /// The benchmark timer.
+    pub timer: Timer,
+    /// Access counters.
+    pub stats: BusStats,
+}
+
+mod serde_bytes_box {
+    use serde::{Deserialize, Deserializer, Serializer};
+
+    pub fn serialize<S: Serializer>(b: &[u8], s: S) -> Result<S::Ok, S::Error> {
+        s.collect_seq(b.iter())
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Box<[u8]>, D::Error> {
+        let v: Vec<u8> = Vec::deserialize(d)?;
+        Ok(v.into_boxed_slice())
+    }
+}
+
+impl fmt::Debug for Bus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Bus")
+            .field("platform", &"PlatformSpec")
+            .field("mpu", &self.mpu)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Bus {
+    /// Creates a bus for the given platform with zeroed memory.
+    pub fn new(platform: PlatformSpec) -> Self {
+        let mpu = Mpu::new(platform.fram, platform.info_mem);
+        Bus {
+            platform,
+            mem: vec![0u8; 0x1_0000].into_boxed_slice(),
+            mpu,
+            ext_mpu: ExtendedMpu::default(),
+            timer: Timer::new(),
+            stats: BusStats::default(),
+        }
+    }
+
+    /// Creates a bus for the MSP430FR5969.
+    pub fn msp430fr5969() -> Self {
+        Bus::new(PlatformSpec::msp430fr5969())
+    }
+
+    /// The platform this bus models.
+    pub fn platform(&self) -> &PlatformSpec {
+        &self.platform
+    }
+
+    /// Decodes an address into its architectural region.
+    pub fn region(&self, addr: Addr) -> Region {
+        let p = &self.platform;
+        if p.peripherals.contains(addr) {
+            Region::Peripherals
+        } else if p.bootstrap_loader.contains(addr) {
+            Region::BootstrapLoader
+        } else if p.info_mem.contains(addr) {
+            Region::InfoMem
+        } else if p.sram.contains(addr) {
+            Region::Sram
+        } else if p.fram.contains(addr) {
+            Region::Fram
+        } else if p.interrupt_vectors.contains(addr) {
+            Region::InterruptVectors
+        } else {
+            Region::Unmapped
+        }
+    }
+
+    /// The range of main FRAM.
+    pub fn fram_range(&self) -> AddrRange {
+        self.platform.fram
+    }
+
+    fn check_protection(&mut self, addr: Addr, access: AccessKind) -> Result<(), BusFault> {
+        if self.ext_mpu.enabled {
+            if !self.ext_mpu.check(addr, access) {
+                self.stats.denied += 1;
+                return Err(BusFault { addr, access, cause: BusFaultCause::ExtendedMpuViolation });
+            }
+            return Ok(());
+        }
+        match self.mpu.check(addr, access) {
+            MpuDecision::Violation(_) => {
+                self.stats.denied += 1;
+                Err(BusFault { addr, access, cause: BusFaultCause::MpuViolation })
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Reads `size` bytes (1 or 2) at `addr` as a little-endian value,
+    /// enforcing region and MPU rules.
+    pub fn read(&mut self, addr: Addr, size: u32) -> Result<u16, BusFault> {
+        debug_assert!(size == 1 || size == 2);
+        if size == 2 && addr % 2 != 0 {
+            return Err(BusFault { addr, access: AccessKind::Read, cause: BusFaultCause::Misaligned });
+        }
+        self.stats.reads += 1;
+        match self.region(addr) {
+            Region::Unmapped => {
+                Err(BusFault { addr, access: AccessKind::Read, cause: BusFaultCause::Unmapped })
+            }
+            Region::Peripherals => Ok(self.read_peripheral(addr)),
+            Region::Fram | Region::InfoMem => {
+                self.check_protection(addr, AccessKind::Read)?;
+                Ok(self.read_raw(addr, size))
+            }
+            Region::Sram | Region::BootstrapLoader | Region::InterruptVectors => {
+                Ok(self.read_raw(addr, size))
+            }
+        }
+    }
+
+    /// Writes `size` bytes (1 or 2) at `addr`, enforcing region and MPU
+    /// rules.
+    pub fn write(&mut self, addr: Addr, size: u32, value: u16) -> Result<(), BusFault> {
+        debug_assert!(size == 1 || size == 2);
+        if size == 2 && addr % 2 != 0 {
+            return Err(BusFault { addr, access: AccessKind::Write, cause: BusFaultCause::Misaligned });
+        }
+        self.stats.writes += 1;
+        match self.region(addr) {
+            Region::Unmapped => {
+                Err(BusFault { addr, access: AccessKind::Write, cause: BusFaultCause::Unmapped })
+            }
+            Region::BootstrapLoader => {
+                Err(BusFault { addr, access: AccessKind::Write, cause: BusFaultCause::ReadOnly })
+            }
+            Region::Peripherals => {
+                self.stats.peripheral_writes += 1;
+                self.write_peripheral(addr, value)
+            }
+            Region::Fram | Region::InfoMem => {
+                self.check_protection(addr, AccessKind::Write)?;
+                self.stats.fram_writes += 1;
+                self.write_raw(addr, size, value);
+                Ok(())
+            }
+            Region::Sram | Region::InterruptVectors => {
+                self.write_raw(addr, size, value);
+                Ok(())
+            }
+        }
+    }
+
+    /// Checks whether an instruction fetch at `addr` is permitted.
+    pub fn check_execute(&mut self, addr: Addr) -> Result<(), BusFault> {
+        self.stats.exec_checks += 1;
+        match self.region(addr) {
+            Region::Unmapped => Err(BusFault {
+                addr,
+                access: AccessKind::Execute,
+                cause: BusFaultCause::Unmapped,
+            }),
+            Region::Fram | Region::InfoMem => self.check_protection(addr, AccessKind::Execute),
+            // SRAM, peripherals etc. are outside MPU jurisdiction: fetches
+            // from them are architecturally possible (and are one of the
+            // reasons the paper still needs software checks).
+            _ => Ok(()),
+        }
+    }
+
+    fn read_peripheral(&self, addr: Addr) -> u16 {
+        if Mpu::owns_register(addr) {
+            self.mpu.read_register(addr)
+        } else if Timer::owns_register(addr) {
+            self.timer.read_register(addr)
+        } else {
+            self.read_raw(addr & !1, 2)
+        }
+    }
+
+    fn write_peripheral(&mut self, addr: Addr, value: u16) -> Result<(), BusFault> {
+        if Mpu::owns_register(addr) {
+            self.mpu.write_register(addr, value).map_err(|e| BusFault {
+                addr,
+                access: AccessKind::Write,
+                cause: BusFaultCause::MpuRegisterProtocol(e),
+            })
+        } else if Timer::owns_register(addr) {
+            self.timer.write_register(addr, value);
+            Ok(())
+        } else {
+            self.write_raw(addr & !1, 2, value);
+            Ok(())
+        }
+    }
+
+    /// Raw read with no protection checks (loader / host tooling only).
+    pub fn read_raw(&self, addr: Addr, size: u32) -> u16 {
+        let lo = self.mem[addr as usize] as u16;
+        if size == 1 {
+            lo
+        } else {
+            let hi = self.mem[(addr as usize + 1) & 0xFFFF] as u16;
+            lo | (hi << 8)
+        }
+    }
+
+    /// Raw write with no protection checks (loader / host tooling only).
+    pub fn write_raw(&mut self, addr: Addr, size: u32, value: u16) {
+        self.mem[addr as usize] = (value & 0xFF) as u8;
+        if size == 2 {
+            self.mem[(addr as usize + 1) & 0xFFFF] = (value >> 8) as u8;
+        }
+    }
+
+    /// Copies a byte slice into memory with no protection checks (used by the
+    /// firmware loader).
+    pub fn load_bytes(&mut self, addr: Addr, bytes: &[u8]) {
+        for (i, b) in bytes.iter().enumerate() {
+            self.mem[(addr as usize + i) & 0xFFFF] = *b;
+        }
+    }
+
+    /// Copies bytes out of memory with no protection checks (host tooling).
+    pub fn dump_bytes(&self, range: AddrRange) -> Vec<u8> {
+        (range.start..range.end).map(|a| self.mem[a as usize]).collect()
+    }
+
+    /// Fills a range with a value, bypassing protection (used by the OS's
+    /// `bzero`-on-switch ablation).
+    pub fn fill(&mut self, range: AddrRange, value: u8) {
+        for a in range.start..range.end {
+            self.mem[a as usize] = value;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mpu::{MPUCTL0, MPUSAM, MPUSEGB1, MPUSEGB2};
+    use crate::timer::TIMER_CONTROL;
+    use crate::timer::TIMER_COUNTER;
+
+    fn bus() -> Bus {
+        Bus::msp430fr5969()
+    }
+
+    #[test]
+    fn region_decoding_matches_datasheet() {
+        let b = bus();
+        assert_eq!(b.region(0x0200), Region::Peripherals);
+        assert_eq!(b.region(0x1000), Region::BootstrapLoader);
+        assert_eq!(b.region(0x1800), Region::InfoMem);
+        assert_eq!(b.region(0x1C00), Region::Sram);
+        assert_eq!(b.region(0x2400), Region::Unmapped);
+        assert_eq!(b.region(0x4400), Region::Fram);
+        assert_eq!(b.region(0xFF7F), Region::Fram);
+        assert_eq!(b.region(0xFF80), Region::InterruptVectors);
+    }
+
+    #[test]
+    fn sram_and_fram_read_write_roundtrip() {
+        let mut b = bus();
+        b.write(0x1C00, 2, 0xBEEF).unwrap();
+        assert_eq!(b.read(0x1C00, 2).unwrap(), 0xBEEF);
+        b.write(0x4400, 2, 0x1234).unwrap();
+        assert_eq!(b.read(0x4400, 2).unwrap(), 0x1234);
+        b.write(0x4403, 1, 0xAB).unwrap();
+        assert_eq!(b.read(0x4403, 1).unwrap(), 0xAB);
+    }
+
+    #[test]
+    fn little_endian_byte_order() {
+        let mut b = bus();
+        b.write(0x1C10, 2, 0x1234).unwrap();
+        assert_eq!(b.read(0x1C10, 1).unwrap(), 0x34);
+        assert_eq!(b.read(0x1C11, 1).unwrap(), 0x12);
+    }
+
+    #[test]
+    fn unmapped_and_readonly_accesses_fault() {
+        let mut b = bus();
+        assert_eq!(
+            b.read(0x3000, 2).unwrap_err().cause,
+            BusFaultCause::Unmapped
+        );
+        assert_eq!(
+            b.write(0x1000, 2, 1).unwrap_err().cause,
+            BusFaultCause::ReadOnly
+        );
+        assert_eq!(
+            b.write(0x4401, 2, 1).unwrap_err().cause,
+            BusFaultCause::Misaligned
+        );
+    }
+
+    #[test]
+    fn mpu_registers_are_reachable_through_the_bus() {
+        let mut b = bus();
+        b.write(MPUSEGB1, 2, 0x600).unwrap();
+        b.write(MPUSEGB2, 2, 0x800).unwrap();
+        b.write(MPUSAM, 2, 0x0124).unwrap();
+        b.write(MPUCTL0, 2, 0xA501).unwrap();
+        assert!(b.mpu.enabled);
+        assert_eq!(b.mpu.boundary1, 0x6000);
+        assert_eq!(b.mpu.boundary2, 0x8000);
+        // Bad password surfaces as a protocol fault.
+        let err = b.write(MPUCTL0, 2, 0x0001).unwrap_err();
+        assert!(matches!(err.cause, BusFaultCause::MpuRegisterProtocol(_)));
+    }
+
+    #[test]
+    fn enabled_mpu_blocks_fram_but_not_sram() {
+        let mut b = bus();
+        b.write(MPUSEGB1, 2, 0x600).unwrap();
+        b.write(MPUSEGB2, 2, 0x800).unwrap();
+        // seg1 X, seg2 RW, seg3 none.
+        b.write(MPUSAM, 2, 0x0024).unwrap();
+        b.write(MPUCTL0, 2, 0xA501).unwrap();
+
+        // Write into seg2: fine.
+        b.write(0x7000, 2, 1).unwrap();
+        // Write into seg1 (execute-only): MPU violation.
+        assert_eq!(b.write(0x5000, 2, 1).unwrap_err().cause, BusFaultCause::MpuViolation);
+        // Read from seg3 (no access): MPU violation.
+        assert_eq!(b.read(0x9000, 2).unwrap_err().cause, BusFaultCause::MpuViolation);
+        // SRAM is not covered by the MPU: still writable.
+        b.write(0x1C00, 2, 7).unwrap();
+        // Execute check in seg1 passes, in seg3 fails.
+        assert!(b.check_execute(0x5000).is_ok());
+        assert!(b.check_execute(0x9000).is_err());
+        assert!(b.stats.denied >= 3);
+    }
+
+    #[test]
+    fn timer_is_reachable_through_the_bus() {
+        let mut b = bus();
+        b.write(TIMER_CONTROL, 2, 0x0020).unwrap();
+        b.timer.tick(100);
+        let v = b.read(TIMER_COUNTER, 2).unwrap();
+        assert_eq!(v, 96, "quantised to 16 cycles");
+    }
+
+    #[test]
+    fn loader_bypasses_protection() {
+        let mut b = bus();
+        b.write(MPUSEGB1, 2, 0x600).unwrap();
+        b.write(MPUSEGB2, 2, 0x800).unwrap();
+        b.write(MPUSAM, 2, 0x0000).unwrap();
+        b.write(MPUCTL0, 2, 0xA501).unwrap();
+        b.load_bytes(0x9000, &[1, 2, 3, 4]);
+        assert_eq!(b.dump_bytes(AddrRange::new(0x9000, 0x9004)), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn fill_zeroes_a_region() {
+        let mut b = bus();
+        b.load_bytes(0x1C00, &[9; 16]);
+        b.fill(AddrRange::new(0x1C00, 0x1C10), 0);
+        assert!(b.dump_bytes(AddrRange::new(0x1C00, 0x1C10)).iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn stats_count_fram_writes_separately() {
+        let mut b = bus();
+        b.write(0x1C00, 2, 1).unwrap();
+        b.write(0x4400, 2, 1).unwrap();
+        b.write(0x4402, 2, 1).unwrap();
+        assert_eq!(b.stats.writes, 3);
+        assert_eq!(b.stats.fram_writes, 2);
+    }
+
+    #[test]
+    fn extended_mpu_takes_precedence_when_enabled() {
+        let mut b = bus();
+        b.ext_mpu.enabled = true;
+        b.ext_mpu.segments =
+            vec![(AddrRange::new(0x5000, 0x6000), amulet_core::perm::Perm::RW)];
+        assert!(b.write(0x5800, 2, 1).is_ok());
+        assert_eq!(
+            b.write(0x7000, 2, 1).unwrap_err().cause,
+            BusFaultCause::ExtendedMpuViolation
+        );
+    }
+}

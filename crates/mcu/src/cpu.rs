@@ -1,0 +1,693 @@
+//! The CPU core: registers, flags, and the execute loop.
+//!
+//! The CPU executes decoded [`Instr`]s fetched from the device's instruction
+//! store, performing every data access and instruction-fetch permission check
+//! through the [`Bus`] (and therefore through the MPU).  Execution stops at
+//! system calls, software faults, MPU violations, handler returns, or an
+//! explicit halt, handing control back to the embedding code (`amulet-os`).
+
+use crate::bus::{Bus, BusFault, BusFaultCause};
+use crate::isa::{AluOp, Cond, Instr, Reg, UnaryOp, Width};
+use amulet_core::addr::Addr;
+use amulet_core::fault::FaultClass;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Magic return address pushed by the OS before invoking an application
+/// handler; a `ret` that pops it ends the handler instead of jumping.
+pub const HANDLER_RETURN: Addr = 0xFFFE;
+
+/// Details of a fault raised during execution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultInfo {
+    /// Classification of the fault.
+    pub class: FaultClass,
+    /// Program counter of the faulting instruction.
+    pub pc: Addr,
+    /// Data address involved, when the fault came from a memory access.
+    pub addr: Option<Addr>,
+}
+
+impl fmt::Display for FaultInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.addr {
+            Some(a) => write!(f, "{} at pc={:#06x} (address {:#06x})", self.class, self.pc, a),
+            None => write!(f, "{} at pc={:#06x}", self.class, self.pc),
+        }
+    }
+}
+
+/// What happened during one executed instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StepEvent {
+    /// Execution may continue with the next instruction.
+    Continue,
+    /// The instruction was a system call; the OS must service it and then
+    /// resume execution (the program counter already points past the
+    /// `syscall`).
+    Syscall {
+        /// System-call number.
+        num: u16,
+    },
+    /// The current handler returned to the OS (popped [`HANDLER_RETURN`]).
+    HandlerDone,
+    /// A fault occurred (software check, MPU violation, illegal instruction).
+    Fault(FaultInfo),
+    /// The program executed a `halt`.
+    Halted,
+}
+
+/// CPU execution statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CpuStats {
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Instructions that touched data memory (the ARP's "memory access"
+    /// count).
+    pub data_accesses: u64,
+    /// System calls executed.
+    pub syscalls: u64,
+    /// Faults raised.
+    pub faults: u64,
+}
+
+/// The CPU register file, flags and cycle counter.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Cpu {
+    regs: [u16; Reg::COUNT],
+    /// Zero flag.
+    pub flag_z: bool,
+    /// Negative flag.
+    pub flag_n: bool,
+    /// Carry flag (set when a subtraction does not borrow, MSP430 style).
+    pub flag_c: bool,
+    /// Overflow flag.
+    pub flag_v: bool,
+    /// Total cycles consumed (instruction execution plus charges from the
+    /// OS model).
+    pub cycles: u64,
+    /// Execution statistics.
+    pub stats: CpuStats,
+}
+
+impl Default for Cpu {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Cpu {
+    /// Creates a CPU with all registers zeroed.
+    pub fn new() -> Self {
+        Cpu {
+            regs: [0; Reg::COUNT],
+            flag_z: false,
+            flag_n: false,
+            flag_c: false,
+            flag_v: false,
+            cycles: 0,
+            stats: CpuStats::default(),
+        }
+    }
+
+    /// Reads a register.
+    pub fn reg(&self, r: Reg) -> u16 {
+        if r == Reg::SR {
+            self.status_word()
+        } else {
+            self.regs[r.index()]
+        }
+    }
+
+    /// Writes a register.
+    pub fn set_reg(&mut self, r: Reg, value: u16) {
+        if r == Reg::SR {
+            self.set_status_word(value);
+        } else {
+            self.regs[r.index()] = value;
+        }
+    }
+
+    /// Current program counter.
+    pub fn pc(&self) -> Addr {
+        self.regs[Reg::PC.index()] as Addr
+    }
+
+    /// Sets the program counter.
+    pub fn set_pc(&mut self, pc: Addr) {
+        self.regs[Reg::PC.index()] = pc as u16;
+    }
+
+    /// Current stack pointer.
+    pub fn sp(&self) -> Addr {
+        self.regs[Reg::SP.index()] as Addr
+    }
+
+    /// Sets the stack pointer.
+    pub fn set_sp(&mut self, sp: Addr) {
+        self.regs[Reg::SP.index()] = sp as u16;
+    }
+
+    /// Packs the flags into an MSP430-style status word.
+    pub fn status_word(&self) -> u16 {
+        (self.flag_c as u16)
+            | ((self.flag_z as u16) << 1)
+            | ((self.flag_n as u16) << 2)
+            | ((self.flag_v as u16) << 8)
+    }
+
+    /// Unpacks an MSP430-style status word into the flags.
+    pub fn set_status_word(&mut self, sr: u16) {
+        self.flag_c = sr & 0x0001 != 0;
+        self.flag_z = sr & 0x0002 != 0;
+        self.flag_n = sr & 0x0004 != 0;
+        self.flag_v = sr & 0x0100 != 0;
+    }
+
+    /// Adds `n` cycles to the cycle counter (used by the OS cost model) and
+    /// returns the new total.
+    pub fn charge(&mut self, n: u64) -> u64 {
+        self.cycles += n;
+        self.cycles
+    }
+
+    fn set_flags_logic(&mut self, result: u16) {
+        self.flag_z = result == 0;
+        self.flag_n = result & 0x8000 != 0;
+        self.flag_v = false;
+    }
+
+    fn set_flags_add(&mut self, a: u16, b: u16, result: u16) {
+        self.flag_z = result == 0;
+        self.flag_n = result & 0x8000 != 0;
+        self.flag_c = (a as u32 + b as u32) > 0xFFFF;
+        self.flag_v = ((a ^ result) & (b ^ result) & 0x8000) != 0;
+    }
+
+    fn set_flags_sub(&mut self, a: u16, b: u16, result: u16) {
+        self.flag_z = result == 0;
+        self.flag_n = result & 0x8000 != 0;
+        // MSP430 convention: C is set when no borrow occurred (a >= b
+        // unsigned).
+        self.flag_c = a >= b;
+        self.flag_v = ((a ^ b) & (a ^ result) & 0x8000) != 0;
+    }
+
+    fn cond_holds(&self, cond: Cond) -> bool {
+        match cond {
+            Cond::Eq => self.flag_z,
+            Cond::Ne => !self.flag_z,
+            Cond::Lo => !self.flag_c,
+            Cond::Hs => self.flag_c,
+            Cond::Lt => self.flag_n != self.flag_v,
+            Cond::Ge => self.flag_n == self.flag_v,
+            Cond::Mi => self.flag_n,
+            Cond::Pl => !self.flag_n,
+        }
+    }
+
+    fn bus_fault_to_event(&mut self, pc: Addr, fault: BusFault) -> StepEvent {
+        self.stats.faults += 1;
+        let class = match fault.cause {
+            BusFaultCause::MpuViolation | BusFaultCause::ExtendedMpuViolation => {
+                FaultClass::MpuViolation
+            }
+            // Unmapped addresses, read-only memory, misaligned words and MPU
+            // register-protocol violations are all programming errors rather
+            // than isolation checks; report them as illegal instructions so
+            // the OS fault handler can still log and kill the app.
+            _ => FaultClass::IllegalInstruction,
+        };
+        StepEvent::Fault(FaultInfo { class, pc, addr: Some(fault.addr) })
+    }
+
+    // Data-access counting happens once per retired instruction (via
+    // `touches_data_memory`), not here, so call/return stack traffic does not
+    // inflate the ARP's "memory access" count.
+    fn read_mem(&mut self, bus: &mut Bus, addr: Addr, width: Width) -> Result<u16, BusFault> {
+        bus.read(addr, width.bytes())
+    }
+
+    fn write_mem(
+        &mut self,
+        bus: &mut Bus,
+        addr: Addr,
+        width: Width,
+        value: u16,
+    ) -> Result<(), BusFault> {
+        bus.write(addr, width.bytes(), value)
+    }
+
+    fn push(&mut self, bus: &mut Bus, value: u16) -> Result<(), BusFault> {
+        let sp = self.sp().wrapping_sub(2) & 0xFFFF;
+        self.set_sp(sp);
+        self.write_mem(bus, sp, Width::Word, value)
+    }
+
+    fn pop(&mut self, bus: &mut Bus) -> Result<u16, BusFault> {
+        let sp = self.sp();
+        let v = self.read_mem(bus, sp, Width::Word)?;
+        self.set_sp((sp + 2) & 0xFFFF);
+        Ok(v)
+    }
+
+    /// Executes one instruction fetched from `code`, performing all memory
+    /// traffic through `bus`.
+    pub fn step(&mut self, bus: &mut Bus, code: &BTreeMap<Addr, Instr>) -> StepEvent {
+        let pc = self.pc();
+
+        // Instruction fetch: permission check, then decode-store lookup.
+        if let Err(fault) = bus.check_execute(pc) {
+            return self.bus_fault_to_event(pc, fault);
+        }
+        let Some(instr) = code.get(&pc) else {
+            self.stats.faults += 1;
+            return StepEvent::Fault(FaultInfo {
+                class: FaultClass::IllegalInstruction,
+                pc,
+                addr: None,
+            });
+        };
+        let instr = instr.clone();
+
+        self.stats.instructions += 1;
+        self.cycles += instr.base_cycles();
+        if instr.touches_data_memory() {
+            self.stats.data_accesses += 1;
+        }
+        let next_pc = pc + instr.size_bytes();
+        let mut new_pc = next_pc;
+
+        macro_rules! try_mem {
+            ($e:expr) => {
+                match $e {
+                    Ok(v) => v,
+                    Err(fault) => return self.bus_fault_to_event(pc, fault),
+                }
+            };
+        }
+
+        match instr {
+            Instr::MovImm { dst, imm } => self.set_reg(dst, imm),
+            Instr::Mov { dst, src } => {
+                let v = self.reg(src);
+                self.set_reg(dst, v);
+            }
+            Instr::Load { dst, base, offset, width } => {
+                let addr = (self.reg(base) as i32 + offset as i32) as u16 as Addr;
+                let v = try_mem!(self.read_mem(bus, addr, width));
+                self.set_reg(dst, v);
+            }
+            Instr::Store { src, base, offset, width } => {
+                let addr = (self.reg(base) as i32 + offset as i32) as u16 as Addr;
+                let v = self.reg(src);
+                try_mem!(self.write_mem(bus, addr, width, v));
+            }
+            Instr::LoadAbs { dst, addr, width } => {
+                let v = try_mem!(self.read_mem(bus, addr as Addr, width));
+                self.set_reg(dst, v);
+            }
+            Instr::StoreAbs { src, addr, width } => {
+                let v = self.reg(src);
+                try_mem!(self.write_mem(bus, addr as Addr, width, v));
+            }
+            Instr::Push { src } => {
+                let v = self.reg(src);
+                try_mem!(self.push(bus, v));
+            }
+            Instr::Pop { dst } => {
+                let v = try_mem!(self.pop(bus));
+                self.set_reg(dst, v);
+            }
+            Instr::Alu { op, dst, src } => {
+                let v = self.alu(op, self.reg(dst), self.reg(src));
+                self.set_reg(dst, v);
+            }
+            Instr::AluImm { op, dst, imm } => {
+                let v = self.alu(op, self.reg(dst), imm);
+                self.set_reg(dst, v);
+            }
+            Instr::Unary { op, reg } => {
+                let a = self.reg(reg);
+                let v = match op {
+                    UnaryOp::Neg => (a as i16).wrapping_neg() as u16,
+                    UnaryOp::Not => !a,
+                    UnaryOp::Shl(n) => a.wrapping_shl(n as u32),
+                    UnaryOp::Shr(n) => a.wrapping_shr(n as u32),
+                    UnaryOp::Sar(n) => ((a as i16) >> n.min(15)) as u16,
+                };
+                self.set_flags_logic(v);
+                self.set_reg(reg, v);
+            }
+            Instr::Cmp { a, b } => {
+                let (x, y) = (self.reg(a), self.reg(b));
+                let r = x.wrapping_sub(y);
+                self.set_flags_sub(x, y, r);
+            }
+            Instr::CmpImm { a, imm } => {
+                let x = self.reg(a);
+                let r = x.wrapping_sub(imm);
+                self.set_flags_sub(x, imm, r);
+            }
+            Instr::Jmp { target } => new_pc = target as Addr,
+            Instr::Jcc { cond, target } => {
+                if self.cond_holds(cond) {
+                    new_pc = target as Addr;
+                }
+            }
+            Instr::Br { reg } => {
+                let target = self.reg(reg) as Addr;
+                if target == HANDLER_RETURN {
+                    self.set_pc(next_pc);
+                    return StepEvent::HandlerDone;
+                }
+                new_pc = target;
+            }
+            Instr::Call { target } => {
+                try_mem!(self.push(bus, next_pc as u16));
+                new_pc = target as Addr;
+            }
+            Instr::CallReg { reg } => {
+                let target = self.reg(reg) as Addr;
+                try_mem!(self.push(bus, next_pc as u16));
+                new_pc = target;
+            }
+            Instr::Ret => {
+                let ra = try_mem!(self.pop(bus)) as Addr;
+                if ra == HANDLER_RETURN {
+                    self.set_pc(next_pc);
+                    return StepEvent::HandlerDone;
+                }
+                new_pc = ra;
+            }
+            Instr::Syscall { num } => {
+                self.stats.syscalls += 1;
+                self.set_pc(next_pc);
+                return StepEvent::Syscall { num };
+            }
+            Instr::Fault { code } => {
+                self.stats.faults += 1;
+                let class = FaultClass::ALL
+                    .get(code as usize)
+                    .copied()
+                    .unwrap_or(FaultClass::IllegalInstruction);
+                self.set_pc(next_pc);
+                return StepEvent::Fault(FaultInfo { class, pc, addr: None });
+            }
+            Instr::Halt => {
+                self.set_pc(pc);
+                return StepEvent::Halted;
+            }
+            Instr::Nop => {}
+        }
+
+        self.set_pc(new_pc);
+        StepEvent::Continue
+    }
+
+    fn alu(&mut self, op: AluOp, a: u16, b: u16) -> u16 {
+        match op {
+            AluOp::Add => {
+                let r = a.wrapping_add(b);
+                self.set_flags_add(a, b, r);
+                r
+            }
+            AluOp::Sub => {
+                let r = a.wrapping_sub(b);
+                self.set_flags_sub(a, b, r);
+                r
+            }
+            AluOp::And => {
+                let r = a & b;
+                self.set_flags_logic(r);
+                r
+            }
+            AluOp::Or => {
+                let r = a | b;
+                self.set_flags_logic(r);
+                r
+            }
+            AluOp::Xor => {
+                let r = a ^ b;
+                self.set_flags_logic(r);
+                r
+            }
+            AluOp::Mul => {
+                let r = (a as i16 as i32).wrapping_mul(b as i16 as i32) as u16;
+                self.set_flags_logic(r);
+                r
+            }
+            AluOp::Div => {
+                let r = if b == 0 { 0 } else { ((a as i16) / (b as i16)) as u16 };
+                self.set_flags_logic(r);
+                r
+            }
+            AluOp::Rem => {
+                let r = if b == 0 { 0 } else { ((a as i16) % (b as i16)) as u16 };
+                self.set_flags_logic(r);
+                r
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bus::Bus;
+
+    /// Assembles a program at `base` and returns (code map, end address).
+    fn asm(base: Addr, instrs: &[Instr]) -> BTreeMap<Addr, Instr> {
+        let mut code = BTreeMap::new();
+        let mut cursor = base;
+        for i in instrs {
+            code.insert(cursor, i.clone());
+            cursor += i.size_bytes();
+        }
+        code
+    }
+
+    fn run_program(instrs: &[Instr]) -> (Cpu, Bus) {
+        let base = 0x4400;
+        let code = asm(base, instrs);
+        let mut cpu = Cpu::new();
+        let mut bus = Bus::msp430fr5969();
+        cpu.set_pc(base);
+        cpu.set_sp(0x2400);
+        for _ in 0..10_000 {
+            match cpu.step(&mut bus, &code) {
+                StepEvent::Continue => {}
+                StepEvent::Halted => return (cpu, bus),
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
+        panic!("program did not halt");
+    }
+
+    #[test]
+    fn arithmetic_and_flags() {
+        let (cpu, _) = run_program(&[
+            Instr::MovImm { dst: Reg::R4, imm: 40 },
+            Instr::MovImm { dst: Reg::R5, imm: 2 },
+            Instr::Alu { op: AluOp::Add, dst: Reg::R4, src: Reg::R5 },
+            Instr::AluImm { op: AluOp::Mul, dst: Reg::R4, imm: 3 },
+            Instr::Halt,
+        ]);
+        assert_eq!(cpu.reg(Reg::R4), 126);
+    }
+
+    #[test]
+    fn loads_and_stores_roundtrip_through_sram() {
+        let (cpu, bus) = run_program(&[
+            Instr::MovImm { dst: Reg::R4, imm: 0x1C00 },
+            Instr::MovImm { dst: Reg::R5, imm: 0xABCD },
+            Instr::Store { src: Reg::R5, base: Reg::R4, offset: 4, width: Width::Word },
+            Instr::Load { dst: Reg::R6, base: Reg::R4, offset: 4, width: Width::Word },
+            Instr::Halt,
+        ]);
+        assert_eq!(cpu.reg(Reg::R6), 0xABCD);
+        assert_eq!(bus.read_raw(0x1C04, 2), 0xABCD);
+        assert_eq!(cpu.stats.data_accesses, 2);
+    }
+
+    #[test]
+    fn conditional_branches_follow_unsigned_comparison() {
+        // if (r4 < 100) r5 = 1 else r5 = 2
+        let (cpu, _) = run_program(&[
+            Instr::MovImm { dst: Reg::R4, imm: 42 },
+            Instr::CmpImm { a: Reg::R4, imm: 100 },
+            Instr::Jcc { cond: Cond::Hs, target: 0x4410 },
+            Instr::MovImm { dst: Reg::R5, imm: 1 }, // 0x440A..0x440E
+            Instr::Jmp { target: 0x4414 },          // 0x440E..0x4412 -- adjusted below
+            Instr::Halt,
+        ]);
+        // The exact layout matters less than the decision: 42 < 100 so the
+        // "lower" path ran.
+        assert_eq!(cpu.reg(Reg::R5), 1);
+    }
+
+    #[test]
+    fn call_and_ret_use_the_stack() {
+        let base = 0x4400;
+        // main: call f; halt.  f: r4 = 7; ret.
+        let code = asm(
+            base,
+            &[
+                Instr::Call { target: 0x4410 }, // 4 bytes
+                Instr::Halt,                    // 2 bytes at 0x4404
+            ],
+        );
+        let mut code = code;
+        for (a, i) in asm(0x4410, &[Instr::MovImm { dst: Reg::R4, imm: 7 }, Instr::Ret]) {
+            code.insert(a, i);
+        }
+        let mut cpu = Cpu::new();
+        let mut bus = Bus::msp430fr5969();
+        cpu.set_pc(base);
+        cpu.set_sp(0x2400);
+        loop {
+            match cpu.step(&mut bus, &code) {
+                StepEvent::Continue => {}
+                StepEvent::Halted => break,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(cpu.reg(Reg::R4), 7);
+        assert_eq!(cpu.sp(), 0x2400, "stack balanced after return");
+    }
+
+    #[test]
+    fn ret_to_magic_address_ends_the_handler() {
+        let base = 0x4400;
+        let code = asm(base, &[Instr::Ret]);
+        let mut cpu = Cpu::new();
+        let mut bus = Bus::msp430fr5969();
+        cpu.set_sp(0x2400);
+        // Simulate the OS pushing the magic return address before the call.
+        cpu.push(&mut bus, HANDLER_RETURN as u16).unwrap();
+        cpu.set_pc(base);
+        assert_eq!(cpu.step(&mut bus, &code), StepEvent::HandlerDone);
+    }
+
+    #[test]
+    fn syscall_reports_number_and_advances_pc() {
+        let base = 0x4400;
+        let code = asm(base, &[Instr::Syscall { num: 7 }, Instr::Halt]);
+        let mut cpu = Cpu::new();
+        let mut bus = Bus::msp430fr5969();
+        cpu.set_pc(base);
+        cpu.set_sp(0x2400);
+        assert_eq!(cpu.step(&mut bus, &code), StepEvent::Syscall { num: 7 });
+        assert_eq!(cpu.pc(), base + 2);
+        assert_eq!(cpu.stats.syscalls, 1);
+    }
+
+    #[test]
+    fn fault_instruction_maps_code_to_fault_class() {
+        let base = 0x4400;
+        let idx = FaultClass::ALL
+            .iter()
+            .position(|c| *c == FaultClass::DataPointerLowerBound)
+            .unwrap() as u16;
+        let code = asm(base, &[Instr::Fault { code: idx }]);
+        let mut cpu = Cpu::new();
+        let mut bus = Bus::msp430fr5969();
+        cpu.set_pc(base);
+        match cpu.step(&mut bus, &code) {
+            StepEvent::Fault(info) => {
+                assert_eq!(info.class, FaultClass::DataPointerLowerBound);
+                assert_eq!(info.pc, base);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn executing_unknown_memory_is_an_illegal_instruction() {
+        let code = BTreeMap::new();
+        let mut cpu = Cpu::new();
+        let mut bus = Bus::msp430fr5969();
+        cpu.set_pc(0x5000);
+        match cpu.step(&mut bus, &code) {
+            StepEvent::Fault(info) => assert_eq!(info.class, FaultClass::IllegalInstruction),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mpu_violation_during_store_becomes_a_fault_event() {
+        let base = 0x4400;
+        let code = asm(
+            base,
+            &[
+                Instr::MovImm { dst: Reg::R4, imm: 0x9000 },
+                Instr::Store { src: Reg::R4, base: Reg::R4, offset: 0, width: Width::Word },
+            ],
+        );
+        let mut cpu = Cpu::new();
+        let mut bus = Bus::msp430fr5969();
+        // Configure MPU: everything below 0x8000 RWX-ish, above 0x8000 no
+        // access.
+        bus.mpu.write_register(crate::mpu::MPUSEGB1, 0x600).unwrap();
+        bus.mpu.write_register(crate::mpu::MPUSEGB2, 0x800).unwrap();
+        bus.mpu.write_register(crate::mpu::MPUSAM, 0x0037).unwrap();
+        bus.mpu.write_register(crate::mpu::MPUCTL0, 0xA501).unwrap();
+        cpu.set_pc(base);
+        cpu.set_sp(0x2400);
+        assert_eq!(cpu.step(&mut bus, &code), StepEvent::Continue);
+        match cpu.step(&mut bus, &code) {
+            StepEvent::Fault(info) => {
+                assert_eq!(info.class, FaultClass::MpuViolation);
+                assert_eq!(info.addr, Some(0x9000));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cycles_accumulate_per_instruction() {
+        let (cpu, _) = run_program(&[
+            Instr::MovImm { dst: Reg::R4, imm: 1 }, // 2 cycles
+            Instr::Nop,                             // 1
+            Instr::Nop,                             // 1
+            Instr::Halt,                            // 1
+        ]);
+        assert_eq!(cpu.cycles, 5);
+        assert_eq!(cpu.stats.instructions, 4);
+    }
+
+    #[test]
+    fn status_word_roundtrip() {
+        let mut cpu = Cpu::new();
+        cpu.flag_c = true;
+        cpu.flag_n = true;
+        let sr = cpu.status_word();
+        let mut cpu2 = Cpu::new();
+        cpu2.set_status_word(sr);
+        assert!(cpu2.flag_c && cpu2.flag_n && !cpu2.flag_z && !cpu2.flag_v);
+    }
+
+    #[test]
+    fn signed_conditions() {
+        let mut cpu = Cpu::new();
+        // -5 < 3 signed, but 0xFFFB > 3 unsigned.
+        let a: u16 = (-5i16) as u16;
+        let r = a.wrapping_sub(3);
+        cpu.set_flags_sub(a, 3, r);
+        assert!(cpu.cond_holds(Cond::Lt));
+        assert!(!cpu.cond_holds(Cond::Ge));
+        assert!(cpu.cond_holds(Cond::Hs), "unsigned comparison sees a large value");
+    }
+
+    #[test]
+    fn division_by_zero_yields_zero() {
+        let (cpu, _) = run_program(&[
+            Instr::MovImm { dst: Reg::R4, imm: 10 },
+            Instr::MovImm { dst: Reg::R5, imm: 0 },
+            Instr::Alu { op: AluOp::Div, dst: Reg::R4, src: Reg::R5 },
+            Instr::Halt,
+        ]);
+        assert_eq!(cpu.reg(Reg::R4), 0);
+    }
+}

@@ -1,0 +1,254 @@
+//! The whole device: CPU + bus + instruction store + firmware loading.
+
+use crate::bus::Bus;
+use crate::cpu::{Cpu, FaultInfo, StepEvent, HANDLER_RETURN};
+use crate::firmware::Firmware;
+use crate::isa::Instr;
+use amulet_core::addr::Addr;
+use amulet_core::layout::PlatformSpec;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Why a [`Device::run`] call returned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StopReason {
+    /// The program executed a `halt` instruction.
+    Halted,
+    /// The program executed a system call that the embedder must service.
+    Syscall {
+        /// System-call number.
+        num: u16,
+    },
+    /// The current handler returned to the OS.
+    HandlerDone,
+    /// A fault was raised.
+    Fault(FaultInfo),
+    /// The step budget was exhausted before any of the above happened.
+    StepLimit,
+}
+
+/// Result of a [`Device::run`] call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunExit {
+    /// Why execution stopped.
+    pub reason: StopReason,
+    /// Instructions executed during this run.
+    pub steps: u64,
+    /// Cycles consumed during this run (including OS charges made while the
+    /// run was in progress).
+    pub cycles: u64,
+}
+
+/// A simulated MSP430FR5969-class device.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Device {
+    /// CPU core.
+    pub cpu: Cpu,
+    /// Memory bus (memory, MPU, timer).
+    pub bus: Bus,
+    /// Decoded instruction store.
+    pub code: BTreeMap<Addr, Instr>,
+    /// The firmware image currently loaded, if any.
+    pub firmware: Option<Firmware>,
+}
+
+impl Device {
+    /// Creates a device for the given platform with empty memory.
+    pub fn new(platform: PlatformSpec) -> Self {
+        Device {
+            cpu: Cpu::new(),
+            bus: Bus::new(platform),
+            code: BTreeMap::new(),
+            firmware: None,
+        }
+    }
+
+    /// Creates an MSP430FR5969 device.
+    pub fn msp430fr5969() -> Self {
+        Device::new(PlatformSpec::msp430fr5969())
+    }
+
+    /// Loads a firmware image: installs the instruction store, copies
+    /// initialised data into memory, and leaves the MPU disabled (the OS
+    /// enables it when it schedules the first app).
+    pub fn load_firmware(&mut self, fw: &Firmware) {
+        self.code = fw.code.clone();
+        for seg in &fw.data {
+            self.bus.load_bytes(seg.addr, &seg.bytes);
+        }
+        self.cpu.set_sp(fw.os.initial_sp);
+        self.firmware = Some(fw.clone());
+    }
+
+    /// Adds `n` cycles to the cycle counter (and the benchmark timer),
+    /// modelling work done by OS code that is not executed instruction by
+    /// instruction.
+    pub fn charge_cycles(&mut self, n: u64) {
+        self.cpu.charge(n);
+        self.bus.timer.tick(n);
+    }
+
+    /// Total cycles consumed so far.
+    pub fn cycles(&self) -> u64 {
+        self.cpu.cycles
+    }
+
+    /// Executes a single instruction.
+    pub fn step(&mut self) -> StepEvent {
+        let before = self.cpu.cycles;
+        let ev = self.cpu.step(&mut self.bus, &self.code);
+        let spent = self.cpu.cycles - before;
+        self.bus.timer.tick(spent);
+        ev
+    }
+
+    /// Runs until a halt, syscall, handler return, fault, or the step limit.
+    pub fn run(&mut self, max_steps: u64) -> RunExit {
+        let start_cycles = self.cpu.cycles;
+        let mut steps = 0;
+        while steps < max_steps {
+            steps += 1;
+            match self.step() {
+                StepEvent::Continue => {}
+                StepEvent::Halted => {
+                    return RunExit {
+                        reason: StopReason::Halted,
+                        steps,
+                        cycles: self.cpu.cycles - start_cycles,
+                    }
+                }
+                StepEvent::Syscall { num } => {
+                    return RunExit {
+                        reason: StopReason::Syscall { num },
+                        steps,
+                        cycles: self.cpu.cycles - start_cycles,
+                    }
+                }
+                StepEvent::HandlerDone => {
+                    return RunExit {
+                        reason: StopReason::HandlerDone,
+                        steps,
+                        cycles: self.cpu.cycles - start_cycles,
+                    }
+                }
+                StepEvent::Fault(info) => {
+                    return RunExit {
+                        reason: StopReason::Fault(info),
+                        steps,
+                        cycles: self.cpu.cycles - start_cycles,
+                    }
+                }
+            }
+        }
+        RunExit {
+            reason: StopReason::StepLimit,
+            steps,
+            cycles: self.cpu.cycles - start_cycles,
+        }
+    }
+
+    /// Prepares the CPU to run a function at `entry` with the given stack
+    /// pointer: the stack pointer is installed, the magic handler-return
+    /// address is pushed, and the program counter is set.  Used by the OS to
+    /// invoke application event handlers, and by tests to call arbitrary
+    /// firmware functions.
+    pub fn prepare_call(&mut self, entry: Addr, sp: Addr) {
+        self.cpu.set_sp(sp);
+        // Push the magic return address directly (bypassing MPU checks: on
+        // real hardware this push is performed by trusted OS code running
+        // under the OS MPU configuration).
+        let new_sp = sp.wrapping_sub(2) & 0xFFFF;
+        self.bus.write_raw(new_sp, 2, HANDLER_RETURN as u16);
+        self.cpu.set_sp(new_sp);
+        self.cpu.set_pc(entry);
+    }
+
+    /// Reads the benchmark timer (quantised to 16 cycles, as on the real
+    /// part).
+    pub fn read_timer(&self) -> u16 {
+        self.bus.timer.read_counter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::firmware::{FirmwareBuilder, OsBinary};
+    use crate::isa::{AluOp, Reg};
+    use amulet_core::layout::{AppImageSpec, MemoryMapPlanner, OsImageSpec};
+    use amulet_core::method::IsolationMethod;
+    use amulet_core::mpu_plan::MpuPlan;
+
+    fn simple_firmware() -> Firmware {
+        let map = MemoryMapPlanner::msp430fr5969()
+            .plan(&OsImageSpec::default(), &[AppImageSpec::new("A", 0x400, 0x100, 0x80)])
+            .unwrap();
+        let os = OsBinary {
+            mpu_regs: MpuPlan::for_os(&map).unwrap().register_values(),
+            initial_sp: map.os_initial_stack_pointer(),
+        };
+        let mut b = FirmwareBuilder::new(IsolationMethod::NoIsolation, map.clone(), os);
+        let entry = map.apps[0].code.start;
+        b.emit(
+            entry,
+            &[
+                Instr::MovImm { dst: Reg::R4, imm: 20 },
+                Instr::AluImm { op: AluOp::Add, dst: Reg::R4, imm: 22 },
+                Instr::Ret,
+            ],
+        );
+        b.define_symbol("A::main", entry);
+        b.add_data(map.apps[0].data.start, vec![1, 2, 3, 4]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn load_and_call_a_handler() {
+        let fw = simple_firmware();
+        let mut dev = Device::msp430fr5969();
+        dev.load_firmware(&fw);
+        // Data segment copied.
+        assert_eq!(dev.bus.read_raw(fw.memory_map.apps[0].data.start, 1), 1);
+
+        let entry = fw.symbol("A::main").unwrap();
+        dev.prepare_call(entry, fw.memory_map.apps[0].initial_stack_pointer());
+        let exit = dev.run(100);
+        assert_eq!(exit.reason, StopReason::HandlerDone);
+        assert_eq!(dev.cpu.reg(Reg::R4), 42);
+        assert!(exit.cycles > 0);
+    }
+
+    #[test]
+    fn step_limit_is_reported() {
+        let fw = simple_firmware();
+        let mut dev = Device::msp430fr5969();
+        dev.load_firmware(&fw);
+        let entry = fw.symbol("A::main").unwrap();
+        dev.prepare_call(entry, fw.memory_map.apps[0].initial_stack_pointer());
+        let exit = dev.run(1);
+        assert_eq!(exit.reason, StopReason::StepLimit);
+        assert_eq!(exit.steps, 1);
+    }
+
+    #[test]
+    fn charged_cycles_show_up_in_the_timer() {
+        let mut dev = Device::msp430fr5969();
+        dev.bus.timer.start();
+        dev.charge_cycles(100);
+        assert_eq!(dev.cycles(), 100);
+        assert_eq!(dev.read_timer(), 96, "timer quantised to 16 cycles");
+    }
+
+    #[test]
+    fn run_reports_cycle_delta_not_total() {
+        let fw = simple_firmware();
+        let mut dev = Device::msp430fr5969();
+        dev.load_firmware(&fw);
+        dev.charge_cycles(1_000);
+        let entry = fw.symbol("A::main").unwrap();
+        dev.prepare_call(entry, fw.memory_map.apps[0].initial_stack_pointer());
+        let exit = dev.run(100);
+        assert!(exit.cycles < 1_000, "only the run's own cycles are counted");
+        assert!(dev.cycles() > 1_000);
+    }
+}

@@ -1,0 +1,404 @@
+//! Firmware images.
+//!
+//! The Amulet Firmware Toolchain merges the OS with every selected
+//! application and produces a single image for installation on the device.
+//! [`Firmware`] is that image: the decoded instruction store, initial data,
+//! a symbol table, and — crucially for this paper — per-application metadata
+//! (bounds, entry points, initial stack pointer, MPU register values) that
+//! the OS uses at every context switch.
+
+use crate::isa::Instr;
+use amulet_core::addr::{Addr, AddrRange};
+use amulet_core::layout::{AppPlacement, MemoryMap};
+use amulet_core::method::IsolationMethod;
+use amulet_core::mpu_plan::MpuRegisterValues;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A chunk of initialised data to be copied into memory at load time.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DataSegment {
+    /// Destination address.
+    pub addr: Addr,
+    /// Bytes to copy.
+    pub bytes: Vec<u8>,
+}
+
+impl DataSegment {
+    /// The address range the segment occupies.
+    pub fn range(&self) -> AddrRange {
+        AddrRange::from_len(self.addr, self.bytes.len() as u32)
+    }
+}
+
+/// Per-application metadata embedded in the firmware image.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AppBinary {
+    /// Application name.
+    pub name: String,
+    /// Index of the app in the build.
+    pub index: usize,
+    /// Where the app landed in FRAM (carries `C_i`, `D_i`, `T_i`).
+    pub placement: AppPlacement,
+    /// Event-handler entry points, by handler name.
+    pub handlers: BTreeMap<String, Addr>,
+    /// MPU register values to install while this app runs (meaningful only
+    /// when the build's isolation method uses the MPU).
+    pub mpu_regs: MpuRegisterValues,
+    /// Initial stack pointer for the app (top of its stack region under the
+    /// per-app-stack methods; the shared OS stack otherwise).
+    pub initial_sp: Addr,
+    /// The AFT's maximum-stack-depth estimate in bytes, or `None` when the
+    /// app is recursive and no bound could be computed.
+    pub max_stack_estimate: Option<u32>,
+}
+
+impl AppBinary {
+    /// Looks up a handler entry point.
+    pub fn handler(&self, name: &str) -> Option<Addr> {
+        self.handlers.get(name).copied()
+    }
+}
+
+/// OS-side metadata embedded in the firmware image.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OsBinary {
+    /// MPU register values to install while the OS runs.
+    pub mpu_regs: MpuRegisterValues,
+    /// Initial (and per-switch) OS stack pointer, at the top of SRAM.
+    pub initial_sp: Addr,
+}
+
+/// A complete firmware image.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Firmware {
+    /// The isolation method the image was built for.
+    pub method: IsolationMethod,
+    /// The memory map the AFT's final phase produced.
+    pub memory_map: MemoryMap,
+    /// Decoded instruction store, keyed by address.
+    pub code: BTreeMap<Addr, Instr>,
+    /// Initialised data segments.
+    pub data: Vec<DataSegment>,
+    /// Global symbol table (function entry points and data objects).
+    pub symbols: BTreeMap<String, Addr>,
+    /// Per-application metadata.
+    pub apps: Vec<AppBinary>,
+    /// OS metadata.
+    pub os: OsBinary,
+}
+
+/// Problems detected by [`Firmware::validate`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FirmwareError {
+    /// Two instructions overlap (the earlier one's encoding extends over the
+    /// later one's address).
+    OverlappingInstructions {
+        /// Address of the earlier instruction.
+        first: Addr,
+        /// Address of the overlapped instruction.
+        second: Addr,
+    },
+    /// An application's code strays outside its code region.
+    CodeOutOfBounds {
+        /// Application name.
+        app: String,
+        /// Offending instruction address.
+        addr: Addr,
+    },
+    /// A data segment overlaps an application's code region or another data
+    /// segment.
+    DataOverlap {
+        /// Address where the overlap starts.
+        addr: Addr,
+    },
+    /// A handler entry point does not correspond to any instruction.
+    DanglingHandler {
+        /// Application name.
+        app: String,
+        /// Handler name.
+        handler: String,
+        /// The bad address.
+        addr: Addr,
+    },
+}
+
+impl fmt::Display for FirmwareError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FirmwareError::OverlappingInstructions { first, second } => {
+                write!(f, "instruction at {first:#06x} overlaps instruction at {second:#06x}")
+            }
+            FirmwareError::CodeOutOfBounds { app, addr } => {
+                write!(f, "app `{app}` has code at {addr:#06x} outside its code region")
+            }
+            FirmwareError::DataOverlap { addr } => write!(f, "data overlap at {addr:#06x}"),
+            FirmwareError::DanglingHandler { app, handler, addr } => {
+                write!(f, "app `{app}` handler `{handler}` points at {addr:#06x}, which holds no instruction")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FirmwareError {}
+
+impl Firmware {
+    /// Total encoded size of all instructions, in bytes.
+    pub fn code_size_bytes(&self) -> u32 {
+        self.code.values().map(|i| i.size_bytes()).sum()
+    }
+
+    /// Number of instructions in the image.
+    pub fn instruction_count(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Looks up a symbol.
+    pub fn symbol(&self, name: &str) -> Option<Addr> {
+        self.symbols.get(name).copied()
+    }
+
+    /// Looks up an application by name.
+    pub fn app(&self, name: &str) -> Option<&AppBinary> {
+        self.apps.iter().find(|a| a.name == name)
+    }
+
+    /// The address range spanned by the instruction store (for diagnostics).
+    pub fn code_span(&self) -> Option<AddrRange> {
+        let first = *self.code.keys().next()?;
+        let (last_addr, last_instr) = self.code.iter().next_back()?;
+        Some(AddrRange::new(first, last_addr + last_instr.size_bytes()))
+    }
+
+    /// Structural validation of the image.
+    pub fn validate(&self) -> Result<(), FirmwareError> {
+        // Instructions must not overlap.
+        let mut prev: Option<(Addr, u32)> = None;
+        for (&addr, instr) in &self.code {
+            if let Some((paddr, psize)) = prev {
+                if paddr + psize > addr {
+                    return Err(FirmwareError::OverlappingInstructions { first: paddr, second: addr });
+                }
+            }
+            prev = Some((addr, instr.size_bytes()));
+        }
+        // App code must stay inside each app's code region, and handlers must
+        // point at real instructions.
+        for app in &self.apps {
+            for (&addr, instr) in self.code.range(app.placement.code.start..app.placement.code.end) {
+                if addr + instr.size_bytes() > app.placement.code.end {
+                    return Err(FirmwareError::CodeOutOfBounds { app: app.name.clone(), addr });
+                }
+            }
+            for (hname, &haddr) in &app.handlers {
+                if !self.code.contains_key(&haddr) {
+                    return Err(FirmwareError::DanglingHandler {
+                        app: app.name.clone(),
+                        handler: hname.clone(),
+                        addr: haddr,
+                    });
+                }
+            }
+        }
+        // Data segments must not overlap each other or any code.
+        let mut data_ranges: Vec<AddrRange> = Vec::new();
+        for seg in &self.data {
+            let r = seg.range();
+            for other in &data_ranges {
+                if r.overlaps(other) {
+                    return Err(FirmwareError::DataOverlap { addr: r.start.max(other.start) });
+                }
+            }
+            for (&addr, instr) in &self.code {
+                let ir = AddrRange::from_len(addr, instr.size_bytes());
+                if r.overlaps(&ir) {
+                    return Err(FirmwareError::DataOverlap { addr: ir.start.max(r.start) });
+                }
+            }
+            data_ranges.push(r);
+        }
+        Ok(())
+    }
+}
+
+/// Builder used by the AFT's final phase (and by tests) to assemble firmware
+/// images instruction by instruction.
+#[derive(Clone, Debug)]
+pub struct FirmwareBuilder {
+    method: IsolationMethod,
+    memory_map: MemoryMap,
+    code: BTreeMap<Addr, Instr>,
+    data: Vec<DataSegment>,
+    symbols: BTreeMap<String, Addr>,
+    apps: Vec<AppBinary>,
+    os: OsBinary,
+}
+
+impl FirmwareBuilder {
+    /// Starts a builder for the given method and memory map.
+    pub fn new(method: IsolationMethod, memory_map: MemoryMap, os: OsBinary) -> Self {
+        FirmwareBuilder {
+            method,
+            memory_map,
+            code: BTreeMap::new(),
+            data: Vec::new(),
+            symbols: BTreeMap::new(),
+            apps: Vec::new(),
+            os,
+        }
+    }
+
+    /// Emits a sequence of instructions starting at `addr`, returning the
+    /// address just past the emitted sequence.
+    pub fn emit(&mut self, addr: Addr, instrs: &[Instr]) -> Addr {
+        let mut cursor = addr;
+        for i in instrs {
+            self.code.insert(cursor, i.clone());
+            cursor += i.size_bytes();
+        }
+        cursor
+    }
+
+    /// Adds an initialised data segment.
+    pub fn add_data(&mut self, addr: Addr, bytes: Vec<u8>) {
+        self.data.push(DataSegment { addr, bytes });
+    }
+
+    /// Defines a global symbol.
+    pub fn define_symbol(&mut self, name: impl Into<String>, addr: Addr) {
+        self.symbols.insert(name.into(), addr);
+    }
+
+    /// Registers an application's metadata.
+    pub fn add_app(&mut self, app: AppBinary) {
+        self.apps.push(app);
+    }
+
+    /// Finishes the image (validating it).
+    pub fn build(self) -> Result<Firmware, FirmwareError> {
+        let fw = Firmware {
+            method: self.method,
+            memory_map: self.memory_map,
+            code: self.code,
+            data: self.data,
+            symbols: self.symbols,
+            apps: self.apps,
+            os: self.os,
+        };
+        fw.validate()?;
+        Ok(fw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::Reg;
+    use amulet_core::layout::{AppImageSpec, MemoryMapPlanner, OsImageSpec};
+    use amulet_core::mpu_plan::MpuPlan;
+
+    fn map() -> MemoryMap {
+        MemoryMapPlanner::msp430fr5969()
+            .plan(&OsImageSpec::default(), &[AppImageSpec::new("A", 0x400, 0x100, 0x80)])
+            .unwrap()
+    }
+
+    fn os_binary(map: &MemoryMap) -> OsBinary {
+        OsBinary {
+            mpu_regs: MpuPlan::for_os(map).unwrap().register_values(),
+            initial_sp: map.os_initial_stack_pointer(),
+        }
+    }
+
+    fn app_binary(map: &MemoryMap, handlers: BTreeMap<String, Addr>) -> AppBinary {
+        let placement = map.apps[0].clone();
+        AppBinary {
+            name: "A".into(),
+            index: 0,
+            initial_sp: placement.initial_stack_pointer(),
+            mpu_regs: MpuPlan::for_app(map, 0).unwrap().register_values(),
+            placement,
+            handlers,
+            max_stack_estimate: Some(0x40),
+        }
+    }
+
+    #[test]
+    fn builder_emits_sequential_addresses() {
+        let map = map();
+        let mut b = FirmwareBuilder::new(IsolationMethod::Mpu, map.clone(), os_binary(&map));
+        let start = map.apps[0].code.start;
+        let end = b.emit(
+            start,
+            &[
+                Instr::MovImm { dst: Reg::R4, imm: 1 }, // 4 bytes
+                Instr::Mov { dst: Reg::R5, src: Reg::R4 }, // 2 bytes
+                Instr::Ret, // 2 bytes
+            ],
+        );
+        assert_eq!(end, start + 8);
+        let fw = b.build().unwrap();
+        assert_eq!(fw.instruction_count(), 3);
+        assert_eq!(fw.code_size_bytes(), 8);
+        assert_eq!(fw.code_span().unwrap(), AddrRange::new(start, start + 8));
+    }
+
+    #[test]
+    fn validate_rejects_overlapping_instructions() {
+        let map = map();
+        let mut b = FirmwareBuilder::new(IsolationMethod::Mpu, map.clone(), os_binary(&map));
+        let start = map.apps[0].code.start;
+        b.emit(start, &[Instr::MovImm { dst: Reg::R4, imm: 1 }]);
+        // Manually insert an instruction in the middle of the previous one.
+        b.code.insert(start + 2, Instr::Ret);
+        assert!(matches!(
+            b.build(),
+            Err(FirmwareError::OverlappingInstructions { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_code_outside_the_app_region() {
+        let map = map();
+        let mut b = FirmwareBuilder::new(IsolationMethod::Mpu, map.clone(), os_binary(&map));
+        let app_end = map.apps[0].code.end;
+        b.emit(app_end - 2, &[Instr::Call { target: 0x4400 }]); // 4 bytes, spills over
+        b.add_app(app_binary(&map, BTreeMap::new()));
+        assert!(matches!(b.build(), Err(FirmwareError::CodeOutOfBounds { .. })));
+    }
+
+    #[test]
+    fn validate_rejects_dangling_handlers_and_data_overlap() {
+        let map = map();
+        let start = map.apps[0].code.start;
+
+        let mut b = FirmwareBuilder::new(IsolationMethod::Mpu, map.clone(), os_binary(&map));
+        b.emit(start, &[Instr::Ret]);
+        let mut handlers = BTreeMap::new();
+        handlers.insert("main".to_string(), start + 0x100);
+        b.add_app(app_binary(&map, handlers));
+        assert!(matches!(b.build(), Err(FirmwareError::DanglingHandler { .. })));
+
+        let mut b = FirmwareBuilder::new(IsolationMethod::Mpu, map.clone(), os_binary(&map));
+        b.emit(start, &[Instr::Ret]);
+        b.add_data(start, vec![0; 4]);
+        assert!(matches!(b.build(), Err(FirmwareError::DataOverlap { .. })));
+    }
+
+    #[test]
+    fn symbols_and_app_lookup() {
+        let map = map();
+        let mut b = FirmwareBuilder::new(IsolationMethod::SoftwareOnly, map.clone(), os_binary(&map));
+        let start = map.apps[0].code.start;
+        b.emit(start, &[Instr::Ret]);
+        b.define_symbol("A::main", start);
+        let mut handlers = BTreeMap::new();
+        handlers.insert("main".to_string(), start);
+        b.add_app(app_binary(&map, handlers));
+        let fw = b.build().unwrap();
+        assert_eq!(fw.symbol("A::main"), Some(start));
+        assert_eq!(fw.app("A").unwrap().handler("main"), Some(start));
+        assert!(fw.app("B").is_none());
+    }
+}

@@ -1,0 +1,46 @@
+//! # amulet-mcu
+//!
+//! A cycle-counted simulator of the TI MSP430FR5969-class microcontroller
+//! used by the Amulet wearable platform, built for the reproduction of
+//! "Application Memory Isolation on Ultra-Low-Power MCUs" (USENIX ATC 2018).
+//!
+//! The simulator models exactly the pieces of the hardware the paper's
+//! evaluation depends on:
+//!
+//! * the FR5969 memory map (peripheral registers, bootstrap loader, InfoMem,
+//!   2 KiB SRAM, main FRAM, interrupt vectors) — [`bus`];
+//! * the limited Memory Protection Unit: three main-memory segments defined
+//!   by two movable boundaries plus a pinned InfoMem segment, per-segment
+//!   R/W/X bits, a password/lock register protocol, and *no* coverage of
+//!   SRAM or peripherals — [`mpu`];
+//! * a 16-bit register machine with MSP430-flavoured cycle costs executing
+//!   the code produced by the `amulet-aft` compiler — [`isa`], [`cpu`];
+//! * the hardware timer used for the paper's measurements, with its 16-cycle
+//!   read-out precision — [`timer`];
+//! * firmware images carrying per-application bounds, entry points and MPU
+//!   register values — [`firmware`];
+//! * the assembled device — [`device`].
+//!
+//! See `DESIGN.md` at the repository root for the substitution argument: the
+//! ISA is not bit-compatible with the MSP430, but every quantity the paper
+//! measures (instruction counts of check sequences, MPU register-write
+//! counts, cycle ratios) is preserved.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bus;
+pub mod cpu;
+pub mod device;
+pub mod firmware;
+pub mod isa;
+pub mod mpu;
+pub mod timer;
+
+pub use bus::{Bus, BusFault, BusFaultCause, BusStats, Region};
+pub use cpu::{Cpu, CpuStats, FaultInfo, StepEvent, HANDLER_RETURN};
+pub use device::{Device, RunExit, StopReason};
+pub use firmware::{AppBinary, DataSegment, Firmware, FirmwareBuilder, FirmwareError, OsBinary};
+pub use isa::{AluOp, Cond, Instr, Reg, UnaryOp, Width};
+pub use mpu::{ExtendedMpu, Mpu, MpuDecision, MpuSegment};
+pub use timer::{Timer, TIMER_PRECISION_CYCLES};

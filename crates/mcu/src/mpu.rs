@@ -1,0 +1,505 @@
+//! The FR5969-style Memory Protection Unit.
+//!
+//! The hardware modelled here has exactly the shortcomings the paper lists:
+//!
+//! 1. it supports too few distinct regions to sandbox each application — only
+//!    three main-memory segments defined by two movable boundaries, plus a
+//!    segment pinned to InfoMem;
+//! 2. it leaves certain memory unprotected — SRAM, the peripheral registers,
+//!    the bootstrap loader and the interrupt vectors are simply outside its
+//!    jurisdiction;
+//! 3. its configuration lives behind an arcane password/lock protocol in
+//!    memory-mapped registers.
+//!
+//! The registers follow the MSP430FR5969 layout: `MPUCTL0` (password +
+//! enable + lock), `MPUCTL1` (violation flags), `MPUSEGB2`/`MPUSEGB1`
+//! (segment boundaries, address ÷ 16) and `MPUSAM` (per-segment R/W/X bits).
+
+use amulet_core::addr::{Addr, AddrRange};
+use amulet_core::mpu_plan::{MpuPlan, MpuRegisterValues};
+use amulet_core::perm::{AccessKind, Perm};
+use serde::{Deserialize, Serialize};
+
+/// Base address of the MPU register block.
+pub const MPU_BASE: Addr = 0x05A0;
+/// `MPUCTL0`: password, enable, segment-1/2/3 lock.
+pub const MPUCTL0: Addr = 0x05A0;
+/// `MPUCTL1`: violation flags (segment 1/2/3 and InfoMem).
+pub const MPUCTL1: Addr = 0x05A2;
+/// `MPUSEGB2`: boundary between segments 2 and 3, as address ÷ 16.
+pub const MPUSEGB2: Addr = 0x05A4;
+/// `MPUSEGB1`: boundary between segments 1 and 2, as address ÷ 16.
+pub const MPUSEGB1: Addr = 0x05A6;
+/// `MPUSAM`: segment access rights.
+pub const MPUSAM: Addr = 0x05A8;
+/// One past the last MPU register address.
+pub const MPU_END: Addr = 0x05AA;
+
+/// Password that must be present in the high byte of any `MPUCTL0` write.
+pub const MPU_PASSWORD: u16 = 0xA5;
+
+/// Which MPU segment an address falls into.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum MpuSegment {
+    /// The pinned InfoMem segment ("segment 0" in the paper's description).
+    Info,
+    /// Main memory below boundary 1.
+    Seg1,
+    /// Main memory between boundary 1 and boundary 2.
+    Seg2,
+    /// Main memory at or above boundary 2.
+    Seg3,
+}
+
+/// Outcome of consulting the MPU about an access.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum MpuDecision {
+    /// The address is outside the MPU's jurisdiction (SRAM, peripherals,
+    /// bootstrap loader, vectors): the MPU neither allows nor denies it.
+    NotCovered,
+    /// The access is permitted by the current segment configuration.
+    Allowed(MpuSegment),
+    /// The access violates the current segment configuration.
+    Violation(MpuSegment),
+}
+
+impl MpuDecision {
+    /// True unless the decision is a violation.
+    pub fn permits(&self) -> bool {
+        !matches!(self, MpuDecision::Violation(_))
+    }
+}
+
+/// Error writing an MPU register.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum MpuRegisterError {
+    /// An `MPUCTL0` write without the `0xA5` password; on real hardware this
+    /// causes a power-up-clear reset.
+    BadPassword,
+    /// A configuration write while the lock bit is set.
+    Locked,
+}
+
+/// The MPU register file and access-checking logic.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Mpu {
+    /// Whether segment checking is enabled (`MPUENA`).
+    pub enabled: bool,
+    /// Whether the configuration is locked until the next reset (`MPULOCK`).
+    pub locked: bool,
+    /// Boundary between segments 1 and 2 (byte address).
+    pub boundary1: Addr,
+    /// Boundary between segments 2 and 3 (byte address).
+    pub boundary2: Addr,
+    /// Per-segment permissions, indexed by [`MpuSegment`].
+    pub seg_info: Perm,
+    /// Segment 1 permissions.
+    pub seg1: Perm,
+    /// Segment 2 permissions.
+    pub seg2: Perm,
+    /// Segment 3 permissions.
+    pub seg3: Perm,
+    /// Latched violation flags (`MPUSEGxIFG` in `MPUCTL1`).
+    pub violation_flags: u16,
+    /// The main-memory range the MPU covers.
+    main_range: AddrRange,
+    /// The InfoMem range (pinned segment).
+    info_range: AddrRange,
+    /// Count of configuration writes, for the evaluation's context-switch
+    /// accounting.
+    pub config_writes: u64,
+    /// Count of access checks performed.
+    pub checks: u64,
+    /// Count of violations detected.
+    pub violations: u64,
+}
+
+impl Mpu {
+    /// Creates a disabled MPU covering the given main-FRAM and InfoMem
+    /// ranges.
+    pub fn new(main_range: AddrRange, info_range: AddrRange) -> Self {
+        Mpu {
+            enabled: false,
+            locked: false,
+            boundary1: main_range.start,
+            boundary2: main_range.start,
+            seg_info: Perm::RWX,
+            seg1: Perm::RWX,
+            seg2: Perm::RWX,
+            seg3: Perm::RWX,
+            violation_flags: 0,
+            main_range,
+            info_range,
+            config_writes: 0,
+            checks: 0,
+            violations: 0,
+        }
+    }
+
+    /// Creates the MPU for the MSP430FR5969 memory map.
+    pub fn msp430fr5969() -> Self {
+        let spec = amulet_core::layout::PlatformSpec::msp430fr5969();
+        Mpu::new(spec.fram, spec.info_mem)
+    }
+
+    /// Resets the MPU to its power-on state (disabled, unlocked, no
+    /// violations).
+    pub fn reset(&mut self) {
+        let main = self.main_range;
+        let info = self.info_range;
+        let (writes, checks, violations) = (self.config_writes, self.checks, self.violations);
+        *self = Mpu::new(main, info);
+        self.config_writes = writes;
+        self.checks = checks;
+        self.violations = violations;
+    }
+
+    /// Which segment `addr` belongs to, or `None` when the MPU does not cover
+    /// it.
+    pub fn segment_of(&self, addr: Addr) -> Option<MpuSegment> {
+        if self.info_range.contains(addr) {
+            Some(MpuSegment::Info)
+        } else if self.main_range.contains(addr) {
+            if addr < self.boundary1 {
+                Some(MpuSegment::Seg1)
+            } else if addr < self.boundary2 {
+                Some(MpuSegment::Seg2)
+            } else {
+                Some(MpuSegment::Seg3)
+            }
+        } else {
+            None
+        }
+    }
+
+    /// Permissions currently granted to the given segment.
+    pub fn segment_perm(&self, seg: MpuSegment) -> Perm {
+        match seg {
+            MpuSegment::Info => self.seg_info,
+            MpuSegment::Seg1 => self.seg1,
+            MpuSegment::Seg2 => self.seg2,
+            MpuSegment::Seg3 => self.seg3,
+        }
+    }
+
+    /// Checks an access of `kind` at `addr`, latching a violation flag when
+    /// it is denied.
+    pub fn check(&mut self, addr: Addr, kind: AccessKind) -> MpuDecision {
+        self.checks += 1;
+        if !self.enabled {
+            return MpuDecision::NotCovered;
+        }
+        let Some(seg) = self.segment_of(addr) else {
+            return MpuDecision::NotCovered;
+        };
+        let perm = self.segment_perm(seg);
+        if perm.allows(kind.required_perm()) {
+            MpuDecision::Allowed(seg)
+        } else {
+            self.violations += 1;
+            self.violation_flags |= match seg {
+                MpuSegment::Seg1 => 1 << 0,
+                MpuSegment::Seg2 => 1 << 1,
+                MpuSegment::Seg3 => 1 << 2,
+                MpuSegment::Info => 1 << 3,
+            };
+            MpuDecision::Violation(seg)
+        }
+    }
+
+    /// Non-mutating variant of [`Mpu::check`] for diagnostics and tests.
+    pub fn would_allow(&self, addr: Addr, kind: AccessKind) -> bool {
+        if !self.enabled {
+            return true;
+        }
+        match self.segment_of(addr) {
+            None => true,
+            Some(seg) => self.segment_perm(seg).allows(kind.required_perm()),
+        }
+    }
+
+    /// Applies a full register-value set (as produced by
+    /// [`MpuPlan::register_values`]) in the order a context-switch routine
+    /// writes them: boundaries, access bits, control word.
+    pub fn apply_registers(&mut self, regs: MpuRegisterValues) -> Result<(), MpuRegisterError> {
+        self.write_register(MPUSEGB1, regs.mpusegb1)?;
+        self.write_register(MPUSEGB2, regs.mpusegb2)?;
+        self.write_register(MPUSAM, regs.mpusam)?;
+        self.write_register(MPUCTL0, regs.mpuctl0)?;
+        Ok(())
+    }
+
+    /// Applies an abstract plan directly (used by the "advanced MPU"
+    /// ablation, which needs more segments than the register file encodes).
+    pub fn apply_plan_unchecked(&mut self, plan: &MpuPlan) {
+        // Collapse the plan into the 3-segment hardware when possible; the
+        // advanced 4-segment plan is handled by the extended simulator mode
+        // in `ExtendedMpu`, so here we only honour the standard shape.
+        self.boundary1 = plan.boundary1;
+        self.boundary2 = plan.boundary2;
+        for seg in &plan.segments {
+            match seg.index {
+                0 => self.seg_info = seg.perm,
+                1 => self.seg1 = seg.perm,
+                2 => self.seg2 = seg.perm,
+                3 => self.seg3 = seg.perm,
+                _ => {}
+            }
+        }
+        self.enabled = true;
+        self.config_writes += MpuRegisterValues::WRITE_COUNT as u64;
+    }
+
+    /// True when `addr` addresses one of the MPU's memory-mapped registers.
+    pub fn owns_register(addr: Addr) -> bool {
+        (MPU_BASE..MPU_END).contains(&addr)
+    }
+
+    /// Reads a memory-mapped MPU register.
+    pub fn read_register(&self, addr: Addr) -> u16 {
+        match addr & !1 {
+            MPUCTL0 => {
+                let mut v = 0x9600; // reads return 0x96 in the password byte
+                if self.enabled {
+                    v |= 0x0001;
+                }
+                if self.locked {
+                    v |= 0x0002;
+                }
+                v
+            }
+            MPUCTL1 => self.violation_flags,
+            MPUSEGB2 => (self.boundary2 >> 4) as u16,
+            MPUSEGB1 => (self.boundary1 >> 4) as u16,
+            MPUSAM => {
+                self.seg1.to_bits()
+                    | (self.seg2.to_bits() << 4)
+                    | (self.seg3.to_bits() << 8)
+                    | (self.seg_info.to_bits() << 12)
+            }
+            _ => 0,
+        }
+    }
+
+    /// Writes a memory-mapped MPU register, enforcing the password and lock
+    /// protocol.
+    pub fn write_register(&mut self, addr: Addr, value: u16) -> Result<(), MpuRegisterError> {
+        if self.locked {
+            return Err(MpuRegisterError::Locked);
+        }
+        match addr & !1 {
+            MPUCTL0 => {
+                if value >> 8 != MPU_PASSWORD {
+                    return Err(MpuRegisterError::BadPassword);
+                }
+                self.enabled = value & 0x0001 != 0;
+                self.locked = value & 0x0002 != 0;
+            }
+            MPUCTL1 => {
+                // Writing clears the violation flags (write-1-to-clear on the
+                // real part; we clear unconditionally for simplicity).
+                self.violation_flags = 0;
+            }
+            MPUSEGB2 => {
+                self.boundary2 = (value as Addr) << 4;
+            }
+            MPUSEGB1 => {
+                self.boundary1 = (value as Addr) << 4;
+            }
+            MPUSAM => {
+                self.seg1 = Perm::from_bits(value & 0x7);
+                self.seg2 = Perm::from_bits((value >> 4) & 0x7);
+                self.seg3 = Perm::from_bits((value >> 8) & 0x7);
+                self.seg_info = Perm::from_bits((value >> 12) & 0x7);
+            }
+            _ => {}
+        }
+        self.config_writes += 1;
+        Ok(())
+    }
+}
+
+/// An "advanced MPU" for the §5 ablation: an arbitrary list of segments with
+/// full coverage of the address space, standing in for the more capable MPUs
+/// the paper says would remove the need for compiler-inserted checks.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ExtendedMpu {
+    /// Whether the extended MPU is active (when active it takes precedence
+    /// over the standard 3-segment MPU).
+    pub enabled: bool,
+    /// Segments: address range plus permissions.  Addresses not covered by
+    /// any segment are *denied* (full coverage, unlike the FR5969 part).
+    pub segments: Vec<(AddrRange, Perm)>,
+    /// Violations detected.
+    pub violations: u64,
+}
+
+impl ExtendedMpu {
+    /// Installs a plan's segments.
+    pub fn apply_plan(&mut self, plan: &MpuPlan) {
+        self.segments = plan.segments.iter().map(|s| (s.range, s.perm)).collect();
+        self.enabled = true;
+    }
+
+    /// Checks an access, returning `true` when permitted.
+    pub fn check(&mut self, addr: Addr, kind: AccessKind) -> bool {
+        if !self.enabled {
+            return true;
+        }
+        let allowed = self
+            .segments
+            .iter()
+            .find(|(r, _)| r.contains(addr))
+            .map(|(_, p)| p.allows(kind.required_perm()))
+            .unwrap_or(false);
+        if !allowed {
+            self.violations += 1;
+        }
+        allowed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amulet_core::layout::{AppImageSpec, MemoryMapPlanner, OsImageSpec};
+
+    fn fr5969() -> Mpu {
+        Mpu::msp430fr5969()
+    }
+
+    #[test]
+    fn disabled_mpu_allows_everything() {
+        let mut mpu = fr5969();
+        assert_eq!(mpu.check(0x5000, AccessKind::Write), MpuDecision::NotCovered);
+        assert!(mpu.would_allow(0xF000, AccessKind::Execute));
+    }
+
+    #[test]
+    fn segment_classification_follows_boundaries() {
+        let mut mpu = fr5969();
+        mpu.boundary1 = 0x6000;
+        mpu.boundary2 = 0x8000;
+        mpu.enabled = true;
+        assert_eq!(mpu.segment_of(0x4400), Some(MpuSegment::Seg1));
+        assert_eq!(mpu.segment_of(0x5FFF), Some(MpuSegment::Seg1));
+        assert_eq!(mpu.segment_of(0x6000), Some(MpuSegment::Seg2));
+        assert_eq!(mpu.segment_of(0x7FFF), Some(MpuSegment::Seg2));
+        assert_eq!(mpu.segment_of(0x8000), Some(MpuSegment::Seg3));
+        assert_eq!(mpu.segment_of(0x1800), Some(MpuSegment::Info));
+        assert_eq!(mpu.segment_of(0x1C00), None, "SRAM is not covered");
+        assert_eq!(mpu.segment_of(0x0200), None, "peripherals are not covered");
+    }
+
+    #[test]
+    fn violations_are_latched_and_counted() {
+        let mut mpu = fr5969();
+        mpu.boundary1 = 0x6000;
+        mpu.boundary2 = 0x8000;
+        mpu.seg1 = Perm::X;
+        mpu.seg2 = Perm::RW;
+        mpu.seg3 = Perm::NONE;
+        mpu.enabled = true;
+
+        assert!(mpu.check(0x7000, AccessKind::Write).permits());
+        assert!(!mpu.check(0x9000, AccessKind::Read).permits());
+        assert!(!mpu.check(0x5000, AccessKind::Write).permits());
+        assert_eq!(mpu.violations, 2);
+        assert_ne!(mpu.violation_flags & (1 << 2), 0, "seg3 flag latched");
+        assert_ne!(mpu.violation_flags & (1 << 0), 0, "seg1 flag latched");
+
+        // Clearing via MPUCTL1 write.
+        mpu.write_register(MPUCTL1, 0).unwrap();
+        assert_eq!(mpu.violation_flags, 0);
+    }
+
+    #[test]
+    fn register_password_and_lock_protocol() {
+        let mut mpu = fr5969();
+        // Enable without password: rejected.
+        assert_eq!(mpu.write_register(MPUCTL0, 0x0001), Err(MpuRegisterError::BadPassword));
+        assert!(!mpu.enabled);
+        // Proper password enables.
+        mpu.write_register(MPUCTL0, 0xA501).unwrap();
+        assert!(mpu.enabled);
+        // Lock, then further writes fail.
+        mpu.write_register(MPUCTL0, 0xA503).unwrap();
+        assert!(mpu.locked);
+        assert_eq!(mpu.write_register(MPUSEGB1, 0x600), Err(MpuRegisterError::Locked));
+        // Reset unlocks.
+        mpu.reset();
+        assert!(!mpu.locked && !mpu.enabled);
+    }
+
+    #[test]
+    fn register_readback_roundtrips() {
+        let mut mpu = fr5969();
+        mpu.write_register(MPUSEGB1, 0x600).unwrap();
+        mpu.write_register(MPUSEGB2, 0x800).unwrap();
+        mpu.write_register(MPUSAM, 0x0124).unwrap();
+        assert_eq!(mpu.read_register(MPUSEGB1), 0x600);
+        assert_eq!(mpu.read_register(MPUSEGB2), 0x800);
+        assert_eq!(mpu.boundary1, 0x6000);
+        assert_eq!(mpu.boundary2, 0x8000);
+        assert_eq!(mpu.seg1, Perm::from_bits(0x4));
+        assert_eq!(mpu.seg2, Perm::from_bits(0x2));
+        assert_eq!(mpu.seg3, Perm::from_bits(0x1));
+        assert_eq!(mpu.read_register(MPUSAM), 0x0124);
+        assert_eq!(mpu.read_register(MPUCTL0) & 0xFF00, 0x9600);
+    }
+
+    #[test]
+    fn plan_register_values_enforce_figure1_permissions() {
+        let map = MemoryMapPlanner::msp430fr5969()
+            .plan(
+                &OsImageSpec::default(),
+                &[
+                    AppImageSpec::new("A", 0x800, 0x200, 0x100),
+                    AppImageSpec::new("B", 0x800, 0x200, 0x100),
+                ],
+            )
+            .unwrap();
+        let plan = MpuPlan::for_app(&map, 0).unwrap();
+        let mut mpu = fr5969();
+        mpu.apply_registers(plan.register_values()).unwrap();
+        assert!(mpu.enabled);
+
+        let app_a = &map.apps[0];
+        let app_b = &map.apps[1];
+        // App A may write its own data...
+        assert!(mpu.check(app_a.data.start, AccessKind::Write).permits());
+        // ...may execute its own code...
+        assert!(mpu.check(app_a.code.start, AccessKind::Execute).permits());
+        // ...may not touch app B at all...
+        assert!(!mpu.check(app_b.data.start, AccessKind::Read).permits());
+        assert!(!mpu.check(app_b.code.start, AccessKind::Execute).permits());
+        // ...and may not write OS data (execute-only segment 1), though the
+        // MPU alone cannot stop reads of SRAM or peripherals.
+        assert!(!mpu.check(map.os_data.start, AccessKind::Write).permits());
+        assert_eq!(mpu.check(map.os_stack.start, AccessKind::Write), MpuDecision::NotCovered);
+    }
+
+    #[test]
+    fn extended_mpu_denies_uncovered_addresses() {
+        let mut ext = ExtendedMpu::default();
+        assert!(ext.check(0x5000, AccessKind::Write), "disabled extended MPU is permissive");
+        ext.enabled = true;
+        ext.segments = vec![(AddrRange::new(0x5000, 0x6000), Perm::RW)];
+        assert!(ext.check(0x5800, AccessKind::Write));
+        assert!(!ext.check(0x4800, AccessKind::Read), "full coverage denies unlisted addresses");
+        assert_eq!(ext.violations, 1);
+    }
+
+    #[test]
+    fn apply_plan_unchecked_counts_register_writes() {
+        let map = MemoryMapPlanner::msp430fr5969()
+            .plan(&OsImageSpec::default(), &[AppImageSpec::new("A", 0x800, 0x200, 0x100)])
+            .unwrap();
+        let plan = MpuPlan::for_app(&map, 0).unwrap();
+        let mut mpu = fr5969();
+        let before = mpu.config_writes;
+        mpu.apply_plan_unchecked(&plan);
+        assert_eq!(mpu.config_writes - before, MpuRegisterValues::WRITE_COUNT as u64);
+        assert!(mpu.enabled);
+    }
+}

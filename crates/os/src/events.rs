@@ -1,0 +1,102 @@
+//! The event queue that drives application state machines.
+//!
+//! AmuletOS is event-driven: sensors, timers and user input produce events,
+//! and the scheduler delivers each event by invoking the owning
+//! application's handler function.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// The source of an event.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, Serialize, Deserialize)]
+pub enum EventKind {
+    /// An application timer armed with `amulet_set_timer` fired.
+    Timer,
+    /// New sensor data is available on a subscribed stream.
+    Sensor,
+    /// The user pressed a button / tapped the display.
+    User,
+    /// System housekeeping (battery warnings, etc.).
+    System,
+}
+
+/// One event waiting for delivery.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Event {
+    /// Index of the destination application.
+    pub app_index: usize,
+    /// Name of the handler function to invoke.
+    pub handler: String,
+    /// A single 16-bit payload passed as the handler's argument.
+    pub payload: u16,
+    /// What produced the event.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// Convenience constructor.
+    pub fn new(app_index: usize, handler: impl Into<String>, payload: u16, kind: EventKind) -> Self {
+        Event { app_index, handler: handler.into(), payload, kind }
+    }
+}
+
+/// A FIFO event queue.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct EventQueue {
+    queue: VecDeque<Event>,
+    /// Total events ever enqueued (for statistics).
+    pub enqueued: u64,
+    /// Total events ever delivered.
+    pub delivered: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an event to the back of the queue.
+    pub fn push(&mut self, event: Event) {
+        self.enqueued += 1;
+        self.queue.push_back(event);
+    }
+
+    /// Removes the next event to deliver.
+    pub fn pop(&mut self) -> Option<Event> {
+        let e = self.queue.pop_front();
+        if e.is_some() {
+            self.delivered += 1;
+        }
+        e
+    }
+
+    /// Number of events currently waiting.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_and_counters() {
+        let mut q = EventQueue::new();
+        q.push(Event::new(0, "a", 1, EventKind::Timer));
+        q.push(Event::new(1, "b", 2, EventKind::Sensor));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop().unwrap().handler, "a");
+        assert_eq!(q.pop().unwrap().handler, "b");
+        assert!(q.pop().is_none());
+        assert_eq!(q.enqueued, 2);
+        assert_eq!(q.delivered, 2);
+        assert!(q.is_empty());
+    }
+}

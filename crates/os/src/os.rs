@@ -1,0 +1,686 @@
+//! The AmuletOS runtime: scheduler, context switches, system-call servicing
+//! and fault handling, running applications on the simulated device.
+//!
+//! The runtime follows §3 of the paper:
+//!
+//! * the OS drives each application's state machine by delivering events to
+//!   its handler functions;
+//! * on every OS↔app transition it swaps MPU configurations and stacks as
+//!   the isolation method requires (see
+//!   [`amulet_core::switch::ContextSwitchPlan`] — the same plan whose cycle
+//!   costs appear in Table 1);
+//! * application-provided pointers passed through API calls are validated
+//!   against the calling app's bounds before the OS dereferences them;
+//! * invalid accesses (MPU violations or compiler-inserted check failures)
+//!   land in the FAULT handler, which logs the fault and applies the restart
+//!   policy.
+
+use crate::events::{Event, EventKind, EventQueue};
+use crate::policy::{AppState, FaultAction, FaultHandler, RestartPolicy};
+use crate::syscalls::{Services, SyscallArgs};
+use amulet_aft::api::ApiSpec;
+use amulet_core::addr::Addr;
+use amulet_core::fault::FaultClass;
+use amulet_core::method::IsolationMethod;
+use amulet_core::switch::{ContextSwitchPlan, SwitchDirection};
+use amulet_mcu::cpu::FaultInfo;
+use amulet_mcu::device::{Device, StopReason};
+use amulet_mcu::firmware::Firmware;
+use amulet_mcu::isa::Reg;
+use amulet_mcu::mpu::{MPUCTL0, MPUSAM, MPUSEGB1, MPUSEGB2};
+use serde::{Deserialize, Serialize};
+
+/// Configuration knobs for the runtime.
+#[derive(Clone, Copy, Debug)]
+pub struct OsOptions {
+    /// What to do with applications that fault.
+    pub restart_policy: RestartPolicy,
+    /// Ablation A: when the isolation method shares a single stack between
+    /// the OS and apps, zero the stack region whenever the running app
+    /// changes (the cost the paper's per-app-stack design avoids).
+    pub zero_shared_stack: bool,
+    /// Seed for the synthetic sensors.
+    pub sensor_seed: u32,
+    /// Maximum instructions a single handler may execute before the OS
+    /// declares it runaway and faults it.
+    pub step_budget: u64,
+}
+
+impl Default for OsOptions {
+    fn default() -> Self {
+        OsOptions {
+            restart_policy: RestartPolicy::Kill,
+            zero_shared_stack: false,
+            sensor_seed: 0xA11CE,
+            step_budget: 5_000_000,
+        }
+    }
+}
+
+/// Per-application runtime statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AppRuntimeStats {
+    /// Events delivered to the app.
+    pub events_delivered: u64,
+    /// System calls the app made.
+    pub syscalls: u64,
+    /// Faults the app triggered.
+    pub faults: u64,
+    /// Cycles spent executing the app's own instructions.
+    pub app_cycles: u64,
+    /// Cycles spent on OS↔app context switching on the app's behalf.
+    pub switch_cycles: u64,
+    /// Cycles spent inside OS service bodies on the app's behalf.
+    pub service_cycles: u64,
+}
+
+impl AppRuntimeStats {
+    /// All cycles attributable to this app.
+    pub fn total_cycles(&self) -> u64 {
+        self.app_cycles + self.switch_cycles + self.service_cycles
+    }
+}
+
+/// Why a delivery finished.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeliveryOutcome {
+    /// The handler ran to completion.
+    Completed,
+    /// The handler faulted (and the restart policy was applied).
+    Faulted(FaultClass),
+    /// The app is killed or has no such handler; nothing ran.
+    Skipped,
+}
+
+/// The AmuletOS runtime.
+#[derive(Debug)]
+pub struct AmuletOs {
+    /// The simulated device the firmware runs on.
+    pub device: Device,
+    firmware: Firmware,
+    api: ApiSpec,
+    /// OS services (sensors, log, display).
+    pub services: Services,
+    /// The pending event queue.
+    pub queue: EventQueue,
+    /// The fault handler and its records.
+    pub faults: FaultHandler,
+    /// Per-app lifecycle states.
+    app_states: Vec<AppState>,
+    /// Per-app statistics.
+    pub stats: Vec<AppRuntimeStats>,
+    /// Event-stream subscriptions (app index, stream id).
+    pub subscriptions: Vec<(usize, u16)>,
+    options: OsOptions,
+    method: IsolationMethod,
+    last_app_on_shared_stack: Option<usize>,
+}
+
+impl AmuletOs {
+    /// Boots the runtime with a firmware image and default options.
+    pub fn new(firmware: Firmware) -> Self {
+        Self::with_options(firmware, OsOptions::default())
+    }
+
+    /// Boots the runtime with explicit options.
+    pub fn with_options(firmware: Firmware, options: OsOptions) -> Self {
+        let mut device = Device::msp430fr5969();
+        device.load_firmware(&firmware);
+        device.bus.timer.start();
+        let app_count = firmware.apps.len();
+        let method = firmware.method;
+        AmuletOs {
+            device,
+            api: ApiSpec::amulet(),
+            services: Services::new(options.sensor_seed),
+            queue: EventQueue::new(),
+            faults: FaultHandler::new(options.restart_policy, app_count),
+            app_states: vec![AppState::Active; app_count],
+            stats: vec![AppRuntimeStats::default(); app_count],
+            subscriptions: Vec::new(),
+            options,
+            method,
+            firmware,
+            last_app_on_shared_stack: None,
+        }
+    }
+
+    /// The isolation method the loaded firmware was built for.
+    pub fn method(&self) -> IsolationMethod {
+        self.method
+    }
+
+    /// Number of installed applications.
+    pub fn app_count(&self) -> usize {
+        self.firmware.apps.len()
+    }
+
+    /// The lifecycle state of an app.
+    pub fn app_state(&self, index: usize) -> AppState {
+        self.app_states[index]
+    }
+
+    /// The name of an app.
+    pub fn app_name(&self, index: usize) -> &str {
+        &self.firmware.apps[index].name
+    }
+
+    /// Finds an app's index by name.
+    pub fn app_index(&self, name: &str) -> Option<usize> {
+        self.firmware.apps.iter().position(|a| a.name == name)
+    }
+
+    /// Total cycles elapsed on the device.
+    pub fn total_cycles(&self) -> u64 {
+        self.device.cycles()
+    }
+
+    /// Delivers each app's `main` handler once (firmware boot).
+    ///
+    /// Only the boot events themselves are delivered here; events the apps
+    /// arm during boot (timers, subscriptions) stay queued for the caller's
+    /// scheduler loop.
+    pub fn boot(&mut self) {
+        let mut boot_events = 0;
+        for i in 0..self.app_count() {
+            if self.firmware.apps[i].handlers.contains_key("main") {
+                self.queue.push(Event::new(i, "main", 0, EventKind::System));
+                boot_events += 1;
+            }
+        }
+        self.run_queue(boot_events);
+    }
+
+    /// Posts an event for later delivery.
+    pub fn post_event(&mut self, event: Event) {
+        self.queue.push(event);
+    }
+
+    /// Delivers up to `max_events` pending events; returns how many were
+    /// delivered.
+    pub fn run_queue(&mut self, max_events: usize) -> usize {
+        let mut delivered = 0;
+        while delivered < max_events {
+            let Some(event) = self.queue.pop() else { break };
+            self.deliver(&event);
+            delivered += 1;
+        }
+        delivered
+    }
+
+    /// Invokes one handler of one app synchronously (the benches use this to
+    /// measure individual operations).  Returns the outcome and the cycles
+    /// the delivery consumed.
+    pub fn call_handler(
+        &mut self,
+        app_index: usize,
+        handler: &str,
+        payload: u16,
+    ) -> (DeliveryOutcome, u64) {
+        let before = self.device.cycles();
+        let outcome = self.deliver(&Event::new(app_index, handler, payload, EventKind::System));
+        (outcome, self.device.cycles() - before)
+    }
+
+    /// Delivers a single event.
+    pub fn deliver(&mut self, event: &Event) -> DeliveryOutcome {
+        let idx = event.app_index;
+        if idx >= self.app_count() || self.app_states[idx] == AppState::Killed {
+            return DeliveryOutcome::Skipped;
+        }
+        let Some(&entry) = self.firmware.apps[idx].handlers.get(&event.handler) else {
+            return DeliveryOutcome::Skipped;
+        };
+
+        self.stats[idx].events_delivered += 1;
+
+        // Ablation A: a shared stack must be scrubbed when the running app
+        // changes, lest the new app read the previous app's stack tailings.
+        if self.options.zero_shared_stack
+            && !self.method.uses_per_app_stacks()
+            && self.last_app_on_shared_stack != Some(idx)
+        {
+            let stack = self.firmware.memory_map.os_stack;
+            self.device.bus.fill(stack, 0);
+            // One word written per cycle pair plus loop overhead.
+            let words = (stack.len() / 2) as u64;
+            self.charge_switch(idx, 2 * words + 10);
+        }
+        self.last_app_on_shared_stack = Some(idx);
+
+        // OS → app half of the switch.
+        self.switch_to_app(idx);
+
+        // Set up the handler call: argument word, then the sentinel return
+        // address (pushed by `prepare_call`).
+        let sp0 = self.app_stack_pointer(idx);
+        let arg_sp = sp0.wrapping_sub(2) & 0xFFFF;
+        self.device.bus.write_raw(arg_sp, 2, event.payload);
+        self.device.prepare_call(entry, arg_sp);
+
+        self.run_app_until_return(idx)
+    }
+
+    fn app_stack_pointer(&self, idx: usize) -> Addr {
+        if self.method.uses_per_app_stacks() {
+            self.firmware.apps[idx].initial_sp
+        } else {
+            self.firmware.os.initial_sp
+        }
+    }
+
+    fn charge_switch(&mut self, idx: usize, cycles: u64) {
+        self.device.charge_cycles(cycles);
+        self.stats[idx].switch_cycles += cycles;
+    }
+
+    /// Installs the MPU configuration for the given register values by
+    /// writing the real memory-mapped registers (boundaries, access bits,
+    /// control word) through the bus, exactly as the OS switch code does on
+    /// hardware.
+    fn write_mpu_regs(&mut self, regs: amulet_core::mpu_plan::MpuRegisterValues) {
+        // These writes cannot fail: the OS never locks the MPU.
+        let _ = self.device.bus.write(MPUSEGB1, 2, regs.mpusegb1);
+        let _ = self.device.bus.write(MPUSEGB2, 2, regs.mpusegb2);
+        let _ = self.device.bus.write(MPUSAM, 2, regs.mpusam);
+        let _ = self.device.bus.write(MPUCTL0, 2, regs.mpuctl0);
+    }
+
+    /// OS → app transition: charge the plan and install the app's MPU
+    /// configuration.
+    fn switch_to_app(&mut self, idx: usize) {
+        let plan = ContextSwitchPlan::new(self.method, SwitchDirection::OsToApp, 0);
+        self.charge_switch(idx, plan.cycles());
+        if self.method.uses_mpu() {
+            let regs = self.firmware.apps[idx].mpu_regs;
+            self.write_mpu_regs(regs);
+        }
+    }
+
+    /// App → OS transition: charge the plan (including validation of any
+    /// pointer arguments) and install the OS MPU configuration.
+    fn switch_to_os(&mut self, idx: usize, pointer_args: u32) {
+        let plan = ContextSwitchPlan::new(self.method, SwitchDirection::AppToOs, pointer_args);
+        self.charge_switch(idx, plan.cycles());
+        if self.method.uses_mpu() {
+            let regs = self.firmware.os.mpu_regs;
+            self.write_mpu_regs(regs);
+        }
+    }
+
+    /// Validates an app-supplied pointer argument against the app's bounds
+    /// (performed by the OS before dereferencing, for methods that allow
+    /// pointers at all).
+    fn pointer_arg_in_bounds(&self, idx: usize, ptr: u16) -> bool {
+        let placement = &self.firmware.apps[idx].placement;
+        placement.data_stack().contains(ptr as Addr)
+    }
+
+    fn run_app_until_return(&mut self, idx: usize) -> DeliveryOutcome {
+        let mut steps_left = self.options.step_budget;
+        loop {
+            let exit = self.device.run(steps_left.max(1));
+            self.stats[idx].app_cycles += exit.cycles;
+            steps_left = steps_left.saturating_sub(exit.steps);
+            match exit.reason {
+                StopReason::HandlerDone | StopReason::Halted => {
+                    // App → OS on handler completion.
+                    self.switch_to_os(idx, 0);
+                    return DeliveryOutcome::Completed;
+                }
+                StopReason::Syscall { num } => {
+                    let args = SyscallArgs {
+                        arg0: self.device.cpu.reg(Reg::R14),
+                        arg1: self.device.cpu.reg(Reg::R15),
+                    };
+                    let pointer_args = self
+                        .api
+                        .by_num(num)
+                        .map(|f| f.pointer_arg_count())
+                        .unwrap_or(0);
+                    self.stats[idx].syscalls += 1;
+
+                    // App → OS.
+                    let validate = self.method.allows_pointers() && self.method.inserts_checks();
+                    self.switch_to_os(idx, if validate { pointer_args } else { 0 });
+
+                    // Validate pointer arguments before the OS touches them.
+                    if validate && pointer_args > 0 && !self.pointer_arg_in_bounds(idx, args.arg0) {
+                        let info = FaultInfo {
+                            class: FaultClass::ApiViolation,
+                            pc: self.device.cpu.pc(),
+                            addr: Some(args.arg0 as Addr),
+                        };
+                        return self.handle_fault(idx, info);
+                    }
+
+                    // Service body.
+                    let at = self.device.cycles();
+                    let mut reader = {
+                        let bus = &mut self.device.bus;
+                        move |addr: Addr| bus.read_raw(addr, 2)
+                    };
+                    let outcome =
+                        self.services.dispatch(&self.api, idx, num, args, at, &mut reader);
+                    self.device.charge_cycles(outcome.service_cycles);
+                    self.stats[idx].service_cycles += outcome.service_cycles;
+
+                    if let Some(ms) = outcome.timer_armed_ms {
+                        if self.firmware.apps[idx].handlers.contains_key("on_timer") {
+                            self.queue.push(Event::new(idx, "on_timer", ms, EventKind::Timer));
+                        }
+                    }
+                    if let Some(stream) = outcome.subscribed_stream {
+                        self.subscriptions.push((idx, stream));
+                    }
+
+                    // OS → app, with the return value in R14.
+                    self.switch_to_app(idx);
+                    self.device.cpu.set_reg(Reg::R14, outcome.ret);
+                }
+                StopReason::Fault(info) => {
+                    return self.handle_fault(idx, info);
+                }
+                StopReason::StepLimit => {
+                    let info = FaultInfo {
+                        class: FaultClass::IllegalInstruction,
+                        pc: self.device.cpu.pc(),
+                        addr: None,
+                    };
+                    return self.handle_fault(idx, info);
+                }
+            }
+        }
+    }
+
+    fn handle_fault(&mut self, idx: usize, info: FaultInfo) -> DeliveryOutcome {
+        self.stats[idx].faults += 1;
+        // The FAULT handler logs app-specific information about the fault;
+        // charge a modest fixed cost for that bookkeeping.
+        self.charge_switch(idx, 60);
+        // Make sure the OS configuration is back in force before the OS
+        // touches anything.
+        if self.method.uses_mpu() {
+            let regs = self.firmware.os.mpu_regs;
+            self.write_mpu_regs(regs);
+        }
+        let name = self.firmware.apps[idx].name.clone();
+        let action = self.faults.handle(idx, &name, info, self.device.cycles());
+        match action {
+            FaultAction::Killed => {
+                self.app_states[idx] = AppState::Killed;
+            }
+            FaultAction::Restarted => {
+                self.restart_app(idx);
+            }
+        }
+        DeliveryOutcome::Faulted(info.class)
+    }
+
+    /// Reinitialises an app's data region from the firmware image (the
+    /// restart policy from the paper's discussion section).
+    fn restart_app(&mut self, idx: usize) {
+        let placement = self.firmware.apps[idx].placement.clone();
+        // Clear the whole data/stack segment, then re-copy initialisers.
+        self.device.bus.fill(placement.data_stack(), 0);
+        let segments: Vec<_> = self
+            .firmware
+            .data
+            .iter()
+            .filter(|s| placement.data_stack().contains(s.addr))
+            .cloned()
+            .collect();
+        for seg in segments {
+            self.device.bus.load_bytes(seg.addr, &seg.bytes);
+        }
+        self.app_states[idx] = AppState::Active;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amulet_aft::aft::{Aft, AppSource};
+
+    const COUNTER_APP: &str = r#"
+        int count = 0;
+        void main(void) { amulet_subscribe(1); }
+        int on_tick(int delta) {
+            count += delta;
+            amulet_log_value(count);
+            return count;
+        }
+    "#;
+
+    const WILD_APP: &str = r#"
+        void main(void) { }
+        int poke(int where) {
+            int *p;
+            p = where;
+            *p = 99;
+            return 1;
+        }
+    "#;
+
+    fn build(method: IsolationMethod, sources: &[(&str, &str, &[&str])]) -> AmuletOs {
+        let mut aft = Aft::new(method);
+        for (name, src, handlers) in sources {
+            aft = aft.add_app(AppSource::new(*name, *src, handlers));
+        }
+        AmuletOs::new(aft.build().unwrap().firmware)
+    }
+
+    #[test]
+    fn boot_runs_main_and_records_subscriptions() {
+        let mut os = build(IsolationMethod::Mpu, &[("Counter", COUNTER_APP, &["main", "on_tick"])]);
+        os.boot();
+        assert_eq!(os.subscriptions, vec![(0, 1)]);
+        assert_eq!(os.stats[0].events_delivered, 1);
+        assert_eq!(os.stats[0].syscalls, 1);
+    }
+
+    #[test]
+    fn events_drive_handlers_and_state_persists() {
+        for method in IsolationMethod::ALL {
+            // The counter app is pointer-free so it builds under every
+            // method, including Feature Limited.
+            let mut os = build(method, &[("Counter", COUNTER_APP, &["main", "on_tick"])]);
+            os.boot();
+            for i in 1..=5 {
+                let (outcome, _) = os.call_handler(0, "on_tick", i);
+                assert_eq!(outcome, DeliveryOutcome::Completed, "{method}");
+            }
+            // 1+2+3+4+5 = 15 logged last.
+            assert_eq!(os.services.log.last().unwrap().value, 15, "{method}");
+            assert_eq!(os.stats[0].syscalls, 1 + 5);
+        }
+    }
+
+    #[test]
+    fn wild_pointer_faults_and_kill_policy_disables_the_app() {
+        let mut os = build(IsolationMethod::Mpu, &[("Wild", WILD_APP, &["main", "poke"])]);
+        os.boot();
+        // Poke the OS data region (below the app): caught by the
+        // compiler-inserted lower-bound check.
+        let (outcome, _) = os.call_handler(0, "poke", 0x4500);
+        assert!(matches!(outcome, DeliveryOutcome::Faulted(FaultClass::DataPointerLowerBound)));
+        assert_eq!(os.app_state(0), AppState::Killed);
+        assert_eq!(os.faults.records.len(), 1);
+        // Further deliveries are skipped.
+        let (outcome, _) = os.call_handler(0, "poke", 0x4500);
+        assert_eq!(outcome, DeliveryOutcome::Skipped);
+    }
+
+    #[test]
+    fn wild_pointer_above_faults_through_the_mpu_hardware() {
+        let mut os = build(IsolationMethod::Mpu, &[("Wild", WILD_APP, &["main", "poke"])]);
+        os.boot();
+        // 0xF000 is above the app: no software check exists under the MPU
+        // method, so this must be caught by the MPU itself.
+        let (outcome, _) = os.call_handler(0, "poke", 0xF000);
+        assert!(matches!(outcome, DeliveryOutcome::Faulted(FaultClass::MpuViolation)));
+    }
+
+    #[test]
+    fn no_isolation_lets_the_wild_write_corrupt_memory() {
+        let mut os = build(IsolationMethod::NoIsolation, &[("Wild", WILD_APP, &["main", "poke"])]);
+        os.boot();
+        let target = 0x4500;
+        let before = os.device.bus.read_raw(target, 2);
+        let (outcome, _) = os.call_handler(0, "poke", target as u16);
+        assert_eq!(outcome, DeliveryOutcome::Completed);
+        assert_ne!(os.device.bus.read_raw(target, 2), before, "OS memory was silently corrupted");
+    }
+
+    #[test]
+    fn restart_policy_reinitialises_app_data() {
+        let src = r#"
+            int count = 7;
+            void main(void) { }
+            int crash(int x) {
+                int *p;
+                count += 1;
+                p = 0x4400;
+                *p = 1;
+                return 0;
+            }
+            int get(int x) { return count; }
+        "#;
+        let out = Aft::new(IsolationMethod::SoftwareOnly)
+            .add_app(AppSource::new("Restarty", src, &["main", "crash", "get"]))
+            .build()
+            .unwrap();
+        let mut os = AmuletOs::with_options(
+            out.firmware,
+            OsOptions { restart_policy: RestartPolicy::Restart, ..OsOptions::default() },
+        );
+        os.boot();
+        let (outcome, _) = os.call_handler(0, "crash", 0);
+        assert!(matches!(outcome, DeliveryOutcome::Faulted(_)));
+        assert_eq!(os.app_state(0), AppState::Active, "restarted, not killed");
+        // The increment performed before the crash was rolled back by the
+        // data reinitialisation.
+        let (outcome, _) = os.call_handler(0, "get", 0);
+        assert_eq!(outcome, DeliveryOutcome::Completed);
+        assert_eq!(os.device.cpu.reg(Reg::R14), 7);
+    }
+
+    #[test]
+    fn one_app_cannot_reach_anothers_data_under_mpu() {
+        let victim = r#"
+            int secret = 1234;
+            void main(void) { }
+            int get_secret(int x) { return secret; }
+        "#;
+        let attacker = r#"
+            void main(void) { }
+            int steal(int addr) {
+                int *p;
+                p = addr;
+                return *p;
+            }
+        "#;
+        let out = Aft::new(IsolationMethod::Mpu)
+            .add_app(AppSource::new("Victim", victim, &["main", "get_secret"]))
+            .add_app(AppSource::new("Attacker", attacker, &["main", "steal"]))
+            .build()
+            .unwrap();
+        let victim_data = out.firmware.apps[0].placement.data.start;
+        let mut os = AmuletOs::new(out.firmware);
+        os.boot();
+        // Attacker (app 1, above or below victim) tries to read the victim's
+        // secret.  Victim sits below the attacker, so the *lower bound*
+        // software check fires.
+        let (outcome, _) = os.call_handler(1, "steal", victim_data as u16);
+        assert!(matches!(outcome, DeliveryOutcome::Faulted(_)), "read was blocked");
+    }
+
+    #[test]
+    fn timer_syscall_schedules_a_timer_event() {
+        let src = r#"
+            int fired = 0;
+            void main(void) { amulet_set_timer(250); }
+            int on_timer(int ms) { fired = ms; return fired; }
+        "#;
+        let mut os = build(IsolationMethod::Mpu, &[("Timed", src, &["main", "on_timer"])]);
+        os.boot();
+        // boot() delivered main, which armed the timer; the timer event is
+        // now queued and carries the period as its payload.
+        assert_eq!(os.queue.len(), 1);
+        assert_eq!(os.run_queue(10), 1);
+        assert_eq!(os.device.cpu.reg(Reg::R14), 250);
+    }
+
+    #[test]
+    fn switch_overhead_matches_table1_ordering() {
+        // Deliver the same pointer-free handler under each method and
+        // compare per-delivery switch cycles: MPU must pay the most, the
+        // shared-stack methods the least, Software Only in between.
+        let mut per_method = std::collections::BTreeMap::new();
+        for method in IsolationMethod::ALL {
+            let mut os = build(method, &[("Counter", COUNTER_APP, &["main", "on_tick"])]);
+            os.boot();
+            let before = os.stats[0].switch_cycles;
+            os.call_handler(0, "on_tick", 1);
+            per_method.insert(method, os.stats[0].switch_cycles - before);
+        }
+        assert_eq!(
+            per_method[&IsolationMethod::NoIsolation],
+            per_method[&IsolationMethod::FeatureLimited]
+        );
+        assert!(per_method[&IsolationMethod::SoftwareOnly] > per_method[&IsolationMethod::NoIsolation]);
+        assert!(per_method[&IsolationMethod::Mpu] > per_method[&IsolationMethod::SoftwareOnly]);
+    }
+
+    #[test]
+    fn zero_shared_stack_ablation_costs_extra_cycles() {
+        let apps: &[(&str, &str, &[&str])] = &[
+            ("A", COUNTER_APP, &["main", "on_tick"]),
+            ("B", COUNTER_APP, &["main", "on_tick"]),
+        ];
+        let build_fw = |method| {
+            let mut aft = Aft::new(method);
+            for (name, src, handlers) in apps {
+                aft = aft.add_app(AppSource::new(*name, *src, handlers));
+            }
+            aft.build().unwrap().firmware
+        };
+        let mut plain = AmuletOs::new(build_fw(IsolationMethod::FeatureLimited));
+        let mut zeroed = AmuletOs::with_options(
+            build_fw(IsolationMethod::FeatureLimited),
+            OsOptions { zero_shared_stack: true, ..OsOptions::default() },
+        );
+        for os in [&mut plain, &mut zeroed] {
+            os.boot();
+            // Alternate between apps so the zeroing path triggers.
+            for i in 0..10 {
+                os.call_handler(i % 2, "on_tick", 1);
+            }
+        }
+        assert!(
+            zeroed.total_cycles() > plain.total_cycles() + 1000,
+            "zeroing the shared stack on every app change is visibly expensive"
+        );
+    }
+
+    #[test]
+    fn pointer_api_arguments_are_validated_by_the_os() {
+        let src = r#"
+            int buf[4] = {1, 2, 3, 4};
+            void main(void) { }
+            int good(int x) { amulet_log_buffer(&buf[0], 4); return 1; }
+            int evil(int addr) { amulet_log_buffer(addr, 4); return 1; }
+        "#;
+        let mut os = build(IsolationMethod::Mpu, &[("Logger", src, &["main", "good", "evil"])]);
+        os.boot();
+        let (outcome, _) = os.call_handler(0, "good", 0);
+        assert_eq!(outcome, DeliveryOutcome::Completed);
+        assert_eq!(os.services.log.len(), 1);
+        // Passing an OS address to the API is rejected during argument
+        // validation, before the OS dereferences it.
+        let mut os = build(IsolationMethod::Mpu, &[("Logger", src, &["main", "good", "evil"])]);
+        os.boot();
+        let (outcome, _) = os.call_handler(0, "evil", 0x4600);
+        assert!(matches!(outcome, DeliveryOutcome::Faulted(FaultClass::ApiViolation)));
+    }
+}

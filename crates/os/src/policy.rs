@@ -1,0 +1,172 @@
+//! Fault handling and restart policies.
+//!
+//! When an application attempts an invalid memory access it "jumps to a
+//! FAULT function to log app-specific information about the fault" (§3).
+//! The paper's discussion section proposes richer error handling, such as
+//! restart policies, as future work; this module implements those policies
+//! so they can be evaluated.
+
+use amulet_core::fault::FaultClass;
+use amulet_mcu::cpu::FaultInfo;
+use serde::{Deserialize, Serialize};
+
+/// What the OS does with an application after it faults.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum RestartPolicy {
+    /// Disable the application until the firmware is reinstalled (the
+    /// paper's baseline behaviour).
+    Kill,
+    /// Reinitialise the app's data and keep delivering events to it.
+    Restart,
+    /// Restart, but give up after the app has faulted `max_restarts` times.
+    RestartWithLimit {
+        /// Maximum restarts before the app is killed.
+        max_restarts: u32,
+    },
+}
+
+impl Default for RestartPolicy {
+    fn default() -> Self {
+        RestartPolicy::Kill
+    }
+}
+
+/// The lifecycle state of an installed application.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum AppState {
+    /// Running normally.
+    Active,
+    /// Disabled after a fault.
+    Killed,
+}
+
+/// One logged fault, as recorded by the OS FAULT handler.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultRecord {
+    /// Index of the faulting application.
+    pub app_index: usize,
+    /// Application name.
+    pub app_name: String,
+    /// Classification of the fault.
+    pub class: FaultClass,
+    /// Program counter of the faulting instruction.
+    pub pc: u32,
+    /// Data address involved, if any.
+    pub addr: Option<u32>,
+    /// Cycle count when the fault was handled.
+    pub at_cycle: u64,
+    /// What the policy decided.
+    pub action: FaultAction,
+}
+
+/// The action the restart policy chose for a fault.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum FaultAction {
+    /// The app was disabled.
+    Killed,
+    /// The app was restarted (data reinitialised).
+    Restarted,
+}
+
+/// Tracks fault counts and applies the restart policy.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct FaultHandler {
+    /// The configured policy.
+    pub policy: RestartPolicy,
+    /// All recorded faults, in order.
+    pub records: Vec<FaultRecord>,
+    /// Per-app fault counts.
+    pub per_app_faults: Vec<u32>,
+}
+
+impl FaultHandler {
+    /// Creates a handler for `app_count` applications under `policy`.
+    pub fn new(policy: RestartPolicy, app_count: usize) -> Self {
+        FaultHandler { policy, records: Vec::new(), per_app_faults: vec![0; app_count] }
+    }
+
+    /// Records a fault and decides what to do with the app.
+    pub fn handle(
+        &mut self,
+        app_index: usize,
+        app_name: &str,
+        info: FaultInfo,
+        at_cycle: u64,
+    ) -> FaultAction {
+        if app_index >= self.per_app_faults.len() {
+            self.per_app_faults.resize(app_index + 1, 0);
+        }
+        self.per_app_faults[app_index] += 1;
+        let action = match self.policy {
+            RestartPolicy::Kill => FaultAction::Killed,
+            RestartPolicy::Restart => FaultAction::Restarted,
+            RestartPolicy::RestartWithLimit { max_restarts } => {
+                if self.per_app_faults[app_index] > max_restarts {
+                    FaultAction::Killed
+                } else {
+                    FaultAction::Restarted
+                }
+            }
+        };
+        self.records.push(FaultRecord {
+            app_index,
+            app_name: app_name.to_string(),
+            class: info.class,
+            pc: info.pc,
+            addr: info.addr,
+            at_cycle,
+            action,
+        });
+        action
+    }
+
+    /// Faults recorded for one app.
+    pub fn faults_for(&self, app_index: usize) -> u32 {
+        self.per_app_faults.get(app_index).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fault() -> FaultInfo {
+        FaultInfo { class: FaultClass::DataPointerLowerBound, pc: 0x8000, addr: Some(0x4400) }
+    }
+
+    #[test]
+    fn kill_policy_always_kills() {
+        let mut h = FaultHandler::new(RestartPolicy::Kill, 2);
+        assert_eq!(h.handle(0, "A", fault(), 1), FaultAction::Killed);
+        assert_eq!(h.handle(0, "A", fault(), 2), FaultAction::Killed);
+        assert_eq!(h.faults_for(0), 2);
+        assert_eq!(h.faults_for(1), 0);
+    }
+
+    #[test]
+    fn restart_policy_always_restarts() {
+        let mut h = FaultHandler::new(RestartPolicy::Restart, 1);
+        for i in 0..5 {
+            assert_eq!(h.handle(0, "A", fault(), i), FaultAction::Restarted);
+        }
+    }
+
+    #[test]
+    fn limited_restarts_eventually_kill() {
+        let mut h = FaultHandler::new(RestartPolicy::RestartWithLimit { max_restarts: 2 }, 1);
+        assert_eq!(h.handle(0, "A", fault(), 1), FaultAction::Restarted);
+        assert_eq!(h.handle(0, "A", fault(), 2), FaultAction::Restarted);
+        assert_eq!(h.handle(0, "A", fault(), 3), FaultAction::Killed);
+    }
+
+    #[test]
+    fn records_carry_fault_details() {
+        let mut h = FaultHandler::new(RestartPolicy::Kill, 1);
+        h.handle(0, "HeartRate", fault(), 99);
+        let r = &h.records[0];
+        assert_eq!(r.app_name, "HeartRate");
+        assert_eq!(r.class, FaultClass::DataPointerLowerBound);
+        assert_eq!(r.at_cycle, 99);
+        assert_eq!(r.addr, Some(0x4400));
+    }
+}

@@ -1,0 +1,90 @@
+//! Multi-application isolation: a health app and a (buggy or malicious)
+//! third-party app share one wearable.  The firmware is built once per
+//! memory model to show which models actually contain the damage.
+//!
+//! Run with `cargo run --example multi_app_isolation`.
+
+use amulet_iso::aft::aft::{Aft, AppSource};
+use amulet_iso::core::method::IsolationMethod;
+use amulet_iso::os::os::{AmuletOs, DeliveryOutcome};
+
+const HEART_RATE: &str = r#"
+    int readings[16];
+    int head = 0;
+
+    void main(void) { amulet_subscribe(2); }
+
+    int on_hr(int unused) {
+        int hr = amulet_get_heart_rate();
+        readings[head % 16] = hr;
+        head = head + 1;
+        return hr;
+    }
+
+    int average(int unused) {
+        int sum = 0;
+        for (int i = 0; i < 16; i++) { sum += readings[i]; }
+        return sum / 16;
+    }
+"#;
+
+const SNOOPER: &str = r#"
+    void main(void) { }
+
+    int snoop(int addr) {
+        int *p;
+        p = addr;
+        return *p;
+    }
+
+    int scribble(int addr) {
+        int *p;
+        p = addr;
+        *p = 0x666;
+        return 1;
+    }
+"#;
+
+fn main() {
+    for method in [IsolationMethod::NoIsolation, IsolationMethod::Mpu, IsolationMethod::SoftwareOnly] {
+        println!("=== {method} ===");
+        let build = Aft::new(method)
+            .add_app(AppSource::new("HeartRate", HEART_RATE, &["main", "on_hr", "average"]))
+            .add_app(AppSource::new("Snooper", SNOOPER, &["main", "snoop", "scribble"]))
+            .build()
+            .expect("build");
+        let hr_data = build.firmware.apps[0].placement.data.start;
+        let mut os = AmuletOs::new(build.firmware);
+        os.boot();
+
+        // The health app collects a few samples.
+        for _ in 0..8 {
+            os.call_handler(0, "on_hr", 0);
+        }
+        os.call_handler(0, "average", 0);
+        let average = os.device.cpu.reg(amulet_iso::mcu::isa::Reg::R14);
+        println!("  heart-rate average: {average}");
+
+        // The snooper tries to read and corrupt the health app's buffer.
+        let (read, _) = os.call_handler(1, "snoop", hr_data as u16);
+        println!("  snoop(heart-rate data)   -> {read:?}");
+        let (write, _) = os.call_handler(1, "scribble", hr_data as u16);
+        println!("  scribble(heart-rate data)-> {write:?}");
+
+        match method {
+            IsolationMethod::NoIsolation => {
+                assert_eq!(read, DeliveryOutcome::Completed, "nothing stops the read");
+                println!("  -> with no isolation the snooper read private health data undetected");
+            }
+            _ => {
+                assert!(matches!(read, DeliveryOutcome::Faulted(_)));
+                println!(
+                    "  -> blocked; fault recorded for app `{}`: {}",
+                    os.faults.records.last().unwrap().app_name,
+                    os.faults.records.last().unwrap().class
+                );
+            }
+        }
+        println!();
+    }
+}

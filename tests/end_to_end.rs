@@ -1,0 +1,191 @@
+//! Cross-crate integration tests: AmuletC source → AFT → firmware → AmuletOS
+//! on the simulated MSP430FR5969, under every memory model.
+
+use amulet_iso::aft::aft::{Aft, AppSource};
+use amulet_iso::apps;
+use amulet_iso::core::fault::FaultClass;
+use amulet_iso::core::method::IsolationMethod;
+use amulet_iso::mcu::isa::Reg;
+use amulet_iso::os::os::{AmuletOs, DeliveryOutcome};
+use amulet_iso::os::policy::AppState;
+
+/// The full nine-application catalogue builds and boots under every memory
+/// model, and every app survives a burst of its dominant event.
+#[test]
+fn full_catalog_boots_and_runs_under_every_method() {
+    for method in IsolationMethod::ALL {
+        let mut aft = Aft::new(method);
+        for app in apps::catalog() {
+            aft = aft.add_app(app.app_source());
+        }
+        let build = aft.build().unwrap_or_else(|e| panic!("{method}: {e}"));
+        assert_eq!(build.firmware.apps.len(), 9);
+
+        let mut os = AmuletOs::new(build.firmware);
+        os.boot();
+        for (idx, app) in apps::catalog().iter().enumerate() {
+            let (handler, _) = app.dominant_handler();
+            for i in 0..5 {
+                let (outcome, _) = os.call_handler(idx, handler, 400 + i);
+                assert_eq!(
+                    outcome,
+                    DeliveryOutcome::Completed,
+                    "{method}: {} / {handler}",
+                    app.name
+                );
+            }
+            assert_eq!(os.app_state(idx), AppState::Active);
+        }
+        // Every delivery went through the context-switch machinery.
+        let total_events: u64 = os.stats.iter().map(|s| s.events_delivered).sum();
+        assert!(total_events >= 9 * 5);
+    }
+}
+
+/// The isolation guarantee itself: under every isolating method, an app that
+/// dereferences memory outside its own region faults; under No Isolation the
+/// same access silently succeeds.
+#[test]
+fn isolation_guarantee_holds_for_every_isolating_method() {
+    let victim = r#"
+        int secret = 4242;
+        void main(void) { }
+        int get(int x) { return secret; }
+    "#;
+    let attacker_ptr = r#"
+        void main(void) { }
+        int attack(int addr) { int *p; p = addr; return *p; }
+    "#;
+    let attacker_fl = r#"
+        int local[4];
+        void main(void) { }
+        int attack(int addr) {
+            int total = 0;
+            for (int i = 0; i < 4096; i++) { total += local[i]; }
+            return total;
+        }
+    "#;
+
+    for method in IsolationMethod::ISOLATING {
+        let attacker_src = if method == IsolationMethod::FeatureLimited {
+            attacker_fl
+        } else {
+            attacker_ptr
+        };
+        let build = Aft::new(method)
+            .add_app(AppSource::new("Victim", victim, &["main", "get"]))
+            .add_app(AppSource::new("Attacker", attacker_src, &["main", "attack"]))
+            .build()
+            .unwrap();
+        let secret_addr = build.firmware.apps[0].placement.data.start as u16;
+        let mut os = AmuletOs::new(build.firmware);
+        os.boot();
+        let (outcome, _) = os.call_handler(1, "attack", secret_addr);
+        assert!(
+            matches!(outcome, DeliveryOutcome::Faulted(_)),
+            "{method}: cross-app read must fault, got {outcome:?}"
+        );
+    }
+
+    // Baseline: no isolation, the secret leaks.
+    let build = Aft::new(IsolationMethod::NoIsolation)
+        .add_app(AppSource::new("Victim", victim, &["main", "get"]))
+        .add_app(AppSource::new("Attacker", attacker_ptr, &["main", "attack"]))
+        .build()
+        .unwrap();
+    let secret_addr = build.firmware.apps[0].placement.data.start as u16;
+    let mut os = AmuletOs::new(build.firmware);
+    os.boot();
+    let (outcome, _) = os.call_handler(1, "attack", secret_addr);
+    assert_eq!(outcome, DeliveryOutcome::Completed);
+    assert_eq!(os.device.cpu.reg(Reg::R14), 4242, "the secret was read");
+}
+
+/// A faulted app never takes the rest of the system down: other apps keep
+/// running and the OS keeps serving them.
+#[test]
+fn fault_containment_keeps_other_apps_alive() {
+    let good = r#"
+        int n = 0;
+        void main(void) { }
+        int tick(int d) { n += d; amulet_log_value(n); return n; }
+    "#;
+    let bad = r#"
+        void main(void) { }
+        int boom(int x) { int *p; p = 0x4400; *p = 1; return 0; }
+    "#;
+    let build = Aft::new(IsolationMethod::Mpu)
+        .add_app(AppSource::new("Good", good, &["main", "tick"]))
+        .add_app(AppSource::new("Bad", bad, &["main", "boom"]))
+        .build()
+        .unwrap();
+    let mut os = AmuletOs::new(build.firmware);
+    os.boot();
+
+    let (outcome, _) = os.call_handler(1, "boom", 0);
+    assert!(matches!(outcome, DeliveryOutcome::Faulted(FaultClass::DataPointerLowerBound)));
+    assert_eq!(os.app_state(1), AppState::Killed);
+
+    for i in 1..=10 {
+        let (outcome, _) = os.call_handler(0, "tick", 1);
+        assert_eq!(outcome, DeliveryOutcome::Completed);
+        assert_eq!(os.device.cpu.reg(Reg::R14), i);
+    }
+    assert_eq!(os.app_state(0), AppState::Active);
+}
+
+/// The same application source computes identical results under every memory
+/// model that can compile it — isolation must never change program
+/// behaviour, only its cost.
+#[test]
+fn isolation_never_changes_program_results() {
+    let src = r#"
+        int fib_table[20];
+        void main(void) { }
+        int compute(int n) {
+            fib_table[0] = 0;
+            fib_table[1] = 1;
+            for (int i = 2; i < 20; i++) {
+                fib_table[i] = fib_table[i - 1] + fib_table[i - 2];
+            }
+            if (n >= 20) { n = 19; }
+            return fib_table[n];
+        }
+    "#;
+    let mut results = Vec::new();
+    for method in IsolationMethod::ALL {
+        let build = Aft::new(method)
+            .add_app(AppSource::new("Fib", src, &["main", "compute"]))
+            .build()
+            .unwrap();
+        let mut os = AmuletOs::new(build.firmware);
+        os.boot();
+        let (outcome, _) = os.call_handler(0, "compute", 16);
+        assert_eq!(outcome, DeliveryOutcome::Completed);
+        results.push(os.device.cpu.reg(Reg::R14));
+    }
+    assert!(results.iter().all(|&r| r == 987), "fib(16) = 987 under every method: {results:?}");
+}
+
+/// Cycle accounting is self-consistent: per-app stats sum to the device's
+/// cycle counter (within the OS bookkeeping performed outside any app).
+#[test]
+fn cycle_accounting_is_consistent() {
+    let build = Aft::new(IsolationMethod::Mpu)
+        .add_app(apps::synthetic().app_source(IsolationMethod::Mpu))
+        .build()
+        .unwrap();
+    let mut os = AmuletOs::new(build.firmware);
+    os.boot();
+    for _ in 0..5 {
+        os.call_handler(0, "mem_ops", 3);
+        os.call_handler(0, "switch_ops", 3);
+    }
+    let attributed: u64 = os.stats.iter().map(|s| s.total_cycles()).sum();
+    let total = os.total_cycles();
+    assert!(attributed <= total);
+    assert!(
+        attributed * 10 >= total * 9,
+        "at least 90% of cycles are attributed to apps ({attributed} of {total})"
+    );
+}
