@@ -22,8 +22,10 @@ use crate::error::{AftResult, CompileError};
 use crate::link::{link, AppUnit, LinkOutput};
 use crate::parser::parse;
 use crate::sema::analyze;
+use amulet_core::checks::CheckPolicy;
 use amulet_core::layout::{MemoryMap, OsImageSpec, PlatformSpec};
 use amulet_core::method::IsolationMethod;
+use amulet_core::platform::Platform;
 use amulet_mcu::firmware::Firmware;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -44,11 +46,7 @@ pub struct AppSource {
 
 impl AppSource {
     /// Creates an application from a name, source text, and handler list.
-    pub fn new(
-        name: impl Into<String>,
-        source: impl Into<String>,
-        handlers: &[&str],
-    ) -> Self {
+    pub fn new(name: impl Into<String>, source: impl Into<String>, handlers: &[&str]) -> Self {
         AppSource {
             name: name.into(),
             source: source.into(),
@@ -112,7 +110,13 @@ impl fmt::Display for BuildReport {
             writeln!(
                 f,
                 "{:<16} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
-                a.name, a.code_bytes, a.data_bytes, a.stack_bytes, a.pointer_derefs, a.array_accesses, a.api_calls
+                a.name,
+                a.code_bytes,
+                a.data_bytes,
+                a.stack_bytes,
+                a.pointer_derefs,
+                a.array_accesses,
+                a.api_calls
             )?;
         }
         Ok(())
@@ -144,9 +148,18 @@ impl Aft {
     /// Creates a toolchain targeting the MSP430FR5969 with the default OS
     /// image size.
     pub fn new(method: IsolationMethod) -> Self {
+        Self::for_platform(method, &amulet_core::platform::Msp430Fr5969)
+    }
+
+    /// Creates a toolchain targeting any [`Platform`] (a profile type such
+    /// as [`amulet_core::platform::Msp430Fr5994`], or a `PlatformSpec`).
+    /// The inserted-check policy follows the platform's MPU model: hardware
+    /// that can bound apps from below needs no data-pointer lower-bound
+    /// checks.
+    pub fn for_platform(method: IsolationMethod, platform: &impl Platform) -> Self {
         Aft {
             method,
-            platform: PlatformSpec::msp430fr5969(),
+            platform: platform.spec(),
             os_spec: OsImageSpec::default(),
             api: ApiSpec::amulet(),
             apps: Vec::new(),
@@ -176,6 +189,11 @@ impl Aft {
         self.method
     }
 
+    /// The platform this toolchain instance targets.
+    pub fn platform(&self) -> &PlatformSpec {
+        &self.platform
+    }
+
     /// Runs all four phases and produces the firmware image.
     pub fn build(&self) -> AftResult<BuildOutput> {
         let mut units = Vec::with_capacity(self.apps.len());
@@ -200,8 +218,17 @@ impl Aft {
                 });
             }
 
-            // Phase 2: instrumented code generation.
-            let code = generate(&app.name, &program, &analysis, &self.api, self.method)?;
+            // Phase 2: instrumented code generation, with the check policy
+            // the method requires on this platform's MPU.
+            let policy = CheckPolicy::for_method_on(self.method, &self.platform.mpu);
+            let code = generate(
+                &app.name,
+                &program,
+                &analysis,
+                &self.api,
+                self.method,
+                policy,
+            )?;
 
             units.push(AppUnit {
                 code,
@@ -211,8 +238,11 @@ impl Aft {
         }
 
         // Phases 3 + 4: sections, layout, patching, emission.
-        let LinkOutput { firmware, memory_map, apps: link_infos } =
-            link(self.method, &self.platform, &self.os_spec, &units)?;
+        let LinkOutput {
+            firmware,
+            memory_map,
+            apps: link_infos,
+        } = link(self.method, &self.platform, &self.os_spec, &units)?;
 
         for (unit, info) in units.iter().zip(&link_infos) {
             let a = &unit.code.analysis;
@@ -234,7 +264,10 @@ impl Aft {
         Ok(BuildOutput {
             firmware,
             memory_map,
-            report: BuildReport { method: self.method, apps: reports },
+            report: BuildReport {
+                method: self.method,
+                apps: reports,
+            },
         })
     }
 }
@@ -270,9 +303,17 @@ mod tests {
 
     #[test]
     fn builds_firmware_for_every_pointer_capable_method() {
-        for method in [IsolationMethod::NoIsolation, IsolationMethod::Mpu, IsolationMethod::SoftwareOnly] {
+        for method in [
+            IsolationMethod::NoIsolation,
+            IsolationMethod::Mpu,
+            IsolationMethod::SoftwareOnly,
+        ] {
             let out = Aft::new(method)
-                .add_app(AppSource::new("Pedometer", PEDOMETER_LIKE, &["main", "on_accel"]))
+                .add_app(AppSource::new(
+                    "Pedometer",
+                    PEDOMETER_LIKE,
+                    &["main", "on_accel"],
+                ))
                 .build()
                 .unwrap_or_else(|e| panic!("{method}: {e}"));
             assert_eq!(out.firmware.method, method);
@@ -307,12 +348,15 @@ mod tests {
             .add_app(AppSource::new("Pedometer", ported, &["main", "on_accel"]))
             .build()
             .unwrap();
-        assert!(out.report.apps[0].inserted_checks.contains_key("array bounds"));
+        assert!(out.report.apps[0]
+            .inserted_checks
+            .contains_key("array bounds"));
     }
 
     #[test]
     fn feature_limited_rejects_recursion() {
-        let src = "int f(int n) { if (n < 1) return 0; return f(n - 1); } void main(void) { f(3); }";
+        let src =
+            "int f(int n) { if (n < 1) return 0; return f(n - 1); } void main(void) { f(3); }";
         let err = Aft::new(IsolationMethod::FeatureLimited)
             .add_app(AppSource::new("Rec", src, &["main"]))
             .build()
@@ -333,7 +377,11 @@ mod tests {
             void main(void) { amulet_set_timer(1000); }
         "#;
         let out = Aft::new(IsolationMethod::Mpu)
-            .add_app(AppSource::new("Pedometer", PEDOMETER_LIKE, &["main", "on_accel"]))
+            .add_app(AppSource::new(
+                "Pedometer",
+                PEDOMETER_LIKE,
+                &["main", "on_accel"],
+            ))
             .add_app(AppSource::new("Clock", other, &["main", "tick"]))
             .build()
             .unwrap();
@@ -359,7 +407,11 @@ mod tests {
     #[test]
     fn report_renders_a_table() {
         let out = Aft::new(IsolationMethod::SoftwareOnly)
-            .add_app(AppSource::new("Pedometer", PEDOMETER_LIKE, &["main", "on_accel"]))
+            .add_app(AppSource::new(
+                "Pedometer",
+                PEDOMETER_LIKE,
+                &["main", "on_accel"],
+            ))
             .build()
             .unwrap();
         let text = out.report.to_string();

@@ -33,7 +33,10 @@ impl ApiFunction {
 
     /// Number of pointer parameters.
     pub fn pointer_arg_count(&self) -> u32 {
-        self.params.iter().filter(|t| matches!(t, Type::Ptr(_))).count() as u32
+        self.params
+            .iter()
+            .filter(|t| matches!(t, Type::Ptr(_)))
+            .count() as u32
     }
 }
 
@@ -89,14 +92,56 @@ impl ApiSpec {
             functions: vec![
                 f("amulet_yield", YIELD, vec![], Type::Void, 8),
                 f("amulet_get_time", GET_TIME, vec![], Type::Uint, 12),
-                f("amulet_read_sensor", READ_SENSOR, vec![Type::Uint], Type::Int, 20),
-                f("amulet_log_value", LOG_VALUE, vec![Type::Int], Type::Void, 16),
-                f("amulet_set_timer", SET_TIMER, vec![Type::Uint], Type::Void, 14),
+                f(
+                    "amulet_read_sensor",
+                    READ_SENSOR,
+                    vec![Type::Uint],
+                    Type::Int,
+                    20,
+                ),
+                f(
+                    "amulet_log_value",
+                    LOG_VALUE,
+                    vec![Type::Int],
+                    Type::Void,
+                    16,
+                ),
+                f(
+                    "amulet_set_timer",
+                    SET_TIMER,
+                    vec![Type::Uint],
+                    Type::Void,
+                    14,
+                ),
                 f("amulet_get_battery", GET_BATTERY, vec![], Type::Uint, 10),
-                f("amulet_get_heart_rate", GET_HEART_RATE, vec![], Type::Uint, 18),
-                f("amulet_get_accel", GET_ACCEL, vec![Type::Int], Type::Int, 18),
-                f("amulet_get_temperature", GET_TEMPERATURE, vec![], Type::Int, 16),
-                f("amulet_display_value", DISPLAY_VALUE, vec![Type::Int], Type::Void, 24),
+                f(
+                    "amulet_get_heart_rate",
+                    GET_HEART_RATE,
+                    vec![],
+                    Type::Uint,
+                    18,
+                ),
+                f(
+                    "amulet_get_accel",
+                    GET_ACCEL,
+                    vec![Type::Int],
+                    Type::Int,
+                    18,
+                ),
+                f(
+                    "amulet_get_temperature",
+                    GET_TEMPERATURE,
+                    vec![],
+                    Type::Int,
+                    16,
+                ),
+                f(
+                    "amulet_display_value",
+                    DISPLAY_VALUE,
+                    vec![Type::Int],
+                    Type::Void,
+                    24,
+                ),
                 f(
                     "amulet_log_buffer",
                     LOG_BUFFER,
@@ -105,7 +150,13 @@ impl ApiSpec {
                     30,
                 ),
                 f("amulet_get_light", GET_LIGHT, vec![], Type::Uint, 14),
-                f("amulet_subscribe", SUBSCRIBE, vec![Type::Uint], Type::Void, 12),
+                f(
+                    "amulet_subscribe",
+                    SUBSCRIBE,
+                    vec![Type::Uint],
+                    Type::Void,
+                    12,
+                ),
             ],
         }
     }
@@ -153,7 +204,12 @@ mod tests {
     fn pointer_argument_classification() {
         let api = ApiSpec::amulet();
         assert!(api.by_name("amulet_log_buffer").unwrap().has_pointer_args());
-        assert_eq!(api.by_name("amulet_log_buffer").unwrap().pointer_arg_count(), 1);
+        assert_eq!(
+            api.by_name("amulet_log_buffer")
+                .unwrap()
+                .pointer_arg_count(),
+            1
+        );
         assert!(!api.by_name("amulet_get_time").unwrap().has_pointer_args());
     }
 

@@ -325,12 +325,18 @@ mod tests {
     use super::*;
 
     fn ident(name: &str) -> Expr {
-        Expr::Ident { name: name.into(), loc: Loc::default() }
+        Expr::Ident {
+            name: name.into(),
+            loc: Loc::default(),
+        }
     }
 
     #[test]
     fn pointer_syntax_detection() {
-        let deref = Expr::Deref { expr: Box::new(ident("p")), loc: Loc::default() };
+        let deref = Expr::Deref {
+            expr: Box::new(ident("p")),
+            loc: Loc::default(),
+        };
         assert!(deref.uses_pointer_syntax());
         assert!(!ident("x").uses_pointer_syntax());
         let call = Expr::Call {
@@ -339,7 +345,11 @@ mod tests {
             loc: Loc::default(),
         };
         assert!(call.uses_pointer_syntax(), "pointer argument counts");
-        let direct = Expr::Call { callee: Box::new(ident("f")), args: vec![], loc: Loc::default() };
+        let direct = Expr::Call {
+            callee: Box::new(ident("f")),
+            args: vec![],
+            loc: Loc::default(),
+        };
         assert!(!direct.uses_pointer_syntax());
     }
 

@@ -111,15 +111,18 @@ impl AppCode {
     }
 }
 
-/// Compiles every function of an application.
+/// Compiles every function of an application, inserting the run-time
+/// checks `policy` requires (derive it with
+/// [`CheckPolicy::for_method_on`] so it reflects both the isolation method
+/// and the target platform's MPU capabilities).
 pub fn generate(
     app: &str,
     program: &Program,
     analysis: &Analysis,
     api: &ApiSpec,
     method: IsolationMethod,
+    policy: CheckPolicy,
 ) -> AftResult<AppCode> {
-    let policy = CheckPolicy::for_method(method);
     let mut functions = Vec::new();
     for f in &program.functions {
         let code = FnCodegen::new(app, f, analysis, api, method, policy).generate()?;
@@ -244,12 +247,18 @@ impl<'a> FnCodegen<'a> {
 
     fn emit_jmp(&mut self, label: usize) {
         let idx = self.emit(Instr::Jmp { target: 0 });
-        self.relocs.push(Reloc { index: idx, kind: RelocKind::Label(label) });
+        self.relocs.push(Reloc {
+            index: idx,
+            kind: RelocKind::Label(label),
+        });
     }
 
     fn emit_jcc(&mut self, cond: Cond, label: usize) {
         let idx = self.emit(Instr::Jcc { cond, target: 0 });
-        self.relocs.push(Reloc { index: idx, kind: RelocKind::Label(label) });
+        self.relocs.push(Reloc {
+            index: idx,
+            kind: RelocKind::Label(label),
+        });
     }
 
     fn emit_reloc(&mut self, i: Instr, kind: RelocKind) -> usize {
@@ -272,7 +281,9 @@ impl<'a> FnCodegen<'a> {
     }
 
     fn internal(&self, message: impl Into<String>) -> CompileError {
-        CompileError::Internal { message: format!("[{}::{}] {}", self.app, self.func.name, message.into()) }
+        CompileError::Internal {
+            message: format!("[{}::{}] {}", self.app, self.func.name, message.into()),
+        }
     }
 
     // ---- scopes ----------------------------------------------------------
@@ -293,9 +304,16 @@ impl<'a> FnCodegen<'a> {
             None
         };
         self.next_local -= ty.stack_size_bytes() as i16;
-        let var = LocalVar { ty, offset: self.next_local, desc_offset };
+        let var = LocalVar {
+            ty,
+            offset: self.next_local,
+            desc_offset,
+        };
         self.max_locals = self.max_locals.min(self.next_local);
-        self.scopes.last_mut().unwrap().insert(name.to_string(), var.clone());
+        self.scopes
+            .last_mut()
+            .unwrap()
+            .insert(name.to_string(), var.clone());
         var
     }
 
@@ -345,9 +363,7 @@ impl<'a> FnCodegen<'a> {
                 }
             }
             Expr::Assign { target, .. } => self.type_of(target),
-            Expr::Index { base, .. } => {
-                self.type_of(base).pointee().cloned().unwrap_or(Type::Int)
-            }
+            Expr::Index { base, .. } => self.type_of(base).pointee().cloned().unwrap_or(Type::Int),
             Expr::Call { callee, .. } => {
                 if let Expr::Ident { name, .. } = callee.as_ref() {
                     if let Some(sig) = self.analysis.signatures.get(name) {
@@ -359,9 +375,7 @@ impl<'a> FnCodegen<'a> {
                 }
                 Type::Int
             }
-            Expr::Deref { expr, .. } => {
-                self.type_of(expr).pointee().cloned().unwrap_or(Type::Int)
-            }
+            Expr::Deref { expr, .. } => self.type_of(expr).pointee().cloned().unwrap_or(Type::Int),
             Expr::AddrOf { expr, .. } => Type::Ptr(Box::new(self.type_of(expr))),
         }
     }
@@ -381,13 +395,25 @@ impl<'a> FnCodegen<'a> {
     fn emit_data_pointer_checks(&mut self) {
         if self.policy.data_pointer_lower {
             let fault = self.fault_label(FaultClass::DataPointerLowerBound);
-            self.emit_reloc(Instr::CmpImm { a: Reg::R14, imm: 0 }, RelocKind::BoundDataLower);
+            self.emit_reloc(
+                Instr::CmpImm {
+                    a: Reg::R14,
+                    imm: 0,
+                },
+                RelocKind::BoundDataLower,
+            );
             self.emit_jcc(Cond::Lo, fault);
             self.note_check("data pointer lower bound");
         }
         if self.policy.data_pointer_upper {
             let fault = self.fault_label(FaultClass::DataPointerUpperBound);
-            self.emit_reloc(Instr::CmpImm { a: Reg::R14, imm: 0 }, RelocKind::BoundDataUpper);
+            self.emit_reloc(
+                Instr::CmpImm {
+                    a: Reg::R14,
+                    imm: 0,
+                },
+                RelocKind::BoundDataUpper,
+            );
             self.emit_jcc(Cond::Hs, fault);
             self.note_check("data pointer upper bound");
         }
@@ -407,20 +433,35 @@ impl<'a> FnCodegen<'a> {
             return;
         }
         let fault = self.fault_label(FaultClass::ArrayBounds);
-        self.emit(Instr::CmpImm { a: Reg::R14, imm: 0 });
+        self.emit(Instr::CmpImm {
+            a: Reg::R14,
+            imm: 0,
+        });
         self.emit_jcc(Cond::Lt, fault);
         match descriptor {
             DescriptorLoc::Global { name, add } => {
                 self.emit_reloc(
-                    Instr::LoadAbs { dst: Reg::R13, addr: 0, width: Width::Word },
+                    Instr::LoadAbs {
+                        dst: Reg::R13,
+                        addr: 0,
+                        width: Width::Word,
+                    },
                     RelocKind::GlobalAddr { name, add },
                 );
             }
             DescriptorLoc::Local { offset } => {
-                self.emit(Instr::Load { dst: Reg::R13, base: Reg::FP, offset, width: Width::Word });
+                self.emit(Instr::Load {
+                    dst: Reg::R13,
+                    base: Reg::FP,
+                    offset,
+                    width: Width::Word,
+                });
             }
         }
-        self.emit(Instr::Cmp { a: Reg::R14, b: Reg::R13 });
+        self.emit(Instr::Cmp {
+            a: Reg::R14,
+            b: Reg::R13,
+        });
         self.emit_jcc(Cond::Hs, fault);
         self.note_check("array bounds");
     }
@@ -430,13 +471,25 @@ impl<'a> FnCodegen<'a> {
     fn emit_function_pointer_checks(&mut self) {
         if self.policy.function_pointer_lower {
             let fault = self.fault_label(FaultClass::FunctionPointerLowerBound);
-            self.emit_reloc(Instr::CmpImm { a: Reg::R14, imm: 0 }, RelocKind::BoundCodeLower);
+            self.emit_reloc(
+                Instr::CmpImm {
+                    a: Reg::R14,
+                    imm: 0,
+                },
+                RelocKind::BoundCodeLower,
+            );
             self.emit_jcc(Cond::Lo, fault);
             self.note_check("function pointer lower bound");
         }
         if self.policy.function_pointer_upper {
             let fault = self.fault_label(FaultClass::FunctionPointerUpperBound);
-            self.emit_reloc(Instr::CmpImm { a: Reg::R14, imm: 0 }, RelocKind::BoundCodeUpper);
+            self.emit_reloc(
+                Instr::CmpImm {
+                    a: Reg::R14,
+                    imm: 0,
+                },
+                RelocKind::BoundCodeUpper,
+            );
             self.emit_jcc(Cond::Hs, fault);
             self.note_check("function pointer upper bound");
         }
@@ -451,14 +504,28 @@ impl<'a> FnCodegen<'a> {
         }
         let fault = self.fault_label(FaultClass::ReturnAddress);
         let ok = self.new_label();
-        self.emit(Instr::Load { dst: Reg::R3, base: Reg::SP, offset: 0, width: Width::Word });
+        self.emit(Instr::Load {
+            dst: Reg::R3,
+            base: Reg::SP,
+            offset: 0,
+            width: Width::Word,
+        });
         // The OS invokes handlers with a sentinel return address; that value
         // is always legitimate.
-        self.emit(Instr::CmpImm { a: Reg::R3, imm: HANDLER_RETURN as u16 });
+        self.emit(Instr::CmpImm {
+            a: Reg::R3,
+            imm: HANDLER_RETURN as u16,
+        });
         self.emit_jcc(Cond::Eq, ok);
-        self.emit_reloc(Instr::CmpImm { a: Reg::R3, imm: 0 }, RelocKind::BoundCodeLower);
+        self.emit_reloc(
+            Instr::CmpImm { a: Reg::R3, imm: 0 },
+            RelocKind::BoundCodeLower,
+        );
         self.emit_jcc(Cond::Lo, fault);
-        self.emit_reloc(Instr::CmpImm { a: Reg::R3, imm: 0 }, RelocKind::BoundCodeUpper);
+        self.emit_reloc(
+            Instr::CmpImm { a: Reg::R3, imm: 0 },
+            RelocKind::BoundCodeUpper,
+        );
         self.emit_jcc(Cond::Hs, fault);
         self.bind_label(ok);
         self.note_check("return address");
@@ -473,7 +540,11 @@ impl<'a> FnCodegen<'a> {
         // Parameters: pushed right-to-left by the caller, so the first
         // parameter sits closest to the frame pointer.
         for (i, p) in self.func.params.iter().enumerate() {
-            let var = LocalVar { ty: p.ty.clone(), offset: 4 + 2 * i as i16, desc_offset: None };
+            let var = LocalVar {
+                ty: p.ty.clone(),
+                offset: 4 + 2 * i as i16,
+                desc_offset: None,
+            };
             self.scopes.last_mut().unwrap().insert(p.name.clone(), var);
         }
 
@@ -481,17 +552,30 @@ impl<'a> FnCodegen<'a> {
         // frame size is patched after the body is generated (we only then
         // know how many locals were declared).
         self.emit(Instr::Push { src: Reg::FP });
-        self.emit(Instr::Mov { dst: Reg::FP, src: Reg::SP });
-        let frame_alloc_idx = self.emit(Instr::AluImm { op: AluOp::Sub, dst: Reg::SP, imm: 0 });
+        self.emit(Instr::Mov {
+            dst: Reg::FP,
+            src: Reg::SP,
+        });
+        let frame_alloc_idx = self.emit(Instr::AluImm {
+            op: AluOp::Sub,
+            dst: Reg::SP,
+            imm: 0,
+        });
 
         let body = self.func.body.clone();
         self.gen_block(&body)?;
 
         // Implicit `return 0` / `return` when control falls off the end.
-        self.emit(Instr::MovImm { dst: Reg::R14, imm: 0 });
+        self.emit(Instr::MovImm {
+            dst: Reg::R14,
+            imm: 0,
+        });
         self.bind_label(self.ret_label);
         // Epilogue: tear down the frame, verify the return address, return.
-        self.emit(Instr::Mov { dst: Reg::SP, src: Reg::FP });
+        self.emit(Instr::Mov {
+            dst: Reg::SP,
+            src: Reg::FP,
+        });
         self.emit(Instr::Pop { dst: Reg::FP });
         self.emit_return_address_check();
         self.emit(Instr::Ret);
@@ -502,7 +586,10 @@ impl<'a> FnCodegen<'a> {
         fault_labels.sort_by_key(|(c, _)| format!("{c:?}"));
         for (class, label) in fault_labels {
             self.bind_label(label);
-            let code = FaultClass::ALL.iter().position(|c| *c == class).unwrap_or(0) as u16;
+            let code = FaultClass::ALL
+                .iter()
+                .position(|c| *c == class)
+                .unwrap_or(0) as u16;
             self.emit(Instr::Fault { code });
         }
 
@@ -511,8 +598,11 @@ impl<'a> FnCodegen<'a> {
         if frame_bytes == 0 {
             self.instrs[frame_alloc_idx] = Instr::Nop;
         } else {
-            self.instrs[frame_alloc_idx] =
-                Instr::AluImm { op: AluOp::Sub, dst: Reg::SP, imm: frame_bytes };
+            self.instrs[frame_alloc_idx] = Instr::AluImm {
+                op: AluOp::Sub,
+                dst: Reg::SP,
+                imm: frame_bytes,
+            };
         }
 
         self.pop_scope();
@@ -545,7 +635,10 @@ impl<'a> FnCodegen<'a> {
                 // Local arrays carry their length in a hidden descriptor slot
                 // so the Feature Limited bounds check can read it.
                 if let (Some(desc), Type::Array(_, len)) = (var.desc_offset, ty) {
-                    self.emit(Instr::MovImm { dst: Reg::R3, imm: *len as u16 });
+                    self.emit(Instr::MovImm {
+                        dst: Reg::R3,
+                        imm: *len as u16,
+                    });
                     self.emit(Instr::Store {
                         src: Reg::R3,
                         base: Reg::FP,
@@ -568,7 +661,11 @@ impl<'a> FnCodegen<'a> {
                 self.gen_expr(e)?;
                 Ok(())
             }
-            Stmt::If { cond, then_block, else_block } => {
+            Stmt::If {
+                cond,
+                then_block,
+                else_block,
+            } => {
                 let else_label = self.new_label();
                 let end_label = self.new_label();
                 self.gen_cond_jump_if_false(cond, else_label)?;
@@ -596,7 +693,12 @@ impl<'a> FnCodegen<'a> {
                 self.bind_label(exit);
                 Ok(())
             }
-            Stmt::For { init, cond, step, body } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 self.push_scope();
                 if let Some(init) = init {
                     self.gen_stmt(init)?;
@@ -624,7 +726,10 @@ impl<'a> FnCodegen<'a> {
                 if let Some(v) = value {
                     self.gen_expr(v)?;
                 } else {
-                    self.emit(Instr::MovImm { dst: Reg::R14, imm: 0 });
+                    self.emit(Instr::MovImm {
+                        dst: Reg::R14,
+                        imm: 0,
+                    });
                 }
                 self.emit_jmp(self.ret_label);
                 Ok(())
@@ -653,7 +758,10 @@ impl<'a> FnCodegen<'a> {
     /// Evaluates `cond` and jumps to `target` when it is false (zero).
     fn gen_cond_jump_if_false(&mut self, cond: &Expr, target: usize) -> AftResult<()> {
         self.gen_expr(cond)?;
-        self.emit(Instr::CmpImm { a: Reg::R14, imm: 0 });
+        self.emit(Instr::CmpImm {
+            a: Reg::R14,
+            imm: 0,
+        });
         self.emit_jcc(Cond::Eq, target);
         Ok(())
     }
@@ -662,7 +770,10 @@ impl<'a> FnCodegen<'a> {
     fn gen_expr(&mut self, e: &Expr) -> AftResult<Type> {
         match e {
             Expr::IntLit { value, .. } => {
-                self.emit(Instr::MovImm { dst: Reg::R14, imm: *value as u16 });
+                self.emit(Instr::MovImm {
+                    dst: Reg::R14,
+                    imm: *value as u16,
+                });
                 Ok(Type::Int)
             }
             Expr::Ident { name, loc } => self.gen_ident_load(name, *loc),
@@ -670,24 +781,41 @@ impl<'a> FnCodegen<'a> {
                 self.gen_expr(expr)?;
                 match op {
                     UnOp::Neg => {
-                        self.emit(Instr::Unary { op: UnaryOp::Neg, reg: Reg::R14 });
+                        self.emit(Instr::Unary {
+                            op: UnaryOp::Neg,
+                            reg: Reg::R14,
+                        });
                     }
                     UnOp::BitNot => {
-                        self.emit(Instr::Unary { op: UnaryOp::Not, reg: Reg::R14 });
+                        self.emit(Instr::Unary {
+                            op: UnaryOp::Not,
+                            reg: Reg::R14,
+                        });
                     }
                     UnOp::LogicalNot => {
                         let one = self.new_label();
-                        self.emit(Instr::CmpImm { a: Reg::R14, imm: 0 });
-                        self.emit(Instr::MovImm { dst: Reg::R14, imm: 1 });
+                        self.emit(Instr::CmpImm {
+                            a: Reg::R14,
+                            imm: 0,
+                        });
+                        self.emit(Instr::MovImm {
+                            dst: Reg::R14,
+                            imm: 1,
+                        });
                         self.emit_jcc(Cond::Eq, one);
-                        self.emit(Instr::MovImm { dst: Reg::R14, imm: 0 });
+                        self.emit(Instr::MovImm {
+                            dst: Reg::R14,
+                            imm: 0,
+                        });
                         self.bind_label(one);
                     }
                 }
                 Ok(Type::Int)
             }
             Expr::Binary { op, lhs, rhs, .. } => self.gen_binary(*op, lhs, rhs),
-            Expr::Assign { target, value, op, .. } => {
+            Expr::Assign {
+                target, value, op, ..
+            } => {
                 // Compound assignment desugars to `target = target op value`.
                 if let Some(op) = op {
                     let desugared = Expr::Assign {
@@ -737,13 +865,18 @@ impl<'a> FnCodegen<'a> {
             match &var.ty {
                 Type::Array(..) => {
                     // Arrays decay to the address of their first element.
-                    self.emit(Instr::Mov { dst: Reg::R14, src: Reg::FP });
+                    self.emit(Instr::Mov {
+                        dst: Reg::R14,
+                        src: Reg::FP,
+                    });
                     self.emit(Instr::AluImm {
                         op: AluOp::Add,
                         dst: Reg::R14,
                         imm: var.offset as u16,
                     });
-                    Ok(Type::Ptr(Box::new(var.ty.pointee().cloned().unwrap_or(Type::Int))))
+                    Ok(Type::Ptr(Box::new(
+                        var.ty.pointee().cloned().unwrap_or(Type::Int),
+                    )))
                 }
                 ty => {
                     self.emit(Instr::Load {
@@ -759,22 +892,40 @@ impl<'a> FnCodegen<'a> {
             match &ty {
                 Type::Array(..) => {
                     self.emit_reloc(
-                        Instr::MovImm { dst: Reg::R14, imm: 0 },
-                        RelocKind::GlobalAddr { name: name.to_string(), add: offset },
+                        Instr::MovImm {
+                            dst: Reg::R14,
+                            imm: 0,
+                        },
+                        RelocKind::GlobalAddr {
+                            name: name.to_string(),
+                            add: offset,
+                        },
                     );
-                    Ok(Type::Ptr(Box::new(ty.pointee().cloned().unwrap_or(Type::Int))))
+                    Ok(Type::Ptr(Box::new(
+                        ty.pointee().cloned().unwrap_or(Type::Int),
+                    )))
                 }
                 other => {
                     self.emit_reloc(
-                        Instr::LoadAbs { dst: Reg::R14, addr: 0, width: Self::width_of(other) },
-                        RelocKind::GlobalAddr { name: name.to_string(), add: offset },
+                        Instr::LoadAbs {
+                            dst: Reg::R14,
+                            addr: 0,
+                            width: Self::width_of(other),
+                        },
+                        RelocKind::GlobalAddr {
+                            name: name.to_string(),
+                            add: offset,
+                        },
                     );
                     Ok(other.clone())
                 }
             }
         } else if self.analysis.signatures.contains_key(name) {
             self.emit_reloc(
-                Instr::MovImm { dst: Reg::R14, imm: 0 },
+                Instr::MovImm {
+                    dst: Reg::R14,
+                    imm: 0,
+                },
                 RelocKind::FuncAddr(name.to_string()),
             );
             Ok(Type::FnPtr)
@@ -789,15 +940,27 @@ impl<'a> FnCodegen<'a> {
                 let false_label = self.new_label();
                 let end = self.new_label();
                 self.gen_expr(lhs)?;
-                self.emit(Instr::CmpImm { a: Reg::R14, imm: 0 });
+                self.emit(Instr::CmpImm {
+                    a: Reg::R14,
+                    imm: 0,
+                });
                 self.emit_jcc(Cond::Eq, false_label);
                 self.gen_expr(rhs)?;
-                self.emit(Instr::CmpImm { a: Reg::R14, imm: 0 });
+                self.emit(Instr::CmpImm {
+                    a: Reg::R14,
+                    imm: 0,
+                });
                 self.emit_jcc(Cond::Eq, false_label);
-                self.emit(Instr::MovImm { dst: Reg::R14, imm: 1 });
+                self.emit(Instr::MovImm {
+                    dst: Reg::R14,
+                    imm: 1,
+                });
                 self.emit_jmp(end);
                 self.bind_label(false_label);
-                self.emit(Instr::MovImm { dst: Reg::R14, imm: 0 });
+                self.emit(Instr::MovImm {
+                    dst: Reg::R14,
+                    imm: 0,
+                });
                 self.bind_label(end);
                 return Ok(Type::Int);
             }
@@ -805,15 +968,27 @@ impl<'a> FnCodegen<'a> {
                 let true_label = self.new_label();
                 let end = self.new_label();
                 self.gen_expr(lhs)?;
-                self.emit(Instr::CmpImm { a: Reg::R14, imm: 0 });
+                self.emit(Instr::CmpImm {
+                    a: Reg::R14,
+                    imm: 0,
+                });
                 self.emit_jcc(Cond::Ne, true_label);
                 self.gen_expr(rhs)?;
-                self.emit(Instr::CmpImm { a: Reg::R14, imm: 0 });
+                self.emit(Instr::CmpImm {
+                    a: Reg::R14,
+                    imm: 0,
+                });
                 self.emit_jcc(Cond::Ne, true_label);
-                self.emit(Instr::MovImm { dst: Reg::R14, imm: 0 });
+                self.emit(Instr::MovImm {
+                    dst: Reg::R14,
+                    imm: 0,
+                });
                 self.emit_jmp(end);
                 self.bind_label(true_label);
-                self.emit(Instr::MovImm { dst: Reg::R14, imm: 1 });
+                self.emit(Instr::MovImm {
+                    dst: Reg::R14,
+                    imm: 1,
+                });
                 self.bind_label(end);
                 return Ok(Type::Int);
             }
@@ -846,14 +1021,26 @@ impl<'a> FnCodegen<'a> {
             };
             if swap {
                 // a > b  computed as  b < a.
-                self.emit(Instr::Cmp { a: Reg::R14, b: Reg::R15 });
+                self.emit(Instr::Cmp {
+                    a: Reg::R14,
+                    b: Reg::R15,
+                });
             } else {
-                self.emit(Instr::Cmp { a: Reg::R15, b: Reg::R14 });
+                self.emit(Instr::Cmp {
+                    a: Reg::R15,
+                    b: Reg::R14,
+                });
             }
             let true_label = self.new_label();
-            self.emit(Instr::MovImm { dst: Reg::R14, imm: 1 });
+            self.emit(Instr::MovImm {
+                dst: Reg::R14,
+                imm: 1,
+            });
             self.emit_jcc(cond, true_label);
-            self.emit(Instr::MovImm { dst: Reg::R14, imm: 0 });
+            self.emit(Instr::MovImm {
+                dst: Reg::R14,
+                imm: 0,
+            });
             self.bind_label(true_label);
             return Ok(Type::Int);
         }
@@ -873,7 +1060,10 @@ impl<'a> FnCodegen<'a> {
                 // (slow) multiply/divide by a power of two when they appear.
                 if let Expr::IntLit { value, .. } = rhs {
                     let amount = (*value as u8).min(15);
-                    self.emit(Instr::Mov { dst: Reg::R14, src: Reg::R15 });
+                    self.emit(Instr::Mov {
+                        dst: Reg::R14,
+                        src: Reg::R15,
+                    });
                     let unary = if matches!(op, BinOp::Shl) {
                         UnaryOp::Shl(amount)
                     } else if unsigned {
@@ -881,14 +1071,21 @@ impl<'a> FnCodegen<'a> {
                     } else {
                         UnaryOp::Sar(amount)
                     };
-                    self.emit(Instr::Unary { op: unary, reg: Reg::R14 });
+                    self.emit(Instr::Unary {
+                        op: unary,
+                        reg: Reg::R14,
+                    });
                     return Ok(if unsigned { Type::Uint } else { Type::Int });
                 }
                 let factor = AluOp::Mul;
                 let _ = factor;
                 // Variable shift: fall back to repeated doubling is not worth
                 // the code size; use multiply/divide semantics.
-                let opk = if matches!(op, BinOp::Shl) { AluOp::Mul } else { AluOp::Div };
+                let opk = if matches!(op, BinOp::Shl) {
+                    AluOp::Mul
+                } else {
+                    AluOp::Div
+                };
                 // R14 holds the shift amount; convert to 2^amount via a tiny
                 // loop-free approximation is out of scope — the dialect
                 // restricts variable shifts, so reject.
@@ -897,8 +1094,15 @@ impl<'a> FnCodegen<'a> {
             }
             _ => return Err(self.internal(format!("unhandled binary operator {op:?}"))),
         };
-        self.emit(Instr::Alu { op: alu, dst: Reg::R15, src: Reg::R14 });
-        self.emit(Instr::Mov { dst: Reg::R14, src: Reg::R15 });
+        self.emit(Instr::Alu {
+            op: alu,
+            dst: Reg::R15,
+            src: Reg::R14,
+        });
+        self.emit(Instr::Mov {
+            dst: Reg::R14,
+            src: Reg::R15,
+        });
         Ok(if matches!(lt, Type::Ptr(_)) {
             lt
         } else if matches!(rt, Type::Ptr(_)) {
@@ -924,8 +1128,15 @@ impl<'a> FnCodegen<'a> {
                     Ok(var.ty)
                 } else if let Some((ty, offset)) = self.lookup_global(name) {
                     self.emit_reloc(
-                        Instr::StoreAbs { src: Reg::R14, addr: 0, width: Self::width_of(&ty) },
-                        RelocKind::GlobalAddr { name: name.clone(), add: offset },
+                        Instr::StoreAbs {
+                            src: Reg::R14,
+                            addr: 0,
+                            width: Self::width_of(&ty),
+                        },
+                        RelocKind::GlobalAddr {
+                            name: name.clone(),
+                            add: offset,
+                        },
                     );
                     Ok(ty)
                 } else {
@@ -944,7 +1155,10 @@ impl<'a> FnCodegen<'a> {
                     offset: 0,
                     width: Self::width_of(&elem_ty),
                 });
-                self.emit(Instr::Mov { dst: Reg::R14, src: Reg::R15 });
+                self.emit(Instr::Mov {
+                    dst: Reg::R14,
+                    src: Reg::R15,
+                });
                 Ok(elem_ty)
             }
             Expr::Deref { expr, .. } => {
@@ -960,7 +1174,10 @@ impl<'a> FnCodegen<'a> {
                     offset: 0,
                     width: Self::width_of(&pointee),
                 });
-                self.emit(Instr::Mov { dst: Reg::R14, src: Reg::R15 });
+                self.emit(Instr::Mov {
+                    dst: Reg::R14,
+                    src: Reg::R15,
+                });
                 Ok(pointee)
             }
             other => Err(self.internal(format!("invalid assignment target at {}", other.loc()))),
@@ -1000,21 +1217,38 @@ impl<'a> FnCodegen<'a> {
                 }
                 // Scale the index.
                 if elem_size == 2 {
-                    self.emit(Instr::Unary { op: UnaryOp::Shl(1), reg: Reg::R14 });
+                    self.emit(Instr::Unary {
+                        op: UnaryOp::Shl(1),
+                        reg: Reg::R14,
+                    });
                 }
                 // Add the array base address.
                 if let Some(var) = self.lookup_local(name) {
-                    self.emit(Instr::Mov { dst: Reg::R13, src: Reg::FP });
+                    self.emit(Instr::Mov {
+                        dst: Reg::R13,
+                        src: Reg::FP,
+                    });
                     self.emit(Instr::AluImm {
                         op: AluOp::Add,
                         dst: Reg::R13,
                         imm: var.offset as u16,
                     });
-                    self.emit(Instr::Alu { op: AluOp::Add, dst: Reg::R14, src: Reg::R13 });
+                    self.emit(Instr::Alu {
+                        op: AluOp::Add,
+                        dst: Reg::R14,
+                        src: Reg::R13,
+                    });
                 } else if let Some((_, offset)) = self.lookup_global(name) {
                     self.emit_reloc(
-                        Instr::AluImm { op: AluOp::Add, dst: Reg::R14, imm: 0 },
-                        RelocKind::GlobalAddr { name: name.clone(), add: offset },
+                        Instr::AluImm {
+                            op: AluOp::Add,
+                            dst: Reg::R14,
+                            imm: 0,
+                        },
+                        RelocKind::GlobalAddr {
+                            name: name.clone(),
+                            add: offset,
+                        },
                     );
                 }
                 // Under the pointer-checking methods the computed address is
@@ -1031,10 +1265,17 @@ impl<'a> FnCodegen<'a> {
                 self.emit(Instr::Push { src: Reg::R14 });
                 self.gen_expr(index)?;
                 if elem_size == 2 {
-                    self.emit(Instr::Unary { op: UnaryOp::Shl(1), reg: Reg::R14 });
+                    self.emit(Instr::Unary {
+                        op: UnaryOp::Shl(1),
+                        reg: Reg::R14,
+                    });
                 }
                 self.emit(Instr::Pop { dst: Reg::R15 });
-                self.emit(Instr::Alu { op: AluOp::Add, dst: Reg::R14, src: Reg::R15 });
+                self.emit(Instr::Alu {
+                    op: AluOp::Add,
+                    dst: Reg::R14,
+                    src: Reg::R15,
+                });
                 if for_access {
                     self.emit_data_pointer_checks();
                 }
@@ -1047,7 +1288,10 @@ impl<'a> FnCodegen<'a> {
         match expr {
             Expr::Ident { name, .. } => {
                 if let Some(var) = self.lookup_local(name) {
-                    self.emit(Instr::Mov { dst: Reg::R14, src: Reg::FP });
+                    self.emit(Instr::Mov {
+                        dst: Reg::R14,
+                        src: Reg::FP,
+                    });
                     self.emit(Instr::AluImm {
                         op: AluOp::Add,
                         dst: Reg::R14,
@@ -1056,13 +1300,22 @@ impl<'a> FnCodegen<'a> {
                     Ok(Type::Ptr(Box::new(var.ty)))
                 } else if let Some((ty, offset)) = self.lookup_global(name) {
                     self.emit_reloc(
-                        Instr::MovImm { dst: Reg::R14, imm: 0 },
-                        RelocKind::GlobalAddr { name: name.clone(), add: offset },
+                        Instr::MovImm {
+                            dst: Reg::R14,
+                            imm: 0,
+                        },
+                        RelocKind::GlobalAddr {
+                            name: name.clone(),
+                            add: offset,
+                        },
                     );
                     Ok(Type::Ptr(Box::new(ty)))
                 } else if self.analysis.signatures.contains_key(name) {
                     self.emit_reloc(
-                        Instr::MovImm { dst: Reg::R14, imm: 0 },
+                        Instr::MovImm {
+                            dst: Reg::R14,
+                            imm: 0,
+                        },
                         RelocKind::FuncAddr(name.clone()),
                     );
                     Ok(Type::FnPtr)
@@ -1096,13 +1349,15 @@ impl<'a> FnCodegen<'a> {
                         self.gen_expr(&args[0])?;
                         self.emit(Instr::Push { src: Reg::R14 });
                         self.gen_expr(&args[1])?;
-                        self.emit(Instr::Mov { dst: Reg::R15, src: Reg::R14 });
+                        self.emit(Instr::Mov {
+                            dst: Reg::R15,
+                            src: Reg::R14,
+                        });
                         self.emit(Instr::Pop { dst: Reg::R14 });
                     }
                     n => {
-                        return Err(self.internal(format!(
-                            "API `{name}` called with {n} arguments at {loc}"
-                        )))
+                        return Err(self
+                            .internal(format!("API `{name}` called with {n} arguments at {loc}")))
                     }
                 }
                 self.emit(Instr::Syscall { num: api.num });
@@ -1135,7 +1390,11 @@ impl<'a> FnCodegen<'a> {
         self.emit_function_pointer_checks();
         self.emit(Instr::CallReg { reg: Reg::R14 });
         if !args.is_empty() {
-            self.emit(Instr::AluImm { op: AluOp::Add, dst: Reg::SP, imm: 2 * args.len() as u16 });
+            self.emit(Instr::AluImm {
+                op: AluOp::Add,
+                dst: Reg::SP,
+                imm: 2 * args.len() as u16,
+            });
         }
         Ok(Type::Int)
     }
@@ -1167,7 +1426,15 @@ mod tests {
         let program = parse(src).unwrap();
         let api = ApiSpec::amulet();
         let analysis = analyze("Test", &program, &api, method).unwrap();
-        generate("Test", &program, &analysis, &api, method).unwrap()
+        generate(
+            "Test",
+            &program,
+            &analysis,
+            &api,
+            method,
+            CheckPolicy::for_method(method),
+        )
+        .unwrap()
     }
 
     const DEREF_APP: &str = r#"
@@ -1218,7 +1485,9 @@ mod tests {
         let fl = compile(src, IsolationMethod::FeatureLimited);
         let main = fl.function("main").unwrap();
         assert!(*main.inserted_checks.get("array bounds").unwrap_or(&0) >= 1);
-        assert!(!main.inserted_checks.contains_key("data pointer lower bound"));
+        assert!(!main
+            .inserted_checks
+            .contains_key("data pointer lower bound"));
         // No-isolation build of the same program has no checks at all.
         let none = compile(src, IsolationMethod::NoIsolation);
         assert!(none.function("main").unwrap().inserted_checks.is_empty());
@@ -1254,7 +1523,7 @@ mod tests {
         "#;
         let mpu = compile(src, IsolationMethod::Mpu);
         let sw = compile(src, IsolationMethod::SoftwareOnly);
-        assert_eq!(count_bound_relocs(&mpu, &RelocKind::BoundCodeLower) > 0, true);
+        assert!(count_bound_relocs(&mpu, &RelocKind::BoundCodeLower) > 0);
         assert!(count_bound_relocs(&sw, &RelocKind::BoundCodeUpper) >= 1);
         // The MPU method adds return-address checks which also reference the
         // code bounds, but never the *upper* function-pointer bound beyond
@@ -1262,7 +1531,11 @@ mod tests {
         let mpu_fn_upper: usize = mpu
             .functions
             .iter()
-            .map(|f| *f.inserted_checks.get("function pointer upper bound").unwrap_or(&0) as usize)
+            .map(|f| {
+                *f.inserted_checks
+                    .get("function pointer upper bound")
+                    .unwrap_or(&0) as usize
+            })
             .sum();
         assert_eq!(mpu_fn_upper, 0);
     }
@@ -1280,7 +1553,10 @@ mod tests {
                 _ => None,
             })
             .collect();
-        assert_eq!(syscalls, vec![crate::api::sysno::LOG_VALUE, crate::api::sysno::GET_TIME]);
+        assert_eq!(
+            syscalls,
+            vec![crate::api::sysno::LOG_VALUE, crate::api::sysno::GET_TIME]
+        );
     }
 
     #[test]

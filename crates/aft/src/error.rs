@@ -76,12 +76,20 @@ pub enum CompileError {
 impl CompileError {
     /// Convenience constructor for type errors.
     pub fn type_error(app: &str, message: impl Into<String>, loc: Loc) -> Self {
-        CompileError::Type { app: app.to_string(), message: message.into(), loc }
+        CompileError::Type {
+            app: app.to_string(),
+            message: message.into(),
+            loc,
+        }
     }
 
     /// Convenience constructor for unknown-name errors.
     pub fn unknown(app: &str, name: impl Into<String>, loc: Loc) -> Self {
-        CompileError::Unknown { app: app.to_string(), name: name.into(), loc }
+        CompileError::Unknown {
+            app: app.to_string(),
+            name: name.into(),
+            loc,
+        }
     }
 }
 
@@ -90,7 +98,10 @@ impl fmt::Display for CompileError {
         match self {
             CompileError::Parse { app, error } => write!(f, "[{app}] {error}"),
             CompileError::UnsupportedFeature { app, feature, loc } => {
-                write!(f, "[{app}] unsupported language feature at {loc}: {feature}")
+                write!(
+                    f,
+                    "[{app}] unsupported language feature at {loc}: {feature}"
+                )
             }
             CompileError::Type { app, message, loc } => {
                 write!(f, "[{app}] type error at {loc}: {message}")
@@ -99,10 +110,15 @@ impl fmt::Display for CompileError {
                 write!(f, "[{app}] unknown identifier `{name}` at {loc}")
             }
             CompileError::UnapprovedApiCall { app, name, loc } => {
-                write!(f, "[{app}] call to `{name}` at {loc} is outside the approved system API")
+                write!(
+                    f,
+                    "[{app}] call to `{name}` at {loc} is outside the approved system API"
+                )
             }
             CompileError::Layout { error } => write!(f, "layout failed: {error}"),
-            CompileError::Firmware { message } => write!(f, "firmware validation failed: {message}"),
+            CompileError::Firmware { message } => {
+                write!(f, "firmware validation failed: {message}")
+            }
             CompileError::Internal { message } => write!(f, "internal toolchain error: {message}"),
         }
     }

@@ -13,8 +13,8 @@
 //!    maximum-stack analysis, memory-access and API-call enumeration;
 //! 2. [`codegen`] — code generation with compiler-inserted isolation checks
 //!    (with placeholder bounds);
-//! 3. + 4. [`link`] — section assignment, final memory layout via the
-//!    Figure-1 planner, bound patching, and firmware emission.
+//! 3. [`link`] (phases 3 + 4) — section assignment, final memory layout via
+//!    the Figure-1 planner, bound patching, and firmware emission.
 //!
 //! The [`aft::Aft`] driver runs the whole pipeline; [`aft::AppSource`] is
 //! the unit of input.
@@ -49,5 +49,5 @@ pub mod token;
 pub mod types;
 
 pub use aft::{Aft, AppSource, BuildOutput, BuildReport};
-pub use api::{ApiSpec, sysno};
+pub use api::{sysno, ApiSpec};
 pub use error::{AftResult, CompileError};

@@ -12,7 +12,9 @@
 use crate::codegen::{AppCode, FunctionCode, Reloc, RelocKind};
 use crate::error::{AftResult, CompileError};
 use amulet_core::addr::Addr;
-use amulet_core::layout::{AppImageSpec, AppPlacement, MemoryMap, MemoryMapPlanner, OsImageSpec, PlatformSpec};
+use amulet_core::layout::{
+    AppImageSpec, AppPlacement, MemoryMap, MemoryMapPlanner, OsImageSpec, PlatformSpec,
+};
 use amulet_core::method::IsolationMethod;
 use amulet_core::mpu_plan::MpuPlan;
 use amulet_mcu::firmware::{AppBinary, Firmware, FirmwareBuilder, OsBinary};
@@ -111,7 +113,7 @@ pub fn link(
 
     // Phase 4c: patch relocations and emit.
     let os_binary = OsBinary {
-        mpu_regs: MpuPlan::for_os(&memory_map)?.register_values(),
+        mpu_config: MpuPlan::for_os_on(&memory_map)?.config(&platform.mpu),
         initial_sp: memory_map.os_initial_stack_pointer(),
     };
     let mut builder = FirmwareBuilder::new(method, memory_map.clone(), os_binary);
@@ -160,7 +162,7 @@ pub fn link(
             index: placement.index,
             placement: placement.clone(),
             handlers,
-            mpu_regs: MpuPlan::for_app(&memory_map, placement.index)?.register_values(),
+            mpu_config: MpuPlan::for_app_on(&memory_map, placement.index)?.config(&platform.mpu),
             initial_sp,
             max_stack_estimate: unit.code.analysis.max_stack_bytes,
         });
@@ -175,10 +177,14 @@ pub fn link(
         });
     }
 
-    let firmware = builder
-        .build()
-        .map_err(|e| CompileError::Firmware { message: e.to_string() })?;
-    Ok(LinkOutput { firmware, memory_map, apps: infos })
+    let firmware = builder.build().map_err(|e| CompileError::Firmware {
+        message: e.to_string(),
+    })?;
+    Ok(LinkOutput {
+        firmware,
+        memory_map,
+        apps: infos,
+    })
 }
 
 /// Applies every relocation of one function, producing the final instruction
@@ -192,24 +198,27 @@ fn patch_function(
 ) -> AftResult<Vec<Instr>> {
     let mut instrs = f.instrs.clone();
     for Reloc { index, kind } in &f.relocs {
-        let value: Addr = match kind {
-            RelocKind::FuncAddr(name) => *func_table.get(name).ok_or_else(|| CompileError::Internal {
-                message: format!("[{app_name}] reference to unknown function `{name}`"),
-            })?,
-            RelocKind::GlobalAddr { add, .. } => placement.data.start + add,
-            RelocKind::Label(l) => {
-                let target_index = f.labels.get(*l).copied().flatten().ok_or_else(|| {
-                    CompileError::Internal {
-                        message: format!("[{app_name}::{}] unbound label {l}", f.name),
-                    }
-                })?;
-                base + byte_offset(&f.instrs, target_index)
-            }
-            RelocKind::BoundDataLower => placement.data_lower_bound(),
-            RelocKind::BoundDataUpper => placement.upper_bound(),
-            RelocKind::BoundCodeLower => placement.code_lower_bound(),
-            RelocKind::BoundCodeUpper => placement.data_lower_bound(),
-        };
+        let value: Addr =
+            match kind {
+                RelocKind::FuncAddr(name) => {
+                    *func_table.get(name).ok_or_else(|| CompileError::Internal {
+                        message: format!("[{app_name}] reference to unknown function `{name}`"),
+                    })?
+                }
+                RelocKind::GlobalAddr { add, .. } => placement.data.start + add,
+                RelocKind::Label(l) => {
+                    let target_index = f.labels.get(*l).copied().flatten().ok_or_else(|| {
+                        CompileError::Internal {
+                            message: format!("[{app_name}::{}] unbound label {l}", f.name),
+                        }
+                    })?;
+                    base + byte_offset(&f.instrs, target_index)
+                }
+                RelocKind::BoundDataLower => placement.data_lower_bound(),
+                RelocKind::BoundDataUpper => placement.upper_bound(),
+                RelocKind::BoundCodeLower => placement.code_lower_bound(),
+                RelocKind::BoundCodeUpper => placement.data_lower_bound(),
+            };
         patch_instr(&mut instrs[*index], value as u16).map_err(|msg| CompileError::Internal {
             message: format!("[{app_name}::{}] {msg}", f.name),
         })?;
@@ -224,9 +233,9 @@ fn byte_offset(instrs: &[Instr], index: usize) -> u32 {
 /// Writes a resolved value into the placeholder field of an instruction.
 fn patch_instr(instr: &mut Instr, value: u16) -> Result<(), String> {
     match instr {
-        Instr::MovImm { imm, .. }
-        | Instr::AluImm { imm, .. }
-        | Instr::CmpImm { imm, .. } => *imm = value,
+        Instr::MovImm { imm, .. } | Instr::AluImm { imm, .. } | Instr::CmpImm { imm, .. } => {
+            *imm = value
+        }
         Instr::LoadAbs { addr, .. } | Instr::StoreAbs { addr, .. } => *addr = value,
         Instr::Call { target } | Instr::Jmp { target } | Instr::Jcc { target, .. } => {
             *target = value
@@ -248,7 +257,8 @@ mod tests {
         let program = parse(src).unwrap();
         let api = ApiSpec::amulet();
         let analysis = analyze(name, &program, &api, method).unwrap();
-        let code = generate(name, &program, &analysis, &api, method).unwrap();
+        let policy = amulet_core::checks::CheckPolicy::for_method(method);
+        let code = generate(name, &program, &analysis, &api, method, policy).unwrap();
         AppUnit {
             code,
             handlers: handlers.iter().map(|s| s.to_string()).collect(),
@@ -276,7 +286,13 @@ mod tests {
             unit("AppA", APP_A, &["main"], method),
             unit("AppB", APP_B, &["main"], method),
         ];
-        link(method, &PlatformSpec::msp430fr5969(), &OsImageSpec::default(), &apps).unwrap()
+        link(
+            method,
+            &PlatformSpec::msp430fr5969(),
+            &OsImageSpec::default(),
+            &apps,
+        )
+        .unwrap()
     }
 
     #[test]
@@ -289,7 +305,7 @@ mod tests {
             // Every handler resolves to a symbol inside its app's code
             // region.
             for app in &out.firmware.apps {
-                for (_, &addr) in &app.handlers {
+                for &addr in app.handlers.values() {
                     assert!(app.placement.code.contains(addr));
                 }
             }
@@ -307,7 +323,10 @@ mod tests {
             let upper = app.placement.upper_bound() as u16;
             let mut saw_lower = false;
             let mut saw_upper = false;
-            for (_, instr) in fw.code.range(app.placement.code.start..app.placement.code.end) {
+            for (_, instr) in fw
+                .code
+                .range(app.placement.code.start..app.placement.code.end)
+            {
                 if let Instr::CmpImm { imm, .. } = instr {
                     if *imm == lower {
                         saw_lower = true;
@@ -399,8 +418,13 @@ mod tests {
     fn mpu_register_values_bracket_each_app() {
         let out = link_two(IsolationMethod::Mpu);
         for app in &out.firmware.apps {
-            let regs = app.mpu_regs;
-            assert_eq!((regs.mpusegb1 as u32) << 4, app.placement.data_lower_bound());
+            let amulet_core::mpu_plan::MpuConfig::Segmented(regs) = &app.mpu_config else {
+                panic!("FR5969 firmware must carry segmented register values");
+            };
+            assert_eq!(
+                (regs.mpusegb1 as u32) << 4,
+                app.placement.data_lower_bound()
+            );
             assert_eq!((regs.mpusegb2 as u32) << 4, app.placement.upper_bound());
         }
     }

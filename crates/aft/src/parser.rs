@@ -24,7 +24,10 @@ impl std::error::Error for ParseError {}
 
 /// Parses a whole AmuletC translation unit.
 pub fn parse(source: &str) -> Result<Program, ParseError> {
-    let tokens = lex(source).map_err(|e| ParseError { message: e.message, loc: e.loc })?;
+    let tokens = lex(source).map_err(|e| ParseError {
+        message: e.message,
+        loc: e.loc,
+    })?;
     Parser { tokens, pos: 0 }.program()
 }
 
@@ -59,12 +62,18 @@ impl Parser {
             self.bump();
             Ok(())
         } else {
-            Err(self.error(format!("expected `{expected:?}`, found `{:?}`", self.peek())))
+            Err(self.error(format!(
+                "expected `{expected:?}`, found `{:?}`",
+                self.peek()
+            )))
         }
     }
 
     fn error(&self, message: String) -> ParseError {
-        ParseError { message, loc: self.loc() }
+        ParseError {
+            message,
+            loc: self.loc(),
+        }
     }
 
     fn at_type_keyword(&self) -> bool {
@@ -163,7 +172,12 @@ impl Parser {
             }
         }
         self.eat(&Tok::Semi)?;
-        Ok(GlobalDecl { name, ty, init, loc })
+        Ok(GlobalDecl {
+            name,
+            ty,
+            init,
+            loc,
+        })
     }
 
     fn const_int(&mut self) -> Result<i64, ParseError> {
@@ -189,7 +203,10 @@ impl Parser {
                 loop {
                     let pty = self.parse_type()?;
                     let pname = self.parse_ident()?;
-                    params.push(Param { name: pname, ty: pty });
+                    params.push(Param {
+                        name: pname,
+                        ty: pty,
+                    });
                     if matches!(self.peek(), Tok::Comma) {
                         self.bump();
                     } else {
@@ -200,7 +217,13 @@ impl Parser {
         }
         self.eat(&Tok::RParen)?;
         let body = self.block()?;
-        Ok(Function { name, ret, params, body, loc })
+        Ok(Function {
+            name,
+            ret,
+            params,
+            body,
+            loc,
+        })
     }
 
     fn block(&mut self) -> Result<Block, ParseError> {
@@ -229,7 +252,11 @@ impl Parser {
                 } else {
                     None
                 };
-                Ok(Stmt::If { cond, then_block, else_block })
+                Ok(Stmt::If {
+                    cond,
+                    then_block,
+                    else_block,
+                })
             }
             Tok::Kw(Kw::While) => {
                 self.bump();
@@ -265,7 +292,12 @@ impl Parser {
                 };
                 self.eat(&Tok::RParen)?;
                 let body = self.block_or_single()?;
-                Ok(Stmt::For { init, cond, step, body })
+                Ok(Stmt::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                })
             }
             Tok::Kw(Kw::Return) => {
                 self.bump();
@@ -298,7 +330,11 @@ impl Parser {
                 self.eat(&Tok::LParen)?;
                 let text = match self.bump() {
                     Tok::Str(s) => s,
-                    other => return Err(self.error(format!("expected a string in asm(), found `{other:?}`"))),
+                    other => {
+                        return Err(
+                            self.error(format!("expected a string in asm(), found `{other:?}`"))
+                        )
+                    }
                 };
                 self.eat(&Tok::RParen)?;
                 self.eat(&Tok::Semi)?;
@@ -319,7 +355,9 @@ impl Parser {
         if matches!(self.peek(), Tok::LBrace) {
             self.block()
         } else {
-            Ok(Block { stmts: vec![self.statement()?] })
+            Ok(Block {
+                stmts: vec![self.statement()?],
+            })
         }
     }
 
@@ -340,7 +378,12 @@ impl Parser {
             None
         };
         self.eat(&Tok::Semi)?;
-        Ok(Stmt::Decl { name, ty, init, loc })
+        Ok(Stmt::Decl {
+            name,
+            ty,
+            init,
+            loc,
+        })
     }
 
     // Expression parsing: assignment is right-associative and lowest
@@ -356,7 +399,12 @@ impl Parser {
             Tok::Assign => {
                 self.bump();
                 let value = self.assignment()?;
-                Ok(Expr::Assign { target: Box::new(lhs), value: Box::new(value), op: None, loc })
+                Ok(Expr::Assign {
+                    target: Box::new(lhs),
+                    value: Box::new(value),
+                    op: None,
+                    loc,
+                })
             }
             Tok::PlusAssign => {
                 self.bump();
@@ -409,15 +457,19 @@ impl Parser {
 
     fn binary(&mut self, min_bp: u8) -> Result<Expr, ParseError> {
         let mut lhs = self.unary()?;
-        loop {
-            let Some((op, bp)) = Self::binop_for(self.peek()) else { break };
+        while let Some((op, bp)) = Self::binop_for(self.peek()) {
             if bp < min_bp {
                 break;
             }
             let loc = self.loc();
             self.bump();
             let rhs = self.binary(bp + 1)?;
-            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs), loc };
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                loc,
+            };
         }
         Ok(lhs)
     }
@@ -427,23 +479,41 @@ impl Parser {
         match self.peek() {
             Tok::Minus => {
                 self.bump();
-                Ok(Expr::Unary { op: UnOp::Neg, expr: Box::new(self.unary()?), loc })
+                Ok(Expr::Unary {
+                    op: UnOp::Neg,
+                    expr: Box::new(self.unary()?),
+                    loc,
+                })
             }
             Tok::Bang => {
                 self.bump();
-                Ok(Expr::Unary { op: UnOp::LogicalNot, expr: Box::new(self.unary()?), loc })
+                Ok(Expr::Unary {
+                    op: UnOp::LogicalNot,
+                    expr: Box::new(self.unary()?),
+                    loc,
+                })
             }
             Tok::Tilde => {
                 self.bump();
-                Ok(Expr::Unary { op: UnOp::BitNot, expr: Box::new(self.unary()?), loc })
+                Ok(Expr::Unary {
+                    op: UnOp::BitNot,
+                    expr: Box::new(self.unary()?),
+                    loc,
+                })
             }
             Tok::Star => {
                 self.bump();
-                Ok(Expr::Deref { expr: Box::new(self.unary()?), loc })
+                Ok(Expr::Deref {
+                    expr: Box::new(self.unary()?),
+                    loc,
+                })
             }
             Tok::Amp => {
                 self.bump();
-                Ok(Expr::AddrOf { expr: Box::new(self.unary()?), loc })
+                Ok(Expr::AddrOf {
+                    expr: Box::new(self.unary()?),
+                    loc,
+                })
             }
             Tok::PlusPlus => {
                 self.bump();
@@ -478,7 +548,11 @@ impl Parser {
                     self.bump();
                     let index = self.expression()?;
                     self.eat(&Tok::RBracket)?;
-                    expr = Expr::Index { base: Box::new(expr), index: Box::new(index), loc };
+                    expr = Expr::Index {
+                        base: Box::new(expr),
+                        index: Box::new(index),
+                        loc,
+                    };
                 }
                 Tok::LParen => {
                     self.bump();
@@ -494,7 +568,11 @@ impl Parser {
                         }
                     }
                     self.eat(&Tok::RParen)?;
-                    expr = Expr::Call { callee: Box::new(expr), args, loc };
+                    expr = Expr::Call {
+                        callee: Box::new(expr),
+                        args,
+                        loc,
+                    };
                 }
                 Tok::PlusPlus => {
                     // Post-increment: compiled as `target = target + 1`; the
@@ -532,7 +610,10 @@ impl Parser {
                 self.eat(&Tok::RParen)?;
                 Ok(e)
             }
-            other => Err(ParseError { message: format!("unexpected token `{other:?}`"), loc }),
+            other => Err(ParseError {
+                message: format!("unexpected token `{other:?}`"),
+                loc,
+            }),
         }
     }
 }
@@ -567,8 +648,10 @@ mod tests {
     #[test]
     fn precedence_mul_binds_tighter_than_add() {
         let p = parse("int f() { return 1 + 2 * 3; }").unwrap();
-        let Stmt::Return { value: Some(Expr::Binary { op, rhs, .. }), .. } =
-            &p.functions[0].body.stmts[0]
+        let Stmt::Return {
+            value: Some(Expr::Binary { op, rhs, .. }),
+            ..
+        } = &p.functions[0].body.stmts[0]
         else {
             panic!("expected return of a binary expression");
         };
@@ -587,7 +670,10 @@ mod tests {
         assert_eq!(p.functions[0].params[0].ty, Type::Ptr(Box::new(Type::Int)));
         assert!(matches!(
             p.functions[0].body.stmts[0],
-            Stmt::Return { value: Some(Expr::Deref { .. }), .. }
+            Stmt::Return {
+                value: Some(Expr::Deref { .. }),
+                ..
+            }
         ));
     }
 
@@ -656,7 +742,10 @@ mod tests {
         let p = parse("void f() { int i = 0; i++; }").unwrap();
         assert!(matches!(
             p.functions[0].body.stmts[1],
-            Stmt::Expr(Expr::Assign { op: Some(BinOp::Add), .. })
+            Stmt::Expr(Expr::Assign {
+                op: Some(BinOp::Add),
+                ..
+            })
         ));
     }
 }

@@ -143,7 +143,8 @@ impl<'a> Analyzer<'a> {
                 return Err(self.feature_error("pointer-typed global variable", g.loc));
             }
             let size = g.ty.size_bytes().max(2).div_ceil(2) * 2;
-            self.global_offsets.insert(g.name.clone(), (g.ty.clone(), offset));
+            self.global_offsets
+                .insert(g.name.clone(), (g.ty.clone(), offset));
             offset += size;
             // Arrays additionally carry a hidden length word used by the
             // Feature Limited bounds checks (the "array descriptor").
@@ -172,7 +173,10 @@ impl<'a> Analyzer<'a> {
             }
             self.signatures.insert(
                 f.name.clone(),
-                FunctionSig { ret: f.ret.clone(), params: f.params.iter().map(|p| p.ty.clone()).collect() },
+                FunctionSig {
+                    ret: f.ret.clone(),
+                    params: f.params.iter().map(|p| p.ty.clone()).collect(),
+                },
             );
         }
 
@@ -186,9 +190,16 @@ impl<'a> Analyzer<'a> {
 
     fn finish(self) -> Analysis {
         let uses_pointers = self.functions.values().any(|f| f.uses_pointers)
-            || self.global_offsets.values().any(|(t, _)| contains_pointer(t));
+            || self
+                .global_offsets
+                .values()
+                .any(|(t, _)| contains_pointer(t));
         let uses_recursion = self.detect_recursion();
-        let max_stack_bytes = if uses_recursion { None } else { Some(self.max_stack()) };
+        let max_stack_bytes = if uses_recursion {
+            None
+        } else {
+            Some(self.max_stack())
+        };
         let total_pointer_derefs = self.functions.values().map(|f| f.pointer_derefs).sum();
         let total_array_accesses = self.functions.values().map(|f| f.array_accesses).sum();
         let total_api_calls = self.functions.values().map(|f| f.api_calls).sum();
@@ -214,8 +225,11 @@ impl<'a> Analyzer<'a> {
             Grey,
             Black,
         }
-        let mut colour: BTreeMap<String, Colour> =
-            self.functions.keys().map(|k| (k.clone(), Colour::White)).collect();
+        let mut colour: BTreeMap<String, Colour> = self
+            .functions
+            .keys()
+            .map(|k| (k.clone(), Colour::White))
+            .collect();
 
         fn visit(
             name: &str,
@@ -260,7 +274,9 @@ impl<'a> Analyzer<'a> {
             if let Some(&d) = memo.get(name) {
                 return d;
             }
-            let Some(f) = functions.get(name) else { return 0 };
+            let Some(f) = functions.get(name) else {
+                return 0;
+            };
             let deepest_callee = f
                 .callees
                 .iter()
@@ -294,7 +310,10 @@ impl<'a> Analyzer<'a> {
             if matches!(self.method, IsolationMethod::FeatureLimited) && contains_pointer(&p.ty) {
                 return Err(self.feature_error("pointer-typed parameter", f.loc));
             }
-            scope.last_mut().unwrap().insert(p.name.clone(), p.ty.clone());
+            scope
+                .last_mut()
+                .unwrap()
+                .insert(p.name.clone(), p.ty.clone());
         }
         // Frame: saved frame pointer + return address + locals (computed as
         // we walk declarations) + parameters pushed by callers are accounted
@@ -332,7 +351,12 @@ impl<'a> Analyzer<'a> {
         loop_depth: u32,
     ) -> AftResult<()> {
         match stmt {
-            Stmt::Decl { name, ty, init, loc } => {
+            Stmt::Decl {
+                name,
+                ty,
+                init,
+                loc,
+            } => {
                 if matches!(self.method, IsolationMethod::FeatureLimited) && contains_pointer(ty) {
                     return Err(self.feature_error("pointer-typed local variable", *loc));
                 }
@@ -351,7 +375,11 @@ impl<'a> Analyzer<'a> {
                 self.type_of(f, e, scope, out)?;
                 Ok(())
             }
-            Stmt::If { cond, then_block, else_block } => {
+            Stmt::If {
+                cond,
+                then_block,
+                else_block,
+            } => {
                 self.expect_scalar(f, cond, scope, out)?;
                 self.analyze_block(f, then_block, scope, out, locals_bytes, loop_depth)?;
                 if let Some(e) = else_block {
@@ -363,7 +391,12 @@ impl<'a> Analyzer<'a> {
                 self.expect_scalar(f, cond, scope, out)?;
                 self.analyze_block(f, body, scope, out, locals_bytes, loop_depth + 1)
             }
-            Stmt::For { init, cond, step, body } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 scope.push(BTreeMap::new());
                 if let Some(init) = init {
                     self.analyze_stmt(f, init, scope, out, locals_bytes, loop_depth)?;
@@ -378,25 +411,23 @@ impl<'a> Analyzer<'a> {
                 scope.pop();
                 Ok(())
             }
-            Stmt::Return { value, loc } => {
-                match (value, &f.ret) {
-                    (None, Type::Void) => Ok(()),
-                    (Some(_), Type::Void) => Err(CompileError::type_error(
-                        &self.app,
-                        format!("`{}` returns void but a value is returned", f.name),
-                        *loc,
-                    )),
-                    (None, _) => Err(CompileError::type_error(
-                        &self.app,
-                        format!("`{}` must return a value", f.name),
-                        *loc,
-                    )),
-                    (Some(v), ret) => {
-                        let vt = self.type_of(f, v, scope, out)?;
-                        self.check_assignable(ret, &vt, *loc)
-                    }
+            Stmt::Return { value, loc } => match (value, &f.ret) {
+                (None, Type::Void) => Ok(()),
+                (Some(_), Type::Void) => Err(CompileError::type_error(
+                    &self.app,
+                    format!("`{}` returns void but a value is returned", f.name),
+                    *loc,
+                )),
+                (None, _) => Err(CompileError::type_error(
+                    &self.app,
+                    format!("`{}` must return a value", f.name),
+                    *loc,
+                )),
+                (Some(v), ret) => {
+                    let vt = self.type_of(f, v, scope, out)?;
+                    self.check_assignable(ret, &vt, *loc)
                 }
-            }
+            },
             Stmt::Break(loc) | Stmt::Continue(loc) => {
                 if loop_depth == 0 {
                     Err(CompileError::type_error(
@@ -553,9 +584,7 @@ impl<'a> Analyzer<'a> {
                         out.pointer_derefs += 1;
                         out.uses_pointers = true;
                         if matches!(self.method, IsolationMethod::FeatureLimited) {
-                            return Err(
-                                self.feature_error("indexing through a pointer", *loc)
-                            );
+                            return Err(self.feature_error("indexing through a pointer", *loc));
                         }
                         Ok(*elem)
                     }
@@ -623,7 +652,9 @@ impl<'a> Analyzer<'a> {
                             out.fnptr_calls += 1;
                             out.uses_pointers = true;
                             if matches!(self.method, IsolationMethod::FeatureLimited) {
-                                return Err(self.feature_error("call through a function pointer", *loc));
+                                return Err(
+                                    self.feature_error("call through a function pointer", *loc)
+                                );
                             }
                             for a in args {
                                 self.type_of(f, a, scope, out)?;
@@ -758,7 +789,11 @@ mod tests {
 
     #[test]
     fn accepts_pointers_under_mpu_and_software_only() {
-        for m in [IsolationMethod::Mpu, IsolationMethod::SoftwareOnly, IsolationMethod::NoIsolation] {
+        for m in [
+            IsolationMethod::Mpu,
+            IsolationMethod::SoftwareOnly,
+            IsolationMethod::NoIsolation,
+        ] {
             let a = analyze_src(POINTER_APP, m).unwrap();
             assert!(a.uses_pointers);
             assert!(a.total_pointer_derefs >= 1);
@@ -769,7 +804,10 @@ mod tests {
     #[test]
     fn feature_limited_rejects_pointers() {
         let err = analyze_src(POINTER_APP, IsolationMethod::FeatureLimited).unwrap_err();
-        assert!(matches!(err, CompileError::UnsupportedFeature { .. }), "{err}");
+        assert!(
+            matches!(err, CompileError::UnsupportedFeature { .. }),
+            "{err}"
+        );
     }
 
     #[test]
@@ -852,8 +890,11 @@ mod tests {
             CompileError::Unknown { .. }
         ));
         assert!(matches!(
-            analyze_src("void main(void) { amulet_format_disk(); }", IsolationMethod::Mpu)
-                .unwrap_err(),
+            analyze_src(
+                "void main(void) { amulet_format_disk(); }",
+                IsolationMethod::Mpu
+            )
+            .unwrap_err(),
             CompileError::UnapprovedApiCall { .. }
         ));
     }
@@ -873,11 +914,7 @@ mod tests {
             CompileError::Type { .. }
         ));
         assert!(matches!(
-            analyze_src(
-                "int g; void f() { g(); }",
-                IsolationMethod::Mpu
-            )
-            .unwrap_err(),
+            analyze_src("int g; void f() { g(); }", IsolationMethod::Mpu).unwrap_err(),
             CompileError::Type { .. }
         ));
     }

@@ -197,7 +197,10 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
 
     macro_rules! push {
         ($tok:expr, $loc:expr) => {
-            tokens.push(Token { tok: $tok, loc: $loc })
+            tokens.push(Token {
+                tok: $tok,
+                loc: $loc,
+            })
         };
     }
 
@@ -224,7 +227,10 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
                 col += 2;
                 loop {
                     if i + 1 >= bytes.len() {
-                        return Err(LexError { message: "unterminated block comment".into(), loc });
+                        return Err(LexError {
+                            message: "unterminated block comment".into(),
+                            loc,
+                        });
                     }
                     if bytes[i] == '*' && bytes[i + 1] == '/' {
                         i += 2;
@@ -315,7 +321,10 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
                         }
                     };
                     if i + 3 >= bytes.len() || bytes[i + 3] != '\'' {
-                        return Err(LexError { message: "unterminated char literal".into(), loc });
+                        return Err(LexError {
+                            message: "unterminated char literal".into(),
+                            loc,
+                        });
                     }
                     i += 4;
                     col += 4;
@@ -325,7 +334,10 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
                     i += 3;
                     col += 3;
                 } else {
-                    return Err(LexError { message: "unterminated char literal".into(), loc });
+                    return Err(LexError {
+                        message: "unterminated char literal".into(),
+                        loc,
+                    });
                 }
             }
             '"' => {
@@ -335,7 +347,10 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
                     j += 1;
                 }
                 if j >= bytes.len() {
-                    return Err(LexError { message: "unterminated string literal".into(), loc });
+                    return Err(LexError {
+                        message: "unterminated string literal".into(),
+                        loc,
+                    });
                 }
                 let text: String = bytes[start..j].iter().collect();
                 col += (j + 1 - i) as u32;
@@ -397,7 +412,10 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
             }
         }
     }
-    tokens.push(Token { tok: Tok::Eof, loc: loc_of(line, col) });
+    tokens.push(Token {
+        tok: Tok::Eof,
+        loc: loc_of(line, col),
+    });
     Ok(tokens)
 }
 

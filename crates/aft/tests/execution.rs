@@ -32,26 +32,23 @@ fn build_and_load(src: &str, handler: &str, method: IsolationMethod) -> (Device,
 fn run_handler(dev: &mut Device, entry: u32, sp: u32) -> Result<u16, FaultClass> {
     dev.prepare_call(entry, sp);
     for _ in 0..200_000 {
-        match dev.run(1_000_000) {
-            exit => match exit.reason {
-                StopReason::HandlerDone | StopReason::Halted => {
-                    return Ok(dev.cpu.reg(Reg::R14))
-                }
-                StopReason::Syscall { num } => {
-                    // Minimal syscall stub: sensors return 42, time returns
-                    // 1000, everything else returns 0.
-                    let ret = match num {
-                        amulet_aft::sysno::GET_TIME => 1000,
-                        amulet_aft::sysno::READ_SENSOR
-                        | amulet_aft::sysno::GET_ACCEL
-                        | amulet_aft::sysno::GET_HEART_RATE => 42,
-                        _ => 0,
-                    };
-                    dev.cpu.set_reg(Reg::R14, ret);
-                }
-                StopReason::Fault(info) => return Err(info.class),
-                StopReason::StepLimit => panic!("program ran away"),
-            },
+        let exit = dev.run(1_000_000);
+        match exit.reason {
+            StopReason::HandlerDone | StopReason::Halted => return Ok(dev.cpu.reg(Reg::R14)),
+            StopReason::Syscall { num } => {
+                // Minimal syscall stub: sensors return 42, time returns
+                // 1000, everything else returns 0.
+                let ret = match num {
+                    amulet_aft::sysno::GET_TIME => 1000,
+                    amulet_aft::sysno::READ_SENSOR
+                    | amulet_aft::sysno::GET_ACCEL
+                    | amulet_aft::sysno::GET_HEART_RATE => 42,
+                    _ => 0,
+                };
+                dev.cpu.set_reg(Reg::R14, ret);
+            }
+            StopReason::Fault(info) => return Err(info.class),
+            StopReason::StepLimit => panic!("program ran away"),
         }
     }
     panic!("handler did not finish");
@@ -86,7 +83,11 @@ fn pointer_code_produces_identical_results_under_all_pointer_methods() {
         int main(void) { return sum(&values[0], 6); }
     "#;
     let mut results = Vec::new();
-    for method in [IsolationMethod::NoIsolation, IsolationMethod::Mpu, IsolationMethod::SoftwareOnly] {
+    for method in [
+        IsolationMethod::NoIsolation,
+        IsolationMethod::Mpu,
+        IsolationMethod::SoftwareOnly,
+    ] {
         let (mut dev, entry, sp) = build_and_load(src, "main", method);
         results.push(run_handler(&mut dev, entry, sp).unwrap());
     }
@@ -125,7 +126,10 @@ fn character_arrays_use_byte_accesses() {
             return n;
         }
     "#;
-    for method in [IsolationMethod::FeatureLimited, IsolationMethod::SoftwareOnly] {
+    for method in [
+        IsolationMethod::FeatureLimited,
+        IsolationMethod::SoftwareOnly,
+    ] {
         let (mut dev, entry, sp) = build_and_load(src, "main", method);
         assert_eq!(run_handler(&mut dev, entry, sp).unwrap(), 5, "{method}");
     }
@@ -170,7 +174,10 @@ fn pointer_above_the_app_faults_via_software_check_or_mpu_hardware() {
     "#;
     // Software Only: the compiler-inserted upper-bound check fires.
     let (mut dev, entry, sp) = build_and_load(src, "main", IsolationMethod::SoftwareOnly);
-    assert_eq!(run_handler(&mut dev, entry, sp), Err(FaultClass::DataPointerUpperBound));
+    assert_eq!(
+        run_handler(&mut dev, entry, sp),
+        Err(FaultClass::DataPointerUpperBound)
+    );
 
     // MPU: no software upper check is inserted, so without the MPU the write
     // would go through — but with the app's MPU configuration installed the
@@ -182,9 +189,12 @@ fn pointer_above_the_app_faults_via_software_check_or_mpu_hardware() {
     let mut dev = Device::msp430fr5969();
     dev.load_firmware(&out.firmware);
     let app = &out.firmware.apps[0];
-    dev.bus.mpu.apply_registers(app.mpu_regs).unwrap();
+    dev.bus.install_mpu_config(&app.mpu_config).unwrap();
     let (entry, sp) = (app.handlers["main"], app.initial_sp);
-    assert_eq!(run_handler(&mut dev, entry, sp), Err(FaultClass::MpuViolation));
+    assert_eq!(
+        run_handler(&mut dev, entry, sp),
+        Err(FaultClass::MpuViolation)
+    );
 
     // No Isolation: the stray write silently lands.
     let (mut dev, entry, sp) = build_and_load(src, "main", IsolationMethod::NoIsolation);
@@ -201,7 +211,10 @@ fn array_overrun_faults_under_feature_limited() {
         }
     "#;
     let (mut dev, entry, sp) = build_and_load(src, "main", IsolationMethod::FeatureLimited);
-    assert_eq!(run_handler(&mut dev, entry, sp), Err(FaultClass::ArrayBounds));
+    assert_eq!(
+        run_handler(&mut dev, entry, sp),
+        Err(FaultClass::ArrayBounds)
+    );
 
     // The same overrun under No Isolation scribbles past the array without
     // any fault — exactly the hazard isolation exists to stop.
@@ -284,9 +297,17 @@ fn quicksort_sorts_correctly_when_compiled_by_the_aft() {
             return ok;
         }
     "#;
-    for method in [IsolationMethod::NoIsolation, IsolationMethod::Mpu, IsolationMethod::SoftwareOnly] {
+    for method in [
+        IsolationMethod::NoIsolation,
+        IsolationMethod::Mpu,
+        IsolationMethod::SoftwareOnly,
+    ] {
         let (mut dev, entry, sp) = build_and_load(src, "main", method);
-        assert_eq!(run_handler(&mut dev, entry, sp).unwrap(), 1, "{method}: array sorted");
+        assert_eq!(
+            run_handler(&mut dev, entry, sp).unwrap(),
+            1,
+            "{method}: array sorted"
+        );
     }
 }
 
@@ -308,7 +329,11 @@ fn isolation_methods_cost_more_cycles_in_the_expected_order() {
         }
     "#;
     let mut cycles = std::collections::BTreeMap::new();
-    for method in [IsolationMethod::NoIsolation, IsolationMethod::Mpu, IsolationMethod::SoftwareOnly] {
+    for method in [
+        IsolationMethod::NoIsolation,
+        IsolationMethod::Mpu,
+        IsolationMethod::SoftwareOnly,
+    ] {
         let (mut dev, entry, sp) = build_and_load(src, "main", method);
         let before = dev.cycles();
         run_handler(&mut dev, entry, sp).unwrap();

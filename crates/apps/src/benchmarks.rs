@@ -329,8 +329,15 @@ mod tests {
     use amulet_mcu::isa::Reg;
     use amulet_os::os::{AmuletOs, DeliveryOutcome};
 
-    fn run_one(app: &BenchmarkApp, method: IsolationMethod, calls: &[(&str, u16)]) -> (AmuletOs, Vec<u16>) {
-        let out = Aft::new(method).add_app(app.app_source(method)).build().unwrap();
+    fn run_one(
+        app: &BenchmarkApp,
+        method: IsolationMethod,
+        calls: &[(&str, u16)],
+    ) -> (AmuletOs, Vec<u16>) {
+        let out = Aft::new(method)
+            .add_app(app.app_source(method))
+            .build()
+            .unwrap();
         let mut os = AmuletOs::new(out.firmware);
         os.boot();
         let mut results = Vec::new();
@@ -373,13 +380,18 @@ mod tests {
         let mut case2 = Vec::new();
         for method in IsolationMethod::ALL {
             let app = activity_detection();
-            let (_, results) =
-                run_one(&app, method, &[("fill", 11), ("case1", 0), ("case2", 0)]);
+            let (_, results) = run_one(&app, method, &[("fill", 11), ("case1", 0), ("case2", 0)]);
             case1.push(results[1]);
             case2.push(results[2]);
         }
-        assert!(case1.windows(2).all(|w| w[0] == w[1]), "case1 variance agrees: {case1:?}");
-        assert!(case2.windows(2).all(|w| w[0] == w[1]), "case2 class agrees: {case2:?}");
+        assert!(
+            case1.windows(2).all(|w| w[0] == w[1]),
+            "case1 variance agrees: {case1:?}"
+        );
+        assert!(
+            case2.windows(2).all(|w| w[0] == w[1]),
+            "case2 class agrees: {case2:?}"
+        );
     }
 
     #[test]
@@ -387,7 +399,10 @@ mod tests {
         // Figure 3's point: these are memory-access-dominated workloads.
         for method in [IsolationMethod::Mpu, IsolationMethod::SoftwareOnly] {
             for app in [activity_detection(), quicksort()] {
-                let out = Aft::new(method).add_app(app.app_source(method)).build().unwrap();
+                let out = Aft::new(method)
+                    .add_app(app.app_source(method))
+                    .build()
+                    .unwrap();
                 assert_eq!(out.report.apps[0].api_calls, 0, "{}", app.name);
             }
         }
@@ -401,7 +416,10 @@ mod tests {
         let mut cycles = std::collections::BTreeMap::new();
         for method in IsolationMethod::ALL {
             let app = quicksort();
-            let out = Aft::new(method).add_app(app.app_source(method)).build().unwrap();
+            let out = Aft::new(method)
+                .add_app(app.app_source(method))
+                .build()
+                .unwrap();
             let mut os = AmuletOs::new(out.firmware);
             os.boot();
             let (outcome, spent) = os.call_handler(0, "run", 3);

@@ -302,7 +302,10 @@ fn temperature() -> CatalogApp {
             }
         "#,
         handlers: &["main", "on_timer"],
-        profile: AppProfile::new("Temperature", vec![HandlerProfile::new("on_timer", 48, 2, 30.0)]),
+        profile: AppProfile::new(
+            "Temperature",
+            vec![HandlerProfile::new("on_timer", 48, 2, 30.0)],
+        ),
     }
 }
 
@@ -352,7 +355,10 @@ mod tests {
     #[test]
     fn profiles_span_compute_heavy_and_os_heavy_apps() {
         let apps = catalog();
-        let ratios: Vec<f64> = apps.iter().map(|a| a.profile.access_to_switch_ratio()).collect();
+        let ratios: Vec<f64> = apps
+            .iter()
+            .map(|a| a.profile.access_to_switch_ratio())
+            .collect();
         assert!(ratios.iter().cloned().fold(f64::NEG_INFINITY, f64::max) > 5.0);
         assert!(ratios.iter().cloned().fold(f64::INFINITY, f64::min) < 2.0);
     }

@@ -5,11 +5,10 @@ use crate::profile::AppProfile;
 use amulet_core::energy::{BatteryModel, EnergyModel};
 use amulet_core::method::IsolationMethod;
 use amulet_core::overhead::{OverheadBreakdown, OverheadModel};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The extrapolated isolation overhead of one application under one method.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct OverheadEstimate {
     /// Application name.
     pub app: String,
@@ -39,7 +38,10 @@ pub struct Arp {
 
 impl Default for Arp {
     fn default() -> Self {
-        Arp { energy: EnergyModel::msp430fr5969(), battery: BatteryModel::amulet() }
+        Arp {
+            energy: EnergyModel::msp430fr5969(),
+            battery: BatteryModel::amulet(),
+        }
     }
 }
 
@@ -47,6 +49,41 @@ impl Arp {
     /// Creates a profiler with explicit models.
     pub fn new(energy: EnergyModel, battery: BatteryModel) -> Self {
         Arp { energy, battery }
+    }
+
+    /// Creates a profiler whose energy model matches the given platform
+    /// (the battery is a property of the wearable, not the MCU, so the
+    /// Amulet battery model is kept).
+    pub fn for_platform(platform: &amulet_core::layout::PlatformSpec) -> Self {
+        Arp {
+            energy: EnergyModel::for_platform(platform),
+            battery: BatteryModel::amulet(),
+        }
+    }
+
+    /// Estimates the weekly isolation overhead of one app under one method
+    /// **on a specific platform**: the per-operation costs come from the
+    /// platform's check policy and switch-cost model.
+    pub fn estimate_on(
+        &self,
+        platform: &amulet_core::layout::PlatformSpec,
+        profile: &AppProfile,
+        method: IsolationMethod,
+    ) -> OverheadEstimate {
+        let model = OverheadModel::for_platform(method, platform);
+        let counts = profile.weekly_counts();
+        let breakdown = model.overhead(counts);
+        let cycles = breakdown.total();
+        let joules = self.energy.cycles_to_joules(cycles);
+        OverheadEstimate {
+            app: profile.name.clone(),
+            method,
+            breakdown,
+            cycles_per_week: cycles,
+            billions_of_cycles_per_week: cycles as f64 / 1e9,
+            joules_per_week: joules,
+            battery_impact_percent: self.battery.impact_percent(joules),
+        }
     }
 
     /// Estimates the weekly isolation overhead of one app under one method.
@@ -81,12 +118,14 @@ impl Arp {
 
     /// Renders the Figure 2 data as an ARP-view style text table.
     pub fn render_figure2(&self, profiles: &[AppProfile]) -> ArpView {
-        ArpView { rows: self.figure2(profiles) }
+        ArpView {
+            rows: self.figure2(profiles),
+        }
     }
 }
 
 /// A renderable ARP-view report.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ArpView {
     /// One row per (app, method).
     pub rows: Vec<OverheadEstimate>,
@@ -96,7 +135,10 @@ impl ArpView {
     /// The largest battery impact in the report (the paper's headline claim
     /// is that this stays below 0.5 %).
     pub fn max_battery_impact_percent(&self) -> f64 {
-        self.rows.iter().map(|r| r.battery_impact_percent).fold(0.0, f64::max)
+        self.rows
+            .iter()
+            .map(|r| r.battery_impact_percent)
+            .fold(0.0, f64::max)
     }
 
     /// Rows for a single app.
@@ -135,7 +177,10 @@ mod tests {
     fn pedometer_like() -> AppProfile {
         // 20 Hz accelerometer batches, ~40 guarded accesses per batch, one
         // API call per batch.
-        AppProfile::new("Pedometer", vec![HandlerProfile::new("on_accel", 40, 1, 20.0 * 3600.0)])
+        AppProfile::new(
+            "Pedometer",
+            vec![HandlerProfile::new("on_accel", 40, 1, 20.0 * 3600.0)],
+        )
     }
 
     fn chatty_logger() -> AppProfile {
@@ -164,7 +209,11 @@ mod tests {
         // The paper's headline claim, for profiles at realistic rates.
         let arp = Arp::default();
         let view = arp.render_figure2(&[pedometer_like(), chatty_logger()]);
-        assert!(view.max_battery_impact_percent() < 0.5, "{}", view.max_battery_impact_percent());
+        assert!(
+            view.max_battery_impact_percent() < 0.5,
+            "{}",
+            view.max_battery_impact_percent()
+        );
         assert!(view.max_battery_impact_percent() > 0.0);
     }
 
@@ -173,12 +222,16 @@ mod tests {
         let arp = Arp::default();
         let ped = pedometer_like();
         let mpu = arp.estimate(&ped, IsolationMethod::Mpu).cycles_per_week;
-        let sw = arp.estimate(&ped, IsolationMethod::SoftwareOnly).cycles_per_week;
+        let sw = arp
+            .estimate(&ped, IsolationMethod::SoftwareOnly)
+            .cycles_per_week;
         assert!(mpu < sw, "memory-heavy: MPU {mpu} < SW {sw}");
 
         let log = chatty_logger();
         let mpu = arp.estimate(&log, IsolationMethod::Mpu).cycles_per_week;
-        let sw = arp.estimate(&log, IsolationMethod::SoftwareOnly).cycles_per_week;
+        let sw = arp
+            .estimate(&log, IsolationMethod::SoftwareOnly)
+            .cycles_per_week;
         assert!(sw < mpu, "switch-heavy: SW {sw} < MPU {mpu}");
     }
 

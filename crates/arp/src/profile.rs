@@ -7,13 +7,12 @@
 //! information for one application.
 
 use amulet_core::overhead::OpCounts;
-use serde::{Deserialize, Serialize};
 
 /// Seconds in a week (the extrapolation window used by Figure 2).
 pub const SECONDS_PER_WEEK: f64 = 7.0 * 24.0 * 3600.0;
 
 /// Resource counts for one event handler (one state-machine transition).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct HandlerProfile {
     /// Handler (transition) name.
     pub name: String,
@@ -61,7 +60,7 @@ impl HandlerProfile {
 }
 
 /// The complete resource profile of one application.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct AppProfile {
     /// Application name (as shown on the Figure 2 x-axis).
     pub name: String,
@@ -72,14 +71,17 @@ pub struct AppProfile {
 impl AppProfile {
     /// Creates a profile.
     pub fn new(name: impl Into<String>, handlers: Vec<HandlerProfile>) -> Self {
-        AppProfile { name: name.into(), handlers }
+        AppProfile {
+            name: name.into(),
+            handlers,
+        }
     }
 
     /// Total operation counts over one week.
     pub fn weekly_counts(&self) -> OpCounts {
-        self.handlers
-            .iter()
-            .fold(OpCounts::default(), |acc, h| acc.saturating_add(h.weekly_counts()))
+        self.handlers.iter().fold(OpCounts::default(), |acc, h| {
+            acc.saturating_add(h.weekly_counts())
+        })
     }
 
     /// Total handler invocations per week.
@@ -148,7 +150,10 @@ mod tests {
         let a = HandlerProfile::new("sample", 40, 1, 3600.0).weekly_counts();
         let b = HandlerProfile::new("report", 200, 5, 60.0).weekly_counts();
         assert_eq!(total.memory_accesses, a.memory_accesses + b.memory_accesses);
-        assert_eq!(total.context_switches, a.context_switches + b.context_switches);
+        assert_eq!(
+            total.context_switches,
+            a.context_switches + b.context_switches
+        );
     }
 
     #[test]
@@ -163,6 +168,9 @@ mod tests {
     fn from_measurement_builds_a_single_handler_profile() {
         let p = AppProfile::from_measurement("Pedometer", "on_accel", 123, 4, 7200.0);
         assert_eq!(p.handlers.len(), 1);
-        assert_eq!(p.weekly_counts().memory_accesses, 123 * p.weekly_invocations());
+        assert_eq!(
+            p.weekly_counts().memory_accesses,
+            123 * p.weekly_invocations()
+        );
     }
 }

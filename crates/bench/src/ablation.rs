@@ -13,11 +13,10 @@
 use amulet_aft::aft::{Aft, AppSource};
 use amulet_core::method::IsolationMethod;
 use amulet_os::os::{AmuletOs, DeliveryOutcome, OsOptions};
-use serde::Serialize;
 use std::fmt::Write as _;
 
 /// Result of the shared-stack-zeroing ablation.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct StackAblationRow {
     /// Configuration label.
     pub config: String,
@@ -68,7 +67,10 @@ pub fn stack_ablation(events: u32) -> Vec<StackAblationRow> {
     };
 
     vec![
-        run(AmuletOs::new(build(IsolationMethod::Mpu)), "per-app stacks (MPU method)"),
+        run(
+            AmuletOs::new(build(IsolationMethod::Mpu)),
+            "per-app stacks (MPU method)",
+        ),
         run(
             AmuletOs::new(build(IsolationMethod::FeatureLimited)),
             "shared stack, no scrubbing (unsafe)",
@@ -76,7 +78,10 @@ pub fn stack_ablation(events: u32) -> Vec<StackAblationRow> {
         run(
             AmuletOs::with_options(
                 build(IsolationMethod::FeatureLimited),
-                OsOptions { zero_shared_stack: true, ..OsOptions::default() },
+                OsOptions {
+                    zero_shared_stack: true,
+                    ..OsOptions::default()
+                },
             ),
             "shared stack, bzero on every app change",
         ),
@@ -86,7 +91,10 @@ pub fn stack_ablation(events: u32) -> Vec<StackAblationRow> {
 /// Renders the stack ablation.
 pub fn render_stack_ablation(rows: &[StackAblationRow]) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "Ablation A — per-app stacks vs shared stack (cycles per delivered event)");
+    let _ = writeln!(
+        s,
+        "Ablation A — per-app stacks vs shared stack (cycles per delivered event)"
+    );
     for r in rows {
         let _ = writeln!(s, "{:<44} {:>10.1}", r.config, r.cycles_per_event);
     }
@@ -94,7 +102,7 @@ pub fn render_stack_ablation(rows: &[StackAblationRow]) -> String {
 }
 
 /// Result of the advanced-MPU ablation for one workload.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct AdvancedMpuRow {
     /// Workload name.
     pub workload: String,
@@ -118,7 +126,11 @@ pub fn advanced_mpu_ablation(iterations: u16) -> Vec<AdvancedMpuRow> {
         names
     };
     for name in workload_names {
-        let get = |m: IsolationMethod| rows.iter().find(|r| r.workload == name && r.method == m).unwrap();
+        let get = |m: IsolationMethod| {
+            rows.iter()
+                .find(|r| r.workload == name && r.method == m)
+                .unwrap()
+        };
         let base = get(IsolationMethod::NoIsolation).cycles as f64;
         let mpu = get(IsolationMethod::Mpu).cycles as f64;
         let overhead = (mpu - base).max(0.0);
@@ -126,8 +138,11 @@ pub fn advanced_mpu_ablation(iterations: u16) -> Vec<AdvancedMpuRow> {
         // × the per-switch premium.  These workloads make no API calls, so
         // the only switches are the per-iteration event deliveries; estimate
         // their share by re-deriving it from the analytic plan.
-        let switch_premium = amulet_core::switch::ContextSwitchPlan::round_trip_cycles(IsolationMethod::Mpu)
-            - amulet_core::switch::ContextSwitchPlan::round_trip_cycles(IsolationMethod::NoIsolation);
+        let switch_premium =
+            amulet_core::switch::ContextSwitchPlan::round_trip_cycles(IsolationMethod::Mpu)
+                - amulet_core::switch::ContextSwitchPlan::round_trip_cycles(
+                    IsolationMethod::NoIsolation,
+                );
         let switch_cycles = (iterations as u64 * switch_premium) as f64;
         let check_cycles = (overhead - switch_cycles).max(0.0);
         let mpu_slowdown = overhead / base * 100.0;
@@ -136,7 +151,11 @@ pub fn advanced_mpu_ablation(iterations: u16) -> Vec<AdvancedMpuRow> {
             workload: name,
             mpu_slowdown_percent: mpu_slowdown,
             advanced_mpu_slowdown_percent: advanced_slowdown,
-            check_share_percent: if overhead > 0.0 { check_cycles / overhead * 100.0 } else { 0.0 },
+            check_share_percent: if overhead > 0.0 {
+                check_cycles / overhead * 100.0
+            } else {
+                0.0
+            },
         });
     }
     out
@@ -158,7 +177,10 @@ pub fn render_advanced_mpu(rows: &[AdvancedMpuRow]) -> String {
         let _ = writeln!(
             s,
             "{:<18} {:>14.1} {:>18.1} {:>14.1}",
-            r.workload, r.mpu_slowdown_percent, r.advanced_mpu_slowdown_percent, r.check_share_percent
+            r.workload,
+            r.mpu_slowdown_percent,
+            r.advanced_mpu_slowdown_percent,
+            r.check_share_percent
         );
     }
     s
@@ -187,7 +209,10 @@ mod tests {
         let rows = advanced_mpu_ablation(5);
         assert_eq!(rows.len(), 3);
         for r in &rows {
-            assert!(r.advanced_mpu_slowdown_percent <= r.mpu_slowdown_percent + 1e-9, "{r:?}");
+            assert!(
+                r.advanced_mpu_slowdown_percent <= r.mpu_slowdown_percent + 1e-9,
+                "{r:?}"
+            );
             assert!((0.0..=100.0).contains(&r.check_share_percent), "{r:?}");
         }
         // Quicksort has no API calls, so nearly all of its MPU overhead is

@@ -3,11 +3,10 @@
 
 use amulet_arp::arp::{Arp, ArpView};
 use amulet_core::method::IsolationMethod;
-use serde::Serialize;
 use std::fmt::Write as _;
 
 /// One (application, method) point of Figure 2.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Fig2Row {
     /// Application name.
     pub app: String,
@@ -23,7 +22,10 @@ pub struct Fig2Row {
 /// profiles.
 pub fn compute() -> Vec<Fig2Row> {
     let arp = Arp::default();
-    let profiles: Vec<_> = amulet_apps::catalog().into_iter().map(|a| a.profile).collect();
+    let profiles: Vec<_> = amulet_apps::catalog()
+        .into_iter()
+        .map(|a| a.profile)
+        .collect();
     arp.figure2(&profiles)
         .into_iter()
         .map(|e| Fig2Row {
@@ -38,7 +40,10 @@ pub fn compute() -> Vec<Fig2Row> {
 /// The underlying ARP-view (for the richer report, including joules).
 pub fn arp_view() -> ArpView {
     let arp = Arp::default();
-    let profiles: Vec<_> = amulet_apps::catalog().into_iter().map(|a| a.profile).collect();
+    let profiles: Vec<_> = amulet_apps::catalog()
+        .into_iter()
+        .map(|a| a.profile)
+        .collect();
     arp.render_figure2(&profiles)
 }
 
@@ -64,7 +69,10 @@ pub fn render(rows: &[Fig2Row]) -> String {
             r.battery_impact_percent
         );
     }
-    let max = rows.iter().map(|r| r.battery_impact_percent).fold(0.0, f64::max);
+    let max = rows
+        .iter()
+        .map(|r| r.battery_impact_percent)
+        .fold(0.0, f64::max);
     let _ = writeln!(
         s,
         "maximum battery impact across all applications and methods: {max:.4}% (paper: < 0.5%)"
@@ -109,8 +117,14 @@ mod tests {
             .iter()
             .map(|r| r.billions_of_cycles_per_week)
             .fold(0.0, f64::max);
-        assert!(max > 0.3, "busiest app produces a visible overhead ({max} Gcycles)");
-        assert!(max < 5.0, "no app exceeds the figure's scale ({max} Gcycles)");
+        assert!(
+            max > 0.3,
+            "busiest app produces a visible overhead ({max} Gcycles)"
+        );
+        assert!(
+            max < 5.0,
+            "no app exceeds the figure's scale ({max} Gcycles)"
+        );
     }
 
     #[test]
@@ -125,8 +139,14 @@ mod tests {
                 .billions_of_cycles_per_week
         };
         assert!(get("HRLog", IsolationMethod::SoftwareOnly) < get("HRLog", IsolationMethod::Mpu));
-        assert!(get("Pedometer", IsolationMethod::Mpu) < get("Pedometer", IsolationMethod::SoftwareOnly));
-        assert!(get("FallDetection", IsolationMethod::Mpu) < get("FallDetection", IsolationMethod::FeatureLimited));
+        assert!(
+            get("Pedometer", IsolationMethod::Mpu)
+                < get("Pedometer", IsolationMethod::SoftwareOnly)
+        );
+        assert!(
+            get("FallDetection", IsolationMethod::Mpu)
+                < get("FallDetection", IsolationMethod::FeatureLimited)
+        );
     }
 
     #[test]

@@ -10,11 +10,10 @@
 use amulet_apps::BenchmarkApp;
 use amulet_core::method::IsolationMethod;
 use amulet_os::os::DeliveryOutcome;
-use serde::Serialize;
 use std::fmt::Write as _;
 
 /// One bar of Figure 3.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Fig3Row {
     /// Workload name ("Activity Case 1", "Activity Case 2", "Quicksort").
     pub workload: String,
@@ -63,8 +62,7 @@ fn workloads() -> Vec<Workload> {
 
 fn run_workload(w: &Workload, source: &str, method: IsolationMethod, iterations: u16) -> u64 {
     let template = (w.app)();
-    let mut app_source =
-        amulet_aft::aft::AppSource::new(template.name, source, template.handlers);
+    let mut app_source = amulet_aft::aft::AppSource::new(template.name, source, template.handlers);
     if let Some(stack) = template.stack_override {
         app_source = app_source.with_stack(stack);
     }
@@ -77,7 +75,11 @@ fn run_workload(w: &Workload, source: &str, method: IsolationMethod, iterations:
     os.boot();
     for (handler, payload) in w.setup {
         let (outcome, _) = os.call_handler(0, handler, *payload);
-        assert_eq!(outcome, DeliveryOutcome::Completed, "{method}: setup {handler}");
+        assert_eq!(
+            outcome,
+            DeliveryOutcome::Completed,
+            "{method}: setup {handler}"
+        );
     }
     let mut total = 0;
     for i in 0..iterations {
@@ -85,7 +87,12 @@ fn run_workload(w: &Workload, source: &str, method: IsolationMethod, iterations:
         // iteration (the paper runs 200 distinct iterations).
         let payload = w.measured.1.wrapping_add(i);
         let (outcome, cycles) = os.call_handler(0, w.measured.0, payload);
-        assert_eq!(outcome, DeliveryOutcome::Completed, "{method}: {}", w.measured.0);
+        assert_eq!(
+            outcome,
+            DeliveryOutcome::Completed,
+            "{method}: {}",
+            w.measured.0
+        );
         total += cycles;
     }
     total
@@ -111,25 +118,30 @@ pub fn measure(iterations: u16) -> Vec<Fig3Row> {
         let mut results: Vec<(usize, u64)> = Vec::new();
         let jobs: Vec<(IsolationMethod, &str)> = vec![
             (IsolationMethod::NoIsolation, template.pointer_source),
-            (IsolationMethod::FeatureLimited, template.feature_limited_source),
+            (
+                IsolationMethod::FeatureLimited,
+                template.feature_limited_source,
+            ),
             (IsolationMethod::Mpu, template.pointer_source),
             (IsolationMethod::SoftwareOnly, template.pointer_source),
-            (IsolationMethod::NoIsolation, template.feature_limited_source),
+            (
+                IsolationMethod::NoIsolation,
+                template.feature_limited_source,
+            ),
         ];
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = jobs
                 .iter()
                 .enumerate()
                 .map(|(i, (method, source))| {
                     let w = &w;
-                    scope.spawn(move |_| (i, run_workload(w, source, *method, iterations)))
+                    scope.spawn(move || (i, run_workload(w, source, *method, iterations)))
                 })
                 .collect();
             for h in handles {
                 results.push(h.join().expect("measurement thread panicked"));
             }
-        })
-        .expect("crossbeam scope failed");
+        });
         results.sort_by_key(|(i, _)| *i);
         let cycles: Vec<u64> = results.into_iter().map(|(_, c)| c).collect();
         let pointer_baseline = cycles[0].max(1);
@@ -193,7 +205,10 @@ mod tests {
         let fl = row(&rows, "Quicksort", IsolationMethod::FeatureLimited).slowdown_percent;
         assert!(mpu > 0.0);
         assert!(mpu < sw, "MPU {mpu}% < Software Only {sw}%");
-        assert!(sw < fl + 30.0, "Feature Limited is in the same ballpark or worse ({fl}%)");
+        assert!(
+            sw < fl + 30.0,
+            "Feature Limited is in the same ballpark or worse ({fl}%)"
+        );
         assert!(fl > mpu, "Feature Limited {fl}% > MPU {mpu}%");
     }
 

@@ -23,15 +23,27 @@
 pub mod ablation;
 pub mod fig2;
 pub mod fig3;
+pub mod platform_compare;
 pub mod table1;
 
 use amulet_aft::aft::Aft;
 use amulet_core::method::IsolationMethod;
 use amulet_os::os::AmuletOs;
 
-/// Builds a single benchmark app for `method` and boots an OS around it.
+/// Builds a single benchmark app for `method` and boots an OS around it
+/// (on the paper's MSP430FR5969).
 pub fn boot_benchmark(app: &amulet_apps::BenchmarkApp, method: IsolationMethod) -> AmuletOs {
-    let out = Aft::new(method)
+    boot_benchmark_on(&amulet_core::platform::Msp430Fr5969, app, method)
+}
+
+/// Builds a single benchmark app for `method` on any platform and boots an
+/// OS around it.
+pub fn boot_benchmark_on(
+    platform: &impl amulet_core::platform::Platform,
+    app: &amulet_apps::BenchmarkApp,
+    method: IsolationMethod,
+) -> AmuletOs {
+    let out = Aft::for_platform(method, platform)
         .add_app(app.app_source(method))
         .build()
         .unwrap_or_else(|e| panic!("{method}: failed to build {}: {e}", app.name));

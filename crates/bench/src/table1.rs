@@ -12,7 +12,6 @@ use crate::boot_benchmark;
 use amulet_core::method::IsolationMethod;
 use amulet_core::overhead::OverheadModel;
 use amulet_os::os::DeliveryOutcome;
-use serde::Serialize;
 use std::fmt::Write as _;
 
 /// Memory accesses performed per `mem_ops(1)` round (the Synthetic App's
@@ -23,7 +22,7 @@ const ACCESSES_PER_ROUND: u64 = 128;
 const SWITCHES_PER_ROUND: u64 = 1;
 
 /// One row of Table 1.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Table1Row {
     /// Isolation method.
     pub method: IsolationMethod,
@@ -67,14 +66,13 @@ pub fn measure(rounds: u16) -> Vec<Table1Row> {
         // memory-access handler so the per-invocation overhead cancels.
         let short = run(&mut os, "mem_ops", 1);
         let long = run(&mut os, "mem_ops", rounds);
-        let mem_per_op = (long - short) as f64
-            / ((rounds as u64 - 1) * ACCESSES_PER_ROUND) as f64;
+        let mem_per_op = (long - short) as f64 / ((rounds as u64 - 1) * ACCESSES_PER_ROUND) as f64;
 
         // Context switch cost: same differencing on the API-call handler.
         let short = run(&mut os, "switch_ops", 1);
         let long = run(&mut os, "switch_ops", rounds);
-        let switch_per_op = (long - short) as f64
-            / ((rounds as u64 - 1) * SWITCHES_PER_ROUND) as f64;
+        let switch_per_op =
+            (long - short) as f64 / ((rounds as u64 - 1) * SWITCHES_PER_ROUND) as f64;
 
         let model = OverheadModel::for_method(method);
         let (paper_mem, paper_switch) = paper_values(method);

@@ -6,7 +6,6 @@
 //! `0..=0xFFFF`) so that end-exclusive ranges can express "one past the top of
 //! memory" (`0x1_0000`) without overflow gymnastics.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A byte address in the MCU's 64 KiB address space.
@@ -23,7 +22,7 @@ pub const ADDRESS_SPACE_END: Addr = 0x1_0000;
 ///
 /// Ranges are the vocabulary shared by the memory-map planner, the MPU plan,
 /// the linker in `amulet-aft` and the bus model in `amulet-mcu`.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct AddrRange {
     /// Inclusive start address.
     pub start: Addr,
@@ -160,7 +159,10 @@ mod tests {
 
     #[test]
     fn from_len_matches_new() {
-        assert_eq!(AddrRange::from_len(0x1C00, 0x800), AddrRange::new(0x1C00, 0x2400));
+        assert_eq!(
+            AddrRange::from_len(0x1C00, 0x800),
+            AddrRange::new(0x1C00, 0x2400)
+        );
     }
 
     #[test]

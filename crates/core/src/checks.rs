@@ -9,11 +9,10 @@
 
 use crate::fault::FaultClass;
 use crate::method::IsolationMethod;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A kind of compiler-inserted run-time check.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
 pub enum CheckKind {
     /// `if (address < D_i) FAULT()` before a data-pointer dereference.
     DataPointerLower,
@@ -110,7 +109,7 @@ impl fmt::Display for CheckKind {
 /// This is the single source of truth consulted by the AFT passes and by the
 /// analytic overhead model, so the simulation and the extrapolation cannot
 /// drift apart.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct CheckPolicy {
     /// The isolation method this policy belongs to.
     pub method: IsolationMethod,
@@ -133,6 +132,33 @@ pub struct CheckPolicy {
 }
 
 impl CheckPolicy {
+    /// The check policy for a given isolation method **on specific MPU
+    /// hardware**.
+    ///
+    /// The paper's policy (see [`CheckPolicy::for_method`]) assumes the
+    /// FR5969's segmented MPU, which cannot bound the running app from
+    /// below and polices neither SRAM nor peripherals — hence the
+    /// compiler-inserted lower-bound checks under the MPU method.  A region
+    /// MPU with deny-by-default coverage of FRAM *and* SRAM bounds the app
+    /// on both sides and shields the OS stack, so the data-pointer
+    /// lower-bound check becomes redundant — exactly the §5 projection the
+    /// paper makes for more capable MPUs.  Function-pointer and
+    /// return-address checks are kept even then: peripheral space stays
+    /// outside MPU jurisdiction, so a corrupted code pointer could still
+    /// escape into unpoliced memory.
+    ///
+    /// A *segmented* MPU with four segments can also bound an app from
+    /// below (see [`crate::mpu_plan::MpuPlan::for_app_advanced`]), but it
+    /// still leaves SRAM open, so its check policy is unchanged — that
+    /// configuration remains an analytic ablation.
+    pub fn for_method_on(method: IsolationMethod, mpu: &crate::platform::MpuModel) -> Self {
+        let mut policy = Self::for_method(method);
+        if method == IsolationMethod::Mpu && mpu.is_region_based() {
+            policy.data_pointer_lower = false;
+        }
+        policy
+    }
+
     /// The check policy for a given isolation method, exactly as described in
     /// §3 of the paper.
     pub fn for_method(method: IsolationMethod) -> Self {
@@ -235,7 +261,8 @@ impl CheckPolicy {
     /// Limited).  This is the per-access component of the analytic model.
     pub fn memory_access_overhead_cycles(&self) -> u64 {
         match self.method {
-            IsolationMethod::FeatureLimited => self
+            IsolationMethod::FeatureLimited => {
+                self
                 .array_checks()
                 .iter()
                 .map(|c| c.cycle_cost())
@@ -243,7 +270,8 @@ impl CheckPolicy {
                 // The Feature Limited tool also re-materialises the bound from
                 // the array descriptor it keeps in memory (two extra memory
                 // operands), which the paper's 41-cycle figure includes.
-                + 9,
+                + 9
+            }
             _ => self
                 .data_pointer_checks()
                 .iter()
@@ -296,7 +324,10 @@ mod tests {
         let sw = CheckPolicy::for_method(IsolationMethod::SoftwareOnly);
         assert_eq!(mpu.checks_per_pointer_deref(), 1);
         assert_eq!(sw.checks_per_pointer_deref(), 2);
-        assert_eq!(sw.checks_per_pointer_deref(), 2 * mpu.checks_per_pointer_deref());
+        assert_eq!(
+            sw.checks_per_pointer_deref(),
+            2 * mpu.checks_per_pointer_deref()
+        );
     }
 
     #[test]
@@ -310,10 +341,13 @@ mod tests {
     #[test]
     fn table1_memory_access_overhead_ordering() {
         // Table 1: 23 (none) < 29 (MPU) < 32 (SW only) < 41 (feature limited).
-        let none = CheckPolicy::for_method(IsolationMethod::NoIsolation).memory_access_overhead_cycles();
+        let none =
+            CheckPolicy::for_method(IsolationMethod::NoIsolation).memory_access_overhead_cycles();
         let mpu = CheckPolicy::for_method(IsolationMethod::Mpu).memory_access_overhead_cycles();
-        let sw = CheckPolicy::for_method(IsolationMethod::SoftwareOnly).memory_access_overhead_cycles();
-        let fl = CheckPolicy::for_method(IsolationMethod::FeatureLimited).memory_access_overhead_cycles();
+        let sw =
+            CheckPolicy::for_method(IsolationMethod::SoftwareOnly).memory_access_overhead_cycles();
+        let fl = CheckPolicy::for_method(IsolationMethod::FeatureLimited)
+            .memory_access_overhead_cycles();
         assert!(none < mpu, "{none} < {mpu}");
         assert!(mpu < sw, "{mpu} < {sw}");
         assert!(sw < fl, "{sw} < {fl}");
@@ -325,8 +359,14 @@ mod tests {
             CheckKind::DataPointerLower.fault_class(),
             FaultClass::DataPointerLowerBound
         );
-        assert_eq!(CheckKind::ArrayBounds.fault_class(), FaultClass::ArrayBounds);
-        assert_eq!(CheckKind::ReturnAddress.fault_class(), FaultClass::ReturnAddress);
+        assert_eq!(
+            CheckKind::ArrayBounds.fault_class(),
+            FaultClass::ArrayBounds
+        );
+        assert_eq!(
+            CheckKind::ReturnAddress.fault_class(),
+            FaultClass::ReturnAddress
+        );
     }
 
     #[test]

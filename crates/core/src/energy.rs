@@ -17,10 +17,8 @@
 //! method — is robust to any reasonable choice, and the benches print both
 //! the constants and the result so the comparison is explicit.
 
-use serde::{Deserialize, Serialize};
-
 /// CPU frequency and active-power model of the MCU.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct EnergyModel {
     /// CPU clock frequency in Hz.
     pub frequency_hz: f64,
@@ -37,6 +35,17 @@ impl EnergyModel {
             frequency_hz: 16_000_000.0,
             active_current_a: 1.6e-3,
             supply_voltage_v: 3.0,
+        }
+    }
+
+    /// The energy model for a platform, derived from the electrical
+    /// parameters its spec carries — every profile, including future ones,
+    /// gets its own numbers rather than a silent FR5969 fallback.
+    pub fn for_platform(platform: &crate::layout::PlatformSpec) -> Self {
+        EnergyModel {
+            frequency_hz: platform.energy.frequency_hz as f64,
+            active_current_a: platform.energy.active_current_ua as f64 / 1e6,
+            supply_voltage_v: platform.energy.supply_millivolts as f64 / 1000.0,
         }
     }
 
@@ -68,7 +77,7 @@ impl Default for EnergyModel {
 }
 
 /// Battery capacity and baseline lifetime of the wearable.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct BatteryModel {
     /// Battery capacity in milliamp-hours.
     pub capacity_mah: f64,
@@ -84,7 +93,11 @@ pub struct BatteryModel {
 impl BatteryModel {
     /// Amulet-like battery: 100 mAh at 3 V with a one-week baseline lifetime.
     pub fn amulet() -> Self {
-        BatteryModel { capacity_mah: 100.0, voltage_v: 3.0, baseline_lifetime_weeks: 1.0 }
+        BatteryModel {
+            capacity_mah: 100.0,
+            voltage_v: 3.0,
+            baseline_lifetime_weeks: 1.0,
+        }
     }
 
     /// Total energy stored in the battery, in joules.
@@ -138,7 +151,11 @@ mod tests {
     #[test]
     fn msp430_power_is_a_few_milliwatts() {
         let e = EnergyModel::msp430fr5969();
-        assert!(close(e.active_power_w(), 4.8e-3, 1e-9), "{}", e.active_power_w());
+        assert!(
+            close(e.active_power_w(), 4.8e-3, 1e-9),
+            "{}",
+            e.active_power_w()
+        );
         assert!(e.joules_per_cycle() < 1e-9, "sub-nanojoule per cycle");
     }
 
@@ -146,7 +163,11 @@ mod tests {
     fn cycles_convert_to_time_and_energy() {
         let e = EnergyModel::msp430fr5969();
         assert!(close(e.cycles_to_seconds(16_000_000), 1.0, 1e-12));
-        assert!(close(e.cycles_to_joules(16_000_000), e.active_power_w(), 1e-12));
+        assert!(close(
+            e.cycles_to_joules(16_000_000),
+            e.active_power_w(),
+            1e-12
+        ));
     }
 
     #[test]

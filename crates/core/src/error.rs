@@ -100,9 +100,15 @@ mod tests {
 
     #[test]
     fn errors_display_useful_messages() {
-        let e = CoreError::OsImageTooLarge { required: 40000, available: 30000 };
+        let e = CoreError::OsImageTooLarge {
+            required: 40000,
+            available: 30000,
+        };
         assert!(e.to_string().contains("40000"));
-        let e = CoreError::UnalignedMpuBoundary { addr: 0x4410, granularity: 1024 };
+        let e = CoreError::UnalignedMpuBoundary {
+            addr: 0x4410,
+            granularity: 1024,
+        };
         assert!(e.to_string().contains("0x4410"));
         let e = CoreError::DuplicateApp("HR".into());
         assert!(e.to_string().contains("HR"));

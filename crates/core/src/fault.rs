@@ -4,11 +4,10 @@
 //! protection mechanisms ultimately land in the OS FAULT handler; this module
 //! provides the shared vocabulary for describing *why*.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Why an application was faulted.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum FaultClass {
     /// The MPU detected an access that violates the current segment
     /// permissions (the hardware half of the paper's MPU method).
@@ -62,7 +61,10 @@ impl FaultClass {
     /// Whether this fault was raised by hardware (the MPU) rather than a
     /// compiler-inserted software check.
     pub fn is_hardware(&self) -> bool {
-        matches!(self, FaultClass::MpuViolation | FaultClass::IllegalInstruction)
+        matches!(
+            self,
+            FaultClass::MpuViolation | FaultClass::IllegalInstruction
+        )
     }
 
     /// Whether this fault indicates an attempted isolation violation (as

@@ -20,14 +20,21 @@
 
 use crate::addr::{align_up, Addr, AddrRange};
 use crate::error::{CoreError, CoreResult};
-use serde::{Deserialize, Serialize};
+use crate::platform::{CycleCostTable, EnergyParams, MpuModel, Platform};
 use std::collections::HashSet;
 use std::fmt;
 
-/// Description of the fixed memory regions of the target device and of the
-/// MPU's capabilities.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+/// Description of a target device: its fixed memory regions, its MPU
+/// capability model, and its cycle-cost table.
+///
+/// `PlatformSpec` is the materialised form of the [`Platform`] trait —
+/// profile types like [`crate::platform::Msp430Fr5969`] produce one, and a
+/// spec is itself a `Platform`, so either can be passed wherever a platform
+/// is expected.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PlatformSpec {
+    /// Stable platform name (used in reports and the comparison bench).
+    pub name: String,
     /// Memory-mapped peripheral registers (not protectable by the MPU).
     pub peripherals: AddrRange,
     /// Bootstrap loader ROM.
@@ -40,12 +47,18 @@ pub struct PlatformSpec {
     pub fram: AddrRange,
     /// Interrupt vector table.
     pub interrupt_vectors: AddrRange,
-    /// Granularity at which the MPU's movable segment boundaries can be
-    /// placed, in bytes.
-    pub mpu_boundary_granularity: u32,
-    /// Number of MPU segments whose boundaries are movable (3 on the FR5969;
-    /// segment 0 is pinned to InfoMem).
-    pub mpu_main_segments: usize,
+    /// The MPU capability model of the device.
+    pub mpu: MpuModel,
+    /// Per-platform cycle costs for the analytic models.
+    pub costs: CycleCostTable,
+    /// Electrical parameters for the energy/battery models.
+    pub energy: EnergyParams,
+}
+
+impl Platform for PlatformSpec {
+    fn spec(&self) -> PlatformSpec {
+        self.clone()
+    }
 }
 
 impl PlatformSpec {
@@ -56,14 +69,19 @@ impl PlatformSpec {
     /// at the top of the address space, and 512 B of InfoMem at `0x1800`.
     pub fn msp430fr5969() -> Self {
         PlatformSpec {
+            name: "msp430fr5969".into(),
             peripherals: AddrRange::new(0x0000, 0x1000),
             bootstrap_loader: AddrRange::new(0x1000, 0x1800),
             info_mem: AddrRange::new(0x1800, 0x1A00),
             sram: AddrRange::new(0x1C00, 0x2400),
             fram: AddrRange::new(0x4400, 0xFF80),
             interrupt_vectors: AddrRange::new(0xFF80, 0x1_0000),
-            mpu_boundary_granularity: 0x400,
-            mpu_main_segments: 3,
+            mpu: MpuModel::Segmented {
+                main_segments: 3,
+                boundary_granularity: 0x400,
+            },
+            costs: CycleCostTable::default(),
+            energy: EnergyParams::default(),
         }
     }
 
@@ -73,12 +91,57 @@ impl PlatformSpec {
     /// compiler-inserted lower-bound checks.
     pub fn msp430fr5969_advanced_mpu() -> Self {
         PlatformSpec {
-            mpu_main_segments: 4,
+            name: "msp430fr5969-advanced-mpu".into(),
+            mpu: MpuModel::Segmented {
+                main_segments: 4,
+                boundary_granularity: 0x400,
+            },
             ..Self::msp430fr5969()
         }
     }
 
-    /// Validates that the fixed regions are non-overlapping and ordered.
+    /// An MSP430FR5994-class device: the larger sibling of the FR5969
+    /// (4 KiB of SRAM; the simulator models the lower 64 KiB window of its
+    /// address space since the modelled CPU core is 16-bit), fitted with a
+    /// Tock/Cortex-M-style region MPU: eight base/limit regions at 256-byte
+    /// alignment with deny-by-default coverage of FRAM, InfoMem and SRAM.
+    pub fn msp430fr5994() -> Self {
+        PlatformSpec {
+            name: "msp430fr5994".into(),
+            peripherals: AddrRange::new(0x0000, 0x1000),
+            bootstrap_loader: AddrRange::new(0x1000, 0x1800),
+            info_mem: AddrRange::new(0x1800, 0x1A00),
+            sram: AddrRange::new(0x1C00, 0x2C00),
+            fram: AddrRange::new(0x4400, 0xFF80),
+            interrupt_vectors: AddrRange::new(0xFF80, 0x1_0000),
+            mpu: MpuModel::Region {
+                regions: 8,
+                alignment: 0x100,
+            },
+            costs: CycleCostTable::default(),
+            // The larger part draws slightly more active current
+            // (≈118 µA/MHz per its datasheet).
+            energy: EnergyParams {
+                active_current_ua: 1900,
+                ..EnergyParams::default()
+            },
+        }
+    }
+
+    /// Granularity at which app bounds must be placed so the MPU can
+    /// bracket the app (segment-boundary granularity or region alignment).
+    pub fn mpu_boundary_granularity(&self) -> u32 {
+        self.mpu.boundary_granularity()
+    }
+
+    /// Number of MPU protection slots (segments or regions) the device
+    /// offers.
+    pub fn mpu_main_segments(&self) -> usize {
+        self.mpu.main_segments()
+    }
+
+    /// Validates that the fixed regions are non-overlapping and ordered and
+    /// that the MPU model is coherent.
     pub fn validate(&self) -> CoreResult<()> {
         let regions = [
             ("peripherals", self.peripherals),
@@ -97,24 +160,32 @@ impl PlatformSpec {
                 }
             }
         }
-        if !self.mpu_boundary_granularity.is_power_of_two() {
+        if !self.mpu_boundary_granularity().is_power_of_two() {
             return Err(CoreError::InvalidPlatform(format!(
                 "MPU boundary granularity {} is not a power of two",
-                self.mpu_boundary_granularity
+                self.mpu_boundary_granularity()
             )));
         }
-        if self.mpu_main_segments < 3 {
-            return Err(CoreError::InvalidPlatform(format!(
-                "at least 3 main MPU segments are required, got {}",
-                self.mpu_main_segments
-            )));
+        match &self.mpu {
+            MpuModel::Segmented { main_segments, .. } if *main_segments < 3 => {
+                return Err(CoreError::InvalidPlatform(format!(
+                    "at least 3 main MPU segments are required, got {main_segments}"
+                )));
+            }
+            // An app needs a code and a data region, and the OS needs three.
+            MpuModel::Region { regions, .. } if *regions < 4 => {
+                return Err(CoreError::InvalidPlatform(format!(
+                    "at least 4 MPU regions are required, got {regions}"
+                )));
+            }
+            _ => {}
         }
         Ok(())
     }
 }
 
 /// Sizes of the OS image.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct OsImageSpec {
     /// Bytes of OS code.
     pub code_size: u32,
@@ -126,13 +197,17 @@ pub struct OsImageSpec {
 
 impl Default for OsImageSpec {
     fn default() -> Self {
-        OsImageSpec { code_size: 0x3000, data_size: 0x800, stack_size: 0x400 }
+        OsImageSpec {
+            code_size: 0x3000,
+            data_size: 0x800,
+            stack_size: 0x400,
+        }
     }
 }
 
 /// Sizes of a single application image, as measured by the AFT in its final
 /// analysis phase.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct AppImageSpec {
     /// Application name (must be unique within a build).
     pub name: String,
@@ -149,7 +224,12 @@ pub struct AppImageSpec {
 impl AppImageSpec {
     /// Convenience constructor.
     pub fn new(name: impl Into<String>, code_size: u32, data_size: u32, stack_size: u32) -> Self {
-        AppImageSpec { name: name.into(), code_size, data_size, stack_size }
+        AppImageSpec {
+            name: name.into(),
+            code_size,
+            data_size,
+            stack_size,
+        }
     }
 
     /// Total bytes the app will occupy before alignment padding.
@@ -159,7 +239,7 @@ impl AppImageSpec {
 }
 
 /// Where one application landed in FRAM.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct AppPlacement {
     /// Application name.
     pub name: String,
@@ -214,7 +294,7 @@ impl AppPlacement {
 }
 
 /// The complete memory map produced by the planner.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct MemoryMap {
     /// Platform the map was planned for.
     pub platform: PlatformSpec,
@@ -264,7 +344,7 @@ impl MemoryMap {
     /// Consistency check: regions must not overlap, must stay inside their
     /// parent regions, and MPU boundaries must be expressible.
     pub fn validate(&self) -> CoreResult<()> {
-        let g = self.platform.mpu_boundary_granularity;
+        let g = self.platform.mpu_boundary_granularity();
         if !self.platform.fram.contains_range(&self.os_code)
             || !self.platform.fram.contains_range(&self.os_data)
         {
@@ -348,6 +428,11 @@ impl MemoryMapPlanner {
         Ok(MemoryMapPlanner { platform })
     }
 
+    /// Creates a planner for any [`Platform`] (profile type or spec).
+    pub fn for_platform(platform: &impl Platform) -> CoreResult<Self> {
+        Self::new(platform.spec())
+    }
+
     /// Creates a planner for the default MSP430FR5969 platform.
     pub fn msp430fr5969() -> Self {
         Self::new(PlatformSpec::msp430fr5969()).expect("builtin platform spec is valid")
@@ -364,7 +449,7 @@ impl MemoryMapPlanner {
     /// addresses; each app's data/stack segment starts and ends on an MPU
     /// boundary so that the MPU can bracket it while the app runs.
     pub fn plan(&self, os: &OsImageSpec, apps: &[AppImageSpec]) -> CoreResult<MemoryMap> {
-        let g = self.platform.mpu_boundary_granularity;
+        let g = self.platform.mpu_boundary_granularity();
 
         // Reject duplicate app names up front: bounds are keyed by name in
         // the AFT's final patch phase.
@@ -425,8 +510,9 @@ impl MemoryMapPlanner {
                     available: self.platform.fram.end - align_up(os_data.end, g),
                 }
             };
-            let code_end_unaligned =
-                code_start.checked_add(app.code_size).ok_or_else(does_not_fit)?;
+            let code_end_unaligned = code_start
+                .checked_add(app.code_size)
+                .ok_or_else(does_not_fit)?;
             // D_i must land on an MPU boundary.
             let data_lower = align_up(code_end_unaligned, g);
             let stack_end = data_lower
@@ -481,7 +567,9 @@ mod tests {
     #[test]
     fn plans_the_figure1_layout() {
         let planner = MemoryMapPlanner::msp430fr5969();
-        let map = planner.plan(&OsImageSpec::default(), &three_apps()).unwrap();
+        let map = planner
+            .plan(&OsImageSpec::default(), &three_apps())
+            .unwrap();
         assert!(map.validate().is_ok());
 
         // OS stack in SRAM, OS image in low FRAM.
@@ -502,8 +590,10 @@ mod tests {
     #[test]
     fn bounds_are_mpu_aligned() {
         let planner = MemoryMapPlanner::msp430fr5969();
-        let map = planner.plan(&OsImageSpec::default(), &three_apps()).unwrap();
-        let g = map.platform.mpu_boundary_granularity;
+        let map = planner
+            .plan(&OsImageSpec::default(), &three_apps())
+            .unwrap();
+        let g = map.platform.mpu_boundary_granularity();
         for app in &map.apps {
             assert_eq!(app.data_lower_bound() % g, 0, "{} D_i unaligned", app.name);
             assert_eq!(app.upper_bound() % g, 0, "{} T_i unaligned", app.name);
@@ -513,7 +603,9 @@ mod tests {
     #[test]
     fn stack_sits_below_data_and_grows_toward_code() {
         let planner = MemoryMapPlanner::msp430fr5969();
-        let map = planner.plan(&OsImageSpec::default(), &three_apps()).unwrap();
+        let map = planner
+            .plan(&OsImageSpec::default(), &three_apps())
+            .unwrap();
         for app in &map.apps {
             assert!(app.stack.start < app.data.start);
             assert_eq!(app.initial_stack_pointer(), app.stack.end);
@@ -526,7 +618,9 @@ mod tests {
     #[test]
     fn app_lookup_by_name_and_address() {
         let planner = MemoryMapPlanner::msp430fr5969();
-        let map = planner.plan(&OsImageSpec::default(), &three_apps()).unwrap();
+        let map = planner
+            .plan(&OsImageSpec::default(), &three_apps())
+            .unwrap();
         let ped = map.app("Pedometer").unwrap();
         assert_eq!(map.app_owning(ped.code.start).unwrap().name, "Pedometer");
         assert_eq!(map.app_owning(ped.data.end - 1).unwrap().name, "Pedometer");
@@ -564,7 +658,10 @@ mod tests {
     #[test]
     fn oversized_os_stack_is_rejected() {
         let planner = MemoryMapPlanner::msp430fr5969();
-        let os = OsImageSpec { stack_size: 0x10000, ..OsImageSpec::default() };
+        let os = OsImageSpec {
+            stack_size: 0x10000,
+            ..OsImageSpec::default()
+        };
         match planner.plan(&os, &three_apps()) {
             Err(CoreError::OsStackTooLarge { .. }) => {}
             other => panic!("expected OsStackTooLarge, got {other:?}"),
@@ -598,7 +695,9 @@ mod tests {
     #[test]
     fn display_renders_every_app() {
         let planner = MemoryMapPlanner::msp430fr5969();
-        let map = planner.plan(&OsImageSpec::default(), &three_apps()).unwrap();
+        let map = planner
+            .plan(&OsImageSpec::default(), &three_apps())
+            .unwrap();
         let s = map.to_string();
         for app in ["HeartRate", "Pedometer", "Clock"] {
             assert!(s.contains(app));
@@ -615,7 +714,7 @@ mod tests {
     #[test]
     fn advanced_mpu_platform_has_four_segments() {
         let p = PlatformSpec::msp430fr5969_advanced_mpu();
-        assert_eq!(p.mpu_main_segments, 4);
+        assert_eq!(p.mpu_main_segments(), 4);
         assert!(p.validate().is_ok());
     }
 }

@@ -44,6 +44,7 @@ pub mod method;
 pub mod mpu_plan;
 pub mod overhead;
 pub mod perm;
+pub mod platform;
 pub mod switch;
 
 pub use addr::{Addr, AddrRange};
@@ -53,7 +54,13 @@ pub use error::{CoreError, CoreResult};
 pub use fault::FaultClass;
 pub use layout::{AppImageSpec, AppPlacement, MemoryMap, MemoryMapPlanner, PlatformSpec};
 pub use method::IsolationMethod;
-pub use mpu_plan::{MpuPlan, MpuSegmentPlan, SegmentRole};
+pub use mpu_plan::{
+    MpuConfig, MpuPlan, MpuSegmentPlan, RegionDesc, RegionRegisterValues, SegmentRole,
+};
 pub use overhead::{OpCounts, OverheadBreakdown, OverheadModel};
 pub use perm::Perm;
+pub use platform::{
+    builtin_platforms, CycleCostTable, MpuModel, Msp430Fr5969, Msp430Fr5969AdvancedMpu,
+    Msp430Fr5994, Platform,
+};
 pub use switch::{ContextSwitchPlan, SwitchDirection, SwitchStep};

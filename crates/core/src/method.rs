@@ -1,13 +1,12 @@
 //! The four memory models compared by the paper.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One of the four memory-isolation methods evaluated in the paper.
 ///
 /// The ordering used throughout the benches matches Table 1's column order:
 /// `NoIsolation`, `FeatureLimited`, `Mpu`, `SoftwareOnly`.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
 pub enum IsolationMethod {
     /// Baseline: applications run with no isolation whatsoever.  Used only to
     /// measure the cost of the other methods against.
@@ -153,7 +152,10 @@ mod tests {
     fn labels_match_paper() {
         assert_eq!(IsolationMethod::Mpu.to_string(), "MPU");
         assert_eq!(IsolationMethod::SoftwareOnly.to_string(), "Software Only");
-        assert_eq!(IsolationMethod::FeatureLimited.to_string(), "Feature Limited");
+        assert_eq!(
+            IsolationMethod::FeatureLimited.to_string(),
+            "Feature Limited"
+        );
         assert_eq!(IsolationMethod::NoIsolation.to_string(), "No Isolation");
     }
 }

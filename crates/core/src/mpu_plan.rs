@@ -29,11 +29,10 @@ use crate::addr::{align_down, Addr, AddrRange};
 use crate::error::{CoreError, CoreResult};
 use crate::layout::MemoryMap;
 use crate::perm::Perm;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// What a planned MPU segment is protecting.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum SegmentRole {
     /// The pinned InfoMem segment (segment 0), unused by the paper's design.
     InfoMem,
@@ -57,10 +56,14 @@ pub enum SegmentRole {
     /// Memory below the running app in the "advanced MPU" ablation
     /// (no access).
     BelowAppBlocked,
+    /// SRAM (the OS stack) while the OS runs — only region MPUs police
+    /// SRAM, which is what makes their no-software-lower-check policy
+    /// sound.
+    OsSram,
 }
 
 /// Whose execution a plan is for.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub enum MpuContext {
     /// The OS (scheduler, services, drivers) is running.
     OsRunning,
@@ -74,7 +77,7 @@ pub enum MpuContext {
 }
 
 /// One planned MPU segment: an address range, its permissions, and why.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct MpuSegmentPlan {
     /// Hardware segment index (0 = InfoMem).
     pub index: usize,
@@ -87,7 +90,7 @@ pub struct MpuSegmentPlan {
 }
 
 /// A full MPU configuration: every segment plus the two movable boundaries.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct MpuPlan {
     /// Whose execution this configuration is for.
     pub context: MpuContext,
@@ -105,7 +108,7 @@ pub struct MpuPlan {
 /// address divided by 16, `MPUSAM` packs R/W/X bits per segment in nibbles,
 /// and `MPUCTL0` carries the enable bit and must be written together with the
 /// `0xA5xx` password.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct MpuRegisterValues {
     /// `MPUCTL0`: password (high byte `0xA5`) | enable (bit 0) | lock (bit 1).
     pub mpuctl0: u16,
@@ -126,21 +129,76 @@ impl MpuRegisterValues {
     pub const WRITE_COUNT: u32 = 4;
 }
 
+/// One region of a region-based (Tock/Cortex-M-style) MPU configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RegionDesc {
+    /// Address range the region covers.
+    pub range: AddrRange,
+    /// Permissions the region grants.
+    pub perm: Perm,
+}
+
+/// Values for a region-based MPU's register file: the regions to program
+/// (each costing a select + base + limit/attribute write) plus the control
+/// word.  Regions not listed are disabled, and — unlike the segmented part —
+/// accesses within the MPU's jurisdiction that no region grants are denied.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct RegionRegisterValues {
+    /// Regions to program, in slot order starting at slot 0.
+    pub regions: Vec<RegionDesc>,
+}
+
+impl RegionRegisterValues {
+    /// Number of peripheral-register writes needed to install this
+    /// configuration (select/base/limit per region, then the control word).
+    pub fn write_count(&self) -> u32 {
+        self.regions.len() as u32 * crate::platform::REGION_MPU_WRITES_PER_REGION + 1
+    }
+}
+
+/// A full MPU configuration for either hardware shape — what the firmware
+/// image carries per app (and for the OS) and what the OS's switch code
+/// installs through the bus on every transition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MpuConfig {
+    /// FR5969-style segmented register values.
+    Segmented(MpuRegisterValues),
+    /// Region-based register values.
+    Region(RegionRegisterValues),
+}
+
+impl MpuConfig {
+    /// Number of peripheral-register writes installing this configuration
+    /// costs.
+    pub fn write_count(&self) -> u32 {
+        match self {
+            MpuConfig::Segmented(_) => MpuRegisterValues::WRITE_COUNT,
+            MpuConfig::Region(r) => r.write_count(),
+        }
+    }
+}
+
 impl MpuPlan {
     /// Builds the Figure-1 configuration for application `app_index` of the
     /// given memory map.
     pub fn for_app(map: &MemoryMap, app_index: usize) -> CoreResult<Self> {
-        let app = map.apps.get(app_index).ok_or_else(|| CoreError::AppImageInvalid {
-            app: format!("#{app_index}"),
-            reason: "no such application in the memory map".into(),
-        })?;
+        let app = map
+            .apps
+            .get(app_index)
+            .ok_or_else(|| CoreError::AppImageInvalid {
+                app: format!("#{app_index}"),
+                reason: "no such application in the memory map".into(),
+            })?;
         let fram = map.platform.fram;
-        let g = map.platform.mpu_boundary_granularity;
+        let g = map.platform.mpu_boundary_granularity();
         let b1 = app.data_lower_bound();
         let b2 = app.upper_bound();
         for b in [b1, b2] {
             if b % g != 0 && b != fram.end {
-                return Err(CoreError::UnalignedMpuBoundary { addr: b, granularity: g });
+                return Err(CoreError::UnalignedMpuBoundary {
+                    addr: b,
+                    granularity: g,
+                });
             }
         }
         let segments = vec![
@@ -170,7 +228,10 @@ impl MpuPlan {
             },
         ];
         Ok(MpuPlan {
-            context: MpuContext::AppRunning { name: app.name.clone(), index: app_index },
+            context: MpuContext::AppRunning {
+                name: app.name.clone(),
+                index: app_index,
+            },
             segments,
             boundary1: b1,
             boundary2: b2,
@@ -185,11 +246,14 @@ impl MpuPlan {
     /// because the OS is trusted.
     pub fn for_os(map: &MemoryMap) -> CoreResult<Self> {
         let fram = map.platform.fram;
-        let g = map.platform.mpu_boundary_granularity;
+        let g = map.platform.mpu_boundary_granularity();
         let b1 = align_down(map.os_code.end, g).max(fram.start);
         let b2 = map.apps_base();
-        if b2 % g != 0 && b2 != fram.end {
-            return Err(CoreError::UnalignedMpuBoundary { addr: b2, granularity: g });
+        if !b2.is_multiple_of(g) && b2 != fram.end {
+            return Err(CoreError::UnalignedMpuBoundary {
+                addr: b2,
+                granularity: g,
+            });
         }
         let segments = vec![
             MpuSegmentPlan {
@@ -229,16 +293,19 @@ impl MpuPlan {
     /// segments that also block the region below the app's code, removing the
     /// need for any compiler-inserted lower-bound checks (§5 of the paper).
     pub fn for_app_advanced(map: &MemoryMap, app_index: usize) -> CoreResult<Self> {
-        if map.platform.mpu_main_segments < 4 {
+        if map.platform.mpu_main_segments() < 4 {
             return Err(CoreError::TooManySegments {
                 required: 4,
-                available: map.platform.mpu_main_segments,
+                available: map.platform.mpu_main_segments(),
             });
         }
-        let app = map.apps.get(app_index).ok_or_else(|| CoreError::AppImageInvalid {
-            app: format!("#{app_index}"),
-            reason: "no such application in the memory map".into(),
-        })?;
+        let app = map
+            .apps
+            .get(app_index)
+            .ok_or_else(|| CoreError::AppImageInvalid {
+                app: format!("#{app_index}"),
+                reason: "no such application in the memory map".into(),
+            })?;
         let fram = map.platform.fram;
         let segments = vec![
             MpuSegmentPlan {
@@ -273,11 +340,162 @@ impl MpuPlan {
             },
         ];
         Ok(MpuPlan {
-            context: MpuContext::AppRunning { name: app.name.clone(), index: app_index },
+            context: MpuContext::AppRunning {
+                name: app.name.clone(),
+                index: app_index,
+            },
             segments,
             boundary1: app.data_lower_bound(),
             boundary2: app.upper_bound(),
         })
+    }
+
+    /// Builds the MPU configuration for application `app_index` in whatever
+    /// shape the map's platform supports: the Figure-1 segmented plan on
+    /// segmented hardware, or a two-region plan (code execute-only,
+    /// data/stack read-write, everything else denied by the hardware's full
+    /// coverage) on region hardware.
+    pub fn for_app_on(map: &MemoryMap, app_index: usize) -> CoreResult<Self> {
+        if map.platform.mpu.is_region_based() {
+            Self::for_app_region(map, app_index)
+        } else {
+            Self::for_app(map, app_index)
+        }
+    }
+
+    /// Builds the OS-running configuration in whatever shape the map's
+    /// platform supports.
+    pub fn for_os_on(map: &MemoryMap) -> CoreResult<Self> {
+        if map.platform.mpu.is_region_based() {
+            Self::for_os_region(map)
+        } else {
+            Self::for_os(map)
+        }
+    }
+
+    /// Builds the region-MPU configuration for a running app: its code
+    /// region execute-only and its data/stack region read-write.  The
+    /// region hardware denies everything else inside its jurisdiction, so —
+    /// unlike the segmented Figure-1 plan — the app is bounded from *below*
+    /// as well, and no compiler-inserted data-pointer check is needed.
+    pub fn for_app_region(map: &MemoryMap, app_index: usize) -> CoreResult<Self> {
+        let app = map
+            .apps
+            .get(app_index)
+            .ok_or_else(|| CoreError::AppImageInvalid {
+                app: format!("#{app_index}"),
+                reason: "no such application in the memory map".into(),
+            })?;
+        let g = map.platform.mpu_boundary_granularity();
+        let fram = map.platform.fram;
+        for b in [app.data_lower_bound(), app.upper_bound()] {
+            if b % g != 0 && b != fram.end {
+                return Err(CoreError::UnalignedMpuBoundary {
+                    addr: b,
+                    granularity: g,
+                });
+            }
+        }
+        let segments = vec![
+            MpuSegmentPlan {
+                index: 0,
+                range: app.code,
+                perm: Perm::X,
+                role: SegmentRole::AppCode,
+            },
+            MpuSegmentPlan {
+                index: 1,
+                range: app.data_stack(),
+                perm: Perm::RW,
+                role: SegmentRole::AppDataStack,
+            },
+        ];
+        Ok(MpuPlan {
+            context: MpuContext::AppRunning {
+                name: app.name.clone(),
+                index: app_index,
+            },
+            segments,
+            boundary1: app.data_lower_bound(),
+            boundary2: app.upper_bound(),
+        })
+    }
+
+    /// Builds the region-MPU configuration used while the OS runs: OS code
+    /// execute-only, OS data read-write, SRAM (the OS stack) read-write,
+    /// and the whole application area read-write so the OS can deliver
+    /// events and copy buffers.  Applications get no SRAM region, so a
+    /// wild app pointer aimed at the OS stack faults in hardware — the
+    /// protection the FR5969 needs a compiler-inserted check for.
+    pub fn for_os_region(map: &MemoryMap) -> CoreResult<Self> {
+        let fram = map.platform.fram;
+        let g = map.platform.mpu_boundary_granularity();
+        let b1 = align_down(map.os_code.end, g).max(fram.start);
+        let b2 = map.apps_base();
+        if !b2.is_multiple_of(g) && b2 != fram.end {
+            return Err(CoreError::UnalignedMpuBoundary {
+                addr: b2,
+                granularity: g,
+            });
+        }
+        let segments = vec![
+            MpuSegmentPlan {
+                index: 0,
+                range: AddrRange::new(fram.start, b1),
+                perm: Perm::X,
+                role: SegmentRole::OsCode,
+            },
+            MpuSegmentPlan {
+                index: 1,
+                range: AddrRange::new(b1, b2),
+                perm: Perm::RW,
+                role: SegmentRole::OsData,
+            },
+            MpuSegmentPlan {
+                index: 2,
+                range: map.platform.sram,
+                perm: Perm::RW,
+                role: SegmentRole::OsSram,
+            },
+            MpuSegmentPlan {
+                index: 3,
+                range: AddrRange::new(b2, fram.end),
+                perm: Perm::RW,
+                role: SegmentRole::AppsRegion,
+            },
+        ];
+        Ok(MpuPlan {
+            context: MpuContext::OsRunning,
+            segments,
+            boundary1: b1,
+            boundary2: b2,
+        })
+    }
+
+    /// Encodes the plan as a region-MPU register configuration (one region
+    /// per planned segment, skipping no-access segments: the hardware's
+    /// deny-by-default covers them for free).
+    pub fn region_register_values(&self) -> RegionRegisterValues {
+        RegionRegisterValues {
+            regions: self
+                .segments
+                .iter()
+                .filter(|s| !s.perm.is_none())
+                .map(|s| RegionDesc {
+                    range: s.range,
+                    perm: s.perm,
+                })
+                .collect(),
+        }
+    }
+
+    /// Encodes the plan in the register shape `mpu` expects.
+    pub fn config(&self, mpu: &crate::platform::MpuModel) -> MpuConfig {
+        if mpu.is_region_based() {
+            MpuConfig::Region(self.region_register_values())
+        } else {
+            MpuConfig::Segmented(self.register_values())
+        }
     }
 
     /// The permission this plan grants at `addr`, or `None` if the address is
@@ -452,17 +670,55 @@ mod tests {
             Err(CoreError::TooManySegments { .. })
         ));
 
-        let adv_map = MemoryMapPlanner::new(crate::layout::PlatformSpec::msp430fr5969_advanced_mpu())
+        let adv_map =
+            MemoryMapPlanner::new(crate::layout::PlatformSpec::msp430fr5969_advanced_mpu())
+                .unwrap()
+                .plan(
+                    &OsImageSpec::default(),
+                    &[AppImageSpec::new("App1", 0x800, 0x200, 0x100)],
+                )
+                .unwrap();
+        let plan = MpuPlan::for_app_advanced(&adv_map, 0).unwrap();
+        // The region below the app is now fully blocked in hardware.
+        assert!(plan.blocks(adv_map.os_data.start));
+        assert_eq!(
+            plan.permission_at(adv_map.apps[0].code.start),
+            Some(Perm::X)
+        );
+    }
+
+    #[test]
+    fn region_plans_match_the_analytic_write_counts() {
+        // The cost model charges REGION_MPU_APP_REGIONS / REGION_MPU_OS_REGIONS
+        // per switch; the plans are the other source of that number.  Tie
+        // them together so they cannot drift.
+        use crate::platform::{REGION_MPU_APP_REGIONS, REGION_MPU_OS_REGIONS};
+        let map = MemoryMapPlanner::new(crate::layout::PlatformSpec::msp430fr5994())
             .unwrap()
             .plan(
                 &OsImageSpec::default(),
                 &[AppImageSpec::new("App1", 0x800, 0x200, 0x100)],
             )
             .unwrap();
-        let plan = MpuPlan::for_app_advanced(&adv_map, 0).unwrap();
-        // The region below the app is now fully blocked in hardware.
-        assert!(plan.blocks(adv_map.os_data.start));
-        assert_eq!(plan.permission_at(adv_map.apps[0].code.start), Some(Perm::X));
+        let app = MpuPlan::for_app_on(&map, 0).unwrap();
+        let os = MpuPlan::for_os_on(&map).unwrap();
+        assert_eq!(
+            app.region_register_values().regions.len() as u32,
+            REGION_MPU_APP_REGIONS
+        );
+        assert_eq!(
+            os.region_register_values().regions.len() as u32,
+            REGION_MPU_OS_REGIONS
+        );
+        // And the per-config write counts agree with the cost model's.
+        assert_eq!(
+            app.region_register_values().write_count(),
+            map.platform.mpu.config_writes_for_app()
+        );
+        assert_eq!(
+            os.region_register_values().write_count(),
+            map.platform.mpu.config_writes_for_os()
+        );
     }
 
     #[test]

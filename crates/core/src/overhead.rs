@@ -11,7 +11,6 @@
 use crate::checks::CheckPolicy;
 use crate::method::IsolationMethod;
 use crate::switch::ContextSwitchPlan;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Baseline (No Isolation) cost of one application data-memory access,
@@ -24,7 +23,7 @@ pub const BASELINE_MEMORY_ACCESS_CYCLES: u64 = 23;
 pub const BASELINE_CONTEXT_SWITCH_CYCLES: u64 = 90;
 
 /// Counts of the two operations that incur memory-protection overhead.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct OpCounts {
     /// Number of application data-memory accesses (pointer dereferences or
     /// array accesses).
@@ -36,7 +35,10 @@ pub struct OpCounts {
 impl OpCounts {
     /// Convenience constructor.
     pub fn new(memory_accesses: u64, context_switches: u64) -> Self {
-        OpCounts { memory_accesses, context_switches }
+        OpCounts {
+            memory_accesses,
+            context_switches,
+        }
     }
 
     /// Element-wise sum.
@@ -57,7 +59,7 @@ impl OpCounts {
 }
 
 /// Where the overhead cycles of a method came from.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct OverheadBreakdown {
     /// Extra cycles attributable to compiler-inserted checks on memory
     /// accesses.
@@ -87,7 +89,7 @@ impl fmt::Display for OverheadBreakdown {
 }
 
 /// Per-operation cost table for one isolation method.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct OverheadModel {
     /// Isolation method the model describes.
     pub method: IsolationMethod,
@@ -105,12 +107,43 @@ impl OverheadModel {
         let per_memory_access = CheckPolicy::for_method(method).memory_access_overhead_cycles();
         let per_context_switch = ContextSwitchPlan::round_trip_cycles(method)
             - ContextSwitchPlan::round_trip_cycles(IsolationMethod::NoIsolation);
-        OverheadModel { method, per_memory_access, per_context_switch }
+        OverheadModel {
+            method,
+            per_memory_access,
+            per_context_switch,
+        }
+    }
+
+    /// Builds the model for a method **on a specific platform**: the check
+    /// policy is derived from the platform's MPU capability model and the
+    /// context-switch cost from its cost table.  For the MSP430FR5969 this
+    /// is identical to [`OverheadModel::for_method`].
+    pub fn for_platform(method: IsolationMethod, platform: &crate::layout::PlatformSpec) -> Self {
+        let per_memory_access = crate::checks::CheckPolicy::for_method_on(method, &platform.mpu)
+            .memory_access_overhead_cycles();
+        let per_context_switch = ContextSwitchPlan::round_trip_cycles_for(platform, method)
+            - ContextSwitchPlan::round_trip_cycles_for(platform, IsolationMethod::NoIsolation);
+        OverheadModel {
+            method,
+            per_memory_access,
+            per_context_switch,
+        }
     }
 
     /// Models for all four methods in Table-1 order.
     pub fn all() -> Vec<OverheadModel> {
-        IsolationMethod::ALL.iter().map(|m| Self::for_method(*m)).collect()
+        IsolationMethod::ALL
+            .iter()
+            .map(|m| Self::for_method(*m))
+            .collect()
+    }
+
+    /// Models for all four methods on a specific platform, in Table-1 order.
+    pub fn all_for(platform: &crate::layout::PlatformSpec) -> Vec<OverheadModel> {
+        IsolationMethod::ALL
+            .iter()
+            .map(|m| Self::for_platform(*m, platform))
+            .collect()
     }
 
     /// Absolute cost of one memory access under this method (baseline plus
@@ -128,7 +161,9 @@ impl OverheadModel {
     /// Overhead cycles for the given operation counts.
     pub fn overhead(&self, counts: OpCounts) -> OverheadBreakdown {
         OverheadBreakdown {
-            memory_access_cycles: counts.memory_accesses.saturating_mul(self.per_memory_access),
+            memory_access_cycles: counts
+                .memory_accesses
+                .saturating_mul(self.per_memory_access),
             context_switch_cycles: counts
                 .context_switches
                 .saturating_mul(self.per_context_switch),
@@ -168,7 +203,13 @@ mod tests {
     fn table1_absolute_costs_are_reproduced_by_the_model() {
         let rows: Vec<(IsolationMethod, u64, u64)> = OverheadModel::all()
             .into_iter()
-            .map(|m| (m.method, m.absolute_memory_access_cycles(), m.absolute_context_switch_cycles()))
+            .map(|m| {
+                (
+                    m.method,
+                    m.absolute_memory_access_cycles(),
+                    m.absolute_context_switch_cycles(),
+                )
+            })
             .collect();
         // Paper Table 1:       mem, switch
         // No Isolation          23, 90
@@ -225,7 +266,10 @@ mod tests {
     #[test]
     fn zero_counts_give_zero_slowdown() {
         for m in IsolationMethod::ALL {
-            assert_eq!(OverheadModel::for_method(m).slowdown_percent(OpCounts::default()), 0.0);
+            assert_eq!(
+                OverheadModel::for_method(m).slowdown_percent(OpCounts::default()),
+                0.0
+            );
         }
     }
 
@@ -235,7 +279,10 @@ mod tests {
         let b = OpCounts::new(5, 1);
         assert_eq!(a.saturating_add(b), OpCounts::new(15, 3));
         assert_eq!(a.scaled(3), OpCounts::new(30, 6));
-        assert_eq!(OpCounts::new(u64::MAX, 1).scaled(2).memory_accesses, u64::MAX);
+        assert_eq!(
+            OpCounts::new(u64::MAX, 1).scaled(2).memory_accesses,
+            u64::MAX
+        );
     }
 
     #[test]

@@ -1,6 +1,5 @@
 //! Access permissions used by the MPU plan and the memory bus.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{BitAnd, BitOr};
 
@@ -9,7 +8,7 @@ use std::ops::{BitAnd, BitOr};
 ///
 /// The `Display` form matches the paper's Figure 1 notation, e.g. `R W -`
 /// prints as `RW-` and execute-only prints as `--X`.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct Perm {
     /// Reads allowed.
     pub read: bool,
@@ -21,24 +20,54 @@ pub struct Perm {
 
 impl Perm {
     /// No access at all (`---`).
-    pub const NONE: Perm = Perm { read: false, write: false, execute: false };
+    pub const NONE: Perm = Perm {
+        read: false,
+        write: false,
+        execute: false,
+    };
     /// Read-only (`R--`).
-    pub const R: Perm = Perm { read: true, write: false, execute: false };
+    pub const R: Perm = Perm {
+        read: true,
+        write: false,
+        execute: false,
+    };
     /// Write-only (`-W-`).
-    pub const W: Perm = Perm { read: false, write: true, execute: false };
+    pub const W: Perm = Perm {
+        read: false,
+        write: true,
+        execute: false,
+    };
     /// Execute-only (`--X`), used for code segments in Figure 1.
-    pub const X: Perm = Perm { read: false, write: false, execute: true };
+    pub const X: Perm = Perm {
+        read: false,
+        write: false,
+        execute: true,
+    };
     /// Read-write (`RW-`), used for data/stack segments in Figure 1.
-    pub const RW: Perm = Perm { read: true, write: true, execute: false };
+    pub const RW: Perm = Perm {
+        read: true,
+        write: true,
+        execute: false,
+    };
     /// Read-execute (`R-X`).
-    pub const RX: Perm = Perm { read: true, write: false, execute: true };
+    pub const RX: Perm = Perm {
+        read: true,
+        write: false,
+        execute: true,
+    };
     /// Full access (`RWX`).
-    pub const RWX: Perm = Perm { read: true, write: true, execute: true };
+    pub const RWX: Perm = Perm {
+        read: true,
+        write: true,
+        execute: true,
+    };
 
     /// Returns true when every access allowed by `needed` is also allowed by
     /// `self`.
     pub fn allows(&self, needed: Perm) -> bool {
-        (!needed.read || self.read) && (!needed.write || self.write) && (!needed.execute || self.execute)
+        (!needed.read || self.read)
+            && (!needed.write || self.write)
+            && (!needed.execute || self.execute)
     }
 
     /// Returns true when no access of any kind is permitted.
@@ -103,7 +132,7 @@ impl fmt::Debug for Perm {
 }
 
 /// The kind of a single memory access, as seen by the bus and the MPU.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum AccessKind {
     /// A data read (load).
     Read,

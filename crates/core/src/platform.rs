@@ -1,0 +1,347 @@
+//! The platform abstraction layer: MPU capability models, per-platform
+//! cycle-cost tables, and the [`Platform`] trait that the planner, the MPU
+//! plans, the context-switch plans and the overhead model are generic over.
+//!
+//! The paper evaluates one device — the MSP430FR5969, whose MPU divides
+//! main memory into three **segments** separated by two movable boundaries —
+//! but its isolation methods are general.  Other MCU families (Tock's
+//! Cortex-M targets, for instance) expose **region-based** MPUs instead:
+//! a handful of independent base/limit regions with per-region permissions
+//! and deny-by-default semantics over the memory they police.  [`MpuModel`]
+//! captures both shapes so every policy layer above can ask *what the
+//! hardware can express* instead of assuming the FR5969.
+
+use std::fmt;
+
+/// How many hardware regions a region-based MPU spends on the running
+/// application (its code region and its data/stack region).
+pub const REGION_MPU_APP_REGIONS: u32 = 2;
+
+/// How many hardware regions a region-based MPU spends while the OS runs
+/// (OS code, OS data, SRAM with the OS stack, and the whole application
+/// area).
+pub const REGION_MPU_OS_REGIONS: u32 = 4;
+
+/// Register writes needed to program one region of a region-based MPU
+/// (select the region, then write its base and its limit/attribute word).
+pub const REGION_MPU_WRITES_PER_REGION: u32 = 3;
+
+/// The MPU capability model of a platform: what protection shapes the
+/// hardware can express, and at what configuration cost.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MpuModel {
+    /// FR5969-style segmented MPU: `main_segments` segments over main
+    /// memory, separated by movable boundaries that must fall on
+    /// `boundary_granularity`-byte marks.  Memory outside main FRAM and
+    /// InfoMem is not policed at all, and configuration sits behind a
+    /// password-protected register protocol.
+    Segmented {
+        /// Number of main-memory segments with movable boundaries (3 on the
+        /// FR5969; 4 in the "advanced MPU" ablation).
+        main_segments: usize,
+        /// Granularity of the movable boundaries, in bytes.
+        boundary_granularity: u32,
+    },
+    /// Tock/Cortex-M-style region MPU: `regions` independent base/limit
+    /// regions with per-region R/W/X permissions.  Within its jurisdiction
+    /// (main FRAM, InfoMem *and* SRAM in this model, like its Cortex-M
+    /// inspirations) any access not granted by a region is **denied** —
+    /// full coverage, unlike the segmented part.
+    Region {
+        /// Number of region slots the hardware provides.
+        regions: usize,
+        /// Alignment required of region bases and limits, in bytes.
+        alignment: u32,
+    },
+}
+
+impl MpuModel {
+    /// The alignment that app bounds (`D_i`, `T_i`) must satisfy so the MPU
+    /// can bracket the app: boundary granularity for segmented MPUs, region
+    /// alignment for region MPUs.
+    pub fn boundary_granularity(&self) -> u32 {
+        match self {
+            MpuModel::Segmented {
+                boundary_granularity,
+                ..
+            } => *boundary_granularity,
+            MpuModel::Region { alignment, .. } => *alignment,
+        }
+    }
+
+    /// How many distinct protection slots the hardware offers (segments or
+    /// regions).
+    pub fn main_segments(&self) -> usize {
+        match self {
+            MpuModel::Segmented { main_segments, .. } => *main_segments,
+            MpuModel::Region { regions, .. } => *regions,
+        }
+    }
+
+    /// Whether this is a region-based (full-coverage, deny-by-default) MPU.
+    pub fn is_region_based(&self) -> bool {
+        matches!(self, MpuModel::Region { .. })
+    }
+
+    /// Whether the hardware can bound the running app from **below** as
+    /// well as above.  The FR5969's three segments cannot (the segment
+    /// below the app's data must stay executable for the app's own code),
+    /// which is why the paper's MPU method still inserts lower-bound
+    /// checks in software; four segments or a region MPU can.
+    pub fn bounds_app_below(&self) -> bool {
+        match self {
+            MpuModel::Segmented { main_segments, .. } => *main_segments >= 4,
+            MpuModel::Region { .. } => true,
+        }
+    }
+
+    /// Peripheral-register writes the OS performs to install the
+    /// configuration for a *running application*.
+    pub fn config_writes_for_app(&self) -> u32 {
+        match self {
+            // SEGB1, SEGB2, SAM, CTL0 — the FR5969 sequence from the paper.
+            MpuModel::Segmented { .. } => 4,
+            // RNR/RBAR/RLAR per app region, then the control word.
+            MpuModel::Region { .. } => REGION_MPU_APP_REGIONS * REGION_MPU_WRITES_PER_REGION + 1,
+        }
+    }
+
+    /// Peripheral-register writes the OS performs to install its *own*
+    /// configuration when an app traps into it.
+    pub fn config_writes_for_os(&self) -> u32 {
+        match self {
+            MpuModel::Segmented { .. } => 4,
+            MpuModel::Region { .. } => REGION_MPU_OS_REGIONS * REGION_MPU_WRITES_PER_REGION + 1,
+        }
+    }
+
+    /// Extra cycles of protocol overhead per reconfiguration (the segmented
+    /// part's password dance; region MPUs have none).
+    pub fn unlock_overhead_cycles(&self) -> u64 {
+        match self {
+            MpuModel::Segmented { .. } => 2,
+            MpuModel::Region { .. } => 0,
+        }
+    }
+}
+
+impl fmt::Display for MpuModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MpuModel::Segmented {
+                main_segments,
+                boundary_granularity,
+            } => write!(
+                f,
+                "segmented MPU ({main_segments} segments, {boundary_granularity}-byte boundaries)"
+            ),
+            MpuModel::Region { regions, alignment } => {
+                write!(
+                    f,
+                    "region MPU ({regions} regions, {alignment}-byte alignment)"
+                )
+            }
+        }
+    }
+}
+
+/// Electrical parameters of a platform, kept in integer units so
+/// `PlatformSpec` stays `Eq`; [`crate::energy::EnergyModel::for_platform`]
+/// derives its floating-point model from these.  The defaults are the
+/// MSP430FR5969's datasheet figures (16 MHz, ≈100 µA/MHz, 3 V).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EnergyParams {
+    /// CPU clock frequency in Hz.
+    pub frequency_hz: u64,
+    /// Active-mode supply current in microamperes at that frequency.
+    pub active_current_ua: u32,
+    /// Supply voltage in millivolts.
+    pub supply_millivolts: u32,
+}
+
+impl Default for EnergyParams {
+    fn default() -> Self {
+        EnergyParams {
+            frequency_hz: 16_000_000,
+            active_current_ua: 1600,
+            supply_millivolts: 3000,
+        }
+    }
+}
+
+/// Per-platform cycle costs used by the analytic models.  The defaults are
+/// the MSP430-flavoured constants that reproduce the paper's Table 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CycleCostTable {
+    /// Cycles per peripheral-register write (MPU reconfiguration traffic).
+    pub reg_write_cycles: u64,
+    /// Baseline cycles of one application data-memory access under No
+    /// Isolation (Table 1's 23-cycle figure).
+    pub memory_access_baseline: u64,
+    /// Baseline cycles of one OS API-call round trip under No Isolation
+    /// (Table 1's 90-cycle figure).
+    pub context_switch_baseline: u64,
+}
+
+impl Default for CycleCostTable {
+    fn default() -> Self {
+        CycleCostTable {
+            reg_write_cycles: 5,
+            memory_access_baseline: 23,
+            context_switch_baseline: 90,
+        }
+    }
+}
+
+impl CycleCostTable {
+    /// Cycles to install `mpu`'s configuration for a running app.
+    pub fn mpu_config_cycles_for_app(&self, mpu: &MpuModel) -> u64 {
+        mpu.config_writes_for_app() as u64 * self.reg_write_cycles + mpu.unlock_overhead_cycles()
+    }
+
+    /// Cycles to install `mpu`'s configuration for the OS itself.
+    pub fn mpu_config_cycles_for_os(&self, mpu: &MpuModel) -> u64 {
+        mpu.config_writes_for_os() as u64 * self.reg_write_cycles + mpu.unlock_overhead_cycles()
+    }
+}
+
+/// A hardware platform the isolation policies can target: memory geometry,
+/// MPU capability model, and cycle costs.
+///
+/// Concrete profiles ([`Msp430Fr5969`], [`Msp430Fr5994`], …) implement this
+/// trait, and so does [`crate::layout::PlatformSpec`] itself, so APIs can
+/// accept either a profile type or an already-materialised spec.
+pub trait Platform {
+    /// The full data description of the platform.
+    fn spec(&self) -> crate::layout::PlatformSpec;
+
+    /// The platform's name (stable identifier used in reports).
+    fn name(&self) -> String {
+        self.spec().name
+    }
+}
+
+/// The TI MSP430FR5969 as used by the Amulet wearable: 2 KiB SRAM, 48 KiB
+/// FRAM, and the paper's two-boundary segmented MPU.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Msp430Fr5969;
+
+impl Platform for Msp430Fr5969 {
+    fn spec(&self) -> crate::layout::PlatformSpec {
+        crate::layout::PlatformSpec::msp430fr5969()
+    }
+}
+
+/// The "advanced MPU" ablation variant of the FR5969: same memory map, but
+/// a fourth segment lets hardware bound apps from below (§5 of the paper).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Msp430Fr5969AdvancedMpu;
+
+impl Platform for Msp430Fr5969AdvancedMpu {
+    fn spec(&self) -> crate::layout::PlatformSpec {
+        crate::layout::PlatformSpec::msp430fr5969_advanced_mpu()
+    }
+}
+
+/// An MSP430FR5994-class device: the larger-memory sibling (4 KiB SRAM in
+/// place of 2 KiB — the simulator models the lower 64 KiB window of its
+/// address space, since the modelled CPU core is 16-bit) fitted with a
+/// Tock/Cortex-M-style region MPU of eight 256-byte-aligned regions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Msp430Fr5994;
+
+impl Platform for Msp430Fr5994 {
+    fn spec(&self) -> crate::layout::PlatformSpec {
+        crate::layout::PlatformSpec::msp430fr5994()
+    }
+}
+
+/// Every built-in platform profile, for cross-platform test sweeps and the
+/// platform-comparison bench.
+pub fn builtin_platforms() -> Vec<crate::layout::PlatformSpec> {
+    vec![
+        crate::layout::PlatformSpec::msp430fr5969(),
+        crate::layout::PlatformSpec::msp430fr5969_advanced_mpu(),
+        crate::layout::PlatformSpec::msp430fr5994(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segmented_model_matches_fr5969_costs() {
+        let mpu = MpuModel::Segmented {
+            main_segments: 3,
+            boundary_granularity: 0x400,
+        };
+        let costs = CycleCostTable::default();
+        // 4 writes × 5 cycles + 2 unlock cycles = the 22-cycle ConfigureMpu
+        // step that reproduces Table 1's 142-cycle MPU context switch.
+        assert_eq!(costs.mpu_config_cycles_for_app(&mpu), 22);
+        assert_eq!(costs.mpu_config_cycles_for_os(&mpu), 22);
+        assert!(!mpu.bounds_app_below());
+        assert!(!mpu.is_region_based());
+    }
+
+    #[test]
+    fn region_model_costs_scale_with_region_count() {
+        let mpu = MpuModel::Region {
+            regions: 8,
+            alignment: 0x100,
+        };
+        let costs = CycleCostTable::default();
+        // 2 app regions × 3 writes + control = 7 writes, no password dance.
+        assert_eq!(costs.mpu_config_cycles_for_app(&mpu), 35);
+        // 4 OS regions (code, data, SRAM, app area) × 3 writes + control.
+        assert_eq!(costs.mpu_config_cycles_for_os(&mpu), 65);
+        assert!(mpu.bounds_app_below());
+        assert!(mpu.is_region_based());
+        assert_eq!(mpu.boundary_granularity(), 0x100);
+    }
+
+    #[test]
+    fn advanced_segmented_mpu_bounds_below() {
+        let mpu = MpuModel::Segmented {
+            main_segments: 4,
+            boundary_granularity: 0x400,
+        };
+        assert!(mpu.bounds_app_below());
+    }
+
+    #[test]
+    fn builtin_profiles_are_valid_and_distinct() {
+        let platforms = builtin_platforms();
+        assert!(platforms.len() >= 3);
+        let mut names: Vec<_> = platforms.iter().map(|p| p.name.clone()).collect();
+        for p in &platforms {
+            p.validate().unwrap();
+        }
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), platforms.len(), "platform names are unique");
+    }
+
+    #[test]
+    fn profile_types_match_their_specs() {
+        assert_eq!(Msp430Fr5969.spec().name, Msp430Fr5969.name());
+        assert!(Msp430Fr5994.spec().mpu.is_region_based());
+        assert!(!Msp430Fr5969.spec().mpu.is_region_based());
+        assert_eq!(Msp430Fr5969AdvancedMpu.spec().mpu.main_segments(), 4);
+    }
+
+    #[test]
+    fn display_names_the_shape() {
+        let seg = MpuModel::Segmented {
+            main_segments: 3,
+            boundary_granularity: 0x400,
+        };
+        let reg = MpuModel::Region {
+            regions: 8,
+            alignment: 0x100,
+        };
+        assert!(seg.to_string().contains("segmented"));
+        assert!(reg.to_string().contains("region"));
+    }
+}

@@ -18,13 +18,13 @@
 //! writing the MPU registers through the simulated bus), and the analytic
 //! overhead model sums them.
 
+use crate::layout::PlatformSpec;
 use crate::method::IsolationMethod;
 use crate::mpu_plan::MpuRegisterValues;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Direction of a transition between the OS and an application.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
 pub enum SwitchDirection {
     /// The OS hands the CPU to an application (event delivery, or returning
     /// from a system call back into app code).
@@ -34,7 +34,7 @@ pub enum SwitchDirection {
 }
 
 /// One step of a context switch.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum SwitchStep {
     /// Enter the trap/dispatch stub (call into the OS API veneer).
     TrapEntry,
@@ -99,7 +99,7 @@ impl fmt::Display for SwitchStep {
 }
 
 /// The steps of one directed transition under a given isolation method.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ContextSwitchPlan {
     /// Isolation method the plan belongs to.
     pub method: IsolationMethod,
@@ -110,6 +110,11 @@ pub struct ContextSwitchPlan {
     /// Number of application-supplied pointer arguments that must be
     /// validated on entry to the OS (0 for the synthetic benchmark).
     pub pointer_args: u32,
+    /// Cycles charged for the [`SwitchStep::ConfigureMpu`] step.  Installing
+    /// an MPU configuration costs a platform-dependent number of register
+    /// writes (4 on the FR5969's segmented MPU, more on a region MPU); the
+    /// default is the FR5969's 22 cycles, which reproduces Table 1.
+    pub mpu_config_cycles: u64,
 }
 
 impl ContextSwitchPlan {
@@ -151,12 +156,44 @@ impl ContextSwitchPlan {
                 steps.push(ReturnToCaller);
             }
         }
-        ContextSwitchPlan { method, direction, steps, pointer_args }
+        ContextSwitchPlan {
+            method,
+            direction,
+            steps,
+            pointer_args,
+            mpu_config_cycles: SwitchStep::ConfigureMpu.cycle_cost(),
+        }
+    }
+
+    /// Builds the plan for one directed transition on a specific platform:
+    /// the step sequence is method-defined, but the MPU-reconfiguration
+    /// cost comes from the platform's MPU model and cost table.  For the
+    /// MSP430FR5969 this is identical to [`ContextSwitchPlan::new`].
+    pub fn new_for(
+        platform: &PlatformSpec,
+        method: IsolationMethod,
+        direction: SwitchDirection,
+        pointer_args: u32,
+    ) -> Self {
+        let mut plan = Self::new(method, direction, pointer_args);
+        plan.mpu_config_cycles = match direction {
+            // Entering the OS installs the OS configuration; returning to
+            // the app installs the app's.
+            SwitchDirection::AppToOs => platform.costs.mpu_config_cycles_for_os(&platform.mpu),
+            SwitchDirection::OsToApp => platform.costs.mpu_config_cycles_for_app(&platform.mpu),
+        };
+        plan
     }
 
     /// Total cycle cost of this directed transition.
     pub fn cycles(&self) -> u64 {
-        self.steps.iter().map(|s| s.cycle_cost()).sum()
+        self.steps
+            .iter()
+            .map(|s| match s {
+                SwitchStep::ConfigureMpu => self.mpu_config_cycles,
+                _ => s.cycle_cost(),
+            })
+            .sum()
     }
 
     /// Builds both halves of a full API-call round trip (app → OS → app),
@@ -172,6 +209,24 @@ impl ContextSwitchPlan {
     /// quantity reported in Table 1's "Context Switch" row.
     pub fn round_trip_cycles(method: IsolationMethod) -> u64 {
         let (enter, leave) = Self::round_trip(method, 0);
+        enter.cycles() + leave.cycles()
+    }
+
+    /// Builds both halves of a round trip on a specific platform.
+    pub fn round_trip_for(
+        platform: &PlatformSpec,
+        method: IsolationMethod,
+        pointer_args: u32,
+    ) -> (Self, Self) {
+        (
+            Self::new_for(platform, method, SwitchDirection::AppToOs, pointer_args),
+            Self::new_for(platform, method, SwitchDirection::OsToApp, pointer_args),
+        )
+    }
+
+    /// Round-trip cycles with no pointer arguments on a specific platform.
+    pub fn round_trip_cycles_for(platform: &PlatformSpec, method: IsolationMethod) -> u64 {
+        let (enter, leave) = Self::round_trip_for(platform, method, 0);
         enter.cycles() + leave.cycles()
     }
 }
@@ -199,10 +254,22 @@ mod tests {
     #[test]
     fn table1_context_switch_costs() {
         // Table 1: No Isolation 90, Feature Limited 90, MPU 142, SW Only 98.
-        assert_eq!(ContextSwitchPlan::round_trip_cycles(IsolationMethod::NoIsolation), 90);
-        assert_eq!(ContextSwitchPlan::round_trip_cycles(IsolationMethod::FeatureLimited), 90);
-        assert_eq!(ContextSwitchPlan::round_trip_cycles(IsolationMethod::Mpu), 142);
-        assert_eq!(ContextSwitchPlan::round_trip_cycles(IsolationMethod::SoftwareOnly), 98);
+        assert_eq!(
+            ContextSwitchPlan::round_trip_cycles(IsolationMethod::NoIsolation),
+            90
+        );
+        assert_eq!(
+            ContextSwitchPlan::round_trip_cycles(IsolationMethod::FeatureLimited),
+            90
+        );
+        assert_eq!(
+            ContextSwitchPlan::round_trip_cycles(IsolationMethod::Mpu),
+            142
+        );
+        assert_eq!(
+            ContextSwitchPlan::round_trip_cycles(IsolationMethod::SoftwareOnly),
+            98
+        );
     }
 
     #[test]
@@ -225,7 +292,10 @@ mod tests {
 
     #[test]
     fn baseline_methods_share_a_stack() {
-        for m in [IsolationMethod::NoIsolation, IsolationMethod::FeatureLimited] {
+        for m in [
+            IsolationMethod::NoIsolation,
+            IsolationMethod::FeatureLimited,
+        ] {
             let (enter, leave) = ContextSwitchPlan::round_trip(m, 0);
             assert!(!enter.steps.contains(&SwitchStep::SwitchStackToOs));
             assert!(!leave.steps.contains(&SwitchStep::SwitchStackToApp));
@@ -242,7 +312,8 @@ mod tests {
             without.cycles() + 2 * SwitchStep::ValidatePointerArg.cycle_cost()
         );
         // Feature Limited apps cannot pass pointers at all.
-        let fl = ContextSwitchPlan::new(IsolationMethod::FeatureLimited, SwitchDirection::AppToOs, 2);
+        let fl =
+            ContextSwitchPlan::new(IsolationMethod::FeatureLimited, SwitchDirection::AppToOs, 2);
         assert!(!fl.steps.contains(&SwitchStep::ValidatePointerArg));
     }
 

@@ -7,6 +7,7 @@ use amulet_core::method::IsolationMethod;
 use amulet_core::mpu_plan::MpuPlan;
 use amulet_core::overhead::{OpCounts, OverheadModel};
 use amulet_core::perm::Perm;
+use amulet_core::platform::builtin_platforms;
 use proptest::prelude::*;
 
 fn app_spec_strategy(i: usize) -> impl Strategy<Value = AppImageSpec> {
@@ -16,9 +17,7 @@ fn app_spec_strategy(i: usize) -> impl Strategy<Value = AppImageSpec> {
 }
 
 fn apps_strategy() -> impl Strategy<Value = Vec<AppImageSpec>> {
-    (1usize..=4).prop_flat_map(|n| {
-        (0..n).map(app_spec_strategy).collect::<Vec<_>>()
-    })
+    (1usize..=4).prop_flat_map(|n| (0..n).map(app_spec_strategy).collect::<Vec<_>>())
 }
 
 proptest! {
@@ -36,7 +35,7 @@ proptest! {
             return Ok(());
         };
         prop_assert!(map.validate().is_ok());
-        let g = map.platform.mpu_boundary_granularity;
+        let g = map.platform.mpu_boundary_granularity();
         let mut prev_end = map.os_data.end;
         for app in &map.apps {
             prop_assert!(app.code.start >= prev_end);
@@ -75,6 +74,46 @@ proptest! {
             let regs = plan.register_values();
             prop_assert_eq!((regs.mpusegb1 as u32) << 4, plan.boundary1);
             prop_assert_eq!((regs.mpusegb2 as u32) << 4, plan.boundary2);
+        }
+    }
+
+    /// Cross-platform planning: for **every built-in platform profile**,
+    /// whenever the planner succeeds the map passes `MemoryMap::validate`,
+    /// app footprints never overlap each other (or the OS image), every
+    /// bound sits on that platform's MPU alignment, and the platform's own
+    /// MPU-plan shape can be built for every app.
+    #[test]
+    fn every_builtin_platform_plans_valid_maps(apps in apps_strategy()) {
+        for platform in builtin_platforms() {
+            let g = platform.mpu_boundary_granularity();
+            let planner = MemoryMapPlanner::new(platform.clone()).unwrap();
+            let Ok(map) = planner.plan(&OsImageSpec::default(), &apps) else {
+                // Oversized builds may be rejected; not a property violation.
+                continue;
+            };
+            prop_assert!(map.validate().is_ok(), "{}: validate failed", platform.name);
+            let mut prev_end = map.os_data.end;
+            for (i, app) in map.apps.iter().enumerate() {
+                let fp = app.footprint();
+                prop_assert!(fp.start >= prev_end, "{}: app {i} overlaps below", platform.name);
+                prop_assert!(platform.fram.contains_range(&fp), "{}: app {i} outside FRAM", platform.name);
+                prop_assert_eq!(app.data_lower_bound() % g, 0);
+                prop_assert_eq!(app.upper_bound() % g, 0);
+                for other in map.apps.iter().skip(i + 1) {
+                    prop_assert!(!fp.overlaps(&other.footprint()), "{}: footprints overlap", platform.name);
+                }
+                let plan = MpuPlan::for_app_on(&map, i).unwrap();
+                prop_assert_eq!(plan.boundary1, app.data_lower_bound());
+                prop_assert_eq!(plan.boundary2, app.upper_bound());
+                prop_assert!(
+                    plan.segments.len() <= platform.mpu_main_segments() + 1,
+                    "{}: plan needs more slots than the hardware has",
+                    platform.name
+                );
+                prev_end = fp.end;
+            }
+            // The OS-running plan is buildable on this platform's MPU too.
+            prop_assert!(MpuPlan::for_os_on(&map).is_ok(), "{}: OS plan failed", platform.name);
         }
     }
 

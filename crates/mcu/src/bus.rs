@@ -8,16 +8,16 @@
 //! InfoMem accesses.  Accesses the MPU denies are reported as
 //! [`BusFault`]s, which the CPU converts into application faults.
 
-use crate::mpu::{ExtendedMpu, Mpu, MpuDecision, MpuRegisterError};
+use crate::mpu::{ExtendedMpu, Mpu, MpuRegisterError, RegionMpu};
 use crate::timer::Timer;
 use amulet_core::addr::{Addr, AddrRange};
 use amulet_core::layout::PlatformSpec;
+use amulet_core::mpu_plan::MpuConfig;
 use amulet_core::perm::AccessKind;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Which architectural region an address decodes to.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Region {
     /// Memory-mapped peripheral registers.
     Peripherals,
@@ -36,7 +36,7 @@ pub enum Region {
 }
 
 /// Why a bus access failed.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum BusFaultCause {
     /// The MPU denied the access.
     MpuViolation,
@@ -53,7 +53,7 @@ pub enum BusFaultCause {
 }
 
 /// A failed bus access.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct BusFault {
     /// The faulting address.
     pub addr: Addr,
@@ -65,14 +65,18 @@ pub struct BusFault {
 
 impl fmt::Display for BusFault {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} of {:#06x} failed: {:?}", self.access, self.addr, self.cause)
+        write!(
+            f,
+            "{} of {:#06x} failed: {:?}",
+            self.access, self.addr, self.cause
+        )
     }
 }
 
 impl std::error::Error for BusFault {}
 
 /// Counters the bus maintains for the evaluation and the profiler.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct BusStats {
     /// Data reads performed.
     pub reads: u64,
@@ -89,32 +93,22 @@ pub struct BusStats {
 }
 
 /// The system bus.
-#[derive(Clone, Serialize, Deserialize)]
+#[derive(Clone)]
 pub struct Bus {
     platform: PlatformSpec,
-    #[serde(with = "serde_bytes_box")]
     mem: Box<[u8]>,
-    /// The FR5969-style MPU.
+    /// The FR5969-style segmented MPU (the active backend on segmented
+    /// platforms).
     pub mpu: Mpu,
+    /// The Tock/Cortex-M-style region MPU (the active backend on
+    /// region-MPU platforms).
+    pub region_mpu: RegionMpu,
     /// The hypothetical advanced MPU used by the §5 ablation.
     pub ext_mpu: ExtendedMpu,
     /// The benchmark timer.
     pub timer: Timer,
     /// Access counters.
     pub stats: BusStats,
-}
-
-mod serde_bytes_box {
-    use serde::{Deserialize, Deserializer, Serializer};
-
-    pub fn serialize<S: Serializer>(b: &[u8], s: S) -> Result<S::Ok, S::Error> {
-        s.collect_seq(b.iter())
-    }
-
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Box<[u8]>, D::Error> {
-        let v: Vec<u8> = Vec::deserialize(d)?;
-        Ok(v.into_boxed_slice())
-    }
 }
 
 impl fmt::Debug for Bus {
@@ -128,13 +122,27 @@ impl fmt::Debug for Bus {
 }
 
 impl Bus {
-    /// Creates a bus for the given platform with zeroed memory.
+    /// Creates a bus for the given platform with zeroed memory.  The MPU
+    /// backend that polices FRAM/InfoMem accesses is chosen by the
+    /// platform's [`amulet_core::platform::MpuModel`].
     pub fn new(platform: PlatformSpec) -> Self {
         let mpu = Mpu::new(platform.fram, platform.info_mem);
+        let region_slots = if platform.mpu.is_region_based() {
+            platform.mpu.main_segments()
+        } else {
+            0
+        };
+        let region_mpu = RegionMpu::new(
+            region_slots,
+            platform.fram,
+            platform.info_mem,
+            platform.sram,
+        );
         Bus {
             platform,
             mem: vec![0u8; 0x1_0000].into_boxed_slice(),
             mpu,
+            region_mpu,
             ext_mpu: ExtendedMpu::default(),
             timer: Timer::new(),
             stats: BusStats::default(),
@@ -176,20 +184,57 @@ impl Bus {
         self.platform.fram
     }
 
+    /// Installs an MPU configuration by performing the same memory-mapped
+    /// register writes the OS's context-switch code issues on hardware:
+    /// boundaries/access-bits/control for the segmented part, or
+    /// select/base/limit per region plus control for the region part.
+    pub fn install_mpu_config(&mut self, config: &MpuConfig) -> Result<(), BusFault> {
+        match config {
+            MpuConfig::Segmented(regs) => {
+                self.write(crate::mpu::MPUSEGB1, 2, regs.mpusegb1)?;
+                self.write(crate::mpu::MPUSEGB2, 2, regs.mpusegb2)?;
+                self.write(crate::mpu::MPUSAM, 2, regs.mpusam)?;
+                self.write(crate::mpu::MPUCTL0, 2, regs.mpuctl0)?;
+            }
+            MpuConfig::Region(regs) => {
+                // Privileged path: the register block rejects CPU-side
+                // stores, so the OS programs it directly (the write
+                // sequence and slot-count cap live in `apply_config`).
+                // Count the same stats a `Bus::write` per register would.
+                self.region_mpu.apply_config(regs);
+                self.stats.writes += regs.write_count() as u64;
+                self.stats.peripheral_writes += regs.write_count() as u64;
+            }
+        }
+        Ok(())
+    }
+
     fn check_protection(&mut self, addr: Addr, access: AccessKind) -> Result<(), BusFault> {
         if self.ext_mpu.enabled {
             if !self.ext_mpu.check(addr, access) {
                 self.stats.denied += 1;
-                return Err(BusFault { addr, access, cause: BusFaultCause::ExtendedMpuViolation });
+                return Err(BusFault {
+                    addr,
+                    access,
+                    cause: BusFaultCause::ExtendedMpuViolation,
+                });
             }
             return Ok(());
         }
-        match self.mpu.check(addr, access) {
-            MpuDecision::Violation(_) => {
-                self.stats.denied += 1;
-                Err(BusFault { addr, access, cause: BusFaultCause::MpuViolation })
-            }
-            _ => Ok(()),
+        let decision = if self.platform.mpu.is_region_based() {
+            self.region_mpu.check(addr, access)
+        } else {
+            self.mpu.check(addr, access)
+        };
+        if decision.permits() {
+            Ok(())
+        } else {
+            self.stats.denied += 1;
+            Err(BusFault {
+                addr,
+                access,
+                cause: BusFaultCause::MpuViolation,
+            })
         }
     }
 
@@ -197,22 +242,26 @@ impl Bus {
     /// enforcing region and MPU rules.
     pub fn read(&mut self, addr: Addr, size: u32) -> Result<u16, BusFault> {
         debug_assert!(size == 1 || size == 2);
-        if size == 2 && addr % 2 != 0 {
-            return Err(BusFault { addr, access: AccessKind::Read, cause: BusFaultCause::Misaligned });
+        if size == 2 && !addr.is_multiple_of(2) {
+            return Err(BusFault {
+                addr,
+                access: AccessKind::Read,
+                cause: BusFaultCause::Misaligned,
+            });
         }
         self.stats.reads += 1;
         match self.region(addr) {
-            Region::Unmapped => {
-                Err(BusFault { addr, access: AccessKind::Read, cause: BusFaultCause::Unmapped })
-            }
+            Region::Unmapped => Err(BusFault {
+                addr,
+                access: AccessKind::Read,
+                cause: BusFaultCause::Unmapped,
+            }),
             Region::Peripherals => Ok(self.read_peripheral(addr)),
-            Region::Fram | Region::InfoMem => {
+            Region::Fram | Region::InfoMem | Region::Sram => {
                 self.check_protection(addr, AccessKind::Read)?;
                 Ok(self.read_raw(addr, size))
             }
-            Region::Sram | Region::BootstrapLoader | Region::InterruptVectors => {
-                Ok(self.read_raw(addr, size))
-            }
+            Region::BootstrapLoader | Region::InterruptVectors => Ok(self.read_raw(addr, size)),
         }
     }
 
@@ -220,17 +269,25 @@ impl Bus {
     /// rules.
     pub fn write(&mut self, addr: Addr, size: u32, value: u16) -> Result<(), BusFault> {
         debug_assert!(size == 1 || size == 2);
-        if size == 2 && addr % 2 != 0 {
-            return Err(BusFault { addr, access: AccessKind::Write, cause: BusFaultCause::Misaligned });
+        if size == 2 && !addr.is_multiple_of(2) {
+            return Err(BusFault {
+                addr,
+                access: AccessKind::Write,
+                cause: BusFaultCause::Misaligned,
+            });
         }
         self.stats.writes += 1;
         match self.region(addr) {
-            Region::Unmapped => {
-                Err(BusFault { addr, access: AccessKind::Write, cause: BusFaultCause::Unmapped })
-            }
-            Region::BootstrapLoader => {
-                Err(BusFault { addr, access: AccessKind::Write, cause: BusFaultCause::ReadOnly })
-            }
+            Region::Unmapped => Err(BusFault {
+                addr,
+                access: AccessKind::Write,
+                cause: BusFaultCause::Unmapped,
+            }),
+            Region::BootstrapLoader => Err(BusFault {
+                addr,
+                access: AccessKind::Write,
+                cause: BusFaultCause::ReadOnly,
+            }),
             Region::Peripherals => {
                 self.stats.peripheral_writes += 1;
                 self.write_peripheral(addr, value)
@@ -241,7 +298,12 @@ impl Bus {
                 self.write_raw(addr, size, value);
                 Ok(())
             }
-            Region::Sram | Region::InterruptVectors => {
+            Region::Sram => {
+                self.check_protection(addr, AccessKind::Write)?;
+                self.write_raw(addr, size, value);
+                Ok(())
+            }
+            Region::InterruptVectors => {
                 self.write_raw(addr, size, value);
                 Ok(())
             }
@@ -257,10 +319,15 @@ impl Bus {
                 access: AccessKind::Execute,
                 cause: BusFaultCause::Unmapped,
             }),
-            Region::Fram | Region::InfoMem => self.check_protection(addr, AccessKind::Execute),
-            // SRAM, peripherals etc. are outside MPU jurisdiction: fetches
-            // from them are architecturally possible (and are one of the
-            // reasons the paper still needs software checks).
+            Region::Fram | Region::InfoMem | Region::Sram => {
+                // SRAM is outside the segmented MPU's jurisdiction (one of
+                // the reasons the paper still needs software checks) but
+                // inside a region MPU's; `check_protection` routes to
+                // whichever backend the platform has.
+                self.check_protection(addr, AccessKind::Execute)
+            }
+            // Peripherals etc. are outside every backend's jurisdiction:
+            // fetches from them are architecturally possible.
             _ => Ok(()),
         }
     }
@@ -268,6 +335,8 @@ impl Bus {
     fn read_peripheral(&self, addr: Addr) -> u16 {
         if Mpu::owns_register(addr) {
             self.mpu.read_register(addr)
+        } else if RegionMpu::owns_register(addr) {
+            self.region_mpu.read_register(addr)
         } else if Timer::owns_register(addr) {
             self.timer.read_register(addr)
         } else {
@@ -281,6 +350,17 @@ impl Bus {
                 addr,
                 access: AccessKind::Write,
                 cause: BusFaultCause::MpuRegisterProtocol(e),
+            })
+        } else if RegionMpu::owns_register(addr) {
+            // The region MPU's register block is privileged-only (Cortex-M
+            // PPB style): stores executed by application code fault, and
+            // only the OS's `install_mpu_config` path programs it.  Without
+            // this, an app on a region platform — compiled with no
+            // data-pointer checks — could simply disable the MPU.
+            Err(BusFault {
+                addr,
+                access: AccessKind::Write,
+                cause: BusFaultCause::MpuRegisterProtocol(MpuRegisterError::Privileged),
             })
         } else if Timer::owns_register(addr) {
             self.timer.write_register(addr, value);
@@ -320,7 +400,9 @@ impl Bus {
 
     /// Copies bytes out of memory with no protection checks (host tooling).
     pub fn dump_bytes(&self, range: AddrRange) -> Vec<u8> {
-        (range.start..range.end).map(|a| self.mem[a as usize]).collect()
+        (range.start..range.end)
+            .map(|a| self.mem[a as usize])
+            .collect()
     }
 
     /// Fills a range with a value, bypassing protection (used by the OS's
@@ -419,9 +501,15 @@ mod tests {
         // Write into seg2: fine.
         b.write(0x7000, 2, 1).unwrap();
         // Write into seg1 (execute-only): MPU violation.
-        assert_eq!(b.write(0x5000, 2, 1).unwrap_err().cause, BusFaultCause::MpuViolation);
+        assert_eq!(
+            b.write(0x5000, 2, 1).unwrap_err().cause,
+            BusFaultCause::MpuViolation
+        );
         // Read from seg3 (no access): MPU violation.
-        assert_eq!(b.read(0x9000, 2).unwrap_err().cause, BusFaultCause::MpuViolation);
+        assert_eq!(
+            b.read(0x9000, 2).unwrap_err().cause,
+            BusFaultCause::MpuViolation
+        );
         // SRAM is not covered by the MPU: still writable.
         b.write(0x1C00, 2, 7).unwrap();
         // Execute check in seg1 passes, in seg3 fails.
@@ -447,7 +535,10 @@ mod tests {
         b.write(MPUSAM, 2, 0x0000).unwrap();
         b.write(MPUCTL0, 2, 0xA501).unwrap();
         b.load_bytes(0x9000, &[1, 2, 3, 4]);
-        assert_eq!(b.dump_bytes(AddrRange::new(0x9000, 0x9004)), vec![1, 2, 3, 4]);
+        assert_eq!(
+            b.dump_bytes(AddrRange::new(0x9000, 0x9004)),
+            vec![1, 2, 3, 4]
+        );
     }
 
     #[test]
@@ -455,7 +546,10 @@ mod tests {
         let mut b = bus();
         b.load_bytes(0x1C00, &[9; 16]);
         b.fill(AddrRange::new(0x1C00, 0x1C10), 0);
-        assert!(b.dump_bytes(AddrRange::new(0x1C00, 0x1C10)).iter().all(|&x| x == 0));
+        assert!(b
+            .dump_bytes(AddrRange::new(0x1C00, 0x1C10))
+            .iter()
+            .all(|&x| x == 0));
     }
 
     #[test]
@@ -472,8 +566,7 @@ mod tests {
     fn extended_mpu_takes_precedence_when_enabled() {
         let mut b = bus();
         b.ext_mpu.enabled = true;
-        b.ext_mpu.segments =
-            vec![(AddrRange::new(0x5000, 0x6000), amulet_core::perm::Perm::RW)];
+        b.ext_mpu.segments = vec![(AddrRange::new(0x5000, 0x6000), amulet_core::perm::Perm::RW)];
         assert!(b.write(0x5800, 2, 1).is_ok());
         assert_eq!(
             b.write(0x7000, 2, 1).unwrap_err().cause,

@@ -10,7 +10,6 @@ use crate::bus::{Bus, BusFault, BusFaultCause};
 use crate::isa::{AluOp, Cond, Instr, Reg, UnaryOp, Width};
 use amulet_core::addr::Addr;
 use amulet_core::fault::FaultClass;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -19,7 +18,7 @@ use std::fmt;
 pub const HANDLER_RETURN: Addr = 0xFFFE;
 
 /// Details of a fault raised during execution.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct FaultInfo {
     /// Classification of the fault.
     pub class: FaultClass,
@@ -32,14 +31,18 @@ pub struct FaultInfo {
 impl fmt::Display for FaultInfo {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.addr {
-            Some(a) => write!(f, "{} at pc={:#06x} (address {:#06x})", self.class, self.pc, a),
+            Some(a) => write!(
+                f,
+                "{} at pc={:#06x} (address {:#06x})",
+                self.class, self.pc, a
+            ),
             None => write!(f, "{} at pc={:#06x}", self.class, self.pc),
         }
     }
 }
 
 /// What happened during one executed instruction.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum StepEvent {
     /// Execution may continue with the next instruction.
     Continue,
@@ -59,7 +62,7 @@ pub enum StepEvent {
 }
 
 /// CPU execution statistics.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CpuStats {
     /// Instructions retired.
     pub instructions: u64,
@@ -73,7 +76,7 @@ pub struct CpuStats {
 }
 
 /// The CPU register file, flags and cycle counter.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Cpu {
     regs: [u16; Reg::COUNT],
     /// Zero flag.
@@ -219,7 +222,11 @@ impl Cpu {
             // the OS fault handler can still log and kill the app.
             _ => FaultClass::IllegalInstruction,
         };
-        StepEvent::Fault(FaultInfo { class, pc, addr: Some(fault.addr) })
+        StepEvent::Fault(FaultInfo {
+            class,
+            pc,
+            addr: Some(fault.addr),
+        })
     }
 
     // Data-access counting happens once per retired instruction (via
@@ -294,12 +301,22 @@ impl Cpu {
                 let v = self.reg(src);
                 self.set_reg(dst, v);
             }
-            Instr::Load { dst, base, offset, width } => {
+            Instr::Load {
+                dst,
+                base,
+                offset,
+                width,
+            } => {
                 let addr = (self.reg(base) as i32 + offset as i32) as u16 as Addr;
                 let v = try_mem!(self.read_mem(bus, addr, width));
                 self.set_reg(dst, v);
             }
-            Instr::Store { src, base, offset, width } => {
+            Instr::Store {
+                src,
+                base,
+                offset,
+                width,
+            } => {
                 let addr = (self.reg(base) as i32 + offset as i32) as u16 as Addr;
                 let v = self.reg(src);
                 try_mem!(self.write_mem(bus, addr, width, v));
@@ -393,7 +410,11 @@ impl Cpu {
                     .copied()
                     .unwrap_or(FaultClass::IllegalInstruction);
                 self.set_pc(next_pc);
-                return StepEvent::Fault(FaultInfo { class, pc, addr: None });
+                return StepEvent::Fault(FaultInfo {
+                    class,
+                    pc,
+                    addr: None,
+                });
             }
             Instr::Halt => {
                 self.set_pc(pc);
@@ -439,12 +460,20 @@ impl Cpu {
                 r
             }
             AluOp::Div => {
-                let r = if b == 0 { 0 } else { ((a as i16) / (b as i16)) as u16 };
+                let r = if b == 0 {
+                    0
+                } else {
+                    ((a as i16) / (b as i16)) as u16
+                };
                 self.set_flags_logic(r);
                 r
             }
             AluOp::Rem => {
-                let r = if b == 0 { 0 } else { ((a as i16) % (b as i16)) as u16 };
+                let r = if b == 0 {
+                    0
+                } else {
+                    ((a as i16) % (b as i16)) as u16
+                };
                 self.set_flags_logic(r);
                 r
             }
@@ -488,10 +517,24 @@ mod tests {
     #[test]
     fn arithmetic_and_flags() {
         let (cpu, _) = run_program(&[
-            Instr::MovImm { dst: Reg::R4, imm: 40 },
-            Instr::MovImm { dst: Reg::R5, imm: 2 },
-            Instr::Alu { op: AluOp::Add, dst: Reg::R4, src: Reg::R5 },
-            Instr::AluImm { op: AluOp::Mul, dst: Reg::R4, imm: 3 },
+            Instr::MovImm {
+                dst: Reg::R4,
+                imm: 40,
+            },
+            Instr::MovImm {
+                dst: Reg::R5,
+                imm: 2,
+            },
+            Instr::Alu {
+                op: AluOp::Add,
+                dst: Reg::R4,
+                src: Reg::R5,
+            },
+            Instr::AluImm {
+                op: AluOp::Mul,
+                dst: Reg::R4,
+                imm: 3,
+            },
             Instr::Halt,
         ]);
         assert_eq!(cpu.reg(Reg::R4), 126);
@@ -500,10 +543,26 @@ mod tests {
     #[test]
     fn loads_and_stores_roundtrip_through_sram() {
         let (cpu, bus) = run_program(&[
-            Instr::MovImm { dst: Reg::R4, imm: 0x1C00 },
-            Instr::MovImm { dst: Reg::R5, imm: 0xABCD },
-            Instr::Store { src: Reg::R5, base: Reg::R4, offset: 4, width: Width::Word },
-            Instr::Load { dst: Reg::R6, base: Reg::R4, offset: 4, width: Width::Word },
+            Instr::MovImm {
+                dst: Reg::R4,
+                imm: 0x1C00,
+            },
+            Instr::MovImm {
+                dst: Reg::R5,
+                imm: 0xABCD,
+            },
+            Instr::Store {
+                src: Reg::R5,
+                base: Reg::R4,
+                offset: 4,
+                width: Width::Word,
+            },
+            Instr::Load {
+                dst: Reg::R6,
+                base: Reg::R4,
+                offset: 4,
+                width: Width::Word,
+            },
             Instr::Halt,
         ]);
         assert_eq!(cpu.reg(Reg::R6), 0xABCD);
@@ -515,11 +574,23 @@ mod tests {
     fn conditional_branches_follow_unsigned_comparison() {
         // if (r4 < 100) r5 = 1 else r5 = 2
         let (cpu, _) = run_program(&[
-            Instr::MovImm { dst: Reg::R4, imm: 42 },
-            Instr::CmpImm { a: Reg::R4, imm: 100 },
-            Instr::Jcc { cond: Cond::Hs, target: 0x4410 },
-            Instr::MovImm { dst: Reg::R5, imm: 1 }, // 0x440A..0x440E
-            Instr::Jmp { target: 0x4414 },          // 0x440E..0x4412 -- adjusted below
+            Instr::MovImm {
+                dst: Reg::R4,
+                imm: 42,
+            },
+            Instr::CmpImm {
+                a: Reg::R4,
+                imm: 100,
+            },
+            Instr::Jcc {
+                cond: Cond::Hs,
+                target: 0x4410,
+            },
+            Instr::MovImm {
+                dst: Reg::R5,
+                imm: 1,
+            }, // 0x440A..0x440E
+            Instr::Jmp { target: 0x4414 }, // 0x440E..0x4412 -- adjusted below
             Instr::Halt,
         ]);
         // The exact layout matters less than the decision: 42 < 100 so the
@@ -539,7 +610,16 @@ mod tests {
             ],
         );
         let mut code = code;
-        for (a, i) in asm(0x4410, &[Instr::MovImm { dst: Reg::R4, imm: 7 }, Instr::Ret]) {
+        for (a, i) in asm(
+            0x4410,
+            &[
+                Instr::MovImm {
+                    dst: Reg::R4,
+                    imm: 7,
+                },
+                Instr::Ret,
+            ],
+        ) {
             code.insert(a, i);
         }
         let mut cpu = Cpu::new();
@@ -621,8 +701,16 @@ mod tests {
         let code = asm(
             base,
             &[
-                Instr::MovImm { dst: Reg::R4, imm: 0x9000 },
-                Instr::Store { src: Reg::R4, base: Reg::R4, offset: 0, width: Width::Word },
+                Instr::MovImm {
+                    dst: Reg::R4,
+                    imm: 0x9000,
+                },
+                Instr::Store {
+                    src: Reg::R4,
+                    base: Reg::R4,
+                    offset: 0,
+                    width: Width::Word,
+                },
             ],
         );
         let mut cpu = Cpu::new();
@@ -648,10 +736,13 @@ mod tests {
     #[test]
     fn cycles_accumulate_per_instruction() {
         let (cpu, _) = run_program(&[
-            Instr::MovImm { dst: Reg::R4, imm: 1 }, // 2 cycles
-            Instr::Nop,                             // 1
-            Instr::Nop,                             // 1
-            Instr::Halt,                            // 1
+            Instr::MovImm {
+                dst: Reg::R4,
+                imm: 1,
+            }, // 2 cycles
+            Instr::Nop,  // 1
+            Instr::Nop,  // 1
+            Instr::Halt, // 1
         ]);
         assert_eq!(cpu.cycles, 5);
         assert_eq!(cpu.stats.instructions, 4);
@@ -677,15 +768,28 @@ mod tests {
         cpu.set_flags_sub(a, 3, r);
         assert!(cpu.cond_holds(Cond::Lt));
         assert!(!cpu.cond_holds(Cond::Ge));
-        assert!(cpu.cond_holds(Cond::Hs), "unsigned comparison sees a large value");
+        assert!(
+            cpu.cond_holds(Cond::Hs),
+            "unsigned comparison sees a large value"
+        );
     }
 
     #[test]
     fn division_by_zero_yields_zero() {
         let (cpu, _) = run_program(&[
-            Instr::MovImm { dst: Reg::R4, imm: 10 },
-            Instr::MovImm { dst: Reg::R5, imm: 0 },
-            Instr::Alu { op: AluOp::Div, dst: Reg::R4, src: Reg::R5 },
+            Instr::MovImm {
+                dst: Reg::R4,
+                imm: 10,
+            },
+            Instr::MovImm {
+                dst: Reg::R5,
+                imm: 0,
+            },
+            Instr::Alu {
+                op: AluOp::Div,
+                dst: Reg::R4,
+                src: Reg::R5,
+            },
             Instr::Halt,
         ]);
         assert_eq!(cpu.reg(Reg::R4), 0);

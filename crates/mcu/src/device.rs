@@ -6,11 +6,10 @@ use crate::firmware::Firmware;
 use crate::isa::Instr;
 use amulet_core::addr::Addr;
 use amulet_core::layout::PlatformSpec;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Why a [`Device::run`] call returned.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum StopReason {
     /// The program executed a `halt` instruction.
     Halted,
@@ -28,7 +27,7 @@ pub enum StopReason {
 }
 
 /// Result of a [`Device::run`] call.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RunExit {
     /// Why execution stopped.
     pub reason: StopReason,
@@ -40,7 +39,7 @@ pub struct RunExit {
 }
 
 /// A simulated MSP430FR5969-class device.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Device {
     /// CPU core.
     pub cpu: Cpu,
@@ -181,10 +180,13 @@ mod tests {
 
     fn simple_firmware() -> Firmware {
         let map = MemoryMapPlanner::msp430fr5969()
-            .plan(&OsImageSpec::default(), &[AppImageSpec::new("A", 0x400, 0x100, 0x80)])
+            .plan(
+                &OsImageSpec::default(),
+                &[AppImageSpec::new("A", 0x400, 0x100, 0x80)],
+            )
             .unwrap();
         let os = OsBinary {
-            mpu_regs: MpuPlan::for_os(&map).unwrap().register_values(),
+            mpu_config: MpuPlan::for_os_on(&map).unwrap().config(&map.platform.mpu),
             initial_sp: map.os_initial_stack_pointer(),
         };
         let mut b = FirmwareBuilder::new(IsolationMethod::NoIsolation, map.clone(), os);
@@ -192,8 +194,15 @@ mod tests {
         b.emit(
             entry,
             &[
-                Instr::MovImm { dst: Reg::R4, imm: 20 },
-                Instr::AluImm { op: AluOp::Add, dst: Reg::R4, imm: 22 },
+                Instr::MovImm {
+                    dst: Reg::R4,
+                    imm: 20,
+                },
+                Instr::AluImm {
+                    op: AluOp::Add,
+                    dst: Reg::R4,
+                    imm: 22,
+                },
                 Instr::Ret,
             ],
         );

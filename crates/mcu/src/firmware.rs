@@ -11,13 +11,12 @@ use crate::isa::Instr;
 use amulet_core::addr::{Addr, AddrRange};
 use amulet_core::layout::{AppPlacement, MemoryMap};
 use amulet_core::method::IsolationMethod;
-use amulet_core::mpu_plan::MpuRegisterValues;
-use serde::{Deserialize, Serialize};
+use amulet_core::mpu_plan::MpuConfig;
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// A chunk of initialised data to be copied into memory at load time.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DataSegment {
     /// Destination address.
     pub addr: Addr,
@@ -33,7 +32,7 @@ impl DataSegment {
 }
 
 /// Per-application metadata embedded in the firmware image.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct AppBinary {
     /// Application name.
     pub name: String,
@@ -43,9 +42,10 @@ pub struct AppBinary {
     pub placement: AppPlacement,
     /// Event-handler entry points, by handler name.
     pub handlers: BTreeMap<String, Addr>,
-    /// MPU register values to install while this app runs (meaningful only
-    /// when the build's isolation method uses the MPU).
-    pub mpu_regs: MpuRegisterValues,
+    /// MPU configuration to install while this app runs (meaningful only
+    /// when the build's isolation method uses the MPU).  Carries whichever
+    /// register shape the target platform's MPU expects.
+    pub mpu_config: MpuConfig,
     /// Initial stack pointer for the app (top of its stack region under the
     /// per-app-stack methods; the shared OS stack otherwise).
     pub initial_sp: Addr,
@@ -62,16 +62,16 @@ impl AppBinary {
 }
 
 /// OS-side metadata embedded in the firmware image.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct OsBinary {
-    /// MPU register values to install while the OS runs.
-    pub mpu_regs: MpuRegisterValues,
+    /// MPU configuration to install while the OS runs.
+    pub mpu_config: MpuConfig,
     /// Initial (and per-switch) OS stack pointer, at the top of SRAM.
     pub initial_sp: Addr,
 }
 
 /// A complete firmware image.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Firmware {
     /// The isolation method the image was built for.
     pub method: IsolationMethod,
@@ -128,10 +128,16 @@ impl fmt::Display for FirmwareError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FirmwareError::OverlappingInstructions { first, second } => {
-                write!(f, "instruction at {first:#06x} overlaps instruction at {second:#06x}")
+                write!(
+                    f,
+                    "instruction at {first:#06x} overlaps instruction at {second:#06x}"
+                )
             }
             FirmwareError::CodeOutOfBounds { app, addr } => {
-                write!(f, "app `{app}` has code at {addr:#06x} outside its code region")
+                write!(
+                    f,
+                    "app `{app}` has code at {addr:#06x} outside its code region"
+                )
             }
             FirmwareError::DataOverlap { addr } => write!(f, "data overlap at {addr:#06x}"),
             FirmwareError::DanglingHandler { app, handler, addr } => {
@@ -178,7 +184,10 @@ impl Firmware {
         for (&addr, instr) in &self.code {
             if let Some((paddr, psize)) = prev {
                 if paddr + psize > addr {
-                    return Err(FirmwareError::OverlappingInstructions { first: paddr, second: addr });
+                    return Err(FirmwareError::OverlappingInstructions {
+                        first: paddr,
+                        second: addr,
+                    });
                 }
             }
             prev = Some((addr, instr.size_bytes()));
@@ -186,9 +195,15 @@ impl Firmware {
         // App code must stay inside each app's code region, and handlers must
         // point at real instructions.
         for app in &self.apps {
-            for (&addr, instr) in self.code.range(app.placement.code.start..app.placement.code.end) {
+            for (&addr, instr) in self
+                .code
+                .range(app.placement.code.start..app.placement.code.end)
+            {
                 if addr + instr.size_bytes() > app.placement.code.end {
-                    return Err(FirmwareError::CodeOutOfBounds { app: app.name.clone(), addr });
+                    return Err(FirmwareError::CodeOutOfBounds {
+                        app: app.name.clone(),
+                        addr,
+                    });
                 }
             }
             for (hname, &haddr) in &app.handlers {
@@ -207,13 +222,17 @@ impl Firmware {
             let r = seg.range();
             for other in &data_ranges {
                 if r.overlaps(other) {
-                    return Err(FirmwareError::DataOverlap { addr: r.start.max(other.start) });
+                    return Err(FirmwareError::DataOverlap {
+                        addr: r.start.max(other.start),
+                    });
                 }
             }
             for (&addr, instr) in &self.code {
                 let ir = AddrRange::from_len(addr, instr.size_bytes());
                 if r.overlaps(&ir) {
-                    return Err(FirmwareError::DataOverlap { addr: ir.start.max(r.start) });
+                    return Err(FirmwareError::DataOverlap {
+                        addr: ir.start.max(r.start),
+                    });
                 }
             }
             data_ranges.push(r);
@@ -300,13 +319,16 @@ mod tests {
 
     fn map() -> MemoryMap {
         MemoryMapPlanner::msp430fr5969()
-            .plan(&OsImageSpec::default(), &[AppImageSpec::new("A", 0x400, 0x100, 0x80)])
+            .plan(
+                &OsImageSpec::default(),
+                &[AppImageSpec::new("A", 0x400, 0x100, 0x80)],
+            )
             .unwrap()
     }
 
     fn os_binary(map: &MemoryMap) -> OsBinary {
         OsBinary {
-            mpu_regs: MpuPlan::for_os(map).unwrap().register_values(),
+            mpu_config: MpuPlan::for_os_on(map).unwrap().config(&map.platform.mpu),
             initial_sp: map.os_initial_stack_pointer(),
         }
     }
@@ -317,7 +339,9 @@ mod tests {
             name: "A".into(),
             index: 0,
             initial_sp: placement.initial_stack_pointer(),
-            mpu_regs: MpuPlan::for_app(map, 0).unwrap().register_values(),
+            mpu_config: MpuPlan::for_app_on(map, 0)
+                .unwrap()
+                .config(&map.platform.mpu),
             placement,
             handlers,
             max_stack_estimate: Some(0x40),
@@ -332,8 +356,14 @@ mod tests {
         let end = b.emit(
             start,
             &[
-                Instr::MovImm { dst: Reg::R4, imm: 1 }, // 4 bytes
-                Instr::Mov { dst: Reg::R5, src: Reg::R4 }, // 2 bytes
+                Instr::MovImm {
+                    dst: Reg::R4,
+                    imm: 1,
+                }, // 4 bytes
+                Instr::Mov {
+                    dst: Reg::R5,
+                    src: Reg::R4,
+                }, // 2 bytes
                 Instr::Ret, // 2 bytes
             ],
         );
@@ -349,7 +379,13 @@ mod tests {
         let map = map();
         let mut b = FirmwareBuilder::new(IsolationMethod::Mpu, map.clone(), os_binary(&map));
         let start = map.apps[0].code.start;
-        b.emit(start, &[Instr::MovImm { dst: Reg::R4, imm: 1 }]);
+        b.emit(
+            start,
+            &[Instr::MovImm {
+                dst: Reg::R4,
+                imm: 1,
+            }],
+        );
         // Manually insert an instruction in the middle of the previous one.
         b.code.insert(start + 2, Instr::Ret);
         assert!(matches!(
@@ -365,7 +401,10 @@ mod tests {
         let app_end = map.apps[0].code.end;
         b.emit(app_end - 2, &[Instr::Call { target: 0x4400 }]); // 4 bytes, spills over
         b.add_app(app_binary(&map, BTreeMap::new()));
-        assert!(matches!(b.build(), Err(FirmwareError::CodeOutOfBounds { .. })));
+        assert!(matches!(
+            b.build(),
+            Err(FirmwareError::CodeOutOfBounds { .. })
+        ));
     }
 
     #[test]
@@ -378,7 +417,10 @@ mod tests {
         let mut handlers = BTreeMap::new();
         handlers.insert("main".to_string(), start + 0x100);
         b.add_app(app_binary(&map, handlers));
-        assert!(matches!(b.build(), Err(FirmwareError::DanglingHandler { .. })));
+        assert!(matches!(
+            b.build(),
+            Err(FirmwareError::DanglingHandler { .. })
+        ));
 
         let mut b = FirmwareBuilder::new(IsolationMethod::Mpu, map.clone(), os_binary(&map));
         b.emit(start, &[Instr::Ret]);
@@ -389,7 +431,8 @@ mod tests {
     #[test]
     fn symbols_and_app_lookup() {
         let map = map();
-        let mut b = FirmwareBuilder::new(IsolationMethod::SoftwareOnly, map.clone(), os_binary(&map));
+        let mut b =
+            FirmwareBuilder::new(IsolationMethod::SoftwareOnly, map.clone(), os_binary(&map));
         let start = map.apps[0].code.start;
         b.emit(start, &[Instr::Ret]);
         b.define_symbol("A::main", start);

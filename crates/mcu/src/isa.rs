@@ -15,7 +15,6 @@
 //!
 //! The compiler in `amulet-aft` targets this ISA directly.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A machine register.
@@ -24,7 +23,7 @@ use std::fmt;
 /// register, mirroring the MSP430 convention; `R4`–`R15` are general purpose.
 /// (`R3`, the MSP430's constant generator, is treated as an ordinary scratch
 /// register here.)
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
 pub struct Reg(pub u8);
 
 impl Reg {
@@ -87,7 +86,7 @@ impl fmt::Display for Reg {
 }
 
 /// Width of a memory access.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Width {
     /// 8-bit access.
     Byte,
@@ -107,7 +106,7 @@ impl Width {
 
 /// Branch conditions, evaluated against the status-register flags that the
 /// most recent `Cmp`/arithmetic instruction produced.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Cond {
     /// Equal (zero flag set).
     Eq,
@@ -144,7 +143,7 @@ impl fmt::Display for Cond {
 }
 
 /// Two-operand ALU operations (destination ← destination op source).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum AluOp {
     /// Addition.
     Add,
@@ -177,7 +176,7 @@ impl AluOp {
 }
 
 /// Single-operand operations.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum UnaryOp {
     /// Two's-complement negation.
     Neg,
@@ -196,7 +195,7 @@ pub enum UnaryOp {
 /// Every variant's encoded size (in 16-bit words) is reported by
 /// [`Instr::size_words`]; the linker uses it to lay code out at real
 /// addresses, which is what makes the compiler-patched bounds meaningful.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub enum Instr {
     /// `dst ← imm`.
     MovImm {
@@ -431,10 +430,20 @@ impl fmt::Display for Instr {
         match self {
             Instr::MovImm { dst, imm } => write!(f, "mov   #{imm:#x}, {dst}"),
             Instr::Mov { dst, src } => write!(f, "mov   {src}, {dst}"),
-            Instr::Load { dst, base, offset, width } => {
+            Instr::Load {
+                dst,
+                base,
+                offset,
+                width,
+            } => {
                 write!(f, "ld{}   {offset}({base}), {dst}", wsuffix(*width))
             }
-            Instr::Store { src, base, offset, width } => {
+            Instr::Store {
+                src,
+                base,
+                offset,
+                width,
+            } => {
                 write!(f, "st{}   {src}, {offset}({base})", wsuffix(*width))
             }
             Instr::LoadAbs { dst, addr, width } => {
@@ -492,9 +501,15 @@ mod tests {
     fn sizes_are_one_or_two_words() {
         let one_word = [Instr::Ret, Instr::Nop, Instr::Push { src: Reg::R4 }];
         let two_words = [
-            Instr::MovImm { dst: Reg::R4, imm: 7 },
+            Instr::MovImm {
+                dst: Reg::R4,
+                imm: 7,
+            },
             Instr::Call { target: 0x4400 },
-            Instr::CmpImm { a: Reg::R4, imm: 0x5000 },
+            Instr::CmpImm {
+                a: Reg::R4,
+                imm: 0x5000,
+            },
         ];
         for i in one_word {
             assert_eq!(i.size_words(), 1, "{i}");
@@ -506,9 +521,22 @@ mod tests {
 
     #[test]
     fn memory_instructions_cost_more_than_register_ones() {
-        let mov = Instr::Mov { dst: Reg::R4, src: Reg::R5 };
-        let load = Instr::Load { dst: Reg::R4, base: Reg::R5, offset: 0, width: Width::Word };
-        let store = Instr::Store { src: Reg::R4, base: Reg::R5, offset: 0, width: Width::Word };
+        let mov = Instr::Mov {
+            dst: Reg::R4,
+            src: Reg::R5,
+        };
+        let load = Instr::Load {
+            dst: Reg::R4,
+            base: Reg::R5,
+            offset: 0,
+            width: Width::Word,
+        };
+        let store = Instr::Store {
+            src: Reg::R4,
+            base: Reg::R5,
+            offset: 0,
+            width: Width::Word,
+        };
         assert!(load.base_cycles() > mov.base_cycles());
         assert!(store.base_cycles() > load.base_cycles());
     }
@@ -520,16 +548,30 @@ mod tests {
         // materialisation; the analytic constants in amulet-core assume 6
         // cycles for the lower check, so the emergent sequence must be in the
         // same ballpark.
-        let cmp = Instr::CmpImm { a: Reg::R4, imm: 0x8000 };
-        let jcc = Instr::Jcc { cond: Cond::Lo, target: 0x4400 };
+        let cmp = Instr::CmpImm {
+            a: Reg::R4,
+            imm: 0x8000,
+        };
+        let jcc = Instr::Jcc {
+            cond: Cond::Lo,
+            target: 0x4400,
+        };
         let total = cmp.base_cycles() + jcc.base_cycles();
-        assert!((4..=7).contains(&total), "check sequence costs {total} cycles");
+        assert!(
+            (4..=7).contains(&total),
+            "check sequence costs {total} cycles"
+        );
     }
 
     #[test]
     fn data_memory_classification() {
         assert!(Instr::Push { src: Reg::R4 }.touches_data_memory());
-        assert!(Instr::LoadAbs { dst: Reg::R4, addr: 0x1C00, width: Width::Word }.touches_data_memory());
+        assert!(Instr::LoadAbs {
+            dst: Reg::R4,
+            addr: 0x1C00,
+            width: Width::Word
+        }
+        .touches_data_memory());
         assert!(!Instr::Jmp { target: 0 }.touches_data_memory());
         assert!(!Instr::Syscall { num: 1 }.touches_data_memory());
     }
@@ -542,7 +584,12 @@ mod tests {
 
     #[test]
     fn display_is_readable() {
-        let i = Instr::Load { dst: Reg::R4, base: Reg::FP, offset: -4, width: Width::Word };
+        let i = Instr::Load {
+            dst: Reg::R4,
+            base: Reg::FP,
+            offset: -4,
+            width: Width::Word,
+        };
         assert_eq!(i.to_string(), "ldw   -4(r12), r4");
         assert_eq!(Instr::Fault { code: 3 }.to_string(), "fault #3");
     }

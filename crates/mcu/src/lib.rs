@@ -1,18 +1,24 @@
 //! # amulet-mcu
 //!
-//! A cycle-counted simulator of the TI MSP430FR5969-class microcontroller
-//! used by the Amulet wearable platform, built for the reproduction of
-//! "Application Memory Isolation on Ultra-Low-Power MCUs" (USENIX ATC 2018).
+//! A cycle-counted simulator of TI MSP430FR-class microcontrollers
+//! (the Amulet wearable's FR5969, and the larger FR5994-class profile),
+//! built for the reproduction of "Application Memory Isolation on
+//! Ultra-Low-Power MCUs" (USENIX ATC 2018).
 //!
 //! The simulator models exactly the pieces of the hardware the paper's
 //! evaluation depends on:
 //!
-//! * the FR5969 memory map (peripheral registers, bootstrap loader, InfoMem,
-//!   2 KiB SRAM, main FRAM, interrupt vectors) — [`bus`];
-//! * the limited Memory Protection Unit: three main-memory segments defined
-//!   by two movable boundaries plus a pinned InfoMem segment, per-segment
-//!   R/W/X bits, a password/lock register protocol, and *no* coverage of
-//!   SRAM or peripherals — [`mpu`];
+//! * the platform memory map (peripheral registers, bootstrap loader,
+//!   InfoMem, SRAM, main FRAM, interrupt vectors), taken from the
+//!   [`amulet_core::layout::PlatformSpec`] the device is built for —
+//!   [`bus`];
+//! * two Memory Protection Unit backends — [`mpu`]: the FR5969's limited
+//!   segmented part (three main-memory segments defined by two movable
+//!   boundaries plus a pinned InfoMem segment, per-segment R/W/X bits, a
+//!   password/lock register protocol, and *no* coverage of SRAM or
+//!   peripherals) and a Tock/Cortex-M-style region MPU (independent
+//!   base/limit regions, deny-by-default over FRAM, InfoMem and SRAM) used
+//!   by region-MPU platforms such as the FR5994-class profile;
 //! * a 16-bit register machine with MSP430-flavoured cycle costs executing
 //!   the code produced by the `amulet-aft` compiler — [`isa`], [`cpu`];
 //! * the hardware timer used for the paper's measurements, with its 16-cycle
@@ -42,5 +48,5 @@ pub use cpu::{Cpu, CpuStats, FaultInfo, StepEvent, HANDLER_RETURN};
 pub use device::{Device, RunExit, StopReason};
 pub use firmware::{AppBinary, DataSegment, Firmware, FirmwareBuilder, FirmwareError, OsBinary};
 pub use isa::{AluOp, Cond, Instr, Reg, UnaryOp, Width};
-pub use mpu::{ExtendedMpu, Mpu, MpuDecision, MpuSegment};
+pub use mpu::{ExtendedMpu, Mpu, MpuDecision, MpuSegment, RegionMpu, RegionSlot};
 pub use timer::{Timer, TIMER_PRECISION_CYCLES};

@@ -18,7 +18,6 @@
 use amulet_core::addr::{Addr, AddrRange};
 use amulet_core::mpu_plan::{MpuPlan, MpuRegisterValues};
 use amulet_core::perm::{AccessKind, Perm};
-use serde::{Deserialize, Serialize};
 
 /// Base address of the MPU register block.
 pub const MPU_BASE: Addr = 0x05A0;
@@ -39,7 +38,7 @@ pub const MPU_END: Addr = 0x05AA;
 pub const MPU_PASSWORD: u16 = 0xA5;
 
 /// Which MPU segment an address falls into.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum MpuSegment {
     /// The pinned InfoMem segment ("segment 0" in the paper's description).
     Info,
@@ -51,8 +50,8 @@ pub enum MpuSegment {
     Seg3,
 }
 
-/// Outcome of consulting the MPU about an access.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+/// Outcome of consulting an MPU backend about an access.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum MpuDecision {
     /// The address is outside the MPU's jurisdiction (SRAM, peripherals,
     /// bootstrap loader, vectors): the MPU neither allows nor denies it.
@@ -61,27 +60,41 @@ pub enum MpuDecision {
     Allowed(MpuSegment),
     /// The access violates the current segment configuration.
     Violation(MpuSegment),
+    /// Region backend: the access is permitted by the region in this slot.
+    AllowedRegion(usize),
+    /// Region backend: the access is denied — either the matching region
+    /// (`Some(slot)`) withholds the permission, or no region covers the
+    /// address at all (`None`; region MPUs deny by default inside their
+    /// jurisdiction).
+    ViolationRegion(Option<usize>),
 }
 
 impl MpuDecision {
     /// True unless the decision is a violation.
     pub fn permits(&self) -> bool {
-        !matches!(self, MpuDecision::Violation(_))
+        !matches!(
+            self,
+            MpuDecision::Violation(_) | MpuDecision::ViolationRegion(_)
+        )
     }
 }
 
 /// Error writing an MPU register.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum MpuRegisterError {
     /// An `MPUCTL0` write without the `0xA5` password; on real hardware this
     /// causes a power-up-clear reset.
     BadPassword,
     /// A configuration write while the lock bit is set.
     Locked,
+    /// An unprivileged (application) store to a privileged-only register
+    /// block — the region MPU's registers live in protected peripheral
+    /// space, like the Cortex-M PPB, and only the OS may program them.
+    Privileged,
 }
 
 /// The MPU register file and access-checking logic.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Mpu {
     /// Whether segment checking is enabled (`MPUENA`).
     pub enabled: bool,
@@ -319,10 +332,210 @@ impl Mpu {
     }
 }
 
+/// Base address of the region-MPU register block (present on region-MPU
+/// platforms such as the FR5994-class profile).
+pub const RMPU_BASE: Addr = 0x05B0;
+/// `RMPUCTL`: bit 0 enables region checking.
+pub const RMPU_CTL: Addr = 0x05B0;
+/// `RMPURNR`: selects which region slot `RMPURBAR`/`RMPURLAR` address.
+pub const RMPU_RNR: Addr = 0x05B2;
+/// `RMPURBAR`: selected region's base address ÷ 16.
+pub const RMPU_RBAR: Addr = 0x05B4;
+/// `RMPURLAR`: selected region's limit ÷ 16 in bits 0..12, permissions in
+/// bits 12..15, enable in bit 15.
+pub const RMPU_RLAR: Addr = 0x05B6;
+/// One past the last region-MPU register address.
+pub const RMPU_END: Addr = 0x05B8;
+
+/// One slot of the region MPU.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RegionSlot {
+    /// Address range the slot covers.
+    pub range: AddrRange,
+    /// Permissions the slot grants.
+    pub perm: Perm,
+    /// Whether the slot participates in checking.
+    pub enabled: bool,
+}
+
+impl Default for RegionSlot {
+    fn default() -> Self {
+        RegionSlot {
+            range: AddrRange::empty(),
+            perm: Perm::NONE,
+            enabled: false,
+        }
+    }
+}
+
+/// A Tock/Cortex-M-style region MPU: a fixed number of base/limit region
+/// slots with per-slot R/W/X permissions.
+///
+/// Unlike the FR5969's segmented part, this backend **denies by default**:
+/// inside its jurisdiction (main FRAM, InfoMem and SRAM, like its
+/// Cortex-M inspirations) an access no enabled region grants is a
+/// violation.  Peripheral space, the bootstrap loader and the vectors are
+/// still unpoliced — the reason the software keeps its function-pointer
+/// checks even on this hardware.  There is no password protocol, but the
+/// register block itself is **privileged-only** (like the Cortex-M PPB):
+/// application stores through the bus fault, and only the OS's trusted
+/// switch path ([`crate::bus::Bus::install_mpu_config`]) programs it
+/// (select a slot with `RMPURNR`, then write `RMPURBAR`/`RMPURLAR`).
+#[derive(Clone, Debug)]
+pub struct RegionMpu {
+    /// Whether region checking is enabled.
+    pub enabled: bool,
+    /// The region slots.
+    pub slots: Vec<RegionSlot>,
+    /// The slot index selected by `RMPURNR`.
+    pub selected: usize,
+    /// The main-memory range the MPU polices.
+    main_range: AddrRange,
+    /// The InfoMem range (also policed).
+    info_range: AddrRange,
+    /// The SRAM range (also policed, unlike the segmented part).
+    sram_range: AddrRange,
+    /// Count of configuration writes (context-switch accounting).
+    pub config_writes: u64,
+    /// Count of access checks performed.
+    pub checks: u64,
+    /// Count of violations detected.
+    pub violations: u64,
+}
+
+impl RegionMpu {
+    /// Creates a disabled region MPU with `slots` empty regions, policing
+    /// the given main-FRAM, InfoMem and SRAM ranges.
+    pub fn new(
+        slots: usize,
+        main_range: AddrRange,
+        info_range: AddrRange,
+        sram_range: AddrRange,
+    ) -> Self {
+        RegionMpu {
+            enabled: false,
+            slots: vec![RegionSlot::default(); slots],
+            selected: 0,
+            main_range,
+            info_range,
+            sram_range,
+            config_writes: 0,
+            checks: 0,
+            violations: 0,
+        }
+    }
+
+    /// Whether `addr` falls inside the MPU's jurisdiction.
+    pub fn covers(&self, addr: Addr) -> bool {
+        self.main_range.contains(addr)
+            || self.info_range.contains(addr)
+            || self.sram_range.contains(addr)
+    }
+
+    /// The enabled slot covering `addr`, if any.
+    pub fn slot_of(&self, addr: Addr) -> Option<usize> {
+        self.slots
+            .iter()
+            .position(|s| s.enabled && s.range.contains(addr))
+    }
+
+    /// Checks an access of `kind` at `addr`.
+    pub fn check(&mut self, addr: Addr, kind: AccessKind) -> MpuDecision {
+        self.checks += 1;
+        if !self.enabled || !self.covers(addr) {
+            return MpuDecision::NotCovered;
+        }
+        match self.slot_of(addr) {
+            Some(slot) if self.slots[slot].perm.allows(kind.required_perm()) => {
+                MpuDecision::AllowedRegion(slot)
+            }
+            matched => {
+                self.violations += 1;
+                MpuDecision::ViolationRegion(matched)
+            }
+        }
+    }
+
+    /// Non-mutating variant of [`RegionMpu::check`].
+    pub fn would_allow(&self, addr: Addr, kind: AccessKind) -> bool {
+        if !self.enabled || !self.covers(addr) {
+            return true;
+        }
+        self.slot_of(addr)
+            .map(|slot| self.slots[slot].perm.allows(kind.required_perm()))
+            .unwrap_or(false)
+    }
+
+    /// True when `addr` addresses one of the region MPU's memory-mapped
+    /// registers.
+    pub fn owns_register(addr: Addr) -> bool {
+        (RMPU_BASE..RMPU_END).contains(&addr)
+    }
+
+    /// Reads a memory-mapped region-MPU register.
+    pub fn read_register(&self, addr: Addr) -> u16 {
+        let slot = self.slots.get(self.selected).copied().unwrap_or_default();
+        match addr & !1 {
+            RMPU_CTL => self.enabled as u16,
+            RMPU_RNR => self.selected as u16,
+            RMPU_RBAR => (slot.range.start >> 4) as u16,
+            RMPU_RLAR => {
+                ((slot.range.end >> 4) as u16 & 0x0FFF)
+                    | (slot.perm.to_bits() << 12)
+                    | ((slot.enabled as u16) << 15)
+            }
+            _ => 0,
+        }
+    }
+
+    /// Writes a memory-mapped region-MPU register.  Region MPUs have no
+    /// password/lock protocol, so writes always succeed.
+    pub fn write_register(&mut self, addr: Addr, value: u16) {
+        self.config_writes += 1;
+        match addr & !1 {
+            RMPU_CTL => self.enabled = value & 1 != 0,
+            RMPU_RNR => self.selected = (value as usize) % self.slots.len().max(1),
+            RMPU_RBAR => {
+                if let Some(slot) = self.slots.get_mut(self.selected) {
+                    let base = (value as Addr) << 4;
+                    slot.range = AddrRange::new(base, base.max(slot.range.end));
+                }
+            }
+            RMPU_RLAR => {
+                if let Some(slot) = self.slots.get_mut(self.selected) {
+                    let limit = ((value & 0x0FFF) as Addr) << 4;
+                    slot.range = AddrRange::new(slot.range.start.min(limit), limit);
+                    slot.perm = Perm::from_bits((value >> 12) & 0x7);
+                    slot.enabled = value & 0x8000 != 0;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Applies a full region configuration in the order a context-switch
+    /// routine writes it: every listed region (select, base, limit), then
+    /// enable; slots beyond the listed ones are disabled.
+    pub fn apply_config(&mut self, config: &amulet_core::mpu_plan::RegionRegisterValues) {
+        for (i, region) in config.regions.iter().enumerate().take(self.slots.len()) {
+            self.write_register(RMPU_RNR, i as u16);
+            self.write_register(RMPU_RBAR, (region.range.start >> 4) as u16);
+            self.write_register(
+                RMPU_RLAR,
+                ((region.range.end >> 4) as u16 & 0x0FFF) | (region.perm.to_bits() << 12) | 0x8000,
+            );
+        }
+        for slot in self.slots.iter_mut().skip(config.regions.len()) {
+            slot.enabled = false;
+        }
+        self.write_register(RMPU_CTL, 1);
+    }
+}
+
 /// An "advanced MPU" for the §5 ablation: an arbitrary list of segments with
 /// full coverage of the address space, standing in for the more capable MPUs
 /// the paper says would remove the need for compiler-inserted checks.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct ExtendedMpu {
     /// Whether the extended MPU is active (when active it takes precedence
     /// over the standard 3-segment MPU).
@@ -371,7 +584,10 @@ mod tests {
     #[test]
     fn disabled_mpu_allows_everything() {
         let mut mpu = fr5969();
-        assert_eq!(mpu.check(0x5000, AccessKind::Write), MpuDecision::NotCovered);
+        assert_eq!(
+            mpu.check(0x5000, AccessKind::Write),
+            MpuDecision::NotCovered
+        );
         assert!(mpu.would_allow(0xF000, AccessKind::Execute));
     }
 
@@ -417,7 +633,10 @@ mod tests {
     fn register_password_and_lock_protocol() {
         let mut mpu = fr5969();
         // Enable without password: rejected.
-        assert_eq!(mpu.write_register(MPUCTL0, 0x0001), Err(MpuRegisterError::BadPassword));
+        assert_eq!(
+            mpu.write_register(MPUCTL0, 0x0001),
+            Err(MpuRegisterError::BadPassword)
+        );
         assert!(!mpu.enabled);
         // Proper password enables.
         mpu.write_register(MPUCTL0, 0xA501).unwrap();
@@ -425,7 +644,10 @@ mod tests {
         // Lock, then further writes fail.
         mpu.write_register(MPUCTL0, 0xA503).unwrap();
         assert!(mpu.locked);
-        assert_eq!(mpu.write_register(MPUSEGB1, 0x600), Err(MpuRegisterError::Locked));
+        assert_eq!(
+            mpu.write_register(MPUSEGB1, 0x600),
+            Err(MpuRegisterError::Locked)
+        );
         // Reset unlocks.
         mpu.reset();
         assert!(!mpu.locked && !mpu.enabled);
@@ -476,30 +698,147 @@ mod tests {
         // ...and may not write OS data (execute-only segment 1), though the
         // MPU alone cannot stop reads of SRAM or peripherals.
         assert!(!mpu.check(map.os_data.start, AccessKind::Write).permits());
-        assert_eq!(mpu.check(map.os_stack.start, AccessKind::Write), MpuDecision::NotCovered);
+        assert_eq!(
+            mpu.check(map.os_stack.start, AccessKind::Write),
+            MpuDecision::NotCovered
+        );
     }
 
     #[test]
     fn extended_mpu_denies_uncovered_addresses() {
         let mut ext = ExtendedMpu::default();
-        assert!(ext.check(0x5000, AccessKind::Write), "disabled extended MPU is permissive");
+        assert!(
+            ext.check(0x5000, AccessKind::Write),
+            "disabled extended MPU is permissive"
+        );
         ext.enabled = true;
         ext.segments = vec![(AddrRange::new(0x5000, 0x6000), Perm::RW)];
         assert!(ext.check(0x5800, AccessKind::Write));
-        assert!(!ext.check(0x4800, AccessKind::Read), "full coverage denies unlisted addresses");
+        assert!(
+            !ext.check(0x4800, AccessKind::Read),
+            "full coverage denies unlisted addresses"
+        );
         assert_eq!(ext.violations, 1);
+    }
+
+    fn fr5994_region() -> RegionMpu {
+        let spec = amulet_core::layout::PlatformSpec::msp430fr5994();
+        RegionMpu::new(8, spec.fram, spec.info_mem, spec.sram)
+    }
+
+    #[test]
+    fn disabled_region_mpu_is_permissive() {
+        let mut r = fr5994_region();
+        assert_eq!(r.check(0x5000, AccessKind::Write), MpuDecision::NotCovered);
+        assert!(r.would_allow(0x5000, AccessKind::Write));
+    }
+
+    #[test]
+    fn region_mpu_denies_by_default_inside_its_jurisdiction() {
+        let mut r = fr5994_region();
+        r.apply_config(&amulet_core::mpu_plan::RegionRegisterValues {
+            regions: vec![
+                amulet_core::mpu_plan::RegionDesc {
+                    range: AddrRange::new(0x5000, 0x5400),
+                    perm: Perm::X,
+                },
+                amulet_core::mpu_plan::RegionDesc {
+                    range: AddrRange::new(0x5400, 0x5800),
+                    perm: Perm::RW,
+                },
+            ],
+        });
+        assert!(r.enabled);
+        // Granted accesses pass…
+        assert_eq!(
+            r.check(0x5000, AccessKind::Execute),
+            MpuDecision::AllowedRegion(0)
+        );
+        assert_eq!(
+            r.check(0x5600, AccessKind::Write),
+            MpuDecision::AllowedRegion(1)
+        );
+        // …a matching region without the permission is a violation…
+        assert_eq!(
+            r.check(0x5100, AccessKind::Write),
+            MpuDecision::ViolationRegion(Some(0))
+        );
+        // …and uncovered FRAM *and SRAM* are denied (full coverage).
+        assert_eq!(
+            r.check(0x9000, AccessKind::Read),
+            MpuDecision::ViolationRegion(None)
+        );
+        assert_eq!(
+            r.check(0x1C00, AccessKind::Write),
+            MpuDecision::ViolationRegion(None)
+        );
+        // Peripheral space stays outside the jurisdiction.
+        assert_eq!(r.check(0x0200, AccessKind::Write), MpuDecision::NotCovered);
+        assert_eq!(r.violations, 3);
+    }
+
+    #[test]
+    fn region_registers_roundtrip_and_reconfigure() {
+        let mut r = fr5994_region();
+        r.write_register(RMPU_RNR, 2);
+        r.write_register(RMPU_RBAR, 0x500);
+        r.write_register(RMPU_RLAR, 0x540 | (Perm::RW.to_bits() << 12) | 0x8000);
+        assert_eq!(r.read_register(RMPU_RNR), 2);
+        assert_eq!(r.read_register(RMPU_RBAR), 0x500);
+        assert_eq!(r.slots[2].range, AddrRange::new(0x5000, 0x5400));
+        assert_eq!(r.slots[2].perm, Perm::RW);
+        assert!(r.slots[2].enabled);
+        // Reprogramming the same slot with a lower base works.
+        r.write_register(RMPU_RBAR, 0x480);
+        r.write_register(RMPU_RLAR, 0x500 | (Perm::X.to_bits() << 12) | 0x8000);
+        assert_eq!(r.slots[2].range, AddrRange::new(0x4800, 0x5000));
+        assert_eq!(r.slots[2].perm, Perm::X);
+        // Config writes were counted.
+        assert!(r.config_writes >= 5);
+    }
+
+    #[test]
+    fn region_plan_for_app_encodes_and_enforces() {
+        let map = MemoryMapPlanner::new(amulet_core::layout::PlatformSpec::msp430fr5994())
+            .unwrap()
+            .plan(
+                &OsImageSpec::default(),
+                &[
+                    AppImageSpec::new("A", 0x800, 0x200, 0x100),
+                    AppImageSpec::new("B", 0x800, 0x200, 0x100),
+                ],
+            )
+            .unwrap();
+        let plan = MpuPlan::for_app_on(&map, 0).unwrap();
+        let mut r = fr5994_region();
+        r.apply_config(&plan.region_register_values());
+
+        let (a, b) = (&map.apps[0], &map.apps[1]);
+        assert!(r.check(a.code.start, AccessKind::Execute).permits());
+        assert!(r.check(a.data.start, AccessKind::Write).permits());
+        // App B fully blocked, OS data blocked, OS stack in SRAM blocked —
+        // all in hardware, with no compiler-inserted check needed.
+        assert!(!r.check(b.data.start, AccessKind::Read).permits());
+        assert!(!r.check(map.os_data.start, AccessKind::Write).permits());
+        assert!(!r.check(map.os_stack.start, AccessKind::Write).permits());
     }
 
     #[test]
     fn apply_plan_unchecked_counts_register_writes() {
         let map = MemoryMapPlanner::msp430fr5969()
-            .plan(&OsImageSpec::default(), &[AppImageSpec::new("A", 0x800, 0x200, 0x100)])
+            .plan(
+                &OsImageSpec::default(),
+                &[AppImageSpec::new("A", 0x800, 0x200, 0x100)],
+            )
             .unwrap();
         let plan = MpuPlan::for_app(&map, 0).unwrap();
         let mut mpu = fr5969();
         let before = mpu.config_writes;
         mpu.apply_plan_unchecked(&plan);
-        assert_eq!(mpu.config_writes - before, MpuRegisterValues::WRITE_COUNT as u64);
+        assert_eq!(
+            mpu.config_writes - before,
+            MpuRegisterValues::WRITE_COUNT as u64
+        );
         assert!(mpu.enabled);
     }
 }

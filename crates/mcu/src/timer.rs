@@ -7,7 +7,6 @@
 //! granularity.
 
 use amulet_core::addr::Addr;
-use serde::{Deserialize, Serialize};
 
 /// Memory-mapped address of the timer counter register (`TA0R`).
 pub const TIMER_COUNTER: Addr = 0x0350;
@@ -18,7 +17,7 @@ pub const TIMER_CONTROL: Addr = 0x0340;
 pub const TIMER_PRECISION_CYCLES: u64 = 16;
 
 /// A free-running, cycle-driven timer.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Timer {
     /// Total cycles observed since the last reset.
     cycles: u64,
@@ -29,7 +28,10 @@ pub struct Timer {
 impl Timer {
     /// Creates a stopped timer.
     pub fn new() -> Self {
-        Timer { cycles: 0, running: false }
+        Timer {
+            cycles: 0,
+            running: false,
+        }
     }
 
     /// Advances the timer by `cycles` CPU cycles (no-op when stopped).
@@ -76,12 +78,8 @@ impl Timer {
     pub fn read_register(&self, addr: Addr) -> u16 {
         match addr & !1 {
             TIMER_COUNTER => self.read_counter(),
-            TIMER_CONTROL => {
-                if self.running {
-                    0x0020 // MC = continuous mode
-                } else {
-                    0x0000
-                }
+            TIMER_CONTROL if self.running => {
+                0x0020 // MC = continuous mode
             }
             _ => 0,
         }
@@ -149,7 +147,10 @@ mod tests {
     fn register_ownership() {
         assert!(Timer::owns_register(TIMER_COUNTER));
         assert!(Timer::owns_register(TIMER_CONTROL));
-        assert!(Timer::owns_register(TIMER_COUNTER + 1), "odd byte of the register");
+        assert!(
+            Timer::owns_register(TIMER_COUNTER + 1),
+            "odd byte of the register"
+        );
         assert!(!Timer::owns_register(0x0360));
     }
 

@@ -49,6 +49,10 @@ proptest! {
             MpuDecision::Allowed(seg) => {
                 prop_assert!(mpu.segment_perm(seg).allows(kind.required_perm()));
             }
+            // The segmented backend never produces region decisions.
+            MpuDecision::AllowedRegion(_) | MpuDecision::ViolationRegion(_) => {
+                prop_assert!(false, "segmented MPU produced a region decision");
+            }
         }
     }
 

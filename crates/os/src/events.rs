@@ -4,11 +4,10 @@
 //! and the scheduler delivers each event by invoking the owning
 //! application's handler function.
 
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// The source of an event.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
 pub enum EventKind {
     /// An application timer armed with `amulet_set_timer` fired.
     Timer,
@@ -21,7 +20,7 @@ pub enum EventKind {
 }
 
 /// One event waiting for delivery.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Event {
     /// Index of the destination application.
     pub app_index: usize,
@@ -35,13 +34,23 @@ pub struct Event {
 
 impl Event {
     /// Convenience constructor.
-    pub fn new(app_index: usize, handler: impl Into<String>, payload: u16, kind: EventKind) -> Self {
-        Event { app_index, handler: handler.into(), payload, kind }
+    pub fn new(
+        app_index: usize,
+        handler: impl Into<String>,
+        payload: u16,
+        kind: EventKind,
+    ) -> Self {
+        Event {
+            app_index,
+            handler: handler.into(),
+            payload,
+            kind,
+        }
     }
 }
 
 /// A FIFO event queue.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct EventQueue {
     queue: VecDeque<Event>,
     /// Total events ever enqueued (for statistics).

@@ -27,8 +27,6 @@ use amulet_mcu::cpu::FaultInfo;
 use amulet_mcu::device::{Device, StopReason};
 use amulet_mcu::firmware::Firmware;
 use amulet_mcu::isa::Reg;
-use amulet_mcu::mpu::{MPUCTL0, MPUSAM, MPUSEGB1, MPUSEGB2};
-use serde::{Deserialize, Serialize};
 
 /// Configuration knobs for the runtime.
 #[derive(Clone, Copy, Debug)]
@@ -58,7 +56,7 @@ impl Default for OsOptions {
 }
 
 /// Per-application runtime statistics.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct AppRuntimeStats {
     /// Events delivered to the app.
     pub events_delivered: u64,
@@ -122,9 +120,10 @@ impl AmuletOs {
         Self::with_options(firmware, OsOptions::default())
     }
 
-    /// Boots the runtime with explicit options.
+    /// Boots the runtime with explicit options: the simulated device is
+    /// built for whatever platform the firmware was linked against.
     pub fn with_options(firmware: Firmware, options: OsOptions) -> Self {
-        let mut device = Device::msp430fr5969();
+        let mut device = Device::new(firmware.memory_map.platform.clone());
         device.load_firmware(&firmware);
         device.bus.timer.start();
         let app_count = firmware.apps.len();
@@ -274,37 +273,40 @@ impl AmuletOs {
         self.stats[idx].switch_cycles += cycles;
     }
 
-    /// Installs the MPU configuration for the given register values by
-    /// writing the real memory-mapped registers (boundaries, access bits,
-    /// control word) through the bus, exactly as the OS switch code does on
-    /// hardware.
-    fn write_mpu_regs(&mut self, regs: amulet_core::mpu_plan::MpuRegisterValues) {
+    /// Installs an MPU configuration by writing the real memory-mapped
+    /// registers through the bus (whichever register shape the platform's
+    /// MPU expects), exactly as the OS switch code does on hardware.
+    fn write_mpu_config(&mut self, config: &amulet_core::mpu_plan::MpuConfig) {
         // These writes cannot fail: the OS never locks the MPU.
-        let _ = self.device.bus.write(MPUSEGB1, 2, regs.mpusegb1);
-        let _ = self.device.bus.write(MPUSEGB2, 2, regs.mpusegb2);
-        let _ = self.device.bus.write(MPUSAM, 2, regs.mpusam);
-        let _ = self.device.bus.write(MPUCTL0, 2, regs.mpuctl0);
+        let _ = self.device.bus.install_mpu_config(config);
     }
 
-    /// OS → app transition: charge the plan and install the app's MPU
-    /// configuration.
+    /// OS → app transition: charge the plan (costed for this platform's
+    /// MPU) and install the app's MPU configuration.
     fn switch_to_app(&mut self, idx: usize) {
-        let plan = ContextSwitchPlan::new(self.method, SwitchDirection::OsToApp, 0);
+        let platform = &self.firmware.memory_map.platform;
+        let plan = ContextSwitchPlan::new_for(platform, self.method, SwitchDirection::OsToApp, 0);
         self.charge_switch(idx, plan.cycles());
         if self.method.uses_mpu() {
-            let regs = self.firmware.apps[idx].mpu_regs;
-            self.write_mpu_regs(regs);
+            let config = self.firmware.apps[idx].mpu_config.clone();
+            self.write_mpu_config(&config);
         }
     }
 
     /// App → OS transition: charge the plan (including validation of any
     /// pointer arguments) and install the OS MPU configuration.
     fn switch_to_os(&mut self, idx: usize, pointer_args: u32) {
-        let plan = ContextSwitchPlan::new(self.method, SwitchDirection::AppToOs, pointer_args);
+        let platform = &self.firmware.memory_map.platform;
+        let plan = ContextSwitchPlan::new_for(
+            platform,
+            self.method,
+            SwitchDirection::AppToOs,
+            pointer_args,
+        );
         self.charge_switch(idx, plan.cycles());
         if self.method.uses_mpu() {
-            let regs = self.firmware.os.mpu_regs;
-            self.write_mpu_regs(regs);
+            let config = self.firmware.os.mpu_config.clone();
+            self.write_mpu_config(&config);
         }
     }
 
@@ -361,13 +363,15 @@ impl AmuletOs {
                         move |addr: Addr| bus.read_raw(addr, 2)
                     };
                     let outcome =
-                        self.services.dispatch(&self.api, idx, num, args, at, &mut reader);
+                        self.services
+                            .dispatch(&self.api, idx, num, args, at, &mut reader);
                     self.device.charge_cycles(outcome.service_cycles);
                     self.stats[idx].service_cycles += outcome.service_cycles;
 
                     if let Some(ms) = outcome.timer_armed_ms {
                         if self.firmware.apps[idx].handlers.contains_key("on_timer") {
-                            self.queue.push(Event::new(idx, "on_timer", ms, EventKind::Timer));
+                            self.queue
+                                .push(Event::new(idx, "on_timer", ms, EventKind::Timer));
                         }
                     }
                     if let Some(stream) = outcome.subscribed_stream {
@@ -401,8 +405,8 @@ impl AmuletOs {
         // Make sure the OS configuration is back in force before the OS
         // touches anything.
         if self.method.uses_mpu() {
-            let regs = self.firmware.os.mpu_regs;
-            self.write_mpu_regs(regs);
+            let config = self.firmware.os.mpu_config.clone();
+            self.write_mpu_config(&config);
         }
         let name = self.firmware.apps[idx].name.clone();
         let action = self.faults.handle(idx, &name, info, self.device.cycles());
@@ -472,7 +476,10 @@ mod tests {
 
     #[test]
     fn boot_runs_main_and_records_subscriptions() {
-        let mut os = build(IsolationMethod::Mpu, &[("Counter", COUNTER_APP, &["main", "on_tick"])]);
+        let mut os = build(
+            IsolationMethod::Mpu,
+            &[("Counter", COUNTER_APP, &["main", "on_tick"])],
+        );
         os.boot();
         assert_eq!(os.subscriptions, vec![(0, 1)]);
         assert_eq!(os.stats[0].events_delivered, 1);
@@ -498,12 +505,18 @@ mod tests {
 
     #[test]
     fn wild_pointer_faults_and_kill_policy_disables_the_app() {
-        let mut os = build(IsolationMethod::Mpu, &[("Wild", WILD_APP, &["main", "poke"])]);
+        let mut os = build(
+            IsolationMethod::Mpu,
+            &[("Wild", WILD_APP, &["main", "poke"])],
+        );
         os.boot();
         // Poke the OS data region (below the app): caught by the
         // compiler-inserted lower-bound check.
         let (outcome, _) = os.call_handler(0, "poke", 0x4500);
-        assert!(matches!(outcome, DeliveryOutcome::Faulted(FaultClass::DataPointerLowerBound)));
+        assert!(matches!(
+            outcome,
+            DeliveryOutcome::Faulted(FaultClass::DataPointerLowerBound)
+        ));
         assert_eq!(os.app_state(0), AppState::Killed);
         assert_eq!(os.faults.records.len(), 1);
         // Further deliveries are skipped.
@@ -513,23 +526,36 @@ mod tests {
 
     #[test]
     fn wild_pointer_above_faults_through_the_mpu_hardware() {
-        let mut os = build(IsolationMethod::Mpu, &[("Wild", WILD_APP, &["main", "poke"])]);
+        let mut os = build(
+            IsolationMethod::Mpu,
+            &[("Wild", WILD_APP, &["main", "poke"])],
+        );
         os.boot();
         // 0xF000 is above the app: no software check exists under the MPU
         // method, so this must be caught by the MPU itself.
         let (outcome, _) = os.call_handler(0, "poke", 0xF000);
-        assert!(matches!(outcome, DeliveryOutcome::Faulted(FaultClass::MpuViolation)));
+        assert!(matches!(
+            outcome,
+            DeliveryOutcome::Faulted(FaultClass::MpuViolation)
+        ));
     }
 
     #[test]
     fn no_isolation_lets_the_wild_write_corrupt_memory() {
-        let mut os = build(IsolationMethod::NoIsolation, &[("Wild", WILD_APP, &["main", "poke"])]);
+        let mut os = build(
+            IsolationMethod::NoIsolation,
+            &[("Wild", WILD_APP, &["main", "poke"])],
+        );
         os.boot();
         let target = 0x4500;
         let before = os.device.bus.read_raw(target, 2);
         let (outcome, _) = os.call_handler(0, "poke", target as u16);
         assert_eq!(outcome, DeliveryOutcome::Completed);
-        assert_ne!(os.device.bus.read_raw(target, 2), before, "OS memory was silently corrupted");
+        assert_ne!(
+            os.device.bus.read_raw(target, 2),
+            before,
+            "OS memory was silently corrupted"
+        );
     }
 
     #[test]
@@ -552,7 +578,10 @@ mod tests {
             .unwrap();
         let mut os = AmuletOs::with_options(
             out.firmware,
-            OsOptions { restart_policy: RestartPolicy::Restart, ..OsOptions::default() },
+            OsOptions {
+                restart_policy: RestartPolicy::Restart,
+                ..OsOptions::default()
+            },
         );
         os.boot();
         let (outcome, _) = os.call_handler(0, "crash", 0);
@@ -592,7 +621,10 @@ mod tests {
         // secret.  Victim sits below the attacker, so the *lower bound*
         // software check fires.
         let (outcome, _) = os.call_handler(1, "steal", victim_data as u16);
-        assert!(matches!(outcome, DeliveryOutcome::Faulted(_)), "read was blocked");
+        assert!(
+            matches!(outcome, DeliveryOutcome::Faulted(_)),
+            "read was blocked"
+        );
     }
 
     #[test]
@@ -602,7 +634,10 @@ mod tests {
             void main(void) { amulet_set_timer(250); }
             int on_timer(int ms) { fired = ms; return fired; }
         "#;
-        let mut os = build(IsolationMethod::Mpu, &[("Timed", src, &["main", "on_timer"])]);
+        let mut os = build(
+            IsolationMethod::Mpu,
+            &[("Timed", src, &["main", "on_timer"])],
+        );
         os.boot();
         // boot() delivered main, which armed the timer; the timer event is
         // now queued and carries the period as its payload.
@@ -628,7 +663,9 @@ mod tests {
             per_method[&IsolationMethod::NoIsolation],
             per_method[&IsolationMethod::FeatureLimited]
         );
-        assert!(per_method[&IsolationMethod::SoftwareOnly] > per_method[&IsolationMethod::NoIsolation]);
+        assert!(
+            per_method[&IsolationMethod::SoftwareOnly] > per_method[&IsolationMethod::NoIsolation]
+        );
         assert!(per_method[&IsolationMethod::Mpu] > per_method[&IsolationMethod::SoftwareOnly]);
     }
 
@@ -648,7 +685,10 @@ mod tests {
         let mut plain = AmuletOs::new(build_fw(IsolationMethod::FeatureLimited));
         let mut zeroed = AmuletOs::with_options(
             build_fw(IsolationMethod::FeatureLimited),
-            OsOptions { zero_shared_stack: true, ..OsOptions::default() },
+            OsOptions {
+                zero_shared_stack: true,
+                ..OsOptions::default()
+            },
         );
         for os in [&mut plain, &mut zeroed] {
             os.boot();
@@ -671,16 +711,25 @@ mod tests {
             int good(int x) { amulet_log_buffer(&buf[0], 4); return 1; }
             int evil(int addr) { amulet_log_buffer(addr, 4); return 1; }
         "#;
-        let mut os = build(IsolationMethod::Mpu, &[("Logger", src, &["main", "good", "evil"])]);
+        let mut os = build(
+            IsolationMethod::Mpu,
+            &[("Logger", src, &["main", "good", "evil"])],
+        );
         os.boot();
         let (outcome, _) = os.call_handler(0, "good", 0);
         assert_eq!(outcome, DeliveryOutcome::Completed);
         assert_eq!(os.services.log.len(), 1);
         // Passing an OS address to the API is rejected during argument
         // validation, before the OS dereferences it.
-        let mut os = build(IsolationMethod::Mpu, &[("Logger", src, &["main", "good", "evil"])]);
+        let mut os = build(
+            IsolationMethod::Mpu,
+            &[("Logger", src, &["main", "good", "evil"])],
+        );
         os.boot();
         let (outcome, _) = os.call_handler(0, "evil", 0x4600);
-        assert!(matches!(outcome, DeliveryOutcome::Faulted(FaultClass::ApiViolation)));
+        assert!(matches!(
+            outcome,
+            DeliveryOutcome::Faulted(FaultClass::ApiViolation)
+        ));
     }
 }

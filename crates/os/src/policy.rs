@@ -8,13 +8,13 @@
 
 use amulet_core::fault::FaultClass;
 use amulet_mcu::cpu::FaultInfo;
-use serde::{Deserialize, Serialize};
 
 /// What the OS does with an application after it faults.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum RestartPolicy {
     /// Disable the application until the firmware is reinstalled (the
     /// paper's baseline behaviour).
+    #[default]
     Kill,
     /// Reinitialise the app's data and keep delivering events to it.
     Restart,
@@ -25,14 +25,8 @@ pub enum RestartPolicy {
     },
 }
 
-impl Default for RestartPolicy {
-    fn default() -> Self {
-        RestartPolicy::Kill
-    }
-}
-
 /// The lifecycle state of an installed application.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum AppState {
     /// Running normally.
     Active,
@@ -41,7 +35,7 @@ pub enum AppState {
 }
 
 /// One logged fault, as recorded by the OS FAULT handler.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct FaultRecord {
     /// Index of the faulting application.
     pub app_index: usize,
@@ -60,7 +54,7 @@ pub struct FaultRecord {
 }
 
 /// The action the restart policy chose for a fault.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum FaultAction {
     /// The app was disabled.
     Killed,
@@ -69,7 +63,7 @@ pub enum FaultAction {
 }
 
 /// Tracks fault counts and applies the restart policy.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct FaultHandler {
     /// The configured policy.
     pub policy: RestartPolicy,
@@ -82,7 +76,11 @@ pub struct FaultHandler {
 impl FaultHandler {
     /// Creates a handler for `app_count` applications under `policy`.
     pub fn new(policy: RestartPolicy, app_count: usize) -> Self {
-        FaultHandler { policy, records: Vec::new(), per_app_faults: vec![0; app_count] }
+        FaultHandler {
+            policy,
+            records: Vec::new(),
+            per_app_faults: vec![0; app_count],
+        }
     }
 
     /// Records a fault and decides what to do with the app.
@@ -131,7 +129,11 @@ mod tests {
     use super::*;
 
     fn fault() -> FaultInfo {
-        FaultInfo { class: FaultClass::DataPointerLowerBound, pc: 0x8000, addr: Some(0x4400) }
+        FaultInfo {
+            class: FaultClass::DataPointerLowerBound,
+            pc: 0x8000,
+            addr: Some(0x4400),
+        }
     }
 
     #[test]

@@ -7,10 +7,8 @@
 //! same code paths (sampling loops, thresholding, windowed statistics) the
 //! real applications run.
 
-use serde::{Deserialize, Serialize};
-
 /// Deterministic synthetic sensor state.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct SensorModel {
     /// Monotonic tick counter (advanced on every time read and every sensor
     /// sample).
@@ -30,7 +28,11 @@ impl Default for SensorModel {
 impl SensorModel {
     /// Creates a sensor model with the given noise seed.
     pub fn new(seed: u32) -> Self {
-        SensorModel { ticks: 0, lcg: seed.max(1), battery_percent: 100 }
+        SensorModel {
+            ticks: 0,
+            lcg: seed.max(1),
+            battery_percent: 100,
+        }
     }
 
     fn noise(&mut self, span: u16) -> i16 {
@@ -75,7 +77,7 @@ impl SensorModel {
     /// Ambient light in lux-ish units (day/night square wave).
     pub fn light(&mut self) -> u16 {
         self.ticks += 1;
-        if (self.ticks / 512) % 2 == 0 {
+        if (self.ticks / 512).is_multiple_of(2) {
             (800 + self.noise(100)) as u16
         } else {
             (20 + self.noise(10)).max(0) as u16
@@ -85,7 +87,7 @@ impl SensorModel {
     /// Battery level in percent (drains one percent every 4096 reads).
     pub fn battery(&mut self) -> u16 {
         self.ticks += 1;
-        if self.ticks % 4096 == 0 && self.battery_percent > 0 {
+        if self.ticks.is_multiple_of(4096) && self.battery_percent > 0 {
             self.battery_percent -= 1;
         }
         self.battery_percent

@@ -9,10 +9,9 @@
 use crate::sensors::SensorModel;
 use amulet_aft::api::{sysno, ApiSpec};
 use amulet_core::addr::Addr;
-use serde::{Deserialize, Serialize};
 
 /// A log entry written by `amulet_log_value` / `amulet_log_buffer`.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct LogEntry {
     /// Which application logged it.
     pub app_index: usize,
@@ -50,7 +49,7 @@ pub struct SyscallOutcome {
 }
 
 /// Persistent OS service state (sensors, log, display).
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Services {
     /// The synthetic sensors.
     pub sensors: SensorModel,
@@ -65,7 +64,10 @@ pub struct Services {
 impl Services {
     /// Creates the service state with a fixed sensor seed.
     pub fn new(seed: u32) -> Self {
-        Services { sensors: SensorModel::new(seed), ..Default::default() }
+        Services {
+            sensors: SensorModel::new(seed),
+            ..Default::default()
+        }
     }
 
     /// Dispatches one system call.
@@ -96,7 +98,11 @@ impl Services {
             sysno::GET_TIME => out.ret = self.sensors.time(),
             sysno::READ_SENSOR => out.ret = self.sensors.raw_channel(args.arg0) as u16,
             sysno::LOG_VALUE => {
-                self.log.push(LogEntry { app_index, value: args.arg0 as i16, at_cycle });
+                self.log.push(LogEntry {
+                    app_index,
+                    value: args.arg0 as i16,
+                    at_cycle,
+                });
             }
             sysno::SET_TIMER => out.timer_armed_ms = Some(args.arg0),
             sysno::GET_BATTERY => out.ret = self.sensors.battery(),
@@ -145,8 +151,22 @@ mod tests {
     fn logging_and_display_record_per_app() {
         let api = ApiSpec::amulet();
         let mut s = Services::new(1);
-        s.dispatch(&api, 0, sysno::LOG_VALUE, SyscallArgs { arg0: 42, arg1: 0 }, 10, &mut no_mem());
-        s.dispatch(&api, 1, sysno::DISPLAY_VALUE, SyscallArgs { arg0: 7, arg1: 0 }, 20, &mut no_mem());
+        s.dispatch(
+            &api,
+            0,
+            sysno::LOG_VALUE,
+            SyscallArgs { arg0: 42, arg1: 0 },
+            10,
+            &mut no_mem(),
+        );
+        s.dispatch(
+            &api,
+            1,
+            sysno::DISPLAY_VALUE,
+            SyscallArgs { arg0: 7, arg1: 0 },
+            20,
+            &mut no_mem(),
+        );
         assert_eq!(s.log.len(), 1);
         assert_eq!(s.log[0].app_index, 0);
         assert_eq!(s.log[0].value, 42);
@@ -157,9 +177,23 @@ mod tests {
     fn timers_and_subscriptions_are_reported_to_the_scheduler() {
         let api = ApiSpec::amulet();
         let mut s = Services::new(1);
-        let out = s.dispatch(&api, 0, sysno::SET_TIMER, SyscallArgs { arg0: 500, arg1: 0 }, 0, &mut no_mem());
+        let out = s.dispatch(
+            &api,
+            0,
+            sysno::SET_TIMER,
+            SyscallArgs { arg0: 500, arg1: 0 },
+            0,
+            &mut no_mem(),
+        );
         assert_eq!(out.timer_armed_ms, Some(500));
-        let out = s.dispatch(&api, 0, sysno::SUBSCRIBE, SyscallArgs { arg0: 3, arg1: 0 }, 0, &mut no_mem());
+        let out = s.dispatch(
+            &api,
+            0,
+            sysno::SUBSCRIBE,
+            SyscallArgs { arg0: 3, arg1: 0 },
+            0,
+            &mut no_mem(),
+        );
         assert_eq!(out.subscribed_stream, Some(3));
     }
 
@@ -173,7 +207,10 @@ mod tests {
             &api,
             0,
             sysno::LOG_BUFFER,
-            SyscallArgs { arg0: 0x8000, arg1: 4 },
+            SyscallArgs {
+                arg0: 0x8000,
+                arg1: 4,
+            },
             0,
             &mut read,
         );
@@ -187,9 +224,27 @@ mod tests {
     fn sensor_calls_return_plausible_values_and_count_dispatches() {
         let api = ApiSpec::amulet();
         let mut s = Services::new(9);
-        let hr = s.dispatch(&api, 0, sysno::GET_HEART_RATE, SyscallArgs::default(), 0, &mut no_mem()).ret;
+        let hr = s
+            .dispatch(
+                &api,
+                0,
+                sysno::GET_HEART_RATE,
+                SyscallArgs::default(),
+                0,
+                &mut no_mem(),
+            )
+            .ret;
         assert!((40..=180).contains(&hr));
-        let batt = s.dispatch(&api, 0, sysno::GET_BATTERY, SyscallArgs::default(), 0, &mut no_mem()).ret;
+        let batt = s
+            .dispatch(
+                &api,
+                0,
+                sysno::GET_BATTERY,
+                SyscallArgs::default(),
+                0,
+                &mut no_mem(),
+            )
+            .ret;
         assert!(batt <= 100);
         assert_eq!(s.dispatch_counts[&sysno::GET_HEART_RATE], 1);
         assert_eq!(s.dispatch_counts[&sysno::GET_BATTERY], 1);

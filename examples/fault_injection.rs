@@ -33,18 +33,39 @@ const CHAOS: &str = r#"
 fn scenario(method: IsolationMethod, policy: RestartPolicy) {
     println!("=== {method} (policy {policy:?}) ===");
     let build = Aft::new(method)
-        .add_app(AppSource::new("Chaos", CHAOS, &["main", "read_below", "write_above", "overrun", "deep", "bump"]).with_stack(256))
+        .add_app(
+            AppSource::new(
+                "Chaos",
+                CHAOS,
+                &[
+                    "main",
+                    "read_below",
+                    "write_above",
+                    "overrun",
+                    "deep",
+                    "bump",
+                ],
+            )
+            .with_stack(256),
+        )
         .build()
         .expect("build");
     let mut os = AmuletOs::with_options(
         build.firmware,
-        OsOptions { restart_policy: policy, ..OsOptions::default() },
+        OsOptions {
+            restart_policy: policy,
+            ..OsOptions::default()
+        },
     );
     os.boot();
 
     let cases: [(&str, u16, &str); 4] = [
         ("read_below", 0x4500, "read OS memory below the app"),
-        ("write_above", 0xF800, "write above the app (another app's slot)"),
+        (
+            "write_above",
+            0xF800,
+            "write above the app (another app's slot)",
+        ),
         ("overrun", 64, "overrun a 4-element array"),
         ("deep", 200, "recurse until the stack overflows"),
     ];
@@ -53,7 +74,10 @@ fn scenario(method: IsolationMethod, policy: RestartPolicy) {
         println!("  {what:<42} -> {outcome:?}");
         // Under a restart policy the app keeps running after each incident.
         let (alive, _) = os.call_handler(0, "bump", 1);
-        println!("    app still schedulable afterwards? {:?}", alive == DeliveryOutcome::Completed);
+        println!(
+            "    app still schedulable afterwards? {:?}",
+            alive == DeliveryOutcome::Completed
+        );
     }
     println!("  total faults recorded: {}", os.faults.records.len());
     println!();
@@ -65,7 +89,10 @@ fn main() {
     // The paper's hybrid method with the baseline kill policy.
     scenario(IsolationMethod::Mpu, RestartPolicy::Kill);
     // The same method with the restart-with-limit policy from §5.
-    scenario(IsolationMethod::Mpu, RestartPolicy::RestartWithLimit { max_restarts: 8 });
+    scenario(
+        IsolationMethod::Mpu,
+        RestartPolicy::RestartWithLimit { max_restarts: 8 },
+    );
     // Full software isolation.
     scenario(IsolationMethod::SoftwareOnly, RestartPolicy::Restart);
 }

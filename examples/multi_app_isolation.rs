@@ -46,11 +46,23 @@ const SNOOPER: &str = r#"
 "#;
 
 fn main() {
-    for method in [IsolationMethod::NoIsolation, IsolationMethod::Mpu, IsolationMethod::SoftwareOnly] {
+    for method in [
+        IsolationMethod::NoIsolation,
+        IsolationMethod::Mpu,
+        IsolationMethod::SoftwareOnly,
+    ] {
         println!("=== {method} ===");
         let build = Aft::new(method)
-            .add_app(AppSource::new("HeartRate", HEART_RATE, &["main", "on_hr", "average"]))
-            .add_app(AppSource::new("Snooper", SNOOPER, &["main", "snoop", "scribble"]))
+            .add_app(AppSource::new(
+                "HeartRate",
+                HEART_RATE,
+                &["main", "on_hr", "average"],
+            ))
+            .add_app(AppSource::new(
+                "Snooper",
+                SNOOPER,
+                &["main", "snoop", "scribble"],
+            ))
             .build()
             .expect("build");
         let hr_data = build.firmware.apps[0].placement.data.start;

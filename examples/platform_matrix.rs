@@ -1,0 +1,47 @@
+//! Platform matrix: build and run the same application on every built-in
+//! platform profile under every isolation method, and print what each
+//! combination costs — the FR5969's segmented MPU against the FR5994-class
+//! region MPU.
+//!
+//! Run with `cargo run --example platform_matrix`.
+
+use amulet_iso::aft::aft::{Aft, AppSource};
+use amulet_iso::core::method::IsolationMethod;
+use amulet_iso::core::overhead::OverheadModel;
+use amulet_iso::core::platform::builtin_platforms;
+use amulet_iso::os::os::{AmuletOs, DeliveryOutcome};
+
+const COUNTER: &str = r#"
+    int n = 0;
+    void main(void) { }
+    int tick(int d) { n += d; amulet_log_value(n); return n; }
+"#;
+
+fn main() {
+    for platform in builtin_platforms() {
+        println!("platform {} — {}", platform.name, platform.mpu);
+        for method in IsolationMethod::ALL {
+            let out = Aft::for_platform(method, &platform)
+                .add_app(AppSource::new("Counter", COUNTER, &["main", "tick"]))
+                .build()
+                .expect("counter builds everywhere");
+            let mut os = AmuletOs::new(out.firmware);
+            os.boot();
+            let mut cycles = 0;
+            for _ in 0..10 {
+                let (outcome, c) = os.call_handler(0, "tick", 1);
+                assert_eq!(outcome, DeliveryOutcome::Completed);
+                cycles += c;
+            }
+            let model = OverheadModel::for_platform(method, &platform);
+            println!(
+                "  {:<16} {:>6} cycles / 10 events   (analytic: {:>2} cyc/access, {:>3} cyc/switch)",
+                method.label(),
+                cycles,
+                model.absolute_memory_access_cycles(),
+                model.absolute_context_switch_cycles(),
+            );
+        }
+        println!();
+    }
+}

@@ -45,7 +45,9 @@ fn main() {
         profile.access_to_switch_ratio()
     );
     let mpu = arp.estimate(&profile, IsolationMethod::Mpu).cycles_per_week;
-    let sw = arp.estimate(&profile, IsolationMethod::SoftwareOnly).cycles_per_week;
+    let sw = arp
+        .estimate(&profile, IsolationMethod::SoftwareOnly)
+        .cycles_per_week;
     if mpu < sw {
         println!("=> the hybrid MPU method is the cheaper choice for this app");
     } else {

@@ -37,7 +37,11 @@ const STEP_COUNTER: &str = r#"
 fn main() {
     // 1. Build a firmware image with the paper's hybrid MPU isolation method.
     let build = Aft::new(IsolationMethod::Mpu)
-        .add_app(AppSource::new("StepCounter", STEP_COUNTER, &["main", "on_accel", "oops"]))
+        .add_app(AppSource::new(
+            "StepCounter",
+            STEP_COUNTER,
+            &["main", "on_accel", "oops"],
+        ))
         .build()
         .expect("firmware build");
     println!("{}", build.report);
@@ -52,7 +56,10 @@ fn main() {
         let (outcome, cycles) = os.call_handler(0, "on_accel", sample);
         println!("on_accel({sample:4}) -> {outcome:?} in {cycles} cycles");
     }
-    println!("log = {:?}", os.services.log.iter().map(|e| e.value).collect::<Vec<_>>());
+    println!(
+        "log = {:?}",
+        os.services.log.iter().map(|e| e.value).collect::<Vec<_>>()
+    );
 
     // 4. Now the buggy handler tries to read OS memory at 0x4400.  The
     //    compiler-inserted lower-bound check catches it and the OS fault

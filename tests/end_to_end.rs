@@ -74,7 +74,11 @@ fn isolation_guarantee_holds_for_every_isolating_method() {
         };
         let build = Aft::new(method)
             .add_app(AppSource::new("Victim", victim, &["main", "get"]))
-            .add_app(AppSource::new("Attacker", attacker_src, &["main", "attack"]))
+            .add_app(AppSource::new(
+                "Attacker",
+                attacker_src,
+                &["main", "attack"],
+            ))
             .build()
             .unwrap();
         let secret_addr = build.firmware.apps[0].placement.data.start as u16;
@@ -90,7 +94,11 @@ fn isolation_guarantee_holds_for_every_isolating_method() {
     // Baseline: no isolation, the secret leaks.
     let build = Aft::new(IsolationMethod::NoIsolation)
         .add_app(AppSource::new("Victim", victim, &["main", "get"]))
-        .add_app(AppSource::new("Attacker", attacker_ptr, &["main", "attack"]))
+        .add_app(AppSource::new(
+            "Attacker",
+            attacker_ptr,
+            &["main", "attack"],
+        ))
         .build()
         .unwrap();
     let secret_addr = build.firmware.apps[0].placement.data.start as u16;
@@ -123,7 +131,10 @@ fn fault_containment_keeps_other_apps_alive() {
     os.boot();
 
     let (outcome, _) = os.call_handler(1, "boom", 0);
-    assert!(matches!(outcome, DeliveryOutcome::Faulted(FaultClass::DataPointerLowerBound)));
+    assert!(matches!(
+        outcome,
+        DeliveryOutcome::Faulted(FaultClass::DataPointerLowerBound)
+    ));
     assert_eq!(os.app_state(1), AppState::Killed);
 
     for i in 1..=10 {
@@ -164,7 +175,10 @@ fn isolation_never_changes_program_results() {
         assert_eq!(outcome, DeliveryOutcome::Completed);
         results.push(os.device.cpu.reg(Reg::R14));
     }
-    assert!(results.iter().all(|&r| r == 987), "fib(16) = 987 under every method: {results:?}");
+    assert!(
+        results.iter().all(|&r| r == 987),
+        "fib(16) = 987 under every method: {results:?}"
+    );
 }
 
 /// Cycle accounting is self-consistent: per-app stats sum to the device's

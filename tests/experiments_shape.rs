@@ -42,7 +42,12 @@ fn figure2_shape() {
     let rows = amulet_bench::fig2::compute();
     assert_eq!(rows.len(), 27, "nine apps × three isolating methods");
     for r in &rows {
-        assert!(r.battery_impact_percent < 0.5, "{}: {}%", r.app, r.battery_impact_percent);
+        assert!(
+            r.battery_impact_percent < 0.5,
+            "{}: {}%",
+            r.app,
+            r.battery_impact_percent
+        );
     }
     let g = |app: &str, m| {
         rows.iter()
@@ -52,11 +57,13 @@ fn figure2_shape() {
     };
     for compute_heavy in ["Pedometer", "FallDetection", "HR"] {
         assert!(
-            g(compute_heavy, IsolationMethod::Mpu) < g(compute_heavy, IsolationMethod::SoftwareOnly),
+            g(compute_heavy, IsolationMethod::Mpu)
+                < g(compute_heavy, IsolationMethod::SoftwareOnly),
             "{compute_heavy} should favour the MPU method"
         );
         assert!(
-            g(compute_heavy, IsolationMethod::Mpu) < g(compute_heavy, IsolationMethod::FeatureLimited),
+            g(compute_heavy, IsolationMethod::Mpu)
+                < g(compute_heavy, IsolationMethod::FeatureLimited),
             "{compute_heavy} should beat Feature Limited under MPU"
         );
     }
@@ -84,10 +91,19 @@ fn figure3_shape() {
         let fl = get(IsolationMethod::FeatureLimited);
         assert_eq!(get(IsolationMethod::NoIsolation), 0.0);
         assert!(mpu > 0.0, "{workload}: isolation is not free");
-        assert!(mpu < sw, "{workload}: MPU ({mpu}%) beats Software Only ({sw}%)");
-        assert!(mpu < fl, "{workload}: MPU ({mpu}%) beats Feature Limited ({fl}%)");
+        assert!(
+            mpu < sw,
+            "{workload}: MPU ({mpu}%) beats Software Only ({sw}%)"
+        );
+        assert!(
+            mpu < fl,
+            "{workload}: MPU ({mpu}%) beats Feature Limited ({fl}%)"
+        );
         for v in [mpu, sw, fl] {
-            assert!(v < 120.0, "{workload}: slowdown {v}% is within a plausible range");
+            assert!(
+                v < 120.0,
+                "{workload}: slowdown {v}% is within a plausible range"
+            );
         }
     }
 }

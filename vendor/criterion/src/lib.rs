@@ -1,0 +1,111 @@
+//! A minimal, dependency-free stand-in for the `criterion` benchmark
+//! harness, vendored because this build environment has no access to
+//! crates.io.
+//!
+//! It supports the subset the workspace benches use — `criterion_group!`,
+//! `criterion_main!`, `Criterion::benchmark_group`, `sample_size`,
+//! `bench_function` and `Bencher::iter` — and reports the mean wall-clock
+//! time per iteration instead of criterion's full statistics.
+
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+/// The benchmark context handed to every registered bench function.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("benchmark group `{name}`");
+        BenchmarkGroup {
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each bench takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+        };
+        for _ in 0..self.sample_size {
+            f(&mut bencher);
+        }
+        let total: f64 = bencher.samples.iter().sum();
+        let iters = bencher.samples.len().max(1) as f64;
+        println!(
+            "  {id}: {:.3} ms/iter over {} samples",
+            total / iters * 1e3,
+            bencher.samples.len()
+        );
+        self
+    }
+
+    /// Finishes the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Times closures for one benchmark.
+pub struct Bencher {
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times one execution of `f` (criterion would run a calibrated batch).
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        let start = Instant::now();
+        let value = f();
+        self.samples.push(start.elapsed().as_secs_f64());
+        drop(value);
+    }
+}
+
+/// Prevents the optimizer from deleting a value (re-export of the std
+/// hint, for criterion API compatibility).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}
