@@ -1,0 +1,44 @@
+//! Fleet-scale simulation bench: simulates ≥ 1000 seeded devices in
+//! parallel and emits the aggregate report (energy distribution,
+//! switch-overhead share, fault counts, battery-impact histograms, and the
+//! per-event vs batched delivery comparison) as `BENCH_fleet.json` — both
+//! on stdout and to the file.
+//!
+//! Usage: `cargo run -p amulet-bench --bin fleet_sim --release
+//! [devices] [workers] [events_per_device] [seed]`
+//! (defaults: 1000 devices, one worker per host core, 120 events, the
+//! scenario's default seed).
+
+use amulet_fleet::{simulate, FleetScenario};
+use std::time::Instant;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut arg = |d: u64| -> u64 { args.next().and_then(|s| s.parse().ok()).unwrap_or(d) };
+    let default_workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4) as u64;
+
+    let mut scenario = FleetScenario::default();
+    scenario.devices = arg(scenario.devices as u64) as usize;
+    let workers = arg(default_workers) as usize;
+    scenario.events_per_device = arg(scenario.events_per_device as u64) as usize;
+    scenario.seed = arg(scenario.seed);
+
+    let started = Instant::now();
+    let report = simulate(&scenario, workers);
+    let wall = started.elapsed().as_secs_f64();
+
+    let json = amulet_bench::fleet_sim::render_json(&report, Some(wall));
+    print!("{json}");
+    if let Err(e) = std::fs::write("BENCH_fleet.json", &json) {
+        eprintln!("warning: could not write BENCH_fleet.json: {e}");
+    } else {
+        eprintln!(
+            "wrote BENCH_fleet.json ({} devices, {workers} workers, {:.2}s, {:.0} devices/s)",
+            scenario.devices,
+            wall,
+            scenario.devices as f64 / wall.max(1e-9),
+        );
+    }
+}

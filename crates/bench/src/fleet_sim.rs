@@ -1,0 +1,170 @@
+//! The fleet-simulation bench: runs a [`amulet_fleet::FleetScenario`] and renders the
+//! aggregate report — including the per-event vs batched switch-overhead
+//! comparison — as `BENCH_fleet.json`.
+//!
+//! The deterministic part of the document (everything under `"scenario"`
+//! and `"aggregate"`) is a pure function of the scenario seed, regardless
+//! of worker count; wall-clock timing fields live in a separate
+//! `"timing"` object that the binary fills in.
+
+use crate::json::Json;
+use amulet_fleet::FleetReport;
+#[cfg(test)]
+use amulet_fleet::FleetScenario;
+
+/// Renders the deterministic part of a fleet report as a JSON document;
+/// `wall_seconds` (when known) adds the non-deterministic timing object.
+pub fn render_json(report: &FleetReport, wall_seconds: Option<f64>) -> String {
+    let s = &report.scenario;
+    let scenario = Json::obj()
+        .field("name", s.name.as_str())
+        .field("seed", s.seed)
+        .field("devices", s.devices)
+        .field("events_per_device", s.events_per_device)
+        .field("max_apps_per_device", s.max_apps_per_device)
+        .field("max_batch", s.max_batch)
+        .field("max_latency_events", s.max_latency_events);
+
+    let agg = &report.aggregate;
+    let policy = |p: &amulet_fleet::PolicyAggregate| {
+        Json::obj()
+            .field("total_cycles", p.total_cycles)
+            .field("switch_cycles", p.switch_cycles)
+            .field("switch_overhead_share", p.switch_overhead_share)
+            .field("switch_cycles_per_event", p.switch_cycles_per_event)
+            .field("events_delivered", p.events_delivered)
+            .field("faults", p.faults)
+            .field("full_switches", p.full_switches)
+            .field("batch_boundaries", p.batch_boundaries)
+            .field(
+                "energy_joules",
+                Json::obj()
+                    .field("total", p.energy.total_joules)
+                    .field("mean", p.energy.mean_joules)
+                    .field("p50", p.energy.p50_joules)
+                    .field("p99", p.energy.p99_joules),
+            )
+    };
+    let count_list = |items: &[(String, u64)]| {
+        items
+            .iter()
+            .map(|(name, n)| {
+                Json::obj()
+                    .field("name", name.as_str())
+                    .field("devices", *n)
+            })
+            .collect::<Vec<Json>>()
+    };
+    let histograms: Vec<Json> = agg
+        .battery_histograms
+        .iter()
+        .map(|h| {
+            Json::obj()
+                .field("profile", h.profile.as_str())
+                .field("instances", h.instances)
+                .field("max_impact_percent", h.max_impact_percent)
+                .field(
+                    "bucket_edges_percent",
+                    amulet_fleet::BATTERY_IMPACT_BUCKET_EDGES
+                        .iter()
+                        .map(|e| Json::F64(*e))
+                        .collect::<Vec<_>>(),
+                )
+                .field(
+                    "counts",
+                    h.buckets.iter().map(|c| Json::U64(*c)).collect::<Vec<_>>(),
+                )
+        })
+        .collect();
+
+    let aggregate = Json::obj()
+        .field("devices", agg.devices)
+        .field(
+            "devices_per_platform",
+            count_list(&agg.devices_per_platform),
+        )
+        .field("devices_per_method", count_list(&agg.devices_per_method))
+        .field("per_event", policy(&agg.per_event))
+        .field("batched", policy(&agg.batched))
+        .field(
+            "switch_cycles_saved_percent",
+            agg.switch_cycles_saved_percent,
+        )
+        .field(
+            "switch_cycles_saved_per_event_percent",
+            agg.switch_cycles_saved_per_event_percent,
+        )
+        .field("battery_impact_histograms", histograms);
+
+    let mut doc = Json::obj()
+        .field("bench", "fleet_sim")
+        .field("scenario", scenario)
+        .field("aggregate", aggregate);
+    if let Some(secs) = wall_seconds {
+        let devices_per_sec = if secs > 0.0 {
+            report.scenario.devices as f64 / secs
+        } else {
+            0.0
+        };
+        doc = doc.field(
+            "timing",
+            Json::obj()
+                .field("workers", report.workers)
+                .field("wall_seconds", secs)
+                .field("devices_per_second", devices_per_sec),
+        );
+    }
+    doc.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amulet_fleet::simulate;
+
+    fn tiny() -> FleetScenario {
+        FleetScenario {
+            devices: 16,
+            events_per_device: 24,
+            ..FleetScenario::default()
+        }
+    }
+
+    #[test]
+    fn json_contains_the_headline_fields_and_balances() {
+        let report = simulate(&tiny(), 2);
+        let text = render_json(&report, Some(0.5));
+        for needle in [
+            "\"bench\": \"fleet_sim\"",
+            "\"scenario\"",
+            "\"aggregate\"",
+            "\"per_event\"",
+            "\"batched\"",
+            "\"switch_cycles_saved_percent\"",
+            "\"battery_impact_histograms\"",
+            "\"devices_per_second\"",
+        ] {
+            assert!(text.contains(needle), "missing {needle}");
+        }
+        assert_eq!(text.matches('{').count(), text.matches('}').count());
+        assert_eq!(text.matches('[').count(), text.matches(']').count());
+    }
+
+    #[test]
+    fn aggregate_json_is_identical_across_worker_counts() {
+        // The fleet-determinism acceptance criterion, end to end: the
+        // rendered aggregate document (timing omitted) must match byte for
+        // byte between a serial and a parallel run of the same seed.
+        let serial = render_json(&simulate(&tiny(), 1), None);
+        let parallel = render_json(&simulate(&tiny(), 8), None);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn batching_saves_switch_cycles_in_the_rendered_report() {
+        let report = simulate(&tiny(), 4);
+        assert!(report.aggregate.batched.switch_cycles < report.aggregate.per_event.switch_cycles);
+        let text = render_json(&report, None);
+        assert!(!text.contains("\"timing\""), "timing only when measured");
+    }
+}

@@ -10,12 +10,17 @@
 //! * [`fig3`] — percentage slowdown of the Activity Detection and Quicksort
 //!   benchmarks under each isolation method;
 //! * [`ablation`] — the per-app-stack-vs-shared-stack ablation (a §3 design
-//!   decision) and the "advanced MPU" ablation (§5 future work).
+//!   decision) and the "advanced MPU" ablation (§5 future work);
+//! * [`platform_compare`] — the same isolation policies evaluated on every
+//!   built-in platform profile, as JSON;
+//! * [`fleet_sim`] — the fleet-scale study: ≥ 1000 seeded devices in
+//!   parallel, with the per-event vs batched delivery comparison, as JSON.
 //!
 //! Each module exposes a pure function returning structured rows plus a
-//! `render` helper; the `table1`, `fig2`, `fig3`, `ablation_stacks` and
-//! `ablation_advanced_mpu` binaries print them, and the Criterion benches
-//! wrap the same entry points.
+//! `render` helper; the `table1`, `fig2`, `fig3`, `ablation_stacks`,
+//! `ablation_advanced_mpu`, `platform_compare` and `fleet_sim` binaries
+//! print them, and the Criterion benches wrap the same entry points.  JSON
+//! output goes through the shared [`json`] writer.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,6 +28,8 @@
 pub mod ablation;
 pub mod fig2;
 pub mod fig3;
+pub mod fleet_sim;
+pub mod json;
 pub mod platform_compare;
 pub mod table1;
 

@@ -15,6 +15,7 @@
 //! Figure-1 planner packs the nine-app catalogue given the platform's MPU
 //! alignment (finer region alignment wastes less padding).
 
+use crate::json::Json;
 use amulet_aft::aft::Aft;
 use amulet_arp::arp::Arp;
 use amulet_core::layout::PlatformSpec;
@@ -22,7 +23,6 @@ use amulet_core::method::IsolationMethod;
 use amulet_core::overhead::OverheadModel;
 use amulet_core::platform::builtin_platforms;
 use amulet_os::os::{AmuletOs, DeliveryOutcome};
-use std::fmt::Write as _;
 
 /// Per-method figures on one platform.
 #[derive(Clone, Debug)]
@@ -148,58 +148,37 @@ pub fn compare() -> Vec<PlatformComparison> {
         .collect()
 }
 
-fn json_escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
-}
-
-/// Renders the comparison as JSON (hand-rolled: the build environment has
-/// no serialization dependency).
+/// Renders the comparison as JSON via the shared [`crate::json`] writer
+/// (the build environment has no serialization dependency).
 pub fn render_json(rows: &[PlatformComparison]) -> String {
-    let mut s = String::from("{\n  \"platforms\": [\n");
-    for (i, row) in rows.iter().enumerate() {
-        let _ = writeln!(s, "    {{");
-        let _ = writeln!(s, "      \"name\": \"{}\",", json_escape(&row.platform));
-        let _ = writeln!(
-            s,
-            "      \"mpu_model\": \"{}\",",
-            json_escape(&row.mpu_model)
-        );
-        let _ = writeln!(
-            s,
-            "      \"hardware_bounds_below\": {},",
-            row.hardware_bounds_below
-        );
-        let _ = writeln!(
-            s,
-            "      \"catalog_footprint_bytes\": {},",
-            row.catalog_footprint_bytes
-        );
-        let _ = writeln!(
-            s,
-            "      \"catalog_padding_bytes\": {},",
-            row.catalog_padding_bytes
-        );
-        let _ = writeln!(s, "      \"methods\": [");
-        for (j, m) in row.methods.iter().enumerate() {
-            let _ = write!(
-                s,
-                "        {{\"method\": \"{}\", \"memory_access_cycles\": {}, \
-                 \"context_switch_cycles\": {}, \"measured_switch_cycles_per_event\": {}, \
-                 \"max_battery_impact_percent\": {:.6}}}",
-                json_escape(m.method.label()),
-                m.memory_access_cycles,
-                m.context_switch_cycles,
-                m.measured_switch_cycles_per_event,
-                m.max_battery_impact_percent,
-            );
-            let _ = writeln!(s, "{}", if j + 1 < row.methods.len() { "," } else { "" });
-        }
-        let _ = writeln!(s, "      ]");
-        let _ = write!(s, "    }}");
-        let _ = writeln!(s, "{}", if i + 1 < rows.len() { "," } else { "" });
-    }
-    s.push_str("  ]\n}\n");
-    s
+    let platforms: Vec<Json> = rows
+        .iter()
+        .map(|row| {
+            let methods: Vec<Json> = row
+                .methods
+                .iter()
+                .map(|m| {
+                    Json::obj()
+                        .field("method", m.method.label())
+                        .field("memory_access_cycles", m.memory_access_cycles)
+                        .field("context_switch_cycles", m.context_switch_cycles)
+                        .field(
+                            "measured_switch_cycles_per_event",
+                            m.measured_switch_cycles_per_event,
+                        )
+                        .field("max_battery_impact_percent", m.max_battery_impact_percent)
+                })
+                .collect();
+            Json::obj()
+                .field("name", row.platform.as_str())
+                .field("mpu_model", row.mpu_model.as_str())
+                .field("hardware_bounds_below", row.hardware_bounds_below)
+                .field("catalog_footprint_bytes", row.catalog_footprint_bytes)
+                .field("catalog_padding_bytes", row.catalog_padding_bytes)
+                .field("methods", methods)
+        })
+        .collect();
+    Json::obj().field("platforms", platforms).render()
 }
 
 #[cfg(test)]

@@ -28,6 +28,18 @@ pub const REGION_MPU_WRITES_PER_REGION: u32 = 3;
 
 /// The MPU capability model of a platform: what protection shapes the
 /// hardware can express, and at what configuration cost.
+///
+/// ```
+/// use amulet_core::platform::MpuModel;
+///
+/// let fr5969 = MpuModel::Segmented { main_segments: 3, boundary_granularity: 0x400 };
+/// let region = MpuModel::Region { regions: 8, alignment: 0x100 };
+/// // Three segments cannot bound the running app from below — which is
+/// // exactly why the paper's MPU method keeps a software lower-bound
+/// // check; region hardware bounds both sides.
+/// assert!(!fr5969.bounds_app_below());
+/// assert!(region.bounds_app_below());
+/// ```
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum MpuModel {
     /// FR5969-style segmented MPU: `main_segments` segments over main
@@ -211,6 +223,33 @@ impl CycleCostTable {
 /// Concrete profiles ([`Msp430Fr5969`], [`Msp430Fr5994`], …) implement this
 /// trait, and so does [`crate::layout::PlatformSpec`] itself, so APIs can
 /// accept either a profile type or an already-materialised spec.
+///
+/// The whole policy stack is parameterised over it — the same app builds an
+/// [`crate::mpu_plan::MpuPlan`] in whichever register shape the platform's
+/// MPU speaks:
+///
+/// ```
+/// use amulet_core::layout::{AppImageSpec, MemoryMapPlanner, OsImageSpec};
+/// use amulet_core::mpu_plan::{MpuConfig, MpuPlan};
+/// use amulet_core::platform::{Msp430Fr5969, Msp430Fr5994, Platform};
+///
+/// for spec in [Msp430Fr5969.spec(), Msp430Fr5994.spec()] {
+///     let map = MemoryMapPlanner::for_platform(&spec)
+///         .unwrap()
+///         .plan(
+///             &OsImageSpec::default(),
+///             &[AppImageSpec::new("App", 0x400, 0x100, 0x80)],
+///         )
+///         .unwrap();
+///     let config = MpuPlan::for_app_on(&map, 0).unwrap().config(&spec.mpu);
+///     match (spec.mpu.is_region_based(), &config) {
+///         (false, MpuConfig::Segmented(_)) => {} // FR5969: SEGB1/SEGB2/SAM/CTL0
+///         (true, MpuConfig::Region(_)) => {}     // FR5994 profile: RNR/RBAR/RLAR
+///         other => panic!("plan shape must follow the MPU model: {other:?}"),
+///     }
+///     assert!(config.write_count() >= 4);
+/// }
+/// ```
 pub trait Platform {
     /// The full data description of the platform.
     fn spec(&self) -> crate::layout::PlatformSpec;

@@ -229,6 +229,30 @@ impl ContextSwitchPlan {
         let (enter, leave) = Self::round_trip_for(platform, method, 0);
         enter.cycles() + leave.cycles()
     }
+
+    /// Cycles of one **intra-batch delivery boundary** under batched event
+    /// delivery: the handler-return trap plus the dispatch and argument
+    /// marshalling of the next event of the same batch.
+    ///
+    /// Between two events of a batch the running application does not
+    /// change, so the OS dispatch trampoline performs no register
+    /// save/restore, no stack-pointer swap and no MPU reconfiguration —
+    /// which is exactly the method- and platform-dependent part of a
+    /// context switch.  The boundary cost is therefore the same for every
+    /// isolation method and platform, and the per-event saving grows with
+    /// the method's switch cost (largest for the MPU method on region-MPU
+    /// platforms).
+    pub fn batched_boundary_cycles() -> u64 {
+        [
+            SwitchStep::TrapEntry,
+            SwitchStep::DispatchHandler,
+            SwitchStep::MarshalArguments,
+            SwitchStep::ReturnToCaller,
+        ]
+        .iter()
+        .map(SwitchStep::cycle_cost)
+        .sum()
+    }
 }
 
 impl fmt::Display for ContextSwitchPlan {
@@ -323,6 +347,15 @@ mod tests {
             SwitchStep::ConfigureMpu.cycle_cost(),
             5 * MpuRegisterValues::WRITE_COUNT as u64 + 2
         );
+    }
+
+    #[test]
+    fn batched_boundary_is_cheaper_than_every_round_trip() {
+        let boundary = ContextSwitchPlan::batched_boundary_cycles();
+        assert_eq!(boundary, 10 + 16 + 12 + 8);
+        for m in IsolationMethod::ALL {
+            assert!(boundary < ContextSwitchPlan::round_trip_cycles(m), "{m}");
+        }
     }
 
     #[test]

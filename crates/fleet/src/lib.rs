@@ -1,0 +1,50 @@
+//! # amulet-fleet
+//!
+//! Fleet-scale simulation for the memory-isolation reproduction: thousands
+//! of independent simulated devices — each with its own platform profile,
+//! isolation method, application mix, sensor seed and event-arrival trace,
+//! all drawn deterministically from one [`FleetScenario`] seed — run in
+//! parallel across `std::thread::scope` workers and reduced to aggregate
+//! statistics (total/mean/p50/p99 energy, switch-overhead share, fault
+//! counts, battery-impact histograms per ARP profile).
+//!
+//! The paper evaluates isolation overhead one device at a time; this crate
+//! asks the production question instead: *what do the isolation methods
+//! cost across a whole deployed fleet, under realistic event-driven load?*
+//! Every device is simulated twice over the identical trace — once with
+//! the paper's per-event delivery, once with
+//! [`amulet_os::events::DeliveryPolicy::Batched`] delivery — so the report
+//! quantifies exactly how much switch overhead batching recovers.
+//!
+//! Determinism is a hard guarantee: the report (aggregates included) is a
+//! pure function of the scenario, regardless of worker count or machine.
+//!
+//! ```
+//! use amulet_fleet::{simulate, FleetScenario};
+//!
+//! let scenario = FleetScenario {
+//!     devices: 6,
+//!     events_per_device: 20,
+//!     ..FleetScenario::default()
+//! };
+//! let report = simulate(&scenario, 2);
+//! assert_eq!(report.aggregate.devices, 6);
+//! // Batching never does *more* switch work than per-event delivery.
+//! assert!(
+//!     report.aggregate.batched.switch_cycles
+//!         <= report.aggregate.per_event.switch_cycles
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod run;
+pub mod scenario;
+pub mod stats;
+
+pub use run::{simulate, DeviceResult, FleetReport, PolicyOutcome};
+pub use scenario::{DeviceConfig, FleetScenario};
+pub use stats::{
+    EnergyStats, FleetAggregate, PolicyAggregate, ProfileHistogram, BATTERY_IMPACT_BUCKET_EDGES,
+};

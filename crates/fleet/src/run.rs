@@ -1,0 +1,297 @@
+//! The fleet runner: builds firmware once per distinct configuration,
+//! fans the devices out across `std::thread::scope` workers, and reduces
+//! the per-device results in device order so the report is identical for
+//! every worker count.
+
+use crate::scenario::{DeviceConfig, FleetScenario};
+use crate::stats::{aggregate, FleetAggregate};
+use amulet_aft::aft::Aft;
+use amulet_arp::arp::Arp;
+use amulet_core::energy::EnergyModel;
+use amulet_core::method::IsolationMethod;
+use amulet_mcu::firmware::Firmware;
+use amulet_os::events::{DeliveryPolicy, Event, EventKind};
+use amulet_os::os::{AmuletOs, OsOptions};
+use std::collections::BTreeMap;
+
+/// What one device did under one delivery policy.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PolicyOutcome {
+    /// Total cycles the device consumed (boot + trace).
+    pub total_cycles: u64,
+    /// Cycles spent on OS↔app switching.
+    pub switch_cycles: u64,
+    /// Cycles spent executing application instructions.
+    pub app_cycles: u64,
+    /// Cycles spent in OS service bodies.
+    pub service_cycles: u64,
+    /// Events delivered (boot events included).
+    pub events_delivered: u64,
+    /// System calls serviced.
+    pub syscalls: u64,
+    /// Faults raised.
+    pub faults: u64,
+    /// Full directed OS↔app switches charged.
+    pub full_switches: u64,
+    /// Cheap intra-batch boundaries charged.
+    pub batch_boundaries: u64,
+    /// Energy the run consumed, in joules (platform energy model).
+    pub energy_joules: f64,
+}
+
+/// The result of simulating one device under both delivery policies.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeviceResult {
+    /// Device index within the fleet.
+    pub index: usize,
+    /// Platform profile name.
+    pub platform: String,
+    /// Isolation method.
+    pub method: IsolationMethod,
+    /// Names of the installed apps.
+    pub app_names: Vec<String>,
+    /// Outcome under [`DeliveryPolicy::PerEvent`].
+    pub per_event: PolicyOutcome,
+    /// Outcome under the scenario's batched policy.
+    pub batched: PolicyOutcome,
+    /// Analytic weekly battery-lifetime impact, in percent, of each
+    /// installed app's ARP profile under this device's method and platform
+    /// (the Figure-2 extrapolation, fleet-wide).
+    pub battery_impacts: Vec<(String, f64)>,
+}
+
+/// A complete fleet run: the scenario, every per-device result (in device
+/// order) and the aggregate reduction.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FleetReport {
+    /// The scenario that was simulated.
+    pub scenario: FleetScenario,
+    /// Worker threads used (does not affect any other field).
+    pub workers: usize,
+    /// Per-device results, indexed by device.
+    pub devices: Vec<DeviceResult>,
+    /// The aggregate statistics.
+    pub aggregate: FleetAggregate,
+}
+
+/// The event kind a trace handler maps to.
+fn kind_for(handler: &str) -> EventKind {
+    if handler.starts_with("on_timer") {
+        EventKind::Timer
+    } else if handler.starts_with("on_accel") || handler.starts_with("on_hr") {
+        EventKind::Sensor
+    } else {
+        EventKind::System
+    }
+}
+
+/// Replays a trace: every arrival is posted and the scheduler pumped, so a
+/// batched policy sees exactly the queue build-up a live device would; a
+/// final flush delivers the stragglers.
+fn run_trace(os: &mut AmuletOs, trace: &[amulet_apps::TraceEvent]) {
+    for e in trace {
+        os.post_event(Event::new(
+            e.app_index,
+            e.handler.as_str(),
+            e.payload,
+            kind_for(&e.handler),
+        ));
+        os.pump();
+    }
+    os.flush();
+}
+
+/// Reduces one finished run into a [`PolicyOutcome`].
+fn collect(os: &AmuletOs, energy: &EnergyModel) -> PolicyOutcome {
+    let mut out = PolicyOutcome {
+        total_cycles: os.total_cycles(),
+        switch_cycles: 0,
+        app_cycles: 0,
+        service_cycles: 0,
+        events_delivered: 0,
+        syscalls: 0,
+        faults: 0,
+        full_switches: 0,
+        batch_boundaries: 0,
+        energy_joules: 0.0,
+    };
+    for s in &os.stats {
+        out.switch_cycles += s.switch_cycles;
+        out.app_cycles += s.app_cycles;
+        out.service_cycles += s.service_cycles;
+        out.events_delivered += s.events_delivered;
+        out.syscalls += s.syscalls;
+        out.faults += s.faults;
+        out.full_switches += s.full_switches;
+        out.batch_boundaries += s.batch_boundaries;
+    }
+    out.energy_joules = energy.cycles_to_joules(out.total_cycles);
+    out
+}
+
+/// Simulates one device: the same firmware image and the same trace are
+/// run under per-event delivery, then (after a [`AmuletOs::reset`], which
+/// reuses the device and its decoded instruction store) under the
+/// scenario's batched policy.
+fn simulate_device(
+    scenario: &FleetScenario,
+    cfg: &DeviceConfig,
+    firmware: &Firmware,
+) -> DeviceResult {
+    let trace =
+        amulet_apps::traces::generate(&cfg.apps, cfg.trace_seed, scenario.events_per_device);
+    let energy = EnergyModel::for_platform(&cfg.platform);
+    let options = OsOptions {
+        sensor_seed: cfg.sensor_seed,
+        delivery: DeliveryPolicy::PerEvent,
+        ..OsOptions::default()
+    };
+
+    let mut os = AmuletOs::with_options(firmware.clone(), options);
+    os.boot();
+    run_trace(&mut os, &trace);
+    let per_event = collect(&os, &energy);
+
+    os.reset();
+    os.set_delivery_policy(scenario.batched_policy());
+    os.boot();
+    run_trace(&mut os, &trace);
+    let batched = collect(&os, &energy);
+
+    let arp = Arp::for_platform(&cfg.platform);
+    let battery_impacts = cfg
+        .apps
+        .iter()
+        .map(|a| {
+            let impact = arp
+                .estimate_on(&cfg.platform, &a.profile, cfg.method)
+                .battery_impact_percent;
+            (a.name.to_string(), impact)
+        })
+        .collect();
+
+    DeviceResult {
+        index: cfg.index,
+        platform: cfg.platform.name.clone(),
+        method: cfg.method,
+        app_names: cfg.apps.iter().map(|a| a.name.to_string()).collect(),
+        per_event,
+        batched,
+        battery_impacts,
+    }
+}
+
+/// Builds every distinct firmware image the fleet needs, exactly once.
+fn build_firmware_cache(configs: &[DeviceConfig]) -> BTreeMap<String, Firmware> {
+    let mut cache = BTreeMap::new();
+    for cfg in configs {
+        let key = cfg.firmware_key();
+        if cache.contains_key(&key) {
+            continue;
+        }
+        let mut aft = Aft::for_platform(cfg.method, &cfg.platform);
+        for app in &cfg.apps {
+            aft = aft.add_app(app.app_source());
+        }
+        let firmware = aft
+            .build()
+            .unwrap_or_else(|e| panic!("fleet firmware build failed for {key}: {e}"))
+            .firmware;
+        cache.insert(key, firmware);
+    }
+    cache
+}
+
+/// Runs the whole scenario on `workers` threads.
+///
+/// Determinism guarantee: every field of the returned [`FleetReport`]
+/// except `workers` is a pure function of the scenario.  Devices are
+/// partitioned into contiguous index ranges, each device is simulated
+/// independently, and both the result vector and the aggregate reduction
+/// are assembled in device order on the calling thread.
+pub fn simulate(scenario: &FleetScenario, workers: usize) -> FleetReport {
+    let configs: Vec<DeviceConfig> = (0..scenario.devices)
+        .map(|i| scenario.device_config(i))
+        .collect();
+    let cache = build_firmware_cache(&configs);
+
+    let workers = workers.max(1).min(configs.len().max(1));
+    let chunk = configs.len().div_ceil(workers.max(1)).max(1);
+    let mut devices: Vec<DeviceResult> = Vec::with_capacity(configs.len());
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for part in configs.chunks(chunk) {
+            let cache = &cache;
+            handles.push(scope.spawn(move || {
+                part.iter()
+                    .map(|cfg| {
+                        let fw = &cache[&cfg.firmware_key()];
+                        simulate_device(scenario, cfg, fw)
+                    })
+                    .collect::<Vec<_>>()
+            }));
+        }
+        for h in handles {
+            devices.extend(h.join().expect("fleet worker panicked"));
+        }
+    });
+    devices.sort_by_key(|d| d.index);
+
+    let aggregate = aggregate(&devices);
+    FleetReport {
+        scenario: scenario.clone(),
+        workers,
+        devices,
+        aggregate,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> FleetScenario {
+        FleetScenario {
+            devices: 24,
+            events_per_device: 30,
+            ..FleetScenario::default()
+        }
+    }
+
+    #[test]
+    fn a_small_fleet_simulates_and_aggregates() {
+        let report = simulate(&small(), 4);
+        assert_eq!(report.devices.len(), 24);
+        assert_eq!(report.aggregate.devices, 24);
+        for d in &report.devices {
+            assert!(d.per_event.events_delivered > 0, "device {}", d.index);
+            assert!(d.per_event.total_cycles > 0);
+            assert!(d.per_event.energy_joules > 0.0);
+            // Batching may only reduce switch work, never app-visible work.
+            assert!(d.batched.batch_boundaries <= d.batched.events_delivered);
+        }
+        assert!(report.aggregate.per_event.energy.total_joules > 0.0);
+    }
+
+    #[test]
+    fn batching_saves_switch_cycles_fleet_wide() {
+        let report = simulate(&small(), 2);
+        let per_event = report.aggregate.per_event.switch_cycles;
+        let batched = report.aggregate.batched.switch_cycles;
+        assert!(
+            batched < per_event,
+            "batched {batched} must undercut per-event {per_event}"
+        );
+        assert!(report.aggregate.batched.batch_boundaries > 0);
+        assert_eq!(report.aggregate.per_event.batch_boundaries, 0);
+        assert!(report.aggregate.switch_cycles_saved_percent > 0.0);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_report() {
+        let a = simulate(&small(), 1);
+        let b = simulate(&small(), 8);
+        assert_eq!(a.devices, b.devices);
+        assert_eq!(a.aggregate, b.aggregate);
+    }
+}

@@ -1,0 +1,170 @@
+//! Fleet scenarios: the seeded description of *what* a fleet run simulates.
+//!
+//! A [`FleetScenario`] is a compact, copyable recipe; every per-device
+//! decision (platform profile, isolation method, app mix, event-arrival
+//! trace, sensor seed) is derived deterministically from the scenario seed
+//! and the device index.  Two runs of the same scenario — on any number of
+//! worker threads, on any machine — therefore simulate byte-identical
+//! devices.
+
+use amulet_apps::catalog::CatalogApp;
+use amulet_core::layout::PlatformSpec;
+use amulet_core::method::IsolationMethod;
+use amulet_core::platform::builtin_platforms;
+use amulet_os::events::DeliveryPolicy;
+
+/// A seeded fleet-simulation recipe.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FleetScenario {
+    /// Scenario name (recorded in reports).
+    pub name: String,
+    /// Master seed every per-device decision is derived from.
+    pub seed: u64,
+    /// Number of simulated devices.
+    pub devices: usize,
+    /// Events in each device's arrival trace.
+    pub events_per_device: usize,
+    /// Largest app mix a device may carry (1..=this many catalogue apps).
+    pub max_apps_per_device: usize,
+    /// `max_batch` of the batched-delivery leg.
+    pub max_batch: usize,
+    /// `max_latency_events` of the batched-delivery leg.
+    pub max_latency_events: usize,
+}
+
+impl Default for FleetScenario {
+    /// The default production-scale scenario: 1000 devices drawn from every
+    /// built-in platform, all four isolation methods and one-to-three-app
+    /// mixes of the nine-app catalogue.
+    fn default() -> Self {
+        FleetScenario {
+            name: "mixed-fleet".to_string(),
+            seed: 0xF1EE7,
+            devices: 1000,
+            events_per_device: 120,
+            max_apps_per_device: 3,
+            max_batch: 8,
+            max_latency_events: 12,
+        }
+    }
+}
+
+/// The fully-resolved configuration of one simulated device.
+#[derive(Clone, Debug)]
+pub struct DeviceConfig {
+    /// Device index within the fleet.
+    pub index: usize,
+    /// Hardware platform profile.
+    pub platform: PlatformSpec,
+    /// Isolation method the firmware is built for.
+    pub method: IsolationMethod,
+    /// The catalogue apps installed on this device.
+    pub apps: Vec<CatalogApp>,
+    /// Seed of the device's event-arrival trace.
+    pub trace_seed: u64,
+    /// Seed of the device's synthetic sensors.
+    pub sensor_seed: u32,
+}
+
+impl DeviceConfig {
+    /// A key identifying the firmware image this device needs; devices
+    /// sharing a key share one AFT build (the fleet runner's cache).
+    pub fn firmware_key(&self) -> String {
+        let apps: Vec<&str> = self.apps.iter().map(|a| a.name).collect();
+        format!("{}|{}|{}", self.platform.name, self.method, apps.join("+"))
+    }
+}
+
+/// SplitMix64: a tiny deterministic seed mixer (reference constants), used
+/// so consecutive device indices decorrelate fully.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl FleetScenario {
+    /// The batched delivery policy this scenario's batched leg uses.
+    pub fn batched_policy(&self) -> DeliveryPolicy {
+        DeliveryPolicy::Batched {
+            max_batch: self.max_batch.max(1),
+            max_latency_events: self.max_latency_events.max(1),
+        }
+    }
+
+    /// Derives the configuration of device `index` — a pure function of
+    /// `(self.seed, index)`.
+    pub fn device_config(&self, index: usize) -> DeviceConfig {
+        let mut state = self.seed ^ (index as u64).wrapping_mul(0xA076_1D64_78BD_642F);
+        let platforms = builtin_platforms();
+        let platform =
+            platforms[(splitmix64(&mut state) % platforms.len() as u64) as usize].clone();
+        let method = IsolationMethod::ALL
+            [(splitmix64(&mut state) % IsolationMethod::ALL.len() as u64) as usize];
+        let catalog = amulet_apps::catalog();
+        let mix = 1 + (splitmix64(&mut state) % self.max_apps_per_device.max(1) as u64) as usize;
+        let start = (splitmix64(&mut state) % catalog.len() as u64) as usize;
+        let apps: Vec<CatalogApp> = (0..mix.min(catalog.len()))
+            .map(|k| catalog[(start + k) % catalog.len()].clone())
+            .collect();
+        DeviceConfig {
+            index,
+            platform,
+            method,
+            apps,
+            trace_seed: splitmix64(&mut state),
+            sensor_seed: splitmix64(&mut state) as u32,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_configs_are_deterministic_functions_of_seed_and_index() {
+        let s = FleetScenario::default();
+        for i in [0, 1, 17, 999] {
+            let a = s.device_config(i);
+            let b = s.device_config(i);
+            assert_eq!(a.firmware_key(), b.firmware_key());
+            assert_eq!(a.trace_seed, b.trace_seed);
+            assert_eq!(a.sensor_seed, b.sensor_seed);
+        }
+        let other = FleetScenario {
+            seed: 99,
+            ..FleetScenario::default()
+        };
+        let same =
+            (0..50).all(|i| s.device_config(i).trace_seed == other.device_config(i).trace_seed);
+        assert!(!same, "different seeds must give different fleets");
+    }
+
+    #[test]
+    fn the_fleet_spans_platforms_methods_and_mix_sizes() {
+        let s = FleetScenario::default();
+        let configs: Vec<_> = (0..200).map(|i| s.device_config(i)).collect();
+        let platforms: std::collections::BTreeSet<_> =
+            configs.iter().map(|c| c.platform.name.clone()).collect();
+        let methods: std::collections::BTreeSet<_> =
+            configs.iter().map(|c| c.method.label()).collect();
+        let sizes: std::collections::BTreeSet<_> = configs.iter().map(|c| c.apps.len()).collect();
+        assert_eq!(platforms.len(), 3);
+        assert_eq!(methods.len(), 4);
+        assert_eq!(sizes, [1, 2, 3].into_iter().collect());
+    }
+
+    #[test]
+    fn firmware_keys_collapse_identical_builds() {
+        let s = FleetScenario::default();
+        let keys: std::collections::BTreeSet<_> = (0..500)
+            .map(|i| s.device_config(i).firmware_key())
+            .collect();
+        // 3 platforms × 4 methods × (9 windows × 3 sizes) is the ceiling;
+        // 500 devices must repeat keys, which is what makes caching pay.
+        assert!(keys.len() < 400, "got {} distinct keys", keys.len());
+    }
+}

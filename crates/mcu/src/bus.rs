@@ -126,6 +126,22 @@ impl Bus {
     /// backend that polices FRAM/InfoMem accesses is chosen by the
     /// platform's [`amulet_core::platform::MpuModel`].
     pub fn new(platform: PlatformSpec) -> Self {
+        let (mpu, region_mpu) = Self::mpu_backends(&platform);
+        Bus {
+            platform,
+            mem: vec![0u8; 0x1_0000].into_boxed_slice(),
+            mpu,
+            region_mpu,
+            ext_mpu: ExtendedMpu::default(),
+            timer: Timer::new(),
+            stats: BusStats::default(),
+        }
+    }
+
+    /// Builds both MPU backends in their power-on (disabled) state for a
+    /// platform — the single backend-selection rule shared by
+    /// [`Bus::new`] and [`Bus::reset`].
+    fn mpu_backends(platform: &PlatformSpec) -> (Mpu, RegionMpu) {
         let mpu = Mpu::new(platform.fram, platform.info_mem);
         let region_slots = if platform.mpu.is_region_based() {
             platform.mpu.main_segments()
@@ -138,20 +154,26 @@ impl Bus {
             platform.info_mem,
             platform.sram,
         );
-        Bus {
-            platform,
-            mem: vec![0u8; 0x1_0000].into_boxed_slice(),
-            mpu,
-            region_mpu,
-            ext_mpu: ExtendedMpu::default(),
-            timer: Timer::new(),
-            stats: BusStats::default(),
-        }
+        (mpu, region_mpu)
     }
 
     /// Creates a bus for the MSP430FR5969.
     pub fn msp430fr5969() -> Self {
         Bus::new(PlatformSpec::msp430fr5969())
+    }
+
+    /// Returns the bus to its power-on state **in place**: memory is zeroed
+    /// (the 64 KiB allocation is reused), the MPU backends return to their
+    /// disabled reset values, the timer stops and the access counters
+    /// clear.  Lets one bus be reused across many simulation runs.
+    pub fn reset(&mut self) {
+        self.mem.fill(0);
+        let (mpu, region_mpu) = Self::mpu_backends(&self.platform);
+        self.mpu = mpu;
+        self.region_mpu = region_mpu;
+        self.ext_mpu = ExtendedMpu::default();
+        self.timer = Timer::new();
+        self.stats = BusStats::default();
     }
 
     /// The platform this bus models.

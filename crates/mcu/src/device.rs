@@ -79,6 +79,29 @@ impl Device {
         self.firmware = Some(fw.clone());
     }
 
+    /// Returns the device to its power-on, freshly-loaded state so it can
+    /// be reused for another simulation run **without** rebuilding the
+    /// firmware or re-decoding the instruction store: the bus is reset in
+    /// place (memory zeroed, MPUs disabled, timer stopped), the CPU is
+    /// reset, and the loaded firmware's data segments and initial stack
+    /// pointer are re-installed.  The decoded [`Device::code`] map — the
+    /// expensive part of [`Device::load_firmware`] — is untouched, since
+    /// instructions live in write-protected FRAM and cannot have changed.
+    ///
+    /// Returns `false` (after a plain reset) when no firmware is loaded.
+    pub fn reset(&mut self) -> bool {
+        self.bus.reset();
+        self.cpu = Cpu::new();
+        let Some(fw) = self.firmware.as_ref() else {
+            return false;
+        };
+        for seg in &fw.data {
+            self.bus.load_bytes(seg.addr, &seg.bytes);
+        }
+        self.cpu.set_sp(fw.os.initial_sp);
+        true
+    }
+
     /// Adds `n` cycles to the cycle counter (and the benchmark timer),
     /// modelling work done by OS code that is not executed instruction by
     /// instruction.
@@ -237,6 +260,31 @@ mod tests {
         let exit = dev.run(1);
         assert_eq!(exit.reason, StopReason::StepLimit);
         assert_eq!(exit.steps, 1);
+    }
+
+    #[test]
+    fn reset_reuses_the_device_for_an_identical_second_run() {
+        let fw = simple_firmware();
+        let mut dev = Device::msp430fr5969();
+        dev.load_firmware(&fw);
+        let entry = fw.symbol("A::main").unwrap();
+        dev.prepare_call(entry, fw.memory_map.apps[0].initial_stack_pointer());
+        let first = dev.run(100);
+        assert_eq!(first.reason, StopReason::HandlerDone);
+
+        assert!(dev.reset());
+        assert_eq!(dev.cycles(), 0, "CPU state is back to power-on");
+        assert_eq!(
+            dev.bus.read_raw(fw.memory_map.apps[0].data.start, 1),
+            1,
+            "data segments are re-initialised"
+        );
+        dev.prepare_call(entry, fw.memory_map.apps[0].initial_stack_pointer());
+        let again = dev.run(100);
+        assert_eq!(again, first, "a reused device replays the run exactly");
+
+        let mut empty = Device::msp430fr5969();
+        assert!(!empty.reset(), "reset reports when no firmware is loaded");
     }
 
     #[test]

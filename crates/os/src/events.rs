@@ -6,6 +6,62 @@
 
 use std::collections::VecDeque;
 
+/// How the scheduler hands queued events to applications.
+///
+/// The paper's baseline pays a full OS→app→OS context-switch round trip for
+/// every delivered event.  When events arrive in bursts for the same
+/// application (accelerometer batches, queued timer ticks), the OS can
+/// instead deliver a **batch** through one switch pair: the first event of
+/// the batch installs the app's MPU configuration and switches stacks, the
+/// intra-batch boundaries run through the trusted dispatch trampoline with
+/// no state save/restore or MPU traffic, and the last event restores the OS
+/// configuration.  App-visible behaviour (which handlers run, in which
+/// order, with which payloads, and how faults are handled) is identical to
+/// [`DeliveryPolicy::PerEvent`]; only the switch cost changes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DeliveryPolicy {
+    /// Every event pays the full switch round trip (the paper's model).
+    #[default]
+    PerEvent,
+    /// Consecutive same-app events share one switch round trip.
+    Batched {
+        /// Largest number of events delivered through one switch pair.
+        max_batch: usize,
+        /// Latency bound for [`crate::os::AmuletOs::pump`]: while at least
+        /// this many events are pending, batches are delivered even if no
+        /// full batch has formed at the queue head.  Delivery continues
+        /// only while the pending count stays at or above the bound (the
+        /// remainder keeps accumulating for a later pump);
+        /// [`crate::os::AmuletOs::flush`] drains everything.
+        max_latency_events: usize,
+    },
+}
+
+impl DeliveryPolicy {
+    /// A conservative default batching configuration: batches of up to 8
+    /// events, flushed once 16 events are pending.
+    pub fn batched_default() -> Self {
+        DeliveryPolicy::Batched {
+            max_batch: 8,
+            max_latency_events: 16,
+        }
+    }
+
+    /// Whether this policy amortises switches over batches.
+    pub fn is_batched(&self) -> bool {
+        matches!(self, DeliveryPolicy::Batched { .. })
+    }
+
+    /// The largest batch this policy delivers through one switch pair
+    /// (1 under [`DeliveryPolicy::PerEvent`]).
+    pub fn max_batch(&self) -> usize {
+        match self {
+            DeliveryPolicy::PerEvent => 1,
+            DeliveryPolicy::Batched { max_batch, .. } => (*max_batch).max(1),
+        }
+    }
+}
+
 /// The source of an event.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
 pub enum EventKind {
@@ -80,6 +136,57 @@ impl EventQueue {
         e
     }
 
+    /// Removes any pending [`EventKind::Timer`] events for `app_index`,
+    /// returning how many were removed.
+    ///
+    /// An application owns a **single** timer: `amulet_set_timer` re-arms
+    /// it, it does not stack a second one.  The scheduler calls this before
+    /// queueing a freshly-armed timer event so at most one timer event per
+    /// app is ever pending — exactly the hardware's behaviour.
+    pub fn cancel_timers_for(&mut self, app_index: usize) -> usize {
+        let before = self.queue.len();
+        self.queue
+            .retain(|e| !(e.app_index == app_index && e.kind == EventKind::Timer));
+        before - self.queue.len()
+    }
+
+    /// Removes the head event plus up to `max_batch - 1` immediately
+    /// following events addressed to the *same* application.
+    ///
+    /// Only the consecutive head run is taken, so global FIFO order — and
+    /// therefore each application's event order — is exactly what
+    /// event-at-a-time delivery would produce.
+    pub fn pop_batch(&mut self, max_batch: usize) -> Vec<Event> {
+        let mut batch = Vec::new();
+        let Some(first) = self.pop() else {
+            return batch;
+        };
+        let app = first.app_index;
+        batch.push(first);
+        while batch.len() < max_batch.max(1) {
+            match self.queue.front() {
+                Some(next) if next.app_index == app => {
+                    batch.push(self.pop().expect("front was Some"));
+                }
+                _ => break,
+            }
+        }
+        batch
+    }
+
+    /// Length of the run of consecutive head events addressed to the same
+    /// application (0 when the queue is empty).  The batching scheduler
+    /// uses this to decide whether a full batch is ready.
+    pub fn head_run_len(&self) -> usize {
+        let Some(first) = self.queue.front() else {
+            return 0;
+        };
+        self.queue
+            .iter()
+            .take_while(|e| e.app_index == first.app_index)
+            .count()
+    }
+
     /// Number of events currently waiting.
     pub fn len(&self) -> usize {
         self.queue.len()
@@ -107,5 +214,55 @@ mod tests {
         assert_eq!(q.enqueued, 2);
         assert_eq!(q.delivered, 2);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pop_batch_takes_only_the_consecutive_same_app_run() {
+        let mut q = EventQueue::new();
+        q.push(Event::new(0, "a", 1, EventKind::Sensor));
+        q.push(Event::new(0, "a", 2, EventKind::Sensor));
+        q.push(Event::new(1, "b", 3, EventKind::Timer));
+        q.push(Event::new(0, "a", 4, EventKind::Sensor));
+        assert_eq!(q.head_run_len(), 2);
+        let batch = q.pop_batch(8);
+        assert_eq!(batch.len(), 2);
+        assert!(batch.iter().all(|e| e.app_index == 0));
+        // The run after app 1's event was not pulled forward.
+        assert_eq!(q.pop_batch(8).len(), 1);
+        assert_eq!(q.pop_batch(8)[0].payload, 4);
+        assert_eq!(q.delivered, 4);
+    }
+
+    #[test]
+    fn cancel_timers_removes_only_that_apps_timer_events() {
+        let mut q = EventQueue::new();
+        q.push(Event::new(0, "on_timer", 1, EventKind::Timer));
+        q.push(Event::new(1, "on_timer", 2, EventKind::Timer));
+        q.push(Event::new(0, "on_tick", 3, EventKind::Sensor));
+        assert_eq!(q.cancel_timers_for(0), 1);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop().unwrap().app_index, 1);
+        assert_eq!(q.pop().unwrap().kind, EventKind::Sensor);
+    }
+
+    #[test]
+    fn pop_batch_respects_max_batch() {
+        let mut q = EventQueue::new();
+        for i in 0..5 {
+            q.push(Event::new(0, "a", i, EventKind::Sensor));
+        }
+        assert_eq!(q.pop_batch(3).len(), 3);
+        assert_eq!(q.pop_batch(3).len(), 2);
+        assert_eq!(q.head_run_len(), 0);
+    }
+
+    #[test]
+    fn delivery_policy_accessors() {
+        assert!(!DeliveryPolicy::PerEvent.is_batched());
+        assert_eq!(DeliveryPolicy::PerEvent.max_batch(), 1);
+        let b = DeliveryPolicy::batched_default();
+        assert!(b.is_batched());
+        assert!(b.max_batch() > 1);
+        assert_eq!(DeliveryPolicy::default(), DeliveryPolicy::PerEvent);
     }
 }

@@ -29,6 +29,13 @@
 //! os.call_handler(0, "tick", 5);
 //! assert_eq!(os.services.log.last().unwrap().value, 5);
 //! ```
+//!
+//! Event delivery is governed by an [`events::DeliveryPolicy`]: the paper's
+//! per-event model pays a full context-switch round trip per event, while
+//! batched delivery amortises one round trip over a run of consecutive
+//! same-app events (see [`os::AmuletOs::pump`] and
+//! [`os::AmuletOs::deliver_batch`]) without changing app-visible behaviour
+//! — the fleet simulator (`amulet-fleet`) measures the difference at scale.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -39,7 +46,7 @@ pub mod policy;
 pub mod sensors;
 pub mod syscalls;
 
-pub use events::{Event, EventKind, EventQueue};
+pub use events::{DeliveryPolicy, Event, EventKind, EventQueue};
 pub use os::{AmuletOs, AppRuntimeStats, DeliveryOutcome, OsOptions};
 pub use policy::{AppState, FaultAction, FaultHandler, FaultRecord, RestartPolicy};
 pub use sensors::SensorModel;

@@ -15,7 +15,7 @@
 //!   land in the FAULT handler, which logs the fault and applies the restart
 //!   policy.
 
-use crate::events::{Event, EventKind, EventQueue};
+use crate::events::{DeliveryPolicy, Event, EventKind, EventQueue};
 use crate::policy::{AppState, FaultAction, FaultHandler, RestartPolicy};
 use crate::syscalls::{Services, SyscallArgs};
 use amulet_aft::api::ApiSpec;
@@ -42,6 +42,10 @@ pub struct OsOptions {
     /// Maximum instructions a single handler may execute before the OS
     /// declares it runaway and faults it.
     pub step_budget: u64,
+    /// How queued events are handed to applications: one switch round trip
+    /// per event (the paper's baseline) or one per batch of consecutive
+    /// same-app events.
+    pub delivery: DeliveryPolicy,
 }
 
 impl Default for OsOptions {
@@ -51,6 +55,7 @@ impl Default for OsOptions {
             zero_shared_stack: false,
             sensor_seed: 0xA11CE,
             step_budget: 5_000_000,
+            delivery: DeliveryPolicy::PerEvent,
         }
     }
 }
@@ -70,6 +75,11 @@ pub struct AppRuntimeStats {
     pub switch_cycles: u64,
     /// Cycles spent inside OS service bodies on the app's behalf.
     pub service_cycles: u64,
+    /// Full directed OS↔app transitions charged (each direction counts 1).
+    pub full_switches: u64,
+    /// Intra-batch delivery boundaries charged instead of a full switch
+    /// pair (always 0 under [`DeliveryPolicy::PerEvent`]).
+    pub batch_boundaries: u64,
 }
 
 impl AppRuntimeStats {
@@ -112,6 +122,9 @@ pub struct AmuletOs {
     options: OsOptions,
     method: IsolationMethod,
     last_app_on_shared_stack: Option<usize>,
+    /// Set when the running handler called `amulet_yield`; consumed by the
+    /// batch-delivery machinery to end the current batch early.
+    pending_yield: bool,
 }
 
 impl AmuletOs {
@@ -126,22 +139,61 @@ impl AmuletOs {
         let mut device = Device::new(firmware.memory_map.platform.clone());
         device.load_firmware(&firmware);
         device.bus.timer.start();
-        let app_count = firmware.apps.len();
         let method = firmware.method;
-        AmuletOs {
+        let mut os = AmuletOs {
             device,
             api: ApiSpec::amulet(),
-            services: Services::new(options.sensor_seed),
+            services: Services::default(),
             queue: EventQueue::new(),
-            faults: FaultHandler::new(options.restart_policy, app_count),
-            app_states: vec![AppState::Active; app_count],
-            stats: vec![AppRuntimeStats::default(); app_count],
+            faults: FaultHandler::default(),
+            app_states: Vec::new(),
+            stats: Vec::new(),
             subscriptions: Vec::new(),
             options,
             method,
             firmware,
             last_app_on_shared_stack: None,
-        }
+            pending_yield: false,
+        };
+        os.install_fresh_state();
+        os
+    }
+
+    /// (Re-)initialises every piece of runtime state that must be cleared
+    /// for a fresh run — the single source of truth shared by
+    /// [`AmuletOs::with_options`] and [`AmuletOs::reset`] so the two can
+    /// never drift.
+    fn install_fresh_state(&mut self) {
+        let app_count = self.firmware.apps.len();
+        self.services = Services::new(self.options.sensor_seed);
+        self.queue = EventQueue::new();
+        self.faults = FaultHandler::new(self.options.restart_policy, app_count);
+        self.app_states = vec![AppState::Active; app_count];
+        self.stats = vec![AppRuntimeStats::default(); app_count];
+        self.subscriptions.clear();
+        self.last_app_on_shared_stack = None;
+        self.pending_yield = false;
+    }
+
+    /// Restores the runtime (and its device) to the freshly-loaded,
+    /// pre-[`boot`](AmuletOs::boot) state without rebuilding or re-decoding
+    /// the firmware image.  The fleet simulator uses this to run one device
+    /// under several delivery policies; the expensive AFT build and
+    /// instruction decode happen once.
+    pub fn reset(&mut self) {
+        self.device.reset();
+        self.device.bus.timer.start();
+        self.install_fresh_state();
+    }
+
+    /// The active delivery policy.
+    pub fn delivery_policy(&self) -> DeliveryPolicy {
+        self.options.delivery
+    }
+
+    /// Changes the delivery policy (takes effect at the next delivery).
+    pub fn set_delivery_policy(&mut self, policy: DeliveryPolicy) {
+        self.options.delivery = policy;
     }
 
     /// The isolation method the loaded firmware was built for.
@@ -196,15 +248,71 @@ impl AmuletOs {
     }
 
     /// Delivers up to `max_events` pending events; returns how many were
-    /// delivered.
+    /// delivered.  Under a batched policy, consecutive same-app events are
+    /// grouped (never beyond `max_events`) and delivered through one switch
+    /// pair each.
     pub fn run_queue(&mut self, max_events: usize) -> usize {
         let mut delivered = 0;
         while delivered < max_events {
-            let Some(event) = self.queue.pop() else { break };
-            self.deliver(&event);
-            delivered += 1;
+            let room = max_events - delivered;
+            let batch = self
+                .queue
+                .pop_batch(self.options.delivery.max_batch().min(room));
+            if batch.is_empty() {
+                break;
+            }
+            delivered += batch.len();
+            self.deliver_batch(&batch);
         }
         delivered
+    }
+
+    /// Services pending events as the delivery policy allows, bounded by
+    /// the number of events pending at call time (so handlers that enqueue
+    /// further events cannot make one pump run forever).
+    ///
+    /// * [`DeliveryPolicy::PerEvent`] delivers everything pending;
+    /// * [`DeliveryPolicy::Batched`] delivers only while a full batch is
+    ///   ready at the queue head **or** `max_latency_events` events are
+    ///   pending — otherwise events keep accumulating so a later pump can
+    ///   amortise the switch over a bigger batch.  [`flush`](Self::flush)
+    ///   delivers the stragglers.
+    ///
+    /// Returns how many events were delivered.
+    pub fn pump(&mut self) -> usize {
+        match self.options.delivery {
+            DeliveryPolicy::PerEvent => self.flush(),
+            DeliveryPolicy::Batched {
+                max_batch,
+                max_latency_events,
+            } => {
+                let budget = self.queue.len();
+                let mut delivered = 0;
+                while delivered < budget {
+                    let full_batch_ready = self.queue.head_run_len() >= max_batch.max(1);
+                    let latency_bound_hit = self.queue.len() >= max_latency_events.max(1);
+                    if !full_batch_ready && !latency_bound_hit {
+                        break;
+                    }
+                    let room = budget - delivered;
+                    let batch = self.queue.pop_batch(max_batch.max(1).min(room));
+                    if batch.is_empty() {
+                        break;
+                    }
+                    delivered += batch.len();
+                    self.deliver_batch(&batch);
+                }
+                delivered
+            }
+        }
+    }
+
+    /// Delivers every event pending at call time, ignoring the batching
+    /// thresholds (batches are still formed, so batched switch accounting
+    /// applies).  Returns how many events were delivered.
+    pub fn flush(&mut self) -> usize {
+        let pending = self.queue.len();
+        self.run_queue(pending)
     }
 
     /// Invokes one handler of one app synchronously (the benches use this to
@@ -221,43 +329,88 @@ impl AmuletOs {
         (outcome, self.device.cycles() - before)
     }
 
-    /// Delivers a single event.
+    /// Delivers a single event (one full switch round trip).
     pub fn deliver(&mut self, event: &Event) -> DeliveryOutcome {
-        let idx = event.app_index;
-        if idx >= self.app_count() || self.app_states[idx] == AppState::Killed {
-            return DeliveryOutcome::Skipped;
+        self.deliver_batch(std::slice::from_ref(event))[0]
+    }
+
+    /// Delivers a batch of events addressed to a single application.
+    ///
+    /// The first event that actually runs pays the full OS→app switch; the
+    /// boundaries between events of the batch run through the trusted
+    /// dispatch trampoline (the app's MPU configuration is already
+    /// installed, nothing needs saving or restoring) and are charged
+    /// [`ContextSwitchPlan::batched_boundary_cycles`]; the last event pays
+    /// the full app→OS switch.  Faults, missing handlers and `amulet_yield`
+    /// fall back to full switches, so app-visible behaviour is identical to
+    /// event-at-a-time delivery — only the switch cost differs.
+    pub fn deliver_batch(&mut self, events: &[Event]) -> Vec<DeliveryOutcome> {
+        let mut outcomes = Vec::with_capacity(events.len());
+        // Whether the app's context is live because the previous event of
+        // this batch elided its exit switch.
+        let mut in_app = false;
+        for (i, event) in events.iter().enumerate() {
+            let idx = event.app_index;
+            debug_assert!(
+                events.iter().all(|e| e.app_index == idx),
+                "a delivery batch must not span applications"
+            );
+            if idx >= self.app_count() || self.app_states[idx] == AppState::Killed {
+                outcomes.push(DeliveryOutcome::Skipped);
+                continue;
+            }
+            let Some(&entry) = self.firmware.apps[idx].handlers.get(&event.handler) else {
+                outcomes.push(DeliveryOutcome::Skipped);
+                continue;
+            };
+
+            self.stats[idx].events_delivered += 1;
+
+            // Ablation A: a shared stack must be scrubbed when the running
+            // app changes, lest the new app read the previous app's stack
+            // tailings.
+            if self.options.zero_shared_stack
+                && !self.method.uses_per_app_stacks()
+                && self.last_app_on_shared_stack != Some(idx)
+            {
+                let stack = self.firmware.memory_map.os_stack;
+                self.device.bus.fill(stack, 0);
+                // One word written per cycle pair plus loop overhead.
+                let words = (stack.len() / 2) as u64;
+                self.charge_switch(idx, 2 * words + 10);
+            }
+            self.last_app_on_shared_stack = Some(idx);
+
+            if in_app {
+                // Intra-batch boundary: no MPU traffic, no save/restore.
+                self.charge_batch_boundary(idx);
+            } else {
+                // OS → app half of the switch.
+                self.switch_to_app(idx);
+            }
+
+            // Set up the handler call: argument word, then the sentinel
+            // return address (pushed by `prepare_call`).
+            let sp0 = self.app_stack_pointer(idx);
+            let arg_sp = sp0.wrapping_sub(2) & 0xFFFF;
+            self.device.bus.write_raw(arg_sp, 2, event.payload);
+            self.device.prepare_call(entry, arg_sp);
+
+            // The exit switch may be elided only when a later event of this
+            // batch will actually run a handler.
+            let later_runnable = events[i + 1..]
+                .iter()
+                .any(|e| self.firmware.apps[idx].handlers.contains_key(&e.handler));
+            self.pending_yield = false;
+            let (outcome, still_in_app) = self.run_app_until_return(idx, later_runnable);
+            in_app = still_in_app;
+            outcomes.push(outcome);
         }
-        let Some(&entry) = self.firmware.apps[idx].handlers.get(&event.handler) else {
-            return DeliveryOutcome::Skipped;
-        };
-
-        self.stats[idx].events_delivered += 1;
-
-        // Ablation A: a shared stack must be scrubbed when the running app
-        // changes, lest the new app read the previous app's stack tailings.
-        if self.options.zero_shared_stack
-            && !self.method.uses_per_app_stacks()
-            && self.last_app_on_shared_stack != Some(idx)
-        {
-            let stack = self.firmware.memory_map.os_stack;
-            self.device.bus.fill(stack, 0);
-            // One word written per cycle pair plus loop overhead.
-            let words = (stack.len() / 2) as u64;
-            self.charge_switch(idx, 2 * words + 10);
-        }
-        self.last_app_on_shared_stack = Some(idx);
-
-        // OS → app half of the switch.
-        self.switch_to_app(idx);
-
-        // Set up the handler call: argument word, then the sentinel return
-        // address (pushed by `prepare_call`).
-        let sp0 = self.app_stack_pointer(idx);
-        let arg_sp = sp0.wrapping_sub(2) & 0xFFFF;
-        self.device.bus.write_raw(arg_sp, 2, event.payload);
-        self.device.prepare_call(entry, arg_sp);
-
-        self.run_app_until_return(idx)
+        debug_assert!(
+            !in_app,
+            "a batch must end with the OS configuration installed"
+        );
+        outcomes
     }
 
     fn app_stack_pointer(&self, idx: usize) -> Addr {
@@ -271,6 +424,15 @@ impl AmuletOs {
     fn charge_switch(&mut self, idx: usize, cycles: u64) {
         self.device.charge_cycles(cycles);
         self.stats[idx].switch_cycles += cycles;
+    }
+
+    /// Charges the cheap intra-batch delivery boundary (handler-return trap
+    /// plus next-event dispatch; see
+    /// [`ContextSwitchPlan::batched_boundary_cycles`]).
+    fn charge_batch_boundary(&mut self, idx: usize) {
+        let cycles = ContextSwitchPlan::batched_boundary_cycles();
+        self.charge_switch(idx, cycles);
+        self.stats[idx].batch_boundaries += 1;
     }
 
     /// Installs an MPU configuration by writing the real memory-mapped
@@ -287,6 +449,7 @@ impl AmuletOs {
         let platform = &self.firmware.memory_map.platform;
         let plan = ContextSwitchPlan::new_for(platform, self.method, SwitchDirection::OsToApp, 0);
         self.charge_switch(idx, plan.cycles());
+        self.stats[idx].full_switches += 1;
         if self.method.uses_mpu() {
             let config = self.firmware.apps[idx].mpu_config.clone();
             self.write_mpu_config(&config);
@@ -304,6 +467,7 @@ impl AmuletOs {
             pointer_args,
         );
         self.charge_switch(idx, plan.cycles());
+        self.stats[idx].full_switches += 1;
         if self.method.uses_mpu() {
             let config = self.firmware.os.mpu_config.clone();
             self.write_mpu_config(&config);
@@ -318,7 +482,11 @@ impl AmuletOs {
         placement.data_stack().contains(ptr as Addr)
     }
 
-    fn run_app_until_return(&mut self, idx: usize) -> DeliveryOutcome {
+    /// Runs the app until its handler returns (or faults).  `elide_exit`
+    /// allows the completion switch to be skipped because another event of
+    /// the same batch follows; the second element of the return value says
+    /// whether the app's context is still live (exit actually elided).
+    fn run_app_until_return(&mut self, idx: usize, elide_exit: bool) -> (DeliveryOutcome, bool) {
         let mut steps_left = self.options.step_budget;
         loop {
             let exit = self.device.run(steps_left.max(1));
@@ -326,9 +494,14 @@ impl AmuletOs {
             steps_left = steps_left.saturating_sub(exit.steps);
             match exit.reason {
                 StopReason::HandlerDone | StopReason::Halted => {
+                    if elide_exit && !self.pending_yield {
+                        // Stay in the app's context: the next event of the
+                        // batch is dispatched without a full switch.
+                        return (DeliveryOutcome::Completed, true);
+                    }
                     // App → OS on handler completion.
                     self.switch_to_os(idx, 0);
-                    return DeliveryOutcome::Completed;
+                    return (DeliveryOutcome::Completed, false);
                 }
                 StopReason::Syscall { num } => {
                     let args = SyscallArgs {
@@ -353,7 +526,7 @@ impl AmuletOs {
                             pc: self.device.cpu.pc(),
                             addr: Some(args.arg0 as Addr),
                         };
-                        return self.handle_fault(idx, info);
+                        return (self.handle_fault(idx, info), false);
                     }
 
                     // Service body.
@@ -370,6 +543,10 @@ impl AmuletOs {
 
                     if let Some(ms) = outcome.timer_armed_ms {
                         if self.firmware.apps[idx].handlers.contains_key("on_timer") {
+                            // An app owns one timer: re-arming replaces any
+                            // still-pending timer event instead of stacking
+                            // a second one.
+                            self.queue.cancel_timers_for(idx);
                             self.queue
                                 .push(Event::new(idx, "on_timer", ms, EventKind::Timer));
                         }
@@ -377,13 +554,16 @@ impl AmuletOs {
                     if let Some(stream) = outcome.subscribed_stream {
                         self.subscriptions.push((idx, stream));
                     }
+                    if outcome.yielded {
+                        self.pending_yield = true;
+                    }
 
                     // OS → app, with the return value in R14.
                     self.switch_to_app(idx);
                     self.device.cpu.set_reg(Reg::R14, outcome.ret);
                 }
                 StopReason::Fault(info) => {
-                    return self.handle_fault(idx, info);
+                    return (self.handle_fault(idx, info), false);
                 }
                 StopReason::StepLimit => {
                     let info = FaultInfo {
@@ -391,7 +571,7 @@ impl AmuletOs {
                         pc: self.device.cpu.pc(),
                         addr: None,
                     };
-                    return self.handle_fault(idx, info);
+                    return (self.handle_fault(idx, info), false);
                 }
             }
         }
@@ -701,6 +881,156 @@ mod tests {
             zeroed.total_cycles() > plain.total_cycles() + 1000,
             "zeroing the shared stack on every app change is visibly expensive"
         );
+    }
+
+    fn log_projection(os: &AmuletOs) -> Vec<(usize, i16)> {
+        os.services
+            .log
+            .iter()
+            .map(|l| (l.app_index, l.value))
+            .collect()
+    }
+
+    #[test]
+    fn batched_delivery_preserves_behaviour_and_saves_switch_cycles() {
+        let run = |policy| {
+            let mut os = build(
+                IsolationMethod::Mpu,
+                &[("Counter", COUNTER_APP, &["main", "on_tick"])],
+            );
+            os.set_delivery_policy(policy);
+            os.boot();
+            for i in 1..=6 {
+                os.post_event(Event::new(0, "on_tick", i, EventKind::Sensor));
+            }
+            assert_eq!(os.flush(), 6);
+            os
+        };
+        let per_event = run(DeliveryPolicy::PerEvent);
+        let batched = run(DeliveryPolicy::Batched {
+            max_batch: 3,
+            max_latency_events: 8,
+        });
+        // App-visible behaviour is identical…
+        assert_eq!(log_projection(&per_event), log_projection(&batched));
+        assert_eq!(
+            per_event.stats[0].events_delivered,
+            batched.stats[0].events_delivered
+        );
+        assert_eq!(per_event.stats[0].syscalls, batched.stats[0].syscalls);
+        assert_eq!(per_event.stats[0].faults, batched.stats[0].faults);
+        // …only the switch accounting differs: 6 deliveries become 2
+        // batches, replacing 4 full switches with 4 cheap boundaries.
+        assert_eq!(per_event.stats[0].batch_boundaries, 0);
+        assert_eq!(batched.stats[0].batch_boundaries, 4);
+        // 6 per-event delivery round trips (12 directed switches) become 2
+        // batch round trips (4 directed switches).
+        assert_eq!(
+            per_event.stats[0].full_switches,
+            batched.stats[0].full_switches + 8
+        );
+        assert!(batched.stats[0].switch_cycles < per_event.stats[0].switch_cycles);
+    }
+
+    #[test]
+    fn pump_defers_until_a_full_batch_or_the_latency_bound() {
+        let mut os = build(
+            IsolationMethod::Mpu,
+            &[("Counter", COUNTER_APP, &["main", "on_tick"])],
+        );
+        os.set_delivery_policy(DeliveryPolicy::Batched {
+            max_batch: 2,
+            max_latency_events: 10,
+        });
+        os.boot();
+        os.post_event(Event::new(0, "on_tick", 1, EventKind::Sensor));
+        assert_eq!(os.pump(), 0, "a lone event waits for a batch to form");
+        os.post_event(Event::new(0, "on_tick", 2, EventKind::Sensor));
+        assert_eq!(os.pump(), 2, "a full batch is delivered");
+        os.post_event(Event::new(0, "on_tick", 3, EventKind::Sensor));
+        assert_eq!(os.pump(), 0);
+        assert_eq!(os.flush(), 1, "flush delivers the straggler");
+        assert_eq!(os.services.log.last().unwrap().value, 1 + 2 + 3);
+    }
+
+    #[test]
+    fn batched_faults_behave_like_per_event_faults() {
+        let run = |policy| {
+            let mut os = build(
+                IsolationMethod::Mpu,
+                &[("Wild", WILD_APP, &["main", "poke"])],
+            );
+            os.set_delivery_policy(policy);
+            os.boot();
+            // Three wild pokes: the first kills the app, the rest are
+            // skipped — batched delivery must agree exactly.
+            for _ in 0..3 {
+                os.post_event(Event::new(0, "poke", 0xF000, EventKind::User));
+            }
+            os.flush();
+            os
+        };
+        let per_event = run(DeliveryPolicy::PerEvent);
+        let batched = run(DeliveryPolicy::Batched {
+            max_batch: 4,
+            max_latency_events: 8,
+        });
+        for os in [&per_event, &batched] {
+            assert_eq!(os.stats[0].faults, 1);
+            // Boot's `main` plus the first poke; the rest were skipped.
+            assert_eq!(os.stats[0].events_delivered, 2);
+            assert_eq!(os.app_state(0), AppState::Killed);
+            assert_eq!(os.faults.records.len(), 1);
+        }
+        assert_eq!(
+            per_event.faults.records[0].class,
+            batched.faults.records[0].class
+        );
+    }
+
+    #[test]
+    fn yield_ends_the_batch_early() {
+        let src = r#"
+            int n = 0;
+            void main(void) { }
+            int tick(int d) { n += d; amulet_yield(); return n; }
+        "#;
+        let mut os = build(IsolationMethod::Mpu, &[("Yielder", src, &["main", "tick"])]);
+        os.set_delivery_policy(DeliveryPolicy::Batched {
+            max_batch: 4,
+            max_latency_events: 8,
+        });
+        os.boot();
+        for i in 1..=4 {
+            os.post_event(Event::new(0, "tick", i, EventKind::User));
+        }
+        assert_eq!(os.flush(), 4);
+        // Every handler yields, so no boundary is ever elided.
+        assert_eq!(os.stats[0].batch_boundaries, 0);
+        // Boot's `main` plus the four ticks.
+        assert_eq!(os.stats[0].events_delivered, 5);
+    }
+
+    #[test]
+    fn reset_replays_a_run_identically() {
+        let mut os = build(
+            IsolationMethod::Mpu,
+            &[("Counter", COUNTER_APP, &["main", "on_tick"])],
+        );
+        let run = |os: &mut AmuletOs| {
+            os.boot();
+            for i in 1..=3 {
+                let (outcome, _) = os.call_handler(0, "on_tick", i);
+                assert_eq!(outcome, DeliveryOutcome::Completed);
+            }
+            (os.total_cycles(), log_projection(os), os.stats.clone())
+        };
+        let first = run(&mut os);
+        os.reset();
+        assert_eq!(os.total_cycles(), 0);
+        assert!(os.services.log.is_empty());
+        let second = run(&mut os);
+        assert_eq!(first, second, "a reset runtime replays the run exactly");
     }
 
     #[test]

@@ -46,6 +46,11 @@ pub struct SyscallOutcome {
     pub timer_armed_ms: Option<u16>,
     /// An event-stream subscription the application requested.
     pub subscribed_stream: Option<u16>,
+    /// The application yielded (`amulet_yield`).  A scheduling hint: under
+    /// batched delivery the OS ends the current batch after this event and
+    /// restores its own configuration, bounding how long the app retains
+    /// the CPU without a full switch.
+    pub yielded: bool,
 }
 
 /// Persistent OS service state (sensors, log, display).
@@ -92,9 +97,10 @@ impl Services {
             pointer_args,
             timer_armed_ms: None,
             subscribed_stream: None,
+            yielded: false,
         };
         match num {
-            sysno::YIELD => {}
+            sysno::YIELD => out.yielded = true,
             sysno::GET_TIME => out.ret = self.sensors.time(),
             sysno::READ_SENSOR => out.ret = self.sensors.raw_channel(args.arg0) as u16,
             sysno::LOG_VALUE => {
@@ -248,6 +254,30 @@ mod tests {
         assert!(batt <= 100);
         assert_eq!(s.dispatch_counts[&sysno::GET_HEART_RATE], 1);
         assert_eq!(s.dispatch_counts[&sysno::GET_BATTERY], 1);
+    }
+
+    #[test]
+    fn yield_sets_the_batching_hint() {
+        let api = ApiSpec::amulet();
+        let mut s = Services::new(1);
+        let out = s.dispatch(
+            &api,
+            0,
+            sysno::YIELD,
+            SyscallArgs::default(),
+            0,
+            &mut no_mem(),
+        );
+        assert!(out.yielded);
+        let out = s.dispatch(
+            &api,
+            0,
+            sysno::GET_TIME,
+            SyscallArgs::default(),
+            0,
+            &mut no_mem(),
+        );
+        assert!(!out.yielded);
     }
 
     #[test]

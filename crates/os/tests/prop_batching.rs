@@ -1,0 +1,177 @@
+//! Property test for batched event delivery: for arbitrary event
+//! sequences, batch parameters, isolation methods and restart policies,
+//! [`DeliveryPolicy::Batched`] never changes app-visible event order or
+//! fault behaviour compared to [`DeliveryPolicy::PerEvent`] — only the
+//! switch accounting.
+//!
+//! The test apps deliberately cover the delivery edge cases: an app that
+//! logs (syscalls mid-handler), an app that faults on demand (kill and
+//! restart paths mid-batch), an app that yields (ends batches early), and
+//! events targeting missing handlers (skips mid-batch).  None of them
+//! re-arm timers: timer coalescing intentionally interacts with delivery
+//! *timing*, which is the one thing batching is allowed to trade.
+
+use amulet_aft::aft::{Aft, AppSource};
+use amulet_core::method::IsolationMethod;
+use amulet_os::events::{DeliveryPolicy, Event, EventKind};
+use amulet_os::os::{AmuletOs, OsOptions};
+use amulet_os::policy::RestartPolicy;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+const COUNTER: &str = r#"
+    int n = 0;
+    void main(void) { }
+    int tick(int d) {
+        n += d;
+        amulet_log_value(n);
+        return n;
+    }
+"#;
+
+/// Faults (a wild write into OS memory) when the payload is large.
+const CRASHY: &str = r#"
+    int c = 0;
+    void main(void) { }
+    int go(int x) {
+        int *p;
+        if (x > 900) {
+            p = 0x4400;
+            *p = 1;
+        }
+        c = c + 1;
+        amulet_log_value(c);
+        return c;
+    }
+"#;
+
+const YIELDY: &str = r#"
+    void main(void) { }
+    int y(int d) {
+        amulet_yield();
+        amulet_log_value(d);
+        return d;
+    }
+"#;
+
+fn build(method: IsolationMethod, policy: DeliveryPolicy, restart: RestartPolicy) -> AmuletOs {
+    let out = Aft::new(method)
+        .add_app(AppSource::new("Counter", COUNTER, &["main", "tick"]))
+        .add_app(AppSource::new("Crashy", CRASHY, &["main", "go"]))
+        .add_app(AppSource::new("Yieldy", YIELDY, &["main", "y"]))
+        .build()
+        .unwrap_or_else(|e| panic!("{method}: {e}"));
+    AmuletOs::with_options(
+        out.firmware,
+        OsOptions {
+            delivery: policy,
+            restart_policy: restart,
+            ..OsOptions::default()
+        },
+    )
+}
+
+fn handler_for(app: usize, choice: usize) -> &'static str {
+    match (app, choice) {
+        (0, 2) | (1, 2) | (2, 2) => "nope", // missing → Skipped
+        (0, _) => "tick",
+        (1, _) => "go",
+        _ => "y",
+    }
+}
+
+/// `(app, logged value)` entries and `(app, fault class/action)` records.
+type Behaviour = (Vec<(usize, i16)>, Vec<(usize, String)>);
+
+/// Everything an application can observe or cause, in order.
+fn visible_behaviour(os: &AmuletOs) -> Behaviour {
+    let log = os
+        .services
+        .log
+        .iter()
+        .map(|l| (l.app_index, l.value))
+        .collect();
+    let faults = os
+        .faults
+        .records
+        .iter()
+        .map(|r| (r.app_index, format!("{:?}/{:?}", r.class, r.action)))
+        .collect();
+    (log, faults)
+}
+
+fn method_strategy() -> impl Strategy<Value = IsolationMethod> {
+    prop_oneof![
+        Just(IsolationMethod::Mpu),
+        Just(IsolationMethod::SoftwareOnly),
+        Just(IsolationMethod::NoIsolation),
+    ]
+}
+
+fn restart_strategy() -> impl Strategy<Value = RestartPolicy> {
+    prop_oneof![
+        Just(RestartPolicy::Kill),
+        Just(RestartPolicy::Restart),
+        Just(RestartPolicy::RestartWithLimit { max_restarts: 1 }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn batching_changes_only_the_switch_accounting(
+        method in method_strategy(),
+        restart in restart_strategy(),
+        max_batch in 1usize..6,
+        max_latency in 1usize..10,
+        events in vec((0usize..3, 0usize..3, 0u16..1000), 1..40),
+    ) {
+        let drive = |policy: DeliveryPolicy| {
+            let mut os = build(method, policy, restart);
+            os.boot();
+            for (app, choice, payload) in &events {
+                os.post_event(Event::new(
+                    *app,
+                    handler_for(*app, *choice),
+                    *payload,
+                    EventKind::User,
+                ));
+                os.pump();
+            }
+            os.flush();
+            os
+        };
+        let per_event = drive(DeliveryPolicy::PerEvent);
+        let batched = drive(DeliveryPolicy::Batched {
+            max_batch,
+            max_latency_events: max_latency,
+        });
+
+        // App-visible behaviour is identical: every log entry in the same
+        // order, every fault with the same class and policy action, every
+        // app in the same final lifecycle state.
+        prop_assert_eq!(visible_behaviour(&per_event), visible_behaviour(&batched));
+        for idx in 0..per_event.app_count() {
+            prop_assert_eq!(per_event.app_state(idx), batched.app_state(idx));
+            let a = &per_event.stats[idx];
+            let b = &batched.stats[idx];
+            prop_assert_eq!(a.events_delivered, b.events_delivered, "app {}", idx);
+            prop_assert_eq!(a.syscalls, b.syscalls, "app {}", idx);
+            prop_assert_eq!(a.faults, b.faults, "app {}", idx);
+            prop_assert_eq!(a.app_cycles, b.app_cycles, "app {}", idx);
+            prop_assert_eq!(a.service_cycles, b.service_cycles, "app {}", idx);
+            // Only switch accounting may differ, and only downward.
+            prop_assert!(b.switch_cycles <= a.switch_cycles, "app {}", idx);
+            prop_assert_eq!(a.batch_boundaries, 0u64);
+            // Every elided boundary replaced exactly one full round trip.
+            prop_assert_eq!(
+                a.full_switches,
+                b.full_switches + 2 * b.batch_boundaries,
+                "app {}",
+                idx
+            );
+        }
+        prop_assert!(batched.total_cycles() <= per_event.total_cycles());
+    }
+}

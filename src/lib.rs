@@ -1,10 +1,12 @@
 //! Meta-crate for the Amulet memory-isolation reproduction.
 //!
 //! Re-exports the workspace crates so that examples and integration tests can
-//! use a single dependency.
+//! use a single dependency.  See the repository `README.md` for the crate
+//! map and the paper→code mapping.
 pub use amulet_aft as aft;
 pub use amulet_apps as apps;
 pub use amulet_arp as arp;
 pub use amulet_core as core;
+pub use amulet_fleet as fleet;
 pub use amulet_mcu as mcu;
 pub use amulet_os as os;

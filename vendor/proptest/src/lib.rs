@@ -19,7 +19,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// Size specification for [`vec`]: an exact length or a range of
+    /// Size specification for [`vec()`]: an exact length or a range of
     /// lengths.
     #[derive(Clone, Copy, Debug)]
     pub struct SizeRange {
