@@ -14,7 +14,10 @@
 //! * [`platform_compare`] — the same isolation policies evaluated on every
 //!   built-in platform profile, as JSON;
 //! * [`fleet_sim`] — the fleet-scale study: ≥ 1000 seeded devices in
-//!   parallel, with the per-event vs batched delivery comparison, as JSON.
+//!   parallel, with the per-event vs batched delivery comparison, as JSON;
+//! * [`hotpath`] — the simulator's own throughput (instructions/second with
+//!   the bus attribute cache on vs off, fleet devices/second vs the
+//!   recorded pre-optimisation baseline), as JSON.
 //!
 //! Each module exposes a pure function returning structured rows plus a
 //! `render` helper; the `table1`, `fig2`, `fig3`, `ablation_stacks`,
@@ -29,6 +32,7 @@ pub mod ablation;
 pub mod fig2;
 pub mod fig3;
 pub mod fleet_sim;
+pub mod hotpath;
 pub mod json;
 pub mod platform_compare;
 pub mod table1;

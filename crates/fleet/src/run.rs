@@ -129,34 +129,41 @@ fn collect(os: &AmuletOs, energy: &EnergyModel) -> PolicyOutcome {
     out
 }
 
-/// Simulates one device: the same firmware image and the same trace are
-/// run under per-event delivery, then (after a [`AmuletOs::reset`], which
-/// reuses the device and its decoded instruction store) under the
-/// scenario's batched policy.
+/// Simulates one device on a (possibly reused) runtime: the same firmware
+/// image and the same trace are run under per-event delivery, then under
+/// the scenario's batched policy.
+///
+/// `os` is a runtime booted from this device's firmware image.  Every run
+/// starts with an [`AmuletOs::reset`], which restores the power-on state
+/// **in place** — so one runtime serves every device that shares a
+/// firmware configuration, and the expensive per-device setup (64 KiB
+/// memory, the decoded instruction store, the bus's memoised
+/// access-attribute tables, the API tables) is allocated and built once
+/// per configuration instead of once per device.  `reset` guarantees a
+/// replayed run is bit-identical to a fresh runtime's, so results do not
+/// depend on which devices shared a runtime (the worker-count determinism
+/// test pins this down end to end).
 fn simulate_device(
     scenario: &FleetScenario,
     cfg: &DeviceConfig,
-    firmware: &Firmware,
+    os: &mut AmuletOs,
 ) -> DeviceResult {
     let trace =
         amulet_apps::traces::generate(&cfg.apps, cfg.trace_seed, scenario.events_per_device);
     let energy = EnergyModel::for_platform(&cfg.platform);
-    let options = OsOptions {
-        sensor_seed: cfg.sensor_seed,
-        delivery: DeliveryPolicy::PerEvent,
-        ..OsOptions::default()
-    };
 
-    let mut os = AmuletOs::with_options(firmware.clone(), options);
+    os.set_sensor_seed(cfg.sensor_seed);
+    os.set_delivery_policy(DeliveryPolicy::PerEvent);
+    os.reset();
     os.boot();
-    run_trace(&mut os, &trace);
-    let per_event = collect(&os, &energy);
+    run_trace(os, &trace);
+    let per_event = collect(os, &energy);
 
     os.reset();
     os.set_delivery_policy(scenario.batched_policy());
     os.boot();
-    run_trace(&mut os, &trace);
-    let batched = collect(&os, &energy);
+    run_trace(os, &trace);
+    let batched = collect(os, &energy);
 
     let arp = Arp::for_platform(&cfg.platform);
     let battery_impacts = cfg
@@ -181,25 +188,68 @@ fn simulate_device(
     }
 }
 
-/// Builds every distinct firmware image the fleet needs, exactly once.
-fn build_firmware_cache(configs: &[DeviceConfig]) -> BTreeMap<String, Firmware> {
-    let mut cache = BTreeMap::new();
+/// Builds one device configuration's firmware image.
+fn build_firmware(key: &str, cfg: &DeviceConfig) -> Firmware {
+    let mut aft = Aft::for_platform(cfg.method, &cfg.platform);
+    for app in &cfg.apps {
+        aft = aft.add_app(app.app_source());
+    }
+    aft.build()
+        .unwrap_or_else(|e| panic!("fleet firmware build failed for {key}: {e}"))
+        .firmware
+}
+
+/// Fans `items` out across up to `workers` scoped threads in contiguous
+/// chunks and concatenates each chunk's results in chunk order — the one
+/// parallel-map shape both the firmware builds and the device simulation
+/// use.  `f` must be a pure function of its chunk for the result to be
+/// independent of the worker count (both call sites are; the worker-count
+/// determinism test pins this down end to end).
+fn par_map_chunks<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&[T]) -> Vec<R> + Sync,
+{
+    let workers = workers.max(1).min(items.len().max(1));
+    let chunk = items.len().div_ceil(workers).max(1);
+    let mut out = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for part in items.chunks(chunk) {
+            let f = &f;
+            handles.push(scope.spawn(move || f(part)));
+        }
+        for h in handles {
+            out.extend(h.join().expect("fleet worker panicked"));
+        }
+    });
+    out
+}
+
+/// Builds every distinct firmware image the fleet needs, exactly once,
+/// fanning the AFT builds out across `workers` scoped threads.
+///
+/// Distinct configurations are collected in config order, partitioned into
+/// contiguous chunks, built in parallel, and merged back in config order —
+/// each image is a pure function of its configuration, so the resulting
+/// cache is identical for every worker count.
+fn build_firmware_cache(configs: &[DeviceConfig], workers: usize) -> BTreeMap<String, Firmware> {
+    let mut distinct: Vec<(String, &DeviceConfig)> = Vec::new();
+    let mut seen = std::collections::BTreeSet::new();
     for cfg in configs {
         let key = cfg.firmware_key();
-        if cache.contains_key(&key) {
-            continue;
+        if seen.insert(key.clone()) {
+            distinct.push((key, cfg));
         }
-        let mut aft = Aft::for_platform(cfg.method, &cfg.platform);
-        for app in &cfg.apps {
-            aft = aft.add_app(app.app_source());
-        }
-        let firmware = aft
-            .build()
-            .unwrap_or_else(|e| panic!("fleet firmware build failed for {key}: {e}"))
-            .firmware;
-        cache.insert(key, firmware);
     }
-    cache
+    par_map_chunks(&distinct, workers, |part| {
+        part.iter()
+            .map(|(key, cfg)| (key.clone(), build_firmware(key, cfg)))
+            .collect()
+    })
+    .into_iter()
+    .collect()
 }
 
 /// Runs the whole scenario on `workers` threads.
@@ -213,27 +263,39 @@ pub fn simulate(scenario: &FleetScenario, workers: usize) -> FleetReport {
     let configs: Vec<DeviceConfig> = (0..scenario.devices)
         .map(|i| scenario.device_config(i))
         .collect();
-    let cache = build_firmware_cache(&configs);
+    let cache = build_firmware_cache(&configs, workers);
 
     let workers = workers.max(1).min(configs.len().max(1));
-    let chunk = configs.len().div_ceil(workers.max(1)).max(1);
-    let mut devices: Vec<DeviceResult> = Vec::with_capacity(configs.len());
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for part in configs.chunks(chunk) {
-            let cache = &cache;
-            handles.push(scope.spawn(move || {
-                part.iter()
-                    .map(|cfg| {
-                        let fw = &cache[&cfg.firmware_key()];
-                        simulate_device(scenario, cfg, fw)
-                    })
-                    .collect::<Vec<_>>()
-            }));
+    let mut devices = par_map_chunks(&configs, workers, |part| {
+        // Process the worker's devices grouped by firmware configuration
+        // so one booted runtime (device memory, decoded instruction store,
+        // attribute tables) is reused — via `AmuletOs::reset` — across
+        // every device of a group.  Per-device results are independent of
+        // the grouping (reset restores power-on state exactly), and the
+        // caller re-sorts by device index, so the report is unchanged.
+        let mut grouped: Vec<(String, &DeviceConfig)> =
+            part.iter().map(|cfg| (cfg.firmware_key(), cfg)).collect();
+        grouped.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.index.cmp(&b.1.index)));
+        let mut results = Vec::with_capacity(part.len());
+        let mut sim: Option<(String, AmuletOs)> = None;
+        for (key, cfg) in grouped {
+            let os = match &mut sim {
+                Some((k, os)) if *k == key => os,
+                _ => {
+                    let fresh = AmuletOs::with_options(
+                        cache[&key].clone(),
+                        OsOptions {
+                            sensor_seed: cfg.sensor_seed,
+                            delivery: DeliveryPolicy::PerEvent,
+                            ..OsOptions::default()
+                        },
+                    );
+                    &mut sim.insert((key, fresh)).1
+                }
+            };
+            results.push(simulate_device(scenario, cfg, os));
         }
-        for h in handles {
-            devices.extend(h.join().expect("fleet worker panicked"));
-        }
+        results
     });
     devices.sort_by_key(|d| d.index);
 

@@ -7,13 +7,39 @@
 //! accesses to the MPU and timer models, and consults the MPU for FRAM /
 //! InfoMem accesses.  Accesses the MPU denies are reported as
 //! [`BusFault`]s, which the CPU converts into application faults.
+//!
+//! # The access-attribute cache
+//!
+//! Decoding a region (a 6-way range cascade) and consulting an MPU backend
+//! on **every** access is the second-hottest operation in the simulator
+//! after instruction fetch.  The bus therefore keeps a flat 64 KiB
+//! *attribute table* — one byte per address encoding whether a read, write
+//! or instruction fetch at that address is an ordinary permitted memory
+//! access — precomputed from the currently installed MPU configuration.
+//! The hot paths of [`Bus::read`], [`Bus::write`] and
+//! [`Bus::check_execute`] become a single table index; anything the table
+//! cannot prove harmless (peripheral dispatch, denied or unmapped
+//! accesses, the extended-MPU ablation) falls back to the original cascade,
+//! which stays the semantic oracle — it alone produces faults, latches
+//! violation flags and counts denials.
+//!
+//! Because the OS alternates between the OS and per-app MPU configurations
+//! on every context switch, tables are **memoised per configuration**:
+//! each table is keyed by a fingerprint of the MPU backend state, so a
+//! switch back to an already-seen configuration re-points the bus at the
+//! existing table instead of rebuilding.  Validity is tracked with the MPU
+//! backends' `config_writes` counters as a cheap epoch: any register
+//! write, [`Bus::install_mpu_config`] or [`Bus::reset`] moves the epoch
+//! and forces a (memoised) re-resolve on the next access.  The memo
+//! itself survives [`Bus::reset`], which is what lets the fleet simulator
+//! reuse attribute tables across `Device::reset` runs.
 
-use crate::mpu::{ExtendedMpu, Mpu, MpuRegisterError, RegionMpu};
+use crate::mpu::{ExtendedMpu, Mpu, MpuRegisterError, RegionMpu, RegionSlot};
 use crate::timer::Timer;
 use amulet_core::addr::{Addr, AddrRange};
 use amulet_core::layout::PlatformSpec;
 use amulet_core::mpu_plan::MpuConfig;
-use amulet_core::perm::AccessKind;
+use amulet_core::perm::{AccessKind, Perm};
 use std::fmt;
 
 /// Which architectural region an address decodes to.
@@ -92,16 +118,82 @@ pub struct BusStats {
     pub denied: u64,
 }
 
+/// Attribute bit: a read at this address is a plain permitted memory read
+/// (no peripheral dispatch, no fault possible).
+const ATTR_R: u8 = 1 << 0;
+/// Attribute bit: a write at this address is a plain permitted memory write.
+const ATTR_W: u8 = 1 << 1;
+/// Attribute bit: an instruction fetch at this address is permitted.
+const ATTR_X: u8 = 1 << 2;
+/// Attribute bit: a write here counts as an FRAM write in [`BusStats`].
+const ATTR_FRAM_WRITE: u8 = 1 << 3;
+
+/// Upper bound on memoised attribute tables per bus.  A device needs one
+/// per installed MPU configuration (the OS plus one per app); pathological
+/// reconfiguration churn (e.g. property tests driving arbitrary register
+/// writes) clears the memo instead of growing without bound.
+const MAX_ATTR_TABLES: usize = 16;
+
+/// Everything the attribute table's contents depend on besides the (fixed)
+/// platform memory map: the state of both hardware MPU backends.
+#[derive(Clone, PartialEq)]
+struct MpuFingerprint {
+    seg_enabled: bool,
+    boundary1: Addr,
+    boundary2: Addr,
+    seg_perms: [Perm; 4],
+    region_enabled: bool,
+    region_slots: Vec<RegionSlot>,
+}
+
+/// One memoised attribute table: the MPU state it was built for, and one
+/// attribute byte per address.  The fixed array size lets the hot path's
+/// masked index compile without a bounds check.
+#[derive(Clone)]
+struct AttrTable {
+    key: MpuFingerprint,
+    attrs: Box<[u8; 0x1_0000]>,
+}
+
+/// Fills `range ∩ [0, 64 KiB)` of the attribute table with `value`.
+fn paint(attrs: &mut [u8], range: AddrRange, value: u8) {
+    let start = (range.start as usize).min(attrs.len());
+    let end = (range.end as usize).min(attrs.len());
+    if start < end {
+        attrs[start..end].fill(value);
+    }
+}
+
+/// ORs `value` into `range ∩ [0, 64 KiB)` of the attribute table.
+fn paint_or(attrs: &mut [u8], range: AddrRange, value: u8) {
+    let start = (range.start as usize).min(attrs.len());
+    let end = (range.end as usize).min(attrs.len());
+    for a in &mut attrs[start.min(end)..end] {
+        *a |= value;
+    }
+}
+
+/// The R/W/X attribute bits a permission grants.
+fn perm_attr(p: Perm) -> u8 {
+    ((p.read as u8) * ATTR_R) | ((p.write as u8) * ATTR_W) | ((p.execute as u8) * ATTR_X)
+}
+
 /// The system bus.
 #[derive(Clone)]
 pub struct Bus {
     platform: PlatformSpec,
-    mem: Box<[u8]>,
+    /// Physical memory.  Fixed size so masked indexing compiles without
+    /// bounds checks on the hot path.
+    mem: Box<[u8; 0x1_0000]>,
     /// The FR5969-style segmented MPU (the active backend on segmented
-    /// platforms).
+    /// platforms).  Configure it through [`Mpu::write_register`] or
+    /// [`Bus::install_mpu_config`] — direct field assignment bypasses the
+    /// `config_writes` epoch and leaves the access-attribute cache stale
+    /// (debug builds assert against this on every access).
     pub mpu: Mpu,
     /// The Tock/Cortex-M-style region MPU (the active backend on
-    /// region-MPU platforms).
+    /// region-MPU platforms).  Same configuration rule as [`Bus::mpu`]:
+    /// go through the register interface, not direct field writes.
     pub region_mpu: RegionMpu,
     /// The hypothetical advanced MPU used by the §5 ablation.
     pub ext_mpu: ExtendedMpu,
@@ -109,6 +201,21 @@ pub struct Bus {
     pub timer: Timer,
     /// Access counters.
     pub stats: BusStats,
+    /// The attribute table for the installed MPU configuration (`None`
+    /// when unresolved).  Held directly — not behind an index — so the hot
+    /// path is one pointer chase.
+    attr_active: Option<AttrTable>,
+    /// Memoised tables for other configurations this bus has seen;
+    /// fingerprints are unique across `attr_spare` ∪ `attr_active`.
+    attr_spare: Vec<AttrTable>,
+    /// `mpu.config_writes + region_mpu.config_writes` at the last resolve;
+    /// both counters are monotone, so any MPU register traffic moves the
+    /// sum and forces a re-resolve on the next access.
+    attr_epoch: u64,
+    /// Whether the fast path consults the attribute cache at all (the
+    /// equivalence property test and the hot-path bench turn it off to
+    /// exercise/measure the direct cascade).
+    attr_enabled: bool,
 }
 
 impl fmt::Debug for Bus {
@@ -129,12 +236,19 @@ impl Bus {
         let (mpu, region_mpu) = Self::mpu_backends(&platform);
         Bus {
             platform,
-            mem: vec![0u8; 0x1_0000].into_boxed_slice(),
+            mem: vec![0u8; 0x1_0000]
+                .into_boxed_slice()
+                .try_into()
+                .unwrap_or_else(|_| unreachable!("memory array has the fixed size")),
             mpu,
             region_mpu,
             ext_mpu: ExtendedMpu::default(),
             timer: Timer::new(),
             stats: BusStats::default(),
+            attr_active: None,
+            attr_spare: Vec::new(),
+            attr_epoch: 0,
+            attr_enabled: true,
         }
     }
 
@@ -166,6 +280,11 @@ impl Bus {
     /// (the 64 KiB allocation is reused), the MPU backends return to their
     /// disabled reset values, the timer stops and the access counters
     /// clear.  Lets one bus be reused across many simulation runs.
+    ///
+    /// The memoised attribute tables are deliberately **kept**: their
+    /// contents are a pure function of MPU state and the (unchanged)
+    /// platform, so the next run re-resolves against the existing memo
+    /// instead of rebuilding a table per context switch.
     pub fn reset(&mut self) {
         self.mem.fill(0);
         let (mpu, region_mpu) = Self::mpu_backends(&self.platform);
@@ -174,6 +293,19 @@ impl Bus {
         self.ext_mpu = ExtendedMpu::default();
         self.timer = Timer::new();
         self.stats = BusStats::default();
+        if let Some(active) = self.attr_active.take() {
+            self.attr_spare.push(active);
+        }
+        self.attr_epoch = 0;
+    }
+
+    /// Turns the access-attribute cache on or off.  With the cache off,
+    /// every access runs the original region-cascade + MPU-backend path;
+    /// behaviour and [`BusStats`] must be identical either way (the
+    /// equivalence is property-tested), so this exists only for that test
+    /// and for the hot-path bench's before/after comparison.
+    pub fn set_attr_cache_enabled(&mut self, enabled: bool) {
+        self.attr_enabled = enabled;
     }
 
     /// The platform this bus models.
@@ -206,6 +338,187 @@ impl Bus {
         self.platform.fram
     }
 
+    /// Fingerprint of everything the attribute table depends on.
+    fn mpu_fingerprint(&self) -> MpuFingerprint {
+        MpuFingerprint {
+            seg_enabled: self.mpu.enabled,
+            boundary1: self.mpu.boundary1,
+            boundary2: self.mpu.boundary2,
+            seg_perms: [
+                self.mpu.seg_info,
+                self.mpu.seg1,
+                self.mpu.seg2,
+                self.mpu.seg3,
+            ],
+            region_enabled: self.region_mpu.enabled,
+            region_slots: self.region_mpu.slots.clone(),
+        }
+    }
+
+    /// The attribute byte for `addr` under the installed MPU configuration,
+    /// re-resolving the memoised table when MPU register traffic moved the
+    /// epoch.  Hot path: two counter compares and one table index.
+    #[inline(always)]
+    fn attr(&mut self, addr: Addr) -> u8 {
+        let epoch = self.mpu.config_writes + self.region_mpu.config_writes;
+        if self.attr_epoch != epoch || self.attr_active.is_none() {
+            self.resolve_attr_table(epoch);
+        }
+        // The epoch only moves on register *writes*: mutating the pub MPU
+        // backend fields directly (bypassing `write_register` /
+        // `install_mpu_config`) would leave a stale table.  No in-tree code
+        // does; debug builds verify the invariant on every access.
+        #[cfg(debug_assertions)]
+        if let Some(t) = &self.attr_active {
+            debug_assert!(
+                Self::fingerprint_matches(&t.key, &self.mpu, &self.region_mpu),
+                "MPU state was mutated without a register write; the \
+                 attribute cache is stale (configure the MPU through \
+                 write_register/install_mpu_config)"
+            );
+        }
+        match &self.attr_active {
+            Some(t) => t.attrs[(addr & 0xFFFF) as usize],
+            // `resolve_attr_table` always installs a table.
+            None => 0,
+        }
+    }
+
+    /// Whether a memoised table's key matches the *installed* MPU state
+    /// (allocation-free — this runs after every context switch).
+    fn fingerprint_matches(key: &MpuFingerprint, mpu: &Mpu, region_mpu: &RegionMpu) -> bool {
+        key.seg_enabled == mpu.enabled
+            && key.boundary1 == mpu.boundary1
+            && key.boundary2 == mpu.boundary2
+            && key.seg_perms == [mpu.seg_info, mpu.seg1, mpu.seg2, mpu.seg3]
+            && key.region_enabled == region_mpu.enabled
+            && key.region_slots == region_mpu.slots
+    }
+
+    /// Points `attr_current` at the table matching the installed MPU
+    /// configuration, building (and memoising) it on first sight.
+    #[cold]
+    fn resolve_attr_table(&mut self, epoch: u64) {
+        // Retire the previously active table into the memo, then pull (or
+        // build) the one matching the installed configuration.  The active
+        // table was either taken from the memo or freshly built, so
+        // fingerprints stay unique across the memo and the active slot.
+        if let Some(active) = self.attr_active.take() {
+            self.attr_spare.push(active);
+        }
+        let (mpu, region_mpu) = (&self.mpu, &self.region_mpu);
+        let table = match self
+            .attr_spare
+            .iter()
+            .position(|t| Self::fingerprint_matches(&t.key, mpu, region_mpu))
+        {
+            Some(i) => self.attr_spare.swap_remove(i),
+            None => {
+                if self.attr_spare.len() >= MAX_ATTR_TABLES {
+                    self.attr_spare.clear();
+                }
+                AttrTable {
+                    key: self.mpu_fingerprint(),
+                    attrs: self.build_attr_table(),
+                }
+            }
+        };
+        self.attr_active = Some(table);
+        self.attr_epoch = epoch;
+    }
+
+    /// Builds the 64 KiB attribute table for the installed MPU
+    /// configuration by interval painting (no per-address backend calls).
+    ///
+    /// Ranges are painted in reverse priority order of [`Bus::region`]'s
+    /// decode cascade, so where ranges overlap the highest-priority
+    /// region's attributes win — exactly the oracle's decision order.
+    fn build_attr_table(&self) -> Box<[u8; 0x1_0000]> {
+        let p = &self.platform;
+        // Base: unmapped — nothing is a plain permitted access.
+        let mut attrs: Box<[u8; 0x1_0000]> = vec![0u8; 0x1_0000]
+            .into_boxed_slice()
+            .try_into()
+            .unwrap_or_else(|_| unreachable!("attribute table has the fixed size"));
+        paint(
+            &mut attrs[..],
+            p.interrupt_vectors,
+            ATTR_R | ATTR_W | ATTR_X,
+        );
+        if p.mpu.is_region_based() {
+            // Region backend: deny-by-default over its whole jurisdiction
+            // (FRAM, InfoMem *and* SRAM) when enabled, permissive when not.
+            let r = &self.region_mpu;
+            let jurisdiction = [p.fram, p.sram, p.info_mem];
+            let base = if r.enabled {
+                0
+            } else {
+                ATTR_R | ATTR_W | ATTR_X
+            };
+            for range in jurisdiction {
+                paint(&mut attrs[..], range, base);
+            }
+            if r.enabled {
+                // `RegionMpu::slot_of` picks the *first* enabled slot
+                // covering an address, so paint in reverse slot order and
+                // let earlier slots overwrite later ones.
+                for slot in r.slots.iter().rev().filter(|s| s.enabled) {
+                    let v = perm_attr(slot.perm);
+                    for range in jurisdiction {
+                        let clipped = AddrRange::new(
+                            slot.range.start.max(range.start).min(range.end),
+                            slot.range.end.clamp(range.start, range.end),
+                        );
+                        paint(&mut attrs[..], clipped, v);
+                    }
+                }
+            }
+        } else {
+            // Segmented backend: SRAM is outside its jurisdiction (always
+            // permitted); FRAM splits into three segments at the two
+            // boundaries; InfoMem is the pinned segment.
+            paint(&mut attrs[..], p.sram, ATTR_R | ATTR_W | ATTR_X);
+            if self.mpu.enabled {
+                let f = p.fram;
+                let c1 = self.mpu.boundary1.clamp(f.start, f.end);
+                let c2 = self.mpu.boundary2.clamp(f.start, f.end).max(c1);
+                paint(
+                    &mut attrs[..],
+                    AddrRange::new(f.start, c1),
+                    perm_attr(self.mpu.seg1),
+                );
+                paint(
+                    &mut attrs[..],
+                    AddrRange::new(c1, c2),
+                    perm_attr(self.mpu.seg2),
+                );
+                paint(
+                    &mut attrs[..],
+                    AddrRange::new(c2, f.end),
+                    perm_attr(self.mpu.seg3),
+                );
+                paint(&mut attrs[..], p.info_mem, perm_attr(self.mpu.seg_info));
+            } else {
+                paint(&mut attrs[..], p.fram, ATTR_R | ATTR_W | ATTR_X);
+                paint(&mut attrs[..], p.info_mem, ATTR_R | ATTR_W | ATTR_X);
+            }
+        }
+        // FRAM and InfoMem writes are counted separately by the stats.
+        paint_or(&mut attrs[..], p.fram, ATTR_FRAM_WRITE);
+        paint_or(&mut attrs[..], p.info_mem, ATTR_FRAM_WRITE);
+        paint(&mut attrs[..], p.bootstrap_loader, ATTR_R | ATTR_X);
+        paint(&mut attrs[..], p.peripherals, ATTR_X);
+        attrs
+    }
+
+    /// Whether the fast path may consult the attribute table for `addr`:
+    /// the cache is on, the extended-MPU ablation (whose state the table
+    /// does not track) is off, and the address is inside the table.
+    #[inline(always)]
+    fn attr_fast_path(&self, addr: Addr) -> bool {
+        self.attr_enabled && !self.ext_mpu.enabled && addr < 0x1_0000
+    }
+
     /// Installs an MPU configuration by performing the same memory-mapped
     /// register writes the OS's context-switch code issues on hardware:
     /// boundaries/access-bits/control for the segmented part, or
@@ -213,10 +526,26 @@ impl Bus {
     pub fn install_mpu_config(&mut self, config: &MpuConfig) -> Result<(), BusFault> {
         match config {
             MpuConfig::Segmented(regs) => {
-                self.write(crate::mpu::MPUSEGB1, 2, regs.mpusegb1)?;
-                self.write(crate::mpu::MPUSEGB2, 2, regs.mpusegb2)?;
-                self.write(crate::mpu::MPUSAM, 2, regs.mpusam)?;
-                self.write(crate::mpu::MPUCTL0, 2, regs.mpuctl0)?;
+                // Trusted switch path: program the register file directly
+                // (this runs twice per delivered event — the full
+                // region-decode cascade per register write was measurable
+                // at fleet scale).  Stats and the password/lock protocol
+                // are identical to issuing each write through `Bus::write`.
+                let writes = [
+                    (crate::mpu::MPUSEGB1, regs.mpusegb1),
+                    (crate::mpu::MPUSEGB2, regs.mpusegb2),
+                    (crate::mpu::MPUSAM, regs.mpusam),
+                    (crate::mpu::MPUCTL0, regs.mpuctl0),
+                ];
+                for (addr, value) in writes {
+                    self.stats.writes += 1;
+                    self.stats.peripheral_writes += 1;
+                    self.mpu.write_register(addr, value).map_err(|e| BusFault {
+                        addr,
+                        access: AccessKind::Write,
+                        cause: BusFaultCause::MpuRegisterProtocol(e),
+                    })?;
+                }
             }
             MpuConfig::Region(regs) => {
                 // Privileged path: the register block rejects CPU-side
@@ -262,6 +591,7 @@ impl Bus {
 
     /// Reads `size` bytes (1 or 2) at `addr` as a little-endian value,
     /// enforcing region and MPU rules.
+    #[inline(always)]
     pub fn read(&mut self, addr: Addr, size: u32) -> Result<u16, BusFault> {
         debug_assert!(size == 1 || size == 2);
         if size == 2 && !addr.is_multiple_of(2) {
@@ -272,6 +602,16 @@ impl Bus {
             });
         }
         self.stats.reads += 1;
+        if self.attr_fast_path(addr) && self.attr(addr) & ATTR_R != 0 {
+            return Ok(self.read_raw(addr, size));
+        }
+        self.read_slow(addr, size)
+    }
+
+    /// The original region-cascade read path: peripheral dispatch, faults,
+    /// and the MPU oracle.  Also serves every access the attribute cache
+    /// cannot prove to be a plain permitted read.
+    fn read_slow(&mut self, addr: Addr, size: u32) -> Result<u16, BusFault> {
         match self.region(addr) {
             Region::Unmapped => Err(BusFault {
                 addr,
@@ -289,6 +629,7 @@ impl Bus {
 
     /// Writes `size` bytes (1 or 2) at `addr`, enforcing region and MPU
     /// rules.
+    #[inline(always)]
     pub fn write(&mut self, addr: Addr, size: u32, value: u16) -> Result<(), BusFault> {
         debug_assert!(size == 1 || size == 2);
         if size == 2 && !addr.is_multiple_of(2) {
@@ -299,6 +640,23 @@ impl Bus {
             });
         }
         self.stats.writes += 1;
+        if self.attr_fast_path(addr) {
+            let a = self.attr(addr);
+            if a & ATTR_W != 0 {
+                if a & ATTR_FRAM_WRITE != 0 {
+                    self.stats.fram_writes += 1;
+                }
+                self.write_raw(addr, size, value);
+                return Ok(());
+            }
+        }
+        self.write_slow(addr, size, value)
+    }
+
+    /// The original region-cascade write path (peripheral dispatch, faults,
+    /// MPU oracle) — the fallback for everything the attribute cache cannot
+    /// prove to be a plain permitted write.
+    fn write_slow(&mut self, addr: Addr, size: u32, value: u16) -> Result<(), BusFault> {
         match self.region(addr) {
             Region::Unmapped => Err(BusFault {
                 addr,
@@ -333,8 +691,28 @@ impl Bus {
     }
 
     /// Checks whether an instruction fetch at `addr` is permitted.
+    ///
+    /// Instructions are word-aligned, so a fetch at an odd program counter
+    /// is rejected as [`BusFaultCause::Misaligned`] — the same word-access
+    /// rule [`Bus::read`] and [`Bus::write`] enforce.
+    #[inline(always)]
     pub fn check_execute(&mut self, addr: Addr) -> Result<(), BusFault> {
+        if !addr.is_multiple_of(2) {
+            return Err(BusFault {
+                addr,
+                access: AccessKind::Execute,
+                cause: BusFaultCause::Misaligned,
+            });
+        }
         self.stats.exec_checks += 1;
+        if self.attr_fast_path(addr) && self.attr(addr) & ATTR_X != 0 {
+            return Ok(());
+        }
+        self.check_execute_slow(addr)
+    }
+
+    /// The original instruction-fetch permission path (the MPU oracle).
+    fn check_execute_slow(&mut self, addr: Addr) -> Result<(), BusFault> {
         match self.region(addr) {
             Region::Unmapped => Err(BusFault {
                 addr,
@@ -394,8 +772,12 @@ impl Bus {
     }
 
     /// Raw read with no protection checks (loader / host tooling only).
+    /// Addresses must be inside the 64 KiB space (debug builds assert;
+    /// release builds mask).
+    #[inline]
     pub fn read_raw(&self, addr: Addr, size: u32) -> u16 {
-        let lo = self.mem[addr as usize] as u16;
+        debug_assert!(addr < 0x1_0000, "raw read outside the address space");
+        let lo = self.mem[addr as usize & 0xFFFF] as u16;
         if size == 1 {
             lo
         } else {
@@ -405,8 +787,10 @@ impl Bus {
     }
 
     /// Raw write with no protection checks (loader / host tooling only).
+    #[inline]
     pub fn write_raw(&mut self, addr: Addr, size: u32, value: u16) {
-        self.mem[addr as usize] = (value & 0xFF) as u8;
+        debug_assert!(addr < 0x1_0000, "raw write outside the address space");
+        self.mem[addr as usize & 0xFFFF] = (value & 0xFF) as u8;
         if size == 2 {
             self.mem[(addr as usize + 1) & 0xFFFF] = (value >> 8) as u8;
         }
@@ -415,6 +799,10 @@ impl Bus {
     /// Copies a byte slice into memory with no protection checks (used by the
     /// firmware loader).
     pub fn load_bytes(&mut self, addr: Addr, bytes: &[u8]) {
+        debug_assert!(
+            (addr as usize) + bytes.len() <= 0x1_0000,
+            "loaded bytes extend outside the address space"
+        );
         for (i, b) in bytes.iter().enumerate() {
             self.mem[(addr as usize + i) & 0xFFFF] = *b;
         }
@@ -422,16 +810,18 @@ impl Bus {
 
     /// Copies bytes out of memory with no protection checks (host tooling).
     pub fn dump_bytes(&self, range: AddrRange) -> Vec<u8> {
+        debug_assert!(range.end <= 0x1_0000, "dump outside the address space");
         (range.start..range.end)
-            .map(|a| self.mem[a as usize])
+            .map(|a| self.mem[a as usize & 0xFFFF])
             .collect()
     }
 
     /// Fills a range with a value, bypassing protection (used by the OS's
     /// `bzero`-on-switch ablation).
     pub fn fill(&mut self, range: AddrRange, value: u8) {
+        debug_assert!(range.end <= 0x1_0000, "fill outside the address space");
         for a in range.start..range.end {
-            self.mem[a as usize] = value;
+            self.mem[a as usize & 0xFFFF] = value;
         }
     }
 }
@@ -538,6 +928,48 @@ mod tests {
         assert!(b.check_execute(0x5000).is_ok());
         assert!(b.check_execute(0x9000).is_err());
         assert!(b.stats.denied >= 3);
+    }
+
+    #[test]
+    fn misaligned_instruction_fetches_fault() {
+        // Instructions are word-aligned: an odd PC is rejected with the
+        // same cause word accesses use, on the cached and direct paths
+        // alike, and before the check is even counted.
+        let mut b = bus();
+        assert!(b.check_execute(0x4400).is_ok());
+        assert_eq!(
+            b.check_execute(0x4401).unwrap_err().cause,
+            BusFaultCause::Misaligned
+        );
+        let checks_counted = b.stats.exec_checks;
+        assert_eq!(checks_counted, 1, "the misaligned fetch is not counted");
+        let mut d = bus();
+        d.set_attr_cache_enabled(false);
+        assert_eq!(
+            d.check_execute(0x4401).unwrap_err().cause,
+            BusFaultCause::Misaligned
+        );
+    }
+
+    #[test]
+    fn attr_cache_disabled_bus_behaves_identically_on_the_basics() {
+        let drive = |cache: bool| {
+            let mut b = bus();
+            b.set_attr_cache_enabled(cache);
+            b.write(MPUSEGB1, 2, 0x600).unwrap();
+            b.write(MPUSEGB2, 2, 0x800).unwrap();
+            b.write(MPUSAM, 2, 0x0034).unwrap();
+            b.write(MPUCTL0, 2, 0xA501).unwrap();
+            let outcomes = (
+                b.write(0x7000, 2, 7),
+                b.read(0x7000, 2),
+                b.write(0x5000, 2, 1).unwrap_err().cause,
+                b.check_execute(0x5000),
+                b.check_execute(0x9000).unwrap_err().cause,
+            );
+            (outcomes, b.stats)
+        };
+        assert_eq!(drive(true), drive(false));
     }
 
     #[test]

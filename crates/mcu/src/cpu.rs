@@ -7,10 +7,11 @@
 //! explicit halt, handing control back to the embedding code (`amulet-os`).
 
 use crate::bus::{Bus, BusFault, BusFaultCause};
+use crate::code;
+use crate::code::InstrStore;
 use crate::isa::{AluOp, Cond, Instr, Reg, UnaryOp, Width};
 use amulet_core::addr::Addr;
 use amulet_core::fault::FaultClass;
-use std::collections::BTreeMap;
 use std::fmt;
 
 /// Magic return address pushed by the OS before invoking an application
@@ -39,6 +40,15 @@ impl fmt::Display for FaultInfo {
             None => write!(f, "{} at pc={:#06x}", self.class, self.pc),
         }
     }
+}
+
+/// Dispatch outcome: either the next program counter (execution
+/// continues) or a stopping [`StepEvent`] (the PC is already positioned).
+enum Flow {
+    /// Continue at this program counter.
+    Next(Addr),
+    /// Stop and report this event.
+    Stop(StepEvent),
 }
 
 /// What happened during one executed instruction.
@@ -115,6 +125,7 @@ impl Cpu {
     }
 
     /// Reads a register.
+    #[inline]
     pub fn reg(&self, r: Reg) -> u16 {
         if r == Reg::SR {
             self.status_word()
@@ -124,6 +135,7 @@ impl Cpu {
     }
 
     /// Writes a register.
+    #[inline]
     pub fn set_reg(&mut self, r: Reg, value: u16) {
         if r == Reg::SR {
             self.set_status_word(value);
@@ -133,11 +145,13 @@ impl Cpu {
     }
 
     /// Current program counter.
+    #[inline]
     pub fn pc(&self) -> Addr {
         self.regs[Reg::PC.index()] as Addr
     }
 
     /// Sets the program counter.
+    #[inline]
     pub fn set_pc(&mut self, pc: Addr) {
         self.regs[Reg::PC.index()] = pc as u16;
     }
@@ -260,37 +274,98 @@ impl Cpu {
     }
 
     /// Executes one instruction fetched from `code`, performing all memory
-    /// traffic through `bus`.
-    pub fn step(&mut self, bus: &mut Bus, code: &BTreeMap<Addr, Instr>) -> StepEvent {
-        let pc = self.pc();
-
-        // Instruction fetch: permission check, then decode-store lookup.
-        if let Err(fault) = bus.check_execute(pc) {
-            return self.bus_fault_to_event(pc, fault);
+    /// traffic through `bus`.  Single-step form of [`Cpu::run_block`].
+    pub fn step(&mut self, bus: &mut Bus, code: &InstrStore) -> StepEvent {
+        match self.run_block(bus, code, 1) {
+            (Some(ev), _) => ev,
+            // The budget of one ran out without a stopping event: the one
+            // instruction executed and execution may continue.
+            (None, _) => StepEvent::Continue,
         }
-        let Some(instr) = code.get(&pc) else {
-            self.stats.faults += 1;
-            return StepEvent::Fault(FaultInfo {
-                class: FaultClass::IllegalInstruction,
-                pc,
-                addr: None,
-            });
+    }
+
+    /// Executes up to `max_steps` instructions as one block — the hot loop
+    /// behind [`crate::device::Device::run`].
+    ///
+    /// Per-step work is minimal by construction: the instruction table is
+    /// resolved once for the whole block, each fetch is a single masked
+    /// index (permission-checked through [`Bus::check_execute`] first),
+    /// and the retired-instruction, cycle and data-access counters
+    /// accumulate in locals, flushed once at block exit, instead of
+    /// read-modify-writing `self` per step.  The benchmark timer advances
+    /// with every executed instruction (its memory-mapped counter stays
+    /// exact even for firmware that reads it mid-block).  Returns `None`
+    /// when the step budget ran out, otherwise the stopping event, along
+    /// with the number of steps consumed.
+    pub fn run_block(
+        &mut self,
+        bus: &mut Bus,
+        code: &InstrStore,
+        max_steps: u64,
+    ) -> (Option<StepEvent>, u64) {
+        let table = code.table();
+        let mut steps: u64 = 0;
+        let mut instructions: u64 = 0;
+        let mut cycles: u64 = 0;
+        let mut data_accesses: u64 = 0;
+        let stop = loop {
+            if steps >= max_steps {
+                break None;
+            }
+            steps += 1;
+            let pc = self.pc();
+            if let Err(fault) = bus.check_execute(pc) {
+                break Some(self.bus_fault_to_event(pc, fault));
+            }
+            // `check_execute` rejected odd PCs and the PC register is
+            // 16-bit, so the masked slot index is exact.
+            let slot = table.map(|t| &t[((pc >> 1) as usize) & (code::SLOT_COUNT - 1)]);
+            let Some(slot) = slot.filter(|s| !s.is_empty()) else {
+                self.stats.faults += 1;
+                break Some(StepEvent::Fault(FaultInfo {
+                    class: FaultClass::IllegalInstruction,
+                    pc,
+                    addr: None,
+                }));
+            };
+            let (instr, meta) = (slot.instr(), slot.meta());
+            instructions += 1;
+            cycles += meta.base_cycles();
+            data_accesses += meta.touches_data_memory() as u64;
+            // Every cycle an instruction consumes is its `base_cycles`
+            // (dispatch arms never charge more), so ticking the timer after
+            // dispatch reproduces per-step ticking exactly: an instruction
+            // reading the memory-mapped counter sees all ticks through the
+            // *previous* instruction.
+            match self.dispatch(bus, instr, pc, pc + meta.size_bytes()) {
+                Flow::Next(new_pc) => {
+                    self.set_pc(new_pc);
+                    bus.timer.tick(meta.base_cycles());
+                }
+                Flow::Stop(ev) => {
+                    bus.timer.tick(meta.base_cycles());
+                    break Some(ev);
+                }
+            }
         };
-        let instr = instr.clone();
+        self.stats.instructions += instructions;
+        self.cycles += cycles;
+        self.stats.data_accesses += data_accesses;
+        (stop, steps)
+    }
 
-        self.stats.instructions += 1;
-        self.cycles += instr.base_cycles();
-        if instr.touches_data_memory() {
-            self.stats.data_accesses += 1;
-        }
-        let next_pc = pc + instr.size_bytes();
+    /// Executes one already-fetched instruction: every arm either produces
+    /// the next program counter or stops with an event (having already
+    /// positioned the PC the way [`Cpu::step`] always has).
+    #[inline(always)]
+    fn dispatch(&mut self, bus: &mut Bus, instr: Instr, pc: Addr, next_pc: Addr) -> Flow {
         let mut new_pc = next_pc;
 
         macro_rules! try_mem {
             ($e:expr) => {
                 match $e {
                     Ok(v) => v,
-                    Err(fault) => return self.bus_fault_to_event(pc, fault),
+                    Err(fault) => return Flow::Stop(self.bus_fault_to_event(pc, fault)),
                 }
             };
         }
@@ -377,7 +452,7 @@ impl Cpu {
                 let target = self.reg(reg) as Addr;
                 if target == HANDLER_RETURN {
                     self.set_pc(next_pc);
-                    return StepEvent::HandlerDone;
+                    return Flow::Stop(StepEvent::HandlerDone);
                 }
                 new_pc = target;
             }
@@ -394,14 +469,14 @@ impl Cpu {
                 let ra = try_mem!(self.pop(bus)) as Addr;
                 if ra == HANDLER_RETURN {
                     self.set_pc(next_pc);
-                    return StepEvent::HandlerDone;
+                    return Flow::Stop(StepEvent::HandlerDone);
                 }
                 new_pc = ra;
             }
             Instr::Syscall { num } => {
                 self.stats.syscalls += 1;
                 self.set_pc(next_pc);
-                return StepEvent::Syscall { num };
+                return Flow::Stop(StepEvent::Syscall { num });
             }
             Instr::Fault { code } => {
                 self.stats.faults += 1;
@@ -410,21 +485,20 @@ impl Cpu {
                     .copied()
                     .unwrap_or(FaultClass::IllegalInstruction);
                 self.set_pc(next_pc);
-                return StepEvent::Fault(FaultInfo {
+                return Flow::Stop(StepEvent::Fault(FaultInfo {
                     class,
                     pc,
                     addr: None,
-                });
+                }));
             }
             Instr::Halt => {
                 self.set_pc(pc);
-                return StepEvent::Halted;
+                return Flow::Stop(StepEvent::Halted);
             }
             Instr::Nop => {}
         }
 
-        self.set_pc(new_pc);
-        StepEvent::Continue
+        Flow::Next(new_pc)
     }
 
     fn alu(&mut self, op: AluOp, a: u16, b: u16) -> u16 {
@@ -486,12 +560,12 @@ mod tests {
     use super::*;
     use crate::bus::Bus;
 
-    /// Assembles a program at `base` and returns (code map, end address).
-    fn asm(base: Addr, instrs: &[Instr]) -> BTreeMap<Addr, Instr> {
-        let mut code = BTreeMap::new();
+    /// Assembles a program at `base` into a dense instruction store.
+    fn asm(base: Addr, instrs: &[Instr]) -> InstrStore {
+        let mut code = InstrStore::new();
         let mut cursor = base;
         for i in instrs {
-            code.insert(cursor, i.clone());
+            code.insert(cursor, *i);
             cursor += i.size_bytes();
         }
         code
@@ -619,8 +693,10 @@ mod tests {
                 },
                 Instr::Ret,
             ],
-        ) {
-            code.insert(a, i);
+        )
+        .iter()
+        {
+            code.insert(a, *i);
         }
         let mut cpu = Cpu::new();
         let mut bus = Bus::msp430fr5969();
@@ -685,7 +761,7 @@ mod tests {
 
     #[test]
     fn executing_unknown_memory_is_an_illegal_instruction() {
-        let code = BTreeMap::new();
+        let code = InstrStore::new();
         let mut cpu = Cpu::new();
         let mut bus = Bus::msp430fr5969();
         cpu.set_pc(0x5000);

@@ -1,12 +1,11 @@
 //! The whole device: CPU + bus + instruction store + firmware loading.
 
 use crate::bus::Bus;
+use crate::code::InstrStore;
 use crate::cpu::{Cpu, FaultInfo, StepEvent, HANDLER_RETURN};
 use crate::firmware::Firmware;
-use crate::isa::Instr;
 use amulet_core::addr::Addr;
 use amulet_core::layout::PlatformSpec;
-use std::collections::BTreeMap;
 
 /// Why a [`Device::run`] call returned.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -45,8 +44,8 @@ pub struct Device {
     pub cpu: Cpu,
     /// Memory bus (memory, MPU, timer).
     pub bus: Bus,
-    /// Decoded instruction store.
-    pub code: BTreeMap<Addr, Instr>,
+    /// Decoded instruction store (flat word-indexed table, O(1) fetch).
+    pub code: InstrStore,
     /// The firmware image currently loaded, if any.
     pub firmware: Option<Firmware>,
 }
@@ -57,7 +56,7 @@ impl Device {
         Device {
             cpu: Cpu::new(),
             bus: Bus::new(platform),
-            code: BTreeMap::new(),
+            code: InstrStore::new(),
             firmware: None,
         }
     }
@@ -115,55 +114,30 @@ impl Device {
         self.cpu.cycles
     }
 
-    /// Executes a single instruction.
+    /// Executes a single instruction (the CPU advances the benchmark timer
+    /// by the instruction's cycles itself).
     pub fn step(&mut self) -> StepEvent {
-        let before = self.cpu.cycles;
-        let ev = self.cpu.step(&mut self.bus, &self.code);
-        let spent = self.cpu.cycles - before;
-        self.bus.timer.tick(spent);
-        ev
+        self.cpu.step(&mut self.bus, &self.code)
     }
 
-    /// Runs until a halt, syscall, handler return, fault, or the step limit.
+    /// Runs until a halt, syscall, handler return, fault, or the step limit
+    /// (one [`Cpu::run_block`] call; the benchmark timer advances with
+    /// every executed instruction, so firmware that reads the memory-mapped
+    /// counter mid-run observes exact values).
     pub fn run(&mut self, max_steps: u64) -> RunExit {
         let start_cycles = self.cpu.cycles;
-        let mut steps = 0;
-        while steps < max_steps {
-            steps += 1;
-            match self.step() {
-                StepEvent::Continue => {}
-                StepEvent::Halted => {
-                    return RunExit {
-                        reason: StopReason::Halted,
-                        steps,
-                        cycles: self.cpu.cycles - start_cycles,
-                    }
-                }
-                StepEvent::Syscall { num } => {
-                    return RunExit {
-                        reason: StopReason::Syscall { num },
-                        steps,
-                        cycles: self.cpu.cycles - start_cycles,
-                    }
-                }
-                StepEvent::HandlerDone => {
-                    return RunExit {
-                        reason: StopReason::HandlerDone,
-                        steps,
-                        cycles: self.cpu.cycles - start_cycles,
-                    }
-                }
-                StepEvent::Fault(info) => {
-                    return RunExit {
-                        reason: StopReason::Fault(info),
-                        steps,
-                        cycles: self.cpu.cycles - start_cycles,
-                    }
-                }
-            }
-        }
+        let (stop, steps) = self.cpu.run_block(&mut self.bus, &self.code, max_steps);
+        let reason = match stop {
+            None => StopReason::StepLimit,
+            Some(StepEvent::Halted) => StopReason::Halted,
+            Some(StepEvent::Syscall { num }) => StopReason::Syscall { num },
+            Some(StepEvent::HandlerDone) => StopReason::HandlerDone,
+            Some(StepEvent::Fault(info)) => StopReason::Fault(info),
+            // `run_block` never stops with Continue.
+            Some(StepEvent::Continue) => unreachable!("run_block stopped with Continue"),
+        };
         RunExit {
-            reason: StopReason::StepLimit,
+            reason,
             steps,
             cycles: self.cpu.cycles - start_cycles,
         }
@@ -196,7 +170,7 @@ impl Device {
 mod tests {
     use super::*;
     use crate::firmware::{FirmwareBuilder, OsBinary};
-    use crate::isa::{AluOp, Reg};
+    use crate::isa::{AluOp, Instr, Reg};
     use amulet_core::layout::{AppImageSpec, MemoryMapPlanner, OsImageSpec};
     use amulet_core::method::IsolationMethod;
     use amulet_core::mpu_plan::MpuPlan;

@@ -7,6 +7,7 @@
 //! (bounds, entry points, initial stack pointer, MPU register values) that
 //! the OS uses at every context switch.
 
+use crate::code::InstrStore;
 use crate::isa::Instr;
 use amulet_core::addr::{Addr, AddrRange};
 use amulet_core::layout::{AppPlacement, MemoryMap};
@@ -77,8 +78,9 @@ pub struct Firmware {
     pub method: IsolationMethod,
     /// The memory map the AFT's final phase produced.
     pub memory_map: MemoryMap,
-    /// Decoded instruction store, keyed by address.
-    pub code: BTreeMap<Addr, Instr>,
+    /// Decoded instruction store: a flat word-indexed table with O(1)
+    /// fetch (see [`InstrStore`]).
+    pub code: InstrStore,
     /// Initialised data segments.
     pub data: Vec<DataSegment>,
     /// Global symbol table (function entry points and data objects).
@@ -152,7 +154,7 @@ impl std::error::Error for FirmwareError {}
 impl Firmware {
     /// Total encoded size of all instructions, in bytes.
     pub fn code_size_bytes(&self) -> u32 {
-        self.code.values().map(|i| i.size_bytes()).sum()
+        self.code.iter().map(|(_, i)| i.size_bytes()).sum()
     }
 
     /// Number of instructions in the image.
@@ -172,8 +174,8 @@ impl Firmware {
 
     /// The address range spanned by the instruction store (for diagnostics).
     pub fn code_span(&self) -> Option<AddrRange> {
-        let first = *self.code.keys().next()?;
-        let (last_addr, last_instr) = self.code.iter().next_back()?;
+        let (first, _) = self.code.first()?;
+        let (last_addr, last_instr) = self.code.last()?;
         Some(AddrRange::new(first, last_addr + last_instr.size_bytes()))
     }
 
@@ -181,7 +183,7 @@ impl Firmware {
     pub fn validate(&self) -> Result<(), FirmwareError> {
         // Instructions must not overlap.
         let mut prev: Option<(Addr, u32)> = None;
-        for (&addr, instr) in &self.code {
+        for (addr, instr) in self.code.iter() {
             if let Some((paddr, psize)) = prev {
                 if paddr + psize > addr {
                     return Err(FirmwareError::OverlappingInstructions {
@@ -195,7 +197,7 @@ impl Firmware {
         // App code must stay inside each app's code region, and handlers must
         // point at real instructions.
         for app in &self.apps {
-            for (&addr, instr) in self
+            for (addr, instr) in self
                 .code
                 .range(app.placement.code.start..app.placement.code.end)
             {
@@ -207,7 +209,7 @@ impl Firmware {
                 }
             }
             for (hname, &haddr) in &app.handlers {
-                if !self.code.contains_key(&haddr) {
+                if !self.code.contains(haddr) {
                     return Err(FirmwareError::DanglingHandler {
                         app: app.name.clone(),
                         handler: hname.clone(),
@@ -227,7 +229,9 @@ impl Firmware {
                     });
                 }
             }
-            for (&addr, instr) in &self.code {
+            // Instructions are at most 4 bytes, so only those starting just
+            // below the segment can reach into it — scan that window alone.
+            for (addr, instr) in self.code.range(r.start.saturating_sub(3)..r.end) {
                 let ir = AddrRange::from_len(addr, instr.size_bytes());
                 if r.overlaps(&ir) {
                     return Err(FirmwareError::DataOverlap {
@@ -247,7 +251,7 @@ impl Firmware {
 pub struct FirmwareBuilder {
     method: IsolationMethod,
     memory_map: MemoryMap,
-    code: BTreeMap<Addr, Instr>,
+    code: InstrStore,
     data: Vec<DataSegment>,
     symbols: BTreeMap<String, Addr>,
     apps: Vec<AppBinary>,
@@ -260,7 +264,7 @@ impl FirmwareBuilder {
         FirmwareBuilder {
             method,
             memory_map,
-            code: BTreeMap::new(),
+            code: InstrStore::new(),
             data: Vec::new(),
             symbols: BTreeMap::new(),
             apps: Vec::new(),
@@ -273,7 +277,7 @@ impl FirmwareBuilder {
     pub fn emit(&mut self, addr: Addr, instrs: &[Instr]) -> Addr {
         let mut cursor = addr;
         for i in instrs {
-            self.code.insert(cursor, i.clone());
+            self.code.insert(cursor, *i);
             cursor += i.size_bytes();
         }
         cursor

@@ -195,7 +195,7 @@ pub enum UnaryOp {
 /// Every variant's encoded size (in 16-bit words) is reported by
 /// [`Instr::size_words`]; the linker uses it to lay code out at real
 /// addresses, which is what makes the compiler-patched bounds meaningful.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Instr {
     /// `dst ← imm`.
     MovImm {

@@ -25,6 +25,8 @@
 //!   read-out precision — [`timer`];
 //! * firmware images carrying per-application bounds, entry points and MPU
 //!   register values — [`firmware`];
+//! * the flat, word-indexed decoded-instruction store that makes
+//!   instruction fetch O(1) — [`code`];
 //! * the assembled device — [`device`].
 //!
 //! See `DESIGN.md` at the repository root for the substitution argument: the
@@ -36,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod bus;
+pub mod code;
 pub mod cpu;
 pub mod device;
 pub mod firmware;
@@ -44,6 +47,7 @@ pub mod mpu;
 pub mod timer;
 
 pub use bus::{Bus, BusFault, BusFaultCause, BusStats, Region};
+pub use code::{InstrMeta, InstrStore};
 pub use cpu::{Cpu, CpuStats, FaultInfo, StepEvent, HANDLER_RETURN};
 pub use device::{Device, RunExit, StopReason};
 pub use firmware::{AppBinary, DataSegment, Firmware, FirmwareBuilder, FirmwareError, OsBinary};

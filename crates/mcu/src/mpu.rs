@@ -121,9 +121,16 @@ pub struct Mpu {
     /// Count of configuration writes, for the evaluation's context-switch
     /// accounting.
     pub config_writes: u64,
-    /// Count of access checks performed.
+    /// Count of access checks performed **by this backend**.  When the
+    /// bus's access-attribute cache is enabled (the default), permitted
+    /// accesses are satisfied from the cache without consulting the
+    /// backend, so this counts oracle consultations (denied or
+    /// cache-ineligible accesses), not every bus access; disable the
+    /// cache via [`crate::bus::Bus::set_attr_cache_enabled`] to count
+    /// every policed access.
     pub checks: u64,
-    /// Count of violations detected.
+    /// Count of violations detected (exact regardless of the attribute
+    /// cache: denied accesses always reach the backend).
     pub violations: u64,
 }
 
@@ -397,9 +404,12 @@ pub struct RegionMpu {
     sram_range: AddrRange,
     /// Count of configuration writes (context-switch accounting).
     pub config_writes: u64,
-    /// Count of access checks performed.
+    /// Count of access checks performed **by this backend** — with the
+    /// bus's attribute cache enabled this counts oracle consultations
+    /// only; see [`Mpu::checks`] for the full caveat.
     pub checks: u64,
-    /// Count of violations detected.
+    /// Count of violations detected (exact regardless of the attribute
+    /// cache: denied accesses always reach the backend).
     pub violations: u64,
 }
 

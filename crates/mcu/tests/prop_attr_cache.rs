@@ -1,0 +1,246 @@
+//! Equivalence property for the bus's access-attribute cache.
+//!
+//! The flat per-address attribute table is a pure optimisation: for
+//! arbitrary platforms, arbitrary MPU configurations (segmented, region
+//! and extended), and arbitrary interleavings of configuration changes
+//! with reads/writes/instruction fetches, a bus with the cache enabled
+//! and a bus taking the direct `Mpu`/`RegionMpu`/`ExtendedMpu` path must
+//! produce **identical results for every access** (same values, same
+//! faults), **identical [`BusStats`] deltas**, and identical memory.
+
+use amulet_core::addr::{Addr, AddrRange};
+use amulet_core::layout::PlatformSpec;
+use amulet_core::mpu_plan::{MpuConfig, MpuRegisterValues, RegionDesc, RegionRegisterValues};
+use amulet_core::perm::Perm;
+use amulet_mcu::bus::{Bus, BusStats};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// One step of a driven access/configuration sequence.
+#[derive(Clone, Debug)]
+enum Op {
+    /// `Bus::read` of 1 or 2 bytes.
+    Read { addr: Addr, size: u32 },
+    /// `Bus::write` of 1 or 2 bytes.
+    Write { addr: Addr, size: u32, value: u16 },
+    /// `Bus::check_execute`.
+    Exec { addr: Addr },
+    /// Install a segmented MPU configuration (as the OS switch path does).
+    Segmented {
+        b1: u16,
+        b2: u16,
+        sam: u16,
+        enable: bool,
+    },
+    /// Install a region MPU configuration.
+    Region { regions: Vec<(Addr, Addr, u16)> },
+    /// Reconfigure the extended ("advanced") MPU ablation directly.
+    Ext {
+        segments: Vec<(Addr, Addr, u16)>,
+        enabled: bool,
+    },
+    /// Power-on reset.
+    Reset,
+}
+
+/// Addresses biased toward the interesting parts of the map (boundaries,
+/// SRAM, FRAM, InfoMem, peripherals, holes) but covering everything,
+/// including just past the 64 KiB space.
+fn addr_strategy() -> impl Strategy<Value = Addr> {
+    prop_oneof![
+        0u32..0x1_0010,
+        0x1800u32..0x2000,  // InfoMem and the hole behind it
+        0x1C00u32..0x2400,  // SRAM
+        0x4400u32..0x10000, // FRAM + vectors
+        0x0000u32..0x0600,  // peripherals (incl. MPU register files)
+    ]
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let span = |n: usize| vec((addr_strategy(), addr_strategy(), 0u16..8), 0..n);
+    prop_oneof![
+        (addr_strategy(), prop_oneof![Just(1u32), Just(2u32)])
+            .prop_map(|(addr, size)| Op::Read { addr, size }),
+        (
+            addr_strategy(),
+            prop_oneof![Just(1u32), Just(2u32)],
+            0u16..0xFFFF
+        )
+            .prop_map(|(addr, size, value)| Op::Write { addr, size, value }),
+        addr_strategy().prop_map(|addr| Op::Exec { addr }),
+        (0u16..0x1000, 0u16..0x1000, 0u16..0x7777, any::<bool>()).prop_map(
+            |(b1, b2, sam, enable)| Op::Segmented {
+                b1,
+                b2,
+                sam,
+                enable
+            }
+        ),
+        span(4).prop_map(|regions| Op::Region { regions }),
+        (span(3), any::<bool>()).prop_map(|(segments, enabled)| Op::Ext { segments, enabled }),
+        Just(Op::Reset),
+    ]
+}
+
+/// Applies one op to a bus, returning a comparable outcome.
+fn apply(bus: &mut Bus, op: &Op) -> Result<u16, String> {
+    match op {
+        Op::Read { addr, size } => bus.read(*addr, *size).map_err(|e| e.to_string()),
+        Op::Write { addr, size, value } => bus
+            .write(*addr, *size, *value)
+            .map(|()| 0)
+            .map_err(|e| e.to_string()),
+        Op::Exec { addr } => bus
+            .check_execute(*addr)
+            .map(|()| 0)
+            .map_err(|e| e.to_string()),
+        Op::Segmented {
+            b1,
+            b2,
+            sam,
+            enable,
+        } => {
+            let regs = MpuRegisterValues {
+                mpuctl0: 0xA500 | u16::from(*enable),
+                mpusegb1: *b1,
+                mpusegb2: *b2,
+                mpusam: *sam,
+            };
+            bus.install_mpu_config(&MpuConfig::Segmented(regs))
+                .map(|()| 0)
+                .map_err(|e| e.to_string())
+        }
+        Op::Region { regions } => {
+            let regions = regions
+                .iter()
+                .map(|(a, b, perm)| RegionDesc {
+                    range: AddrRange::new((*a).min(*b) & 0xFFF0, (*a).max(*b) & 0xFFF0),
+                    perm: Perm::from_bits(*perm),
+                })
+                .collect();
+            bus.install_mpu_config(&MpuConfig::Region(RegionRegisterValues { regions }))
+                .map(|()| 0)
+                .map_err(|e| e.to_string())
+        }
+        Op::Ext { segments, enabled } => {
+            bus.ext_mpu.enabled = *enabled;
+            bus.ext_mpu.segments = segments
+                .iter()
+                .map(|(a, b, perm)| {
+                    (
+                        AddrRange::new((*a).min(*b), (*a).max(*b)),
+                        Perm::from_bits(*perm),
+                    )
+                })
+                .collect();
+            Ok(0)
+        }
+        Op::Reset => {
+            bus.reset();
+            Ok(0)
+        }
+    }
+}
+
+fn stats_tuple(s: &BusStats) -> (u64, u64, u64, u64, u64, u64) {
+    (
+        s.reads,
+        s.writes,
+        s.exec_checks,
+        s.fram_writes,
+        s.peripheral_writes,
+        s.denied,
+    )
+}
+
+fn drive(platform: PlatformSpec, ops: &[Op]) {
+    let mut cached = Bus::new(platform.clone());
+    let mut direct = Bus::new(platform);
+    direct.set_attr_cache_enabled(false);
+    for (i, op) in ops.iter().enumerate() {
+        let a = apply(&mut cached, op);
+        let b = apply(&mut direct, op);
+        assert_eq!(a, b, "op {i} {op:?} diverged");
+        assert_eq!(
+            stats_tuple(&cached.stats),
+            stats_tuple(&direct.stats),
+            "op {i} {op:?} diverged in BusStats"
+        );
+    }
+    assert_eq!(
+        cached.dump_bytes(AddrRange::new(0, 0x1_0000)),
+        direct.dump_bytes(AddrRange::new(0, 0x1_0000)),
+        "memory contents diverged"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Segmented platform (MSP430FR5969): cache and direct path agree on
+    /// every access outcome and every stats counter, under arbitrary
+    /// interleavings of MPU reconfiguration and traffic.
+    #[test]
+    fn cache_matches_oracle_on_the_segmented_platform(
+        ops in vec(op_strategy(), 1..60),
+    ) {
+        drive(PlatformSpec::msp430fr5969(), &ops);
+    }
+
+    /// Region-MPU platform (FR5994-class profile): same equivalence, with
+    /// the deny-by-default region backend as the oracle.
+    #[test]
+    fn cache_matches_oracle_on_the_region_platform(
+        ops in vec(op_strategy(), 1..60),
+    ) {
+        drive(PlatformSpec::msp430fr5994(), &ops);
+    }
+}
+
+/// Deterministic exhaustive sweep: for a handful of fixed configurations,
+/// compare the cache against the oracle for **every** address in the
+/// 64 KiB space and every access kind — no sampling gaps.
+#[test]
+fn cache_matches_oracle_exhaustively() {
+    let configs: Vec<(PlatformSpec, Vec<Op>)> = vec![
+        (PlatformSpec::msp430fr5969(), vec![]),
+        (
+            PlatformSpec::msp430fr5969(),
+            vec![Op::Segmented {
+                b1: 0x600,
+                b2: 0x800,
+                sam: 0x1024,
+                enable: true,
+            }],
+        ),
+        (
+            PlatformSpec::msp430fr5994(),
+            vec![Op::Region {
+                regions: vec![(0x5000, 0x5400, 0x4), (0x5400, 0x5800, 0x3)],
+            }],
+        ),
+    ];
+    for (platform, setup) in configs {
+        let mut cached = Bus::new(platform.clone());
+        let mut direct = Bus::new(platform);
+        direct.set_attr_cache_enabled(false);
+        for op in &setup {
+            apply(&mut cached, op).unwrap();
+            apply(&mut direct, op).unwrap();
+        }
+        for addr in 0..0x1_0000u32 {
+            let r = (
+                cached.read(addr, 1).map_err(|e| e.cause),
+                cached.write(addr, 1, 0xA5).map_err(|e| e.cause),
+                cached.check_execute(addr).map_err(|e| e.cause),
+            );
+            let d = (
+                direct.read(addr, 1).map_err(|e| e.cause),
+                direct.write(addr, 1, 0xA5).map_err(|e| e.cause),
+                direct.check_execute(addr).map_err(|e| e.cause),
+            );
+            assert_eq!(r, d, "divergence at {addr:#06x}");
+        }
+        assert_eq!(stats_tuple(&cached.stats), stats_tuple(&direct.stats));
+    }
+}

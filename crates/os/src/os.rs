@@ -100,6 +100,42 @@ pub enum DeliveryOutcome {
     Skipped,
 }
 
+/// Precomputed directed context-switch cycle costs.
+///
+/// A switch's cost is a pure function of platform × method × direction ×
+/// pointer-argument count, but building a [`ContextSwitchPlan`] allocates
+/// its step list — measurable when the fleet simulator charges two switches
+/// per delivered event across hundreds of thousands of events.  The
+/// runtime therefore computes the costs once at boot and charges from this
+/// table; the plan type remains the single source of truth for the values.
+#[derive(Clone, Debug)]
+struct SwitchCostCache {
+    /// Cost of the OS → app transition (never validates pointers).
+    os_to_app: u64,
+    /// Cost of the app → OS transition, indexed by pointer-argument count.
+    app_to_os: Vec<u64>,
+}
+
+/// Pointer-argument counts precomputed in [`SwitchCostCache::app_to_os`]
+/// (no Amulet API call passes more; higher counts fall back to building
+/// the plan).
+const MAX_CACHED_POINTER_ARGS: u32 = 4;
+
+impl SwitchCostCache {
+    fn new(platform: &amulet_core::layout::PlatformSpec, method: IsolationMethod) -> Self {
+        SwitchCostCache {
+            os_to_app: ContextSwitchPlan::new_for(platform, method, SwitchDirection::OsToApp, 0)
+                .cycles(),
+            app_to_os: (0..=MAX_CACHED_POINTER_ARGS)
+                .map(|n| {
+                    ContextSwitchPlan::new_for(platform, method, SwitchDirection::AppToOs, n)
+                        .cycles()
+                })
+                .collect(),
+        }
+    }
+}
+
 /// The AmuletOS runtime.
 #[derive(Debug)]
 pub struct AmuletOs {
@@ -121,6 +157,7 @@ pub struct AmuletOs {
     pub subscriptions: Vec<(usize, u16)>,
     options: OsOptions,
     method: IsolationMethod,
+    switch_costs: SwitchCostCache,
     last_app_on_shared_stack: Option<usize>,
     /// Set when the running handler called `amulet_yield`; consumed by the
     /// batch-delivery machinery to end the current batch early.
@@ -140,6 +177,7 @@ impl AmuletOs {
         device.load_firmware(&firmware);
         device.bus.timer.start();
         let method = firmware.method;
+        let switch_costs = SwitchCostCache::new(&firmware.memory_map.platform, method);
         let mut os = AmuletOs {
             device,
             api: ApiSpec::amulet(),
@@ -151,6 +189,7 @@ impl AmuletOs {
             subscriptions: Vec::new(),
             options,
             method,
+            switch_costs,
             firmware,
             last_app_on_shared_stack: None,
             pending_yield: false,
@@ -194,6 +233,15 @@ impl AmuletOs {
     /// Changes the delivery policy (takes effect at the next delivery).
     pub fn set_delivery_policy(&mut self, policy: DeliveryPolicy) {
         self.options.delivery = policy;
+    }
+
+    /// Changes the synthetic-sensor seed.  Takes effect at the next
+    /// [`AmuletOs::reset`]; the fleet simulator uses this to reuse one
+    /// runtime (decoded instruction store, bus attribute tables, API
+    /// tables) across many simulated devices that share a firmware image
+    /// but draw different sensor streams.
+    pub fn set_sensor_seed(&mut self, seed: u32) {
+        self.options.sensor_seed = seed;
     }
 
     /// The isolation method the loaded firmware was built for.
@@ -435,42 +483,42 @@ impl AmuletOs {
         self.stats[idx].batch_boundaries += 1;
     }
 
-    /// Installs an MPU configuration by writing the real memory-mapped
-    /// registers through the bus (whichever register shape the platform's
-    /// MPU expects), exactly as the OS switch code does on hardware.
-    fn write_mpu_config(&mut self, config: &amulet_core::mpu_plan::MpuConfig) {
-        // These writes cannot fail: the OS never locks the MPU.
-        let _ = self.device.bus.install_mpu_config(config);
-    }
-
-    /// OS → app transition: charge the plan (costed for this platform's
-    /// MPU) and install the app's MPU configuration.
+    /// OS → app transition: charge the (precomputed) plan cost and install
+    /// the app's MPU configuration by writing the real memory-mapped
+    /// registers through the bus, exactly as the OS switch code does on
+    /// hardware.  The install cannot fail: the OS never locks the MPU.
     fn switch_to_app(&mut self, idx: usize) {
-        let platform = &self.firmware.memory_map.platform;
-        let plan = ContextSwitchPlan::new_for(platform, self.method, SwitchDirection::OsToApp, 0);
-        self.charge_switch(idx, plan.cycles());
+        self.charge_switch(idx, self.switch_costs.os_to_app);
         self.stats[idx].full_switches += 1;
         if self.method.uses_mpu() {
-            let config = self.firmware.apps[idx].mpu_config.clone();
-            self.write_mpu_config(&config);
+            let _ = self
+                .device
+                .bus
+                .install_mpu_config(&self.firmware.apps[idx].mpu_config);
         }
     }
 
-    /// App → OS transition: charge the plan (including validation of any
-    /// pointer arguments) and install the OS MPU configuration.
+    /// App → OS transition: charge the (precomputed) plan cost, including
+    /// validation of any pointer arguments, and install the OS MPU
+    /// configuration.
     fn switch_to_os(&mut self, idx: usize, pointer_args: u32) {
-        let platform = &self.firmware.memory_map.platform;
-        let plan = ContextSwitchPlan::new_for(
-            platform,
-            self.method,
-            SwitchDirection::AppToOs,
-            pointer_args,
-        );
-        self.charge_switch(idx, plan.cycles());
+        let cycles = match self.switch_costs.app_to_os.get(pointer_args as usize) {
+            Some(&c) => c,
+            None => ContextSwitchPlan::new_for(
+                &self.firmware.memory_map.platform,
+                self.method,
+                SwitchDirection::AppToOs,
+                pointer_args,
+            )
+            .cycles(),
+        };
+        self.charge_switch(idx, cycles);
         self.stats[idx].full_switches += 1;
         if self.method.uses_mpu() {
-            let config = self.firmware.os.mpu_config.clone();
-            self.write_mpu_config(&config);
+            let _ = self
+                .device
+                .bus
+                .install_mpu_config(&self.firmware.os.mpu_config);
         }
     }
 
@@ -585,8 +633,10 @@ impl AmuletOs {
         // Make sure the OS configuration is back in force before the OS
         // touches anything.
         if self.method.uses_mpu() {
-            let config = self.firmware.os.mpu_config.clone();
-            self.write_mpu_config(&config);
+            let _ = self
+                .device
+                .bus
+                .install_mpu_config(&self.firmware.os.mpu_config);
         }
         let name = self.firmware.apps[idx].name.clone();
         let action = self.faults.handle(idx, &name, info, self.device.cycles());

@@ -53,6 +53,36 @@ pub struct SyscallOutcome {
     pub yielded: bool,
 }
 
+/// Per-syscall dispatch counters.
+///
+/// A flat array rather than a map: this is bumped on every system call,
+/// which at fleet scale made a tree-map entry lookup measurable.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SyscallCounts([u64; SyscallCounts::BUCKETS]);
+
+impl SyscallCounts {
+    /// Counter buckets: numbers `0..=14` each get their own bucket (the
+    /// API currently uses `0..=12`), and any number `>= 15` (an unknown
+    /// syscall) shares the last, overflow bucket.  Widen this when the
+    /// API table approaches 15 entries.
+    const BUCKETS: usize = 16;
+
+    /// Dispatches recorded for syscall `num`.
+    pub fn get(&self, num: u16) -> u64 {
+        self.0[(num as usize).min(Self::BUCKETS - 1)]
+    }
+
+    /// Total dispatches across all syscalls.
+    pub fn total(&self) -> u64 {
+        self.0.iter().sum()
+    }
+
+    #[inline]
+    fn bump(&mut self, num: u16) {
+        self.0[(num as usize).min(Self::BUCKETS - 1)] += 1;
+    }
+}
+
 /// Persistent OS service state (sensors, log, display).
 #[derive(Clone, Debug, Default)]
 pub struct Services {
@@ -63,7 +93,7 @@ pub struct Services {
     /// Last value drawn on the display, per app.
     pub display: Vec<(usize, i16)>,
     /// Count of services dispatched, per syscall number.
-    pub dispatch_counts: std::collections::BTreeMap<u16, u64>,
+    pub dispatch_counts: SyscallCounts,
 }
 
 impl Services {
@@ -88,9 +118,11 @@ impl Services {
         at_cycle: u64,
         read_word: &mut dyn FnMut(Addr) -> u16,
     ) -> SyscallOutcome {
-        *self.dispatch_counts.entry(num).or_insert(0) += 1;
-        let service_cycles = api.by_num(num).map(|f| f.service_cycles).unwrap_or(8);
-        let pointer_args = api.by_num(num).map(|f| f.pointer_arg_count()).unwrap_or(0);
+        self.dispatch_counts.bump(num);
+        // One table scan serves both fields (this runs for every syscall).
+        let func = api.by_num(num);
+        let service_cycles = func.map(|f| f.service_cycles).unwrap_or(8);
+        let pointer_args = func.map(|f| f.pointer_arg_count()).unwrap_or(0);
         let mut out = SyscallOutcome {
             ret: 0,
             service_cycles,
@@ -252,8 +284,8 @@ mod tests {
             )
             .ret;
         assert!(batt <= 100);
-        assert_eq!(s.dispatch_counts[&sysno::GET_HEART_RATE], 1);
-        assert_eq!(s.dispatch_counts[&sysno::GET_BATTERY], 1);
+        assert_eq!(s.dispatch_counts.get(sysno::GET_HEART_RATE), 1);
+        assert_eq!(s.dispatch_counts.get(sysno::GET_BATTERY), 1);
     }
 
     #[test]
