@@ -136,6 +136,14 @@ pub fn generate(apps: &[CatalogApp], seed: u64, events: usize) -> Vec<TraceEvent
     all
 }
 
+/// The arrival span of a trace in milliseconds: the timestamp of its last
+/// event (0 for an empty trace).  A time-stepped replay's virtual clock
+/// ends at or after this point — handlers still run after the final
+/// arrival — so the span is the lower bound on simulated wall-clock time.
+pub fn span_ms(trace: &[TraceEvent]) -> u64 {
+    trace.last().map_or(0, |e| e.at_ms)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -188,5 +196,14 @@ mod tests {
         let trace = generate(&apps[..1], 5, 50);
         assert_eq!(trace.len(), 50);
         assert!(trace.iter().all(|e| e.app_index == 0));
+    }
+
+    #[test]
+    fn span_is_the_last_arrival() {
+        let apps = catalog();
+        let trace = generate(&apps, 7, 120);
+        assert_eq!(span_ms(&trace), trace.last().unwrap().at_ms);
+        assert!(span_ms(&trace) > 0, "a 120-event mixed trace spans time");
+        assert_eq!(span_ms(&[]), 0);
     }
 }

@@ -5,16 +5,23 @@
 //! on stdout and to the file.
 //!
 //! Usage: `cargo run -p amulet-bench --bin fleet_sim --release
-//! [devices] [workers] [events_per_device] [seed]`
+//! [devices] [workers] [events_per_device] [seed] [mode]`
 //! (defaults: 1000 devices, one worker per host core, 120 events, the
-//! scenario's default seed).
+//! scenario's default seed, `arrival-order`).  `mode` is `arrival-order`
+//! (or `arrival`) for the classic untimed report, `stepped` for the
+//! virtual-clock report with LPM idle energy, duty cycle,
+//! delivery-latency percentiles and the battery-lifetime projection.
 
-use amulet_fleet::{simulate, FleetScenario};
+use amulet_fleet::{simulate, FleetScenario, TimeMode};
 use std::time::Instant;
 
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let mut arg = |d: u64| -> u64 { args.next().and_then(|s| s.parse().ok()).unwrap_or(d) };
+    let mut args = std::env::args().skip(1).peekable();
+    let mut arg = |d: u64| -> u64 {
+        args.next_if(|s| s.parse::<u64>().is_ok())
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(d)
+    };
     let default_workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4) as u64;
@@ -24,6 +31,24 @@ fn main() {
     let workers = arg(default_workers) as usize;
     scenario.events_per_device = arg(scenario.events_per_device as u64) as usize;
     scenario.seed = arg(scenario.seed);
+    scenario.time_mode = match args.next().as_deref() {
+        Some("stepped") => TimeMode::Stepped,
+        Some("arrival-order") | Some("arrival") | None => TimeMode::ArrivalOrder,
+        Some(other) => {
+            eprintln!(
+                "unknown mode {other:?}: use `arrival-order` or `stepped` \
+                 (usage: fleet_sim [devices] [workers] [events_per_device] [seed] [mode])"
+            );
+            std::process::exit(2);
+        }
+    };
+    if let Some(extra) = args.next() {
+        eprintln!(
+            "unexpected trailing argument {extra:?} \
+             (usage: fleet_sim [devices] [workers] [events_per_device] [seed] [mode])"
+        );
+        std::process::exit(2);
+    }
 
     let started = Instant::now();
     let report = simulate(&scenario, workers);
@@ -35,8 +60,9 @@ fn main() {
         eprintln!("warning: could not write BENCH_fleet.json: {e}");
     } else {
         eprintln!(
-            "wrote BENCH_fleet.json ({} devices, {workers} workers, {:.2}s, {:.0} devices/s)",
+            "wrote BENCH_fleet.json ({} devices, {workers} workers, {} mode, {:.2}s, {:.0} devices/s)",
             scenario.devices,
+            scenario.time_mode.label(),
             wall,
             scenario.devices as f64 / wall.max(1e-9),
         );

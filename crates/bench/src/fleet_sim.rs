@@ -6,17 +6,27 @@
 //! and `"aggregate"`) is a pure function of the scenario seed, regardless
 //! of worker count; wall-clock timing fields live in a separate
 //! `"timing"` object that the binary fills in.
+//!
+//! An arrival-order report renders **exactly** the fields it always has;
+//! the time-stepped fields (`time_mode`, idle energy, duty cycle,
+//! delivery-latency percentiles, the battery-lifetime projection and the
+//! per-event-vs-batched latency comparison) appear only under
+//! [`TimeMode::Stepped`], so arrival-order documents stay byte-compatible
+//! with every earlier consumer.
+//!
+//! [`TimeMode::Stepped`]: amulet_fleet::TimeMode::Stepped
 
 use crate::json::Json;
-use amulet_fleet::FleetReport;
 #[cfg(test)]
 use amulet_fleet::FleetScenario;
+use amulet_fleet::{FleetReport, TimeMode};
 
 /// Renders the deterministic part of a fleet report as a JSON document;
 /// `wall_seconds` (when known) adds the non-deterministic timing object.
 pub fn render_json(report: &FleetReport, wall_seconds: Option<f64>) -> String {
     let s = &report.scenario;
-    let scenario = Json::obj()
+    let stepped = s.time_mode == TimeMode::Stepped;
+    let mut scenario = Json::obj()
         .field("name", s.name.as_str())
         .field("seed", s.seed)
         .field("devices", s.devices)
@@ -24,10 +34,16 @@ pub fn render_json(report: &FleetReport, wall_seconds: Option<f64>) -> String {
         .field("max_apps_per_device", s.max_apps_per_device)
         .field("max_batch", s.max_batch)
         .field("max_latency_events", s.max_latency_events);
+    if stepped {
+        scenario = scenario.field("time_mode", s.time_mode.label());
+        if let Some(na) = s.lpm_current_override_na {
+            scenario = scenario.field("lpm_current_override_na", u64::from(na));
+        }
+    }
 
     let agg = &report.aggregate;
     let policy = |p: &amulet_fleet::PolicyAggregate| {
-        Json::obj()
+        let mut o = Json::obj()
             .field("total_cycles", p.total_cycles)
             .field("switch_cycles", p.switch_cycles)
             .field("switch_overhead_share", p.switch_overhead_share)
@@ -43,7 +59,24 @@ pub fn render_json(report: &FleetReport, wall_seconds: Option<f64>) -> String {
                     .field("mean", p.energy.mean_joules)
                     .field("p50", p.energy.p50_joules)
                     .field("p99", p.energy.p99_joules),
-            )
+            );
+        if stepped {
+            o = o
+                .field("idle_joules", p.idle_joules)
+                .field("idle_energy_share", p.idle_energy_share)
+                .field("duty_cycle", p.duty_cycle)
+                .field(
+                    "delivery_latency_ms",
+                    Json::obj()
+                        .field("events", p.delivery_latency.events)
+                        .field("mean", p.delivery_latency.mean_ms)
+                        .field("p50", p.delivery_latency.p50_ms)
+                        .field("p99", p.delivery_latency.p99_ms)
+                        .field("max", p.delivery_latency.max_ms),
+                )
+                .field("battery_weeks_p50", p.battery_weeks_p50);
+        }
+        o
     };
     let count_list = |items: &[(String, u64)]| {
         items
@@ -77,7 +110,7 @@ pub fn render_json(report: &FleetReport, wall_seconds: Option<f64>) -> String {
         })
         .collect();
 
-    let aggregate = Json::obj()
+    let mut aggregate = Json::obj()
         .field("devices", agg.devices)
         .field(
             "devices_per_platform",
@@ -93,8 +126,27 @@ pub fn render_json(report: &FleetReport, wall_seconds: Option<f64>) -> String {
         .field(
             "switch_cycles_saved_per_event_percent",
             agg.switch_cycles_saved_per_event_percent,
-        )
-        .field("battery_impact_histograms", histograms);
+        );
+    if stepped {
+        // What batching *costs* in delivery latency, next to what it
+        // saves in switch cycles: the measured form of the DESIGN §6
+        // latency trade.
+        let (pe, ba) = (
+            &agg.per_event.delivery_latency,
+            &agg.batched.delivery_latency,
+        );
+        aggregate = aggregate.field(
+            "latency_vs_batching",
+            Json::obj()
+                .field("per_event_p50_ms", pe.p50_ms)
+                .field("per_event_p99_ms", pe.p99_ms)
+                .field("batched_p50_ms", ba.p50_ms)
+                .field("batched_p99_ms", ba.p99_ms)
+                .field("batching_added_p50_ms", ba.p50_ms - pe.p50_ms)
+                .field("batching_added_p99_ms", ba.p99_ms - pe.p99_ms),
+        );
+    }
+    let aggregate = aggregate.field("battery_impact_histograms", histograms);
 
     let mut doc = Json::obj()
         .field("bench", "fleet_sim")
@@ -166,5 +218,46 @@ mod tests {
         assert!(report.aggregate.batched.switch_cycles < report.aggregate.per_event.switch_cycles);
         let text = render_json(&report, None);
         assert!(!text.contains("\"timing\""), "timing only when measured");
+    }
+
+    #[test]
+    fn arrival_order_reports_contain_no_stepped_fields() {
+        let text = render_json(&simulate(&tiny(), 2), None);
+        for absent in [
+            "time_mode",
+            "idle_joules",
+            "idle_energy_share",
+            "duty_cycle",
+            "delivery_latency_ms",
+            "battery_weeks_p50",
+            "latency_vs_batching",
+            "lpm_current_override_na",
+        ] {
+            assert!(!text.contains(absent), "{absent} leaked into arrival-order");
+        }
+    }
+
+    #[test]
+    fn stepped_reports_add_the_time_fields_and_stay_deterministic() {
+        let scenario = FleetScenario {
+            time_mode: amulet_fleet::TimeMode::Stepped,
+            ..tiny()
+        };
+        let text = render_json(&simulate(&scenario, 2), None);
+        for needle in [
+            "\"time_mode\": \"stepped\"",
+            "\"idle_joules\"",
+            "\"idle_energy_share\"",
+            "\"duty_cycle\"",
+            "\"delivery_latency_ms\"",
+            "\"battery_weeks_p50\"",
+            "\"latency_vs_batching\"",
+            "\"batching_added_p50_ms\"",
+        ] {
+            assert!(text.contains(needle), "missing {needle}");
+        }
+        assert_eq!(text.matches('{').count(), text.matches('}').count());
+        let parallel = render_json(&simulate(&scenario, 8), None);
+        assert_eq!(text, parallel, "stepped reports are worker-count-free");
     }
 }

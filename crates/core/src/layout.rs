@@ -119,10 +119,11 @@ impl PlatformSpec {
                 alignment: 0x100,
             },
             costs: CycleCostTable::default(),
-            // The larger part draws slightly more active current
-            // (≈118 µA/MHz per its datasheet).
+            // The larger part draws slightly more current in both modes
+            // (≈118 µA/MHz active, ≈0.9 µA in LPM3 per its datasheet).
             energy: EnergyParams {
                 active_current_ua: 1900,
+                lpm_current_na: 900,
                 ..EnergyParams::default()
             },
         }

@@ -160,13 +160,19 @@ impl fmt::Display for MpuModel {
 /// Electrical parameters of a platform, kept in integer units so
 /// `PlatformSpec` stays `Eq`; [`crate::energy::EnergyModel::for_platform`]
 /// derives its floating-point model from these.  The defaults are the
-/// MSP430FR5969's datasheet figures (16 MHz, ≈100 µA/MHz, 3 V).
+/// MSP430FR5969's datasheet figures (16 MHz, ≈100 µA/MHz, 3 V; LPM3 with
+/// the RTC running draws ≈0.7 µA).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct EnergyParams {
     /// CPU clock frequency in Hz.
     pub frequency_hz: u64,
     /// Active-mode supply current in microamperes at that frequency.
     pub active_current_ua: u32,
+    /// Low-power-mode (sleep) supply current in **nanoamperes** — the draw
+    /// between events, when the CPU is stopped and only the RTC/wakeup
+    /// logic runs.  Nanoamperes because LPM3-class currents are fractions
+    /// of a microampere.
+    pub lpm_current_na: u32,
     /// Supply voltage in millivolts.
     pub supply_millivolts: u32,
 }
@@ -176,6 +182,7 @@ impl Default for EnergyParams {
         EnergyParams {
             frequency_hz: 16_000_000,
             active_current_ua: 1600,
+            lpm_current_na: 700,
             supply_millivolts: 3000,
         }
     }

@@ -16,6 +16,15 @@
 //! [`amulet_os::events::DeliveryPolicy::Batched`] delivery — so the report
 //! quantifies exactly how much switch overhead batching recovers.
 //!
+//! Under [`TimeMode::Stepped`] the runner additionally drives a **virtual
+//! clock** from each trace event's arrival time: handlers advance the
+//! clock by executed-cycle time, inter-event gaps are charged at the
+//! platform's LPM (sleep) current, and every delivered event's latency —
+//! including latency the batching policy trades for switch savings — is
+//! measured in virtual milliseconds.  Reports then carry idle-energy
+//! share, duty cycle, delivery-latency percentiles and an end-to-end
+//! battery-lifetime projection, closing the loop on the paper's Figure 2.
+//!
 //! Determinism is a hard guarantee: the report (aggregates included) is a
 //! pure function of the scenario, regardless of worker count or machine.
 //!
@@ -44,7 +53,8 @@ pub mod scenario;
 pub mod stats;
 
 pub use run::{simulate, DeviceResult, FleetReport, PolicyOutcome};
-pub use scenario::{DeviceConfig, FleetScenario};
+pub use scenario::{DeviceConfig, FleetScenario, TimeMode};
 pub use stats::{
-    EnergyStats, FleetAggregate, PolicyAggregate, ProfileHistogram, BATTERY_IMPACT_BUCKET_EDGES,
+    EnergyStats, FleetAggregate, LatencyStats, PolicyAggregate, ProfileHistogram,
+    BATTERY_IMPACT_BUCKET_EDGES,
 };

@@ -3,11 +3,11 @@
 //! the per-device results in device order so the report is identical for
 //! every worker count.
 
-use crate::scenario::{DeviceConfig, FleetScenario};
+use crate::scenario::{DeviceConfig, FleetScenario, TimeMode};
 use crate::stats::{aggregate, FleetAggregate};
 use amulet_aft::aft::Aft;
 use amulet_arp::arp::Arp;
-use amulet_core::energy::EnergyModel;
+use amulet_core::energy::{BatteryModel, EnergyModel};
 use amulet_core::method::IsolationMethod;
 use amulet_mcu::firmware::Firmware;
 use amulet_os::events::{DeliveryPolicy, Event, EventKind};
@@ -15,6 +15,11 @@ use amulet_os::os::{AmuletOs, OsOptions};
 use std::collections::BTreeMap;
 
 /// What one device did under one delivery policy.
+///
+/// The time fields (`virtual_seconds`, `active_seconds`, `idle_joules`,
+/// `battery_weeks`) are populated only under [`TimeMode::Stepped`]; an
+/// arrival-order run has no clock, so they stay zero there and the report
+/// renderer omits them.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct PolicyOutcome {
     /// Total cycles the device consumed (boot + trace).
@@ -35,8 +40,32 @@ pub struct PolicyOutcome {
     pub full_switches: u64,
     /// Cheap intra-batch boundaries charged.
     pub batch_boundaries: u64,
-    /// Energy the run consumed, in joules (platform energy model).
+    /// Active (executed-cycle) energy the run consumed, in joules
+    /// (platform energy model).
     pub energy_joules: f64,
+    /// LPM (sleep) energy spent in the inter-event gaps, in joules.
+    pub idle_joules: f64,
+    /// Virtual wall-clock span of the run, in seconds (active + idle).
+    pub virtual_seconds: f64,
+    /// The active part of `virtual_seconds`: executed cycles over the
+    /// platform clock frequency.
+    pub active_seconds: f64,
+    /// End-to-end battery-lifetime projection, in weeks, from the run's
+    /// long-run average power draw ((active + idle energy) / virtual
+    /// time) against the Amulet battery.
+    pub battery_weeks: f64,
+}
+
+impl PolicyOutcome {
+    /// Fraction of virtual time the device was awake (0 when the run had
+    /// no clock).
+    pub fn duty_cycle(&self) -> f64 {
+        if self.virtual_seconds > 0.0 {
+            self.active_seconds / self.virtual_seconds
+        } else {
+            0.0
+        }
+    }
 }
 
 /// The result of simulating one device under both delivery policies.
@@ -58,6 +87,12 @@ pub struct DeviceResult {
     /// installed app's ARP profile under this device's method and platform
     /// (the Figure-2 extrapolation, fleet-wide).
     pub battery_impacts: Vec<(String, f64)>,
+    /// Per-delivered-event latency samples (virtual milliseconds between
+    /// a trace event's arrival and its dispatch) of the per-event leg, in
+    /// dispatch order.  Empty under [`TimeMode::ArrivalOrder`].
+    pub per_event_latencies_ms: Vec<f64>,
+    /// Latency samples of the batched leg (see `per_event_latencies_ms`).
+    pub batched_latencies_ms: Vec<f64>,
 }
 
 /// A complete fleet run: the scenario, every per-device result (in device
@@ -85,9 +120,9 @@ fn kind_for(handler: &str) -> EventKind {
     }
 }
 
-/// Replays a trace: every arrival is posted and the scheduler pumped, so a
-/// batched policy sees exactly the queue build-up a live device would; a
-/// final flush delivers the stragglers.
+/// Replays a trace in arrival order: every arrival is posted and the
+/// scheduler pumped, so a batched policy sees exactly the queue build-up a
+/// live device would; a final flush delivers the stragglers.
 fn run_trace(os: &mut AmuletOs, trace: &[amulet_apps::TraceEvent]) {
     for e in trace {
         os.post_event(Event::new(
@@ -101,8 +136,84 @@ fn run_trace(os: &mut AmuletOs, trace: &[amulet_apps::TraceEvent]) {
     os.flush();
 }
 
-/// Reduces one finished run into a [`PolicyOutcome`].
-fn collect(os: &AmuletOs, energy: &EnergyModel) -> PolicyOutcome {
+/// What a time-stepped replay measured on top of the run itself.
+struct SteppedRun {
+    /// Virtual wall-clock span of the run in seconds: boot + every
+    /// handler's executed-cycle time + every inter-event idle gap.
+    virtual_seconds: f64,
+    /// Delivery latency of each dispatched trace event, in virtual
+    /// milliseconds, in dispatch order.
+    latencies_ms: Vec<f64>,
+}
+
+/// Replays a trace under a virtual clock.
+///
+/// The delivered schedule is **identical** to [`run_trace`] — the same
+/// posts, the same pumps, in the same order, so every cycle count matches
+/// the arrival-order replay exactly.  Stepping adds accounting: the clock
+/// starts after boot (boot runs busy from t = 0), jumps forward to each
+/// event's `at_ms` when the device finished its work earlier (an LPM idle
+/// gap), stays put when the event arrived while the device was still busy
+/// (the event waits), and advances by executed-cycle time across every
+/// pump.  Each dispatched trace event's [`amulet_os::os::DeliveryRecord`]
+/// is joined against the clock to yield its delivery latency — including
+/// latency added by the batching policy deferring delivery until a batch
+/// forms.
+fn run_trace_stepped(
+    os: &mut AmuletOs,
+    trace: &[amulet_apps::TraceEvent],
+    energy: &EnergyModel,
+) -> SteppedRun {
+    let mut now_s = energy.cycles_to_seconds(os.total_cycles());
+    let mut latencies_ms = Vec::new();
+    let mut cursor = os.delivery_log.len();
+    // Joins the delivery records a pump produced against the virtual
+    // clock: a record `dc` cycles into a pump that started at `start_s`
+    // happened at virtual time `start_s + dc / f`.
+    let mut harvest = |os: &AmuletOs, cursor: &mut usize, start_s: f64, start_cycles: u64| {
+        let records = &os.delivery_log[*cursor..];
+        latencies_ms.extend(records.iter().map(|r| {
+            let at_s = start_s + energy.cycles_to_seconds(r.at_cycles - start_cycles);
+            (at_s * 1000.0 - r.stamp_ms as f64).max(0.0)
+        }));
+        *cursor = os.delivery_log.len();
+    };
+    for e in trace {
+        // Idle jump: if the device went to sleep before this arrival, the
+        // clock skips ahead; if it is still busy, the event queues at its
+        // arrival stamp and waits.
+        now_s = now_s.max(e.at_ms as f64 / 1000.0);
+        os.post_event(
+            Event::new(
+                e.app_index,
+                e.handler.as_str(),
+                e.payload,
+                kind_for(&e.handler),
+            )
+            .stamped(e.at_ms),
+        );
+        let start_cycles = os.total_cycles();
+        let (_, pump_cycles) = os.pump_counted();
+        harvest(os, &mut cursor, now_s, start_cycles);
+        now_s += energy.cycles_to_seconds(pump_cycles);
+    }
+    let start_cycles = os.total_cycles();
+    let (_, flush_cycles) = os.flush_counted();
+    harvest(os, &mut cursor, now_s, start_cycles);
+    now_s += energy.cycles_to_seconds(flush_cycles);
+    debug_assert!(
+        now_s * 1000.0 >= amulet_apps::traces::span_ms(trace) as f64,
+        "the virtual clock ends at or after the last arrival"
+    );
+    SteppedRun {
+        virtual_seconds: now_s,
+        latencies_ms,
+    }
+}
+
+/// Reduces one finished run into a [`PolicyOutcome`]; `stepped` (when the
+/// run carried a virtual clock) fills in the idle/duty/lifetime fields.
+fn collect(os: &AmuletOs, energy: &EnergyModel, stepped: Option<&SteppedRun>) -> PolicyOutcome {
     let mut out = PolicyOutcome {
         total_cycles: os.total_cycles(),
         switch_cycles: 0,
@@ -114,6 +225,10 @@ fn collect(os: &AmuletOs, energy: &EnergyModel) -> PolicyOutcome {
         full_switches: 0,
         batch_boundaries: 0,
         energy_joules: 0.0,
+        idle_joules: 0.0,
+        virtual_seconds: 0.0,
+        active_seconds: 0.0,
+        battery_weeks: 0.0,
     };
     for s in &os.stats {
         out.switch_cycles += s.switch_cycles;
@@ -126,6 +241,15 @@ fn collect(os: &AmuletOs, energy: &EnergyModel) -> PolicyOutcome {
         out.batch_boundaries += s.batch_boundaries;
     }
     out.energy_joules = energy.cycles_to_joules(out.total_cycles);
+    if let Some(run) = stepped {
+        out.virtual_seconds = run.virtual_seconds;
+        out.active_seconds = energy.cycles_to_seconds(out.total_cycles);
+        out.idle_joules = energy.idle_joules(run.virtual_seconds - out.active_seconds);
+        if run.virtual_seconds > 0.0 {
+            let power_w = (out.energy_joules + out.idle_joules) / run.virtual_seconds;
+            out.battery_weeks = BatteryModel::amulet().lifetime_weeks_at_power(power_w);
+        }
+    }
     out
 }
 
@@ -150,20 +274,33 @@ fn simulate_device(
 ) -> DeviceResult {
     let trace =
         amulet_apps::traces::generate(&cfg.apps, cfg.trace_seed, scenario.events_per_device);
-    let energy = EnergyModel::for_platform(&cfg.platform);
+    let mut energy = EnergyModel::for_platform(&cfg.platform);
+    if let Some(na) = scenario.lpm_current_override_na {
+        energy.lpm_current_a = na as f64 / 1e9;
+    }
+    // One leg under one delivery policy: arrival-order runs replay the
+    // trace untimed; stepped runs replay the identical schedule under the
+    // virtual clock and harvest latencies on the side.
+    let leg = |os: &mut AmuletOs, policy: DeliveryPolicy| -> (PolicyOutcome, Vec<f64>) {
+        os.reset();
+        os.set_delivery_policy(policy);
+        os.boot();
+        match scenario.time_mode {
+            TimeMode::ArrivalOrder => {
+                run_trace(os, &trace);
+                (collect(os, &energy, None), Vec::new())
+            }
+            TimeMode::Stepped => {
+                let run = run_trace_stepped(os, &trace, &energy);
+                let outcome = collect(os, &energy, Some(&run));
+                (outcome, run.latencies_ms)
+            }
+        }
+    };
 
     os.set_sensor_seed(cfg.sensor_seed);
-    os.set_delivery_policy(DeliveryPolicy::PerEvent);
-    os.reset();
-    os.boot();
-    run_trace(os, &trace);
-    let per_event = collect(os, &energy);
-
-    os.reset();
-    os.set_delivery_policy(scenario.batched_policy());
-    os.boot();
-    run_trace(os, &trace);
-    let batched = collect(os, &energy);
+    let (per_event, per_event_latencies_ms) = leg(os, DeliveryPolicy::PerEvent);
+    let (batched, batched_latencies_ms) = leg(os, scenario.batched_policy());
 
     let arp = Arp::for_platform(&cfg.platform);
     let battery_impacts = cfg
@@ -185,6 +322,8 @@ fn simulate_device(
         per_event,
         batched,
         battery_impacts,
+        per_event_latencies_ms,
+        batched_latencies_ms,
     }
 }
 
@@ -355,5 +494,102 @@ mod tests {
         let b = simulate(&small(), 8);
         assert_eq!(a.devices, b.devices);
         assert_eq!(a.aggregate, b.aggregate);
+    }
+
+    fn small_stepped() -> FleetScenario {
+        FleetScenario {
+            time_mode: TimeMode::Stepped,
+            ..small()
+        }
+    }
+
+    #[test]
+    fn stepped_mode_measures_time_idle_energy_and_latency() {
+        let report = simulate(&small_stepped(), 4);
+        for d in &report.devices {
+            for o in [&d.per_event, &d.batched] {
+                assert!(o.virtual_seconds > 0.0, "device {}", d.index);
+                assert!(o.active_seconds > 0.0 && o.active_seconds < o.virtual_seconds);
+                assert!(o.idle_joules > 0.0, "gaps cost LPM energy");
+                assert!(o.duty_cycle() > 0.0 && o.duty_cycle() < 1.0);
+                assert!(o.battery_weeks > 0.0 && o.battery_weeks.is_finite());
+            }
+            // A wearable trace is overwhelmingly idle: the duty cycle
+            // must be tiny, which is the whole point of LPM accounting.
+            assert!(d.per_event.duty_cycle() < 0.05, "device {}", d.index);
+            // A device may legitimately have *no* latency samples: a
+            // pure-timer app's re-arms cancel the still-pending trace
+            // timer events (coalescing), so nothing stamped gets
+            // dispatched.  Samples that do exist must be sane.
+            assert!(d
+                .per_event_latencies_ms
+                .iter()
+                .all(|l| l.is_finite() && *l >= 0.0));
+        }
+        assert!(
+            report
+                .devices
+                .iter()
+                .filter(|d| !d.per_event_latencies_ms.is_empty())
+                .count()
+                > report.devices.len() / 2,
+            "most devices measure delivery latency"
+        );
+        let agg = &report.aggregate;
+        assert!(agg.per_event.idle_energy_share > 0.5, "idle dominates");
+        assert!(agg.per_event.duty_cycle > 0.0 && agg.per_event.duty_cycle < 0.05);
+        assert!(agg.per_event.delivery_latency.events > 0);
+        assert!(agg.per_event.battery_weeks_p50 > 0.0);
+        // Batching defers deliveries, so its latency percentiles must sit
+        // visibly above per-event delivery's.
+        assert!(
+            agg.batched.delivery_latency.p50_ms > agg.per_event.delivery_latency.p50_ms,
+            "batched p50 {} vs per-event p50 {}",
+            agg.batched.delivery_latency.p50_ms,
+            agg.per_event.delivery_latency.p50_ms
+        );
+        assert!(agg.batched.delivery_latency.p99_ms >= agg.per_event.delivery_latency.p99_ms);
+    }
+
+    #[test]
+    fn stepped_mode_is_deterministic_across_worker_counts() {
+        let a = simulate(&small_stepped(), 1);
+        let b = simulate(&small_stepped(), 8);
+        assert_eq!(a.devices, b.devices);
+        assert_eq!(a.aggregate, b.aggregate);
+    }
+
+    #[test]
+    fn stepped_with_zero_lpm_current_matches_arrival_order_exactly() {
+        // The stepped replay delivers the identical schedule; with idling
+        // made free it must reproduce the arrival-order energy and cycle
+        // numbers exactly, field for field.
+        let arrival = simulate(&small(), 2);
+        let stepped = simulate(
+            &FleetScenario {
+                lpm_current_override_na: Some(0),
+                ..small_stepped()
+            },
+            2,
+        );
+        for (a, s) in arrival.devices.iter().zip(&stepped.devices) {
+            for (ao, so) in [(&a.per_event, &s.per_event), (&a.batched, &s.batched)] {
+                assert_eq!(ao.total_cycles, so.total_cycles, "device {}", a.index);
+                assert_eq!(ao.switch_cycles, so.switch_cycles);
+                assert_eq!(ao.events_delivered, so.events_delivered);
+                assert_eq!(ao.faults, so.faults);
+                assert_eq!(ao.energy_joules, so.energy_joules);
+                assert_eq!(so.idle_joules, 0.0, "free idling");
+            }
+        }
+        let (a, s) = (&arrival.aggregate, &stepped.aggregate);
+        assert_eq!(a.per_event.total_cycles, s.per_event.total_cycles);
+        assert_eq!(a.batched.total_cycles, s.batched.total_cycles);
+        assert_eq!(
+            a.per_event.energy.total_joules,
+            s.per_event.energy.total_joules
+        );
+        assert_eq!(a.batched.energy.total_joules, s.batched.energy.total_joules);
+        assert_eq!(s.per_event.idle_joules, 0.0);
     }
 }

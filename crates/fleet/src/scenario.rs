@@ -13,6 +13,35 @@ use amulet_core::method::IsolationMethod;
 use amulet_core::platform::builtin_platforms;
 use amulet_os::events::DeliveryPolicy;
 
+/// How the fleet runner treats the trace's arrival timestamps.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TimeMode {
+    /// Deliver events in arrival order with no notion of wall-clock time —
+    /// the original fleet mode.  Reports carry active-cycle energy only
+    /// and are byte-identical to what this mode has always produced.
+    #[default]
+    ArrivalOrder,
+    /// Drive a virtual clock from the trace's `at_ms` stamps: the clock
+    /// advances by executed-cycle time while handlers run and jumps across
+    /// inter-event idle gaps, which are charged at the platform's LPM
+    /// (sleep) current.  Events that arrive while the device is busy (or
+    /// that the batching policy defers) accrue measured delivery latency.
+    /// The delivered schedule is identical to [`TimeMode::ArrivalOrder`] —
+    /// stepping adds time/energy accounting on top, so active cycles,
+    /// events and faults match the arrival-order run exactly.
+    Stepped,
+}
+
+impl TimeMode {
+    /// Stable lowercase label (used in reports and CLI arguments).
+    pub fn label(&self) -> &'static str {
+        match self {
+            TimeMode::ArrivalOrder => "arrival-order",
+            TimeMode::Stepped => "stepped",
+        }
+    }
+}
+
 /// A seeded fleet-simulation recipe.
 #[derive(Clone, Debug, PartialEq)]
 pub struct FleetScenario {
@@ -30,6 +59,14 @@ pub struct FleetScenario {
     pub max_batch: usize,
     /// `max_latency_events` of the batched-delivery leg.
     pub max_latency_events: usize,
+    /// How trace timestamps are treated (see [`TimeMode`]).
+    pub time_mode: TimeMode,
+    /// Overrides every platform's LPM (sleep) current, in nanoamperes,
+    /// for [`TimeMode::Stepped`] runs.  `None` uses each platform's own
+    /// datasheet figure; `Some(0)` makes idling free, which must — and
+    /// the test suite asserts does — reproduce the arrival-order energy
+    /// numbers exactly.
+    pub lpm_current_override_na: Option<u32>,
 }
 
 impl Default for FleetScenario {
@@ -45,6 +82,8 @@ impl Default for FleetScenario {
             max_apps_per_device: 3,
             max_batch: 8,
             max_latency_events: 12,
+            time_mode: TimeMode::ArrivalOrder,
+            lpm_current_override_na: None,
         }
     }
 }

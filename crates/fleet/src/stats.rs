@@ -13,6 +13,17 @@ use std::collections::BTreeMap;
 /// concentrate resolution there.
 pub const BATTERY_IMPACT_BUCKET_EDGES: [f64; 7] = [0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0];
 
+/// The nearest-rank percentile of an ascending-sorted sample set
+/// (0.0 for an empty one) — the one percentile definition every fleet
+/// statistic uses.
+fn nearest_rank(sorted: &[f64], percent: f64) -> f64 {
+    let n = sorted.len();
+    if n == 0 {
+        return 0.0;
+    }
+    sorted[((percent / 100.0 * n as f64).ceil() as usize).clamp(1, n) - 1]
+}
+
 /// Distribution statistics of per-device energy, in joules.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct EnergyStats {
@@ -29,21 +40,59 @@ pub struct EnergyStats {
 impl EnergyStats {
     fn from_sorted(values: &[f64]) -> Self {
         let total: f64 = values.iter().sum();
-        let n = values.len().max(1);
-        let rank = |p: f64| {
-            let idx = ((p / 100.0 * n as f64).ceil() as usize).clamp(1, n) - 1;
-            values.get(idx).copied().unwrap_or(0.0)
-        };
         EnergyStats {
             total_joules: total,
-            mean_joules: total / n as f64,
-            p50_joules: rank(50.0),
-            p99_joules: rank(99.0),
+            mean_joules: total / values.len().max(1) as f64,
+            p50_joules: nearest_rank(values, 50.0),
+            p99_joules: nearest_rank(values, 99.0),
+        }
+    }
+}
+
+/// Distribution statistics of per-event delivery latency, in virtual
+/// milliseconds, over every dispatched trace event of every device.
+/// All-zero when the run had no clock ([`TimeMode::ArrivalOrder`]).
+///
+/// [`TimeMode::ArrivalOrder`]: crate::scenario::TimeMode::ArrivalOrder
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LatencyStats {
+    /// Latency samples observed (dispatched trace events).
+    pub events: u64,
+    /// Mean latency.
+    pub mean_ms: f64,
+    /// Median (nearest-rank) latency.
+    pub p50_ms: f64,
+    /// 99th-percentile (nearest-rank) latency.
+    pub p99_ms: f64,
+    /// Worst latency observed.
+    pub max_ms: f64,
+}
+
+impl LatencyStats {
+    /// Reduces raw samples (concatenated in device order — the order is
+    /// deterministic, and sorting makes the statistics order-free anyway).
+    fn from_samples(mut samples: Vec<f64>) -> Self {
+        if samples.is_empty() {
+            return LatencyStats::default();
+        }
+        samples.sort_by(f64::total_cmp);
+        let n = samples.len();
+        LatencyStats {
+            events: n as u64,
+            mean_ms: samples.iter().sum::<f64>() / n as f64,
+            p50_ms: nearest_rank(&samples, 50.0),
+            p99_ms: nearest_rank(&samples, 99.0),
+            max_ms: samples[n - 1],
         }
     }
 }
 
 /// The fleet-wide reduction of one delivery policy's outcomes.
+///
+/// The time-stepped fields (`idle_joules` through `battery_weeks_p50`)
+/// are zero under [`TimeMode::ArrivalOrder`], which has no clock.
+///
+/// [`TimeMode::ArrivalOrder`]: crate::scenario::TimeMode::ArrivalOrder
 #[derive(Clone, Debug, PartialEq)]
 pub struct PolicyAggregate {
     /// Total cycles across the fleet.
@@ -64,11 +113,27 @@ pub struct PolicyAggregate {
     pub full_switches: u64,
     /// Total intra-batch boundaries.
     pub batch_boundaries: u64,
-    /// Per-device energy distribution.
+    /// Per-device (active) energy distribution.
     pub energy: EnergyStats,
+    /// Total LPM (sleep) energy across the fleet, in joules.
+    pub idle_joules: f64,
+    /// Idle energy as a share of all energy (0..1): idle / (active+idle).
+    pub idle_energy_share: f64,
+    /// Fleet duty cycle (0..1): total active seconds over total virtual
+    /// seconds.
+    pub duty_cycle: f64,
+    /// Delivery-latency distribution over every dispatched trace event.
+    pub delivery_latency: LatencyStats,
+    /// Median (nearest-rank) per-device battery-lifetime projection, in
+    /// weeks.
+    pub battery_weeks_p50: f64,
 }
 
-fn reduce_policy(outcomes: impl Iterator<Item = PolicyOutcome>) -> PolicyAggregate {
+fn reduce_policy<'a>(
+    devices: &'a [DeviceResult],
+    outcome: impl Fn(&'a DeviceResult) -> &'a PolicyOutcome,
+    latencies: impl Fn(&'a DeviceResult) -> &'a [f64],
+) -> PolicyAggregate {
     let mut agg = PolicyAggregate {
         total_cycles: 0,
         switch_cycles: 0,
@@ -84,16 +149,31 @@ fn reduce_policy(outcomes: impl Iterator<Item = PolicyOutcome>) -> PolicyAggrega
             p50_joules: 0.0,
             p99_joules: 0.0,
         },
+        idle_joules: 0.0,
+        idle_energy_share: 0.0,
+        duty_cycle: 0.0,
+        delivery_latency: LatencyStats::default(),
+        battery_weeks_p50: 0.0,
     };
     let mut energies: Vec<f64> = Vec::new();
-    for o in outcomes {
+    let mut battery_weeks: Vec<f64> = Vec::new();
+    let mut samples: Vec<f64> = Vec::new();
+    let mut active_seconds = 0.0;
+    let mut virtual_seconds = 0.0;
+    for d in devices {
+        let o = outcome(d);
         agg.total_cycles += o.total_cycles;
         agg.switch_cycles += o.switch_cycles;
         agg.events_delivered += o.events_delivered;
         agg.faults += o.faults;
         agg.full_switches += o.full_switches;
         agg.batch_boundaries += o.batch_boundaries;
+        agg.idle_joules += o.idle_joules;
+        active_seconds += o.active_seconds;
+        virtual_seconds += o.virtual_seconds;
         energies.push(o.energy_joules);
+        battery_weeks.push(o.battery_weeks);
+        samples.extend_from_slice(latencies(d));
     }
     energies.sort_by(f64::total_cmp);
     agg.energy = EnergyStats::from_sorted(&energies);
@@ -107,6 +187,16 @@ fn reduce_policy(outcomes: impl Iterator<Item = PolicyOutcome>) -> PolicyAggrega
     } else {
         agg.switch_cycles as f64 / agg.events_delivered as f64
     };
+    let all_joules = agg.energy.total_joules + agg.idle_joules;
+    if all_joules > 0.0 {
+        agg.idle_energy_share = agg.idle_joules / all_joules;
+    }
+    if virtual_seconds > 0.0 {
+        agg.duty_cycle = active_seconds / virtual_seconds;
+    }
+    agg.delivery_latency = LatencyStats::from_samples(samples);
+    battery_weeks.sort_by(f64::total_cmp);
+    agg.battery_weeks_p50 = nearest_rank(&battery_weeks, 50.0);
     agg
 }
 
@@ -152,8 +242,8 @@ pub struct FleetAggregate {
 
 /// Reduces per-device results (must be in device order) to the aggregate.
 pub fn aggregate(devices: &[DeviceResult]) -> FleetAggregate {
-    let per_event = reduce_policy(devices.iter().map(|d| d.per_event));
-    let batched = reduce_policy(devices.iter().map(|d| d.batched));
+    let per_event = reduce_policy(devices, |d| &d.per_event, |d| &d.per_event_latencies_ms);
+    let batched = reduce_policy(devices, |d| &d.batched, |d| &d.batched_latencies_ms);
 
     let mut per_platform: BTreeMap<String, u64> = BTreeMap::new();
     let mut per_method: BTreeMap<String, u64> = BTreeMap::new();
@@ -221,6 +311,10 @@ mod tests {
             full_switches: 20,
             batch_boundaries: 0,
             energy_joules: energy,
+            idle_joules: 0.0,
+            virtual_seconds: 0.0,
+            active_seconds: 0.0,
+            battery_weeks: 0.0,
         }
     }
 
@@ -233,6 +327,8 @@ mod tests {
             per_event: outcome(1000, 400, energy),
             batched: outcome(900, 300, energy * 0.9),
             battery_impacts: vec![("Clock".into(), 0.003)],
+            per_event_latencies_ms: Vec::new(),
+            batched_latencies_ms: Vec::new(),
         }
     }
 
@@ -275,5 +371,35 @@ mod tests {
         assert_eq!(agg.devices, 0);
         assert_eq!(agg.per_event.energy.total_joules, 0.0);
         assert_eq!(agg.switch_cycles_saved_percent, 0.0);
+        assert_eq!(agg.per_event.delivery_latency, LatencyStats::default());
+        assert_eq!(agg.per_event.idle_energy_share, 0.0);
+    }
+
+    #[test]
+    fn stepped_fields_reduce_across_devices() {
+        let mut devices: Vec<DeviceResult> = (0..4).map(|i| device(i, 1.0)).collect();
+        for (i, d) in devices.iter_mut().enumerate() {
+            d.per_event.idle_joules = 2.0;
+            d.per_event.active_seconds = 1.0;
+            d.per_event.virtual_seconds = 10.0;
+            d.per_event.battery_weeks = (i + 1) as f64;
+            d.per_event_latencies_ms = vec![i as f64, 100.0];
+        }
+        let agg = aggregate(&devices);
+        let p = &agg.per_event;
+        assert_eq!(p.idle_joules, 8.0);
+        // 8 J idle against 4 J active (4 devices × 1 J).
+        assert!((p.idle_energy_share - 8.0 / 12.0).abs() < 1e-12);
+        assert!((p.duty_cycle - 0.1).abs() < 1e-12);
+        // Samples: [0,100, 1,100, 2,100, 3,100] → p50 = 4th of 8 = 3.
+        assert_eq!(p.delivery_latency.events, 8);
+        assert_eq!(p.delivery_latency.p50_ms, 3.0);
+        assert_eq!(p.delivery_latency.p99_ms, 100.0);
+        assert_eq!(p.delivery_latency.max_ms, 100.0);
+        // Battery weeks [1,2,3,4] → nearest-rank p50 = 2.
+        assert_eq!(p.battery_weeks_p50, 2.0);
+        // The untouched batched leg stays all-zero.
+        assert_eq!(agg.batched.delivery_latency, LatencyStats::default());
+        assert_eq!(agg.batched.duty_cycle, 0.0);
     }
 }

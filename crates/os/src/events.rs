@@ -27,12 +27,14 @@ pub enum DeliveryPolicy {
     Batched {
         /// Largest number of events delivered through one switch pair.
         max_batch: usize,
-        /// Latency bound for [`crate::os::AmuletOs::pump`]: while at least
-        /// this many events are pending, batches are delivered even if no
-        /// full batch has formed at the queue head.  Delivery continues
-        /// only while the pending count stays at or above the bound (the
-        /// remainder keeps accumulating for a later pump);
-        /// [`crate::os::AmuletOs::flush`] drains everything.
+        /// Latency bound for [`crate::os::AmuletOs::pump`]: once the
+        /// **head event** has watched this many later arrivals go by while
+        /// waiting at the front of the queue
+        /// ([`EventQueue::head_wait_events`]), its batch is delivered even
+        /// if no full batch has formed.  The bound is per waiting head
+        /// event — a backlog elsewhere in the queue neither forces a
+        /// premature partial flush nor lets an event wait unboundedly —
+        /// and [`crate::os::AmuletOs::flush`] still drains everything.
         max_latency_events: usize,
     },
 }
@@ -86,10 +88,16 @@ pub struct Event {
     pub payload: u16,
     /// What produced the event.
     pub kind: EventKind,
+    /// Optional arrival timestamp in trace milliseconds.  The OS never
+    /// reads it for scheduling; stamped events get a
+    /// [`crate::os::DeliveryRecord`] when dispatched, which is how the
+    /// time-stepped fleet runner measures delivery latency.  `None` (the
+    /// [`Event::new`] default) records nothing.
+    pub stamp_ms: Option<u64>,
 }
 
 impl Event {
-    /// Convenience constructor.
+    /// Convenience constructor (unstamped).
     pub fn new(
         app_index: usize,
         handler: impl Into<String>,
@@ -101,7 +109,15 @@ impl Event {
             handler: handler.into(),
             payload,
             kind,
+            stamp_ms: None,
         }
+    }
+
+    /// Tags the event with its arrival time (trace milliseconds), enabling
+    /// delivery-latency recording.
+    pub fn stamped(mut self, at_ms: u64) -> Self {
+        self.stamp_ms = Some(at_ms);
+        self
     }
 }
 
@@ -109,6 +125,11 @@ impl Event {
 #[derive(Clone, Debug, Default)]
 pub struct EventQueue {
     queue: VecDeque<Event>,
+    /// Events enqueued since the current head event became the head — the
+    /// head's **wait**, in events watched going by.  Reset whenever the
+    /// head changes (a pop installs a fresh head; a push into an empty
+    /// queue makes the new event an instantly-fresh head).
+    head_seen: usize,
     /// Total events ever enqueued (for statistics).
     pub enqueued: u64,
     /// Total events ever delivered.
@@ -124,6 +145,12 @@ impl EventQueue {
     /// Adds an event to the back of the queue.
     pub fn push(&mut self, event: Event) {
         self.enqueued += 1;
+        if self.queue.is_empty() {
+            // The pushed event *is* the head; it has watched nothing go by.
+            self.head_seen = 0;
+        } else {
+            self.head_seen += 1;
+        }
         self.queue.push_back(event);
     }
 
@@ -132,6 +159,8 @@ impl EventQueue {
         let e = self.queue.pop_front();
         if e.is_some() {
             self.delivered += 1;
+            // Whatever is in front now just became the head.
+            self.head_seen = 0;
         }
         e
     }
@@ -145,9 +174,29 @@ impl EventQueue {
     /// app is ever pending — exactly the hardware's behaviour.
     pub fn cancel_timers_for(&mut self, app_index: usize) -> usize {
         let before = self.queue.len();
+        let head_removed = self
+            .queue
+            .front()
+            .is_some_and(|e| e.app_index == app_index && e.kind == EventKind::Timer);
         self.queue
             .retain(|e| !(e.app_index == app_index && e.kind == EventKind::Timer));
+        if head_removed {
+            // A successor inherits the head slot with a fresh wait (the
+            // conservative choice: its own wait starts now).
+            self.head_seen = 0;
+        }
         before - self.queue.len()
+    }
+
+    /// How many events have been enqueued since the current head event
+    /// became the head of the queue (0 when the queue is empty) — the
+    /// head's wait, as the batched scheduler's latency bound measures it.
+    pub fn head_wait_events(&self) -> usize {
+        if self.queue.is_empty() {
+            0
+        } else {
+            self.head_seen
+        }
     }
 
     /// Removes the head event plus up to `max_batch - 1` immediately
@@ -254,6 +303,52 @@ mod tests {
         assert_eq!(q.pop_batch(3).len(), 3);
         assert_eq!(q.pop_batch(3).len(), 2);
         assert_eq!(q.head_run_len(), 0);
+    }
+
+    #[test]
+    fn head_wait_counts_arrivals_since_head_hood() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.head_wait_events(), 0);
+        q.push(Event::new(0, "a", 1, EventKind::Sensor));
+        assert_eq!(q.head_wait_events(), 0, "a fresh head has waited 0");
+        q.push(Event::new(1, "b", 2, EventKind::Sensor));
+        q.push(Event::new(1, "b", 3, EventKind::Sensor));
+        assert_eq!(q.head_wait_events(), 2, "two arrivals went by");
+        q.pop();
+        assert_eq!(
+            q.head_wait_events(),
+            0,
+            "the successor's wait starts when it becomes head"
+        );
+        q.push(Event::new(0, "a", 4, EventKind::Sensor));
+        assert_eq!(q.head_wait_events(), 1);
+        q.pop();
+        q.pop();
+        q.pop();
+        assert_eq!(q.head_wait_events(), 0, "empty queue has no waiting head");
+    }
+
+    #[test]
+    fn cancelling_the_head_timer_resets_the_wait() {
+        let mut q = EventQueue::new();
+        q.push(Event::new(0, "on_timer", 1, EventKind::Timer));
+        q.push(Event::new(1, "b", 2, EventKind::Sensor));
+        q.push(Event::new(1, "b", 3, EventKind::Sensor));
+        assert_eq!(q.head_wait_events(), 2);
+        assert_eq!(q.cancel_timers_for(0), 1);
+        assert_eq!(q.head_wait_events(), 0, "new head starts fresh");
+        // Cancelling a non-head timer leaves the head's wait alone.
+        q.push(Event::new(0, "on_timer", 4, EventKind::Timer));
+        assert_eq!(q.head_wait_events(), 1);
+        assert_eq!(q.cancel_timers_for(0), 1);
+        assert_eq!(q.head_wait_events(), 1);
+    }
+
+    #[test]
+    fn stamping_is_optional_and_preserved() {
+        let e = Event::new(0, "a", 1, EventKind::Sensor);
+        assert_eq!(e.stamp_ms, None);
+        assert_eq!(e.stamped(250).stamp_ms, Some(250));
     }
 
     #[test]

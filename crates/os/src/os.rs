@@ -89,6 +89,26 @@ impl AppRuntimeStats {
     }
 }
 
+/// The dispatch record of one **stamped** event (see [`Event::stamped`]):
+/// when the scheduler took the event up, on the device's cycle clock.
+///
+/// Unstamped events (boot `main`s, timer re-arms the OS queues itself)
+/// record nothing, so runs that never stamp pay nothing and see an empty
+/// log.  The time-stepped fleet runner stamps every trace arrival and
+/// joins these records against its virtual clock to compute per-event
+/// delivery latency — including events that were queued while the device
+/// was busy or deferred by the batching policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeliveryRecord {
+    /// The arrival stamp the event carried (trace milliseconds).
+    pub stamp_ms: u64,
+    /// Device cycle counter at the moment the scheduler dispatched the
+    /// event (before its switch/boundary was charged).
+    pub at_cycles: u64,
+    /// The destination application.
+    pub app_index: usize,
+}
+
 /// Why a delivery finished.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum DeliveryOutcome {
@@ -155,6 +175,9 @@ pub struct AmuletOs {
     pub stats: Vec<AppRuntimeStats>,
     /// Event-stream subscriptions (app index, stream id).
     pub subscriptions: Vec<(usize, u16)>,
+    /// Dispatch records of stamped events, in dispatch order (empty unless
+    /// the caller stamps events; see [`DeliveryRecord`]).
+    pub delivery_log: Vec<DeliveryRecord>,
     options: OsOptions,
     method: IsolationMethod,
     switch_costs: SwitchCostCache,
@@ -187,6 +210,7 @@ impl AmuletOs {
             app_states: Vec::new(),
             stats: Vec::new(),
             subscriptions: Vec::new(),
+            delivery_log: Vec::new(),
             options,
             method,
             switch_costs,
@@ -210,6 +234,7 @@ impl AmuletOs {
         self.app_states = vec![AppState::Active; app_count];
         self.stats = vec![AppRuntimeStats::default(); app_count];
         self.subscriptions.clear();
+        self.delivery_log.clear();
         self.last_app_on_shared_stack = None;
         self.pending_yield = false;
     }
@@ -235,13 +260,20 @@ impl AmuletOs {
         self.options.delivery = policy;
     }
 
-    /// Changes the synthetic-sensor seed.  Takes effect at the next
-    /// [`AmuletOs::reset`]; the fleet simulator uses this to reuse one
+    /// Changes the synthetic-sensor seed: the sensor RNG is re-seeded
+    /// **immediately** and the seed is recorded for every future
+    /// [`AmuletOs::reset`].  The fleet simulator uses this to reuse one
     /// runtime (decoded instruction store, bus attribute tables, API
     /// tables) across many simulated devices that share a firmware image
-    /// but draw different sensor streams.
+    /// but draw different sensor streams — and because the call applies in
+    /// place, `reset(); set_sensor_seed(s)` and `set_sensor_seed(s);
+    /// reset()` both leave the sensors in exactly the fresh-boot state for
+    /// `s`: the previous device's RNG state can never leak through either
+    /// ordering.  (Only the sensor RNG is touched; the log, display and
+    /// dispatch counters are left for `reset` to clear.)
     pub fn set_sensor_seed(&mut self, seed: u32) {
         self.options.sensor_seed = seed;
+        self.services.sensors = crate::sensors::SensorModel::new(seed);
     }
 
     /// The isolation method the loaded firmware was built for.
@@ -321,10 +353,16 @@ impl AmuletOs {
     ///
     /// * [`DeliveryPolicy::PerEvent`] delivers everything pending;
     /// * [`DeliveryPolicy::Batched`] delivers only while a full batch is
-    ///   ready at the queue head **or** `max_latency_events` events are
-    ///   pending — otherwise events keep accumulating so a later pump can
-    ///   amortise the switch over a bigger batch.  [`flush`](Self::flush)
-    ///   delivers the stragglers.
+    ///   ready at the queue head **or** the head event has waited through
+    ///   `max_latency_events` later arrivals
+    ///   ([`EventQueue::head_wait_events`]) — otherwise events keep
+    ///   accumulating so a later pump can amortise the switch over a
+    ///   bigger batch.  The latency bound is a property of the *waiting
+    ///   head event*, not of the total queue length: a backlog of
+    ///   unrelated other-app events cannot force a premature partial
+    ///   flush of a freshly-arrived run, and a head event's wait counts
+    ///   even when the events it waited through belonged to other apps.
+    ///   [`flush`](Self::flush) delivers the stragglers.
     ///
     /// Returns how many events were delivered.
     pub fn pump(&mut self) -> usize {
@@ -338,7 +376,8 @@ impl AmuletOs {
                 let mut delivered = 0;
                 while delivered < budget {
                     let full_batch_ready = self.queue.head_run_len() >= max_batch.max(1);
-                    let latency_bound_hit = self.queue.len() >= max_latency_events.max(1);
+                    let latency_bound_hit =
+                        self.queue.head_wait_events() >= max_latency_events.max(1);
                     if !full_batch_ready && !latency_bound_hit {
                         break;
                     }
@@ -353,6 +392,22 @@ impl AmuletOs {
                 delivered
             }
         }
+    }
+
+    /// [`pump`](Self::pump), also reporting the executed cycles the pump
+    /// consumed — the per-pump totals the time-stepped fleet runner turns
+    /// into virtual-clock advances.
+    pub fn pump_counted(&mut self) -> (usize, u64) {
+        let before = self.device.cycles();
+        let delivered = self.pump();
+        (delivered, self.device.cycles() - before)
+    }
+
+    /// [`flush`](Self::flush), also reporting the executed cycles consumed.
+    pub fn flush_counted(&mut self) -> (usize, u64) {
+        let before = self.device.cycles();
+        let delivered = self.flush();
+        (delivered, self.device.cycles() - before)
     }
 
     /// Delivers every event pending at call time, ignoring the batching
@@ -403,6 +458,17 @@ impl AmuletOs {
                 events.iter().all(|e| e.app_index == idx),
                 "a delivery batch must not span applications"
             );
+            if let Some(stamp_ms) = event.stamp_ms {
+                // The event's wait ends here: the scheduler has taken it up
+                // (even if it is about to be skipped).  Recording reads the
+                // clock only — it never advances it, so stamping cannot
+                // perturb any simulated quantity.
+                self.delivery_log.push(DeliveryRecord {
+                    stamp_ms,
+                    at_cycles: self.device.cycles(),
+                    app_index: idx,
+                });
+            }
             if idx >= self.app_count() || self.app_states[idx] == AppState::Killed {
                 outcomes.push(DeliveryOutcome::Skipped);
                 continue;
@@ -1001,6 +1067,151 @@ mod tests {
         assert_eq!(os.pump(), 0);
         assert_eq!(os.flush(), 1, "flush delivers the straggler");
         assert_eq!(os.services.log.last().unwrap().value, 1 + 2 + 3);
+    }
+
+    #[test]
+    fn latency_bound_ignores_backlog_behind_a_fresh_head() {
+        // Regression (shape 1): the latency bound used to trigger on total
+        // queue length, so after a full batch was delivered, a backlog of
+        // *other-app* events (len 4 >= max_latency_events) would force the
+        // next head out as a premature one-event batch.  Bounding by the
+        // head event's own wait lets the interleaved B/C runs keep
+        // accumulating instead.
+        let mut os = build(
+            IsolationMethod::Mpu,
+            &[
+                ("A", COUNTER_APP, &["main", "on_tick"]),
+                ("B", COUNTER_APP, &["main", "on_tick"]),
+                ("C", COUNTER_APP, &["main", "on_tick"]),
+            ],
+        );
+        os.set_delivery_policy(DeliveryPolicy::Batched {
+            max_batch: 4,
+            max_latency_events: 4,
+        });
+        os.boot();
+        for (app, payload) in [
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (0, 4),
+            (1, 5),
+            (2, 6),
+            (1, 7),
+            (2, 8),
+        ] {
+            os.post_event(Event::new(app, "on_tick", payload, EventKind::Sensor));
+        }
+        // App 0's head run is a full batch and goes out; each B/C event
+        // behind it becomes a fresh head that has waited through nothing.
+        assert_eq!(os.pump(), 4, "only the full batch is delivered");
+        assert_eq!(os.queue.len(), 4, "the B/C backlog keeps accumulating");
+        assert_eq!(os.flush(), 4);
+    }
+
+    #[test]
+    fn latency_bound_delivers_a_head_event_after_its_own_wait() {
+        // Regression (shape 2): a lone app-B event at the head must be
+        // delivered once *it* has waited through `max_latency_events`
+        // arrivals — but its delivery must not drag app A's fresh run out
+        // with it (the old queue-length bound flushed everything while the
+        // length stayed at or above the bound).
+        let mut os = build(
+            IsolationMethod::Mpu,
+            &[
+                ("A", COUNTER_APP, &["main", "on_tick"]),
+                ("B", COUNTER_APP, &["main", "on_tick"]),
+            ],
+        );
+        os.set_delivery_policy(DeliveryPolicy::Batched {
+            max_batch: 4,
+            max_latency_events: 3,
+        });
+        os.boot();
+        os.post_event(Event::new(1, "on_tick", 1, EventKind::Sensor));
+        assert_eq!(os.pump(), 0, "a fresh head waits");
+        for i in 0..2 {
+            os.post_event(Event::new(0, "on_tick", i, EventKind::Sensor));
+            assert_eq!(os.pump(), 0, "wait {i} below the bound");
+        }
+        os.post_event(Event::new(0, "on_tick", 9, EventKind::Sensor));
+        // The head (app 1) has now watched 3 arrivals go by: deliver it —
+        // and only it; app 0's run is fresh and keeps accumulating.
+        assert_eq!(os.pump(), 1, "exactly the over-waited head goes out");
+        assert_eq!(os.queue.len(), 3);
+        assert_eq!(os.stats[1].events_delivered, 2, "boot main + the event");
+        assert_eq!(os.flush(), 3);
+    }
+
+    #[test]
+    fn stamped_events_record_dispatch_and_unstamped_events_do_not() {
+        let mut os = build(
+            IsolationMethod::Mpu,
+            &[("Counter", COUNTER_APP, &["main", "on_tick"])],
+        );
+        os.boot();
+        assert!(os.delivery_log.is_empty(), "boot events are unstamped");
+        os.post_event(Event::new(0, "on_tick", 1, EventKind::Sensor).stamped(250));
+        os.post_event(Event::new(0, "on_tick", 2, EventKind::Sensor));
+        os.flush();
+        assert_eq!(os.delivery_log.len(), 1, "only the stamped event records");
+        assert_eq!(os.delivery_log[0].stamp_ms, 250);
+        assert_eq!(os.delivery_log[0].app_index, 0);
+        assert!(os.delivery_log[0].at_cycles > 0);
+        os.reset();
+        assert!(os.delivery_log.is_empty(), "reset clears the log");
+    }
+
+    #[test]
+    fn reseeding_after_reset_matches_a_fresh_boot_with_that_seed() {
+        // Regression: `set_sensor_seed` used to take effect only at the
+        // *next* reset, so the fleet's reuse path could leak the previous
+        // device's sensor RNG state into `Services` if a re-seed landed
+        // after the reset.  It now applies in place, making both orderings
+        // equivalent to a fresh boot.
+        let src = r#"
+            void main(void) { }
+            int sample(int x) {
+                amulet_log_value(amulet_get_heart_rate());
+                amulet_log_value(amulet_get_accel(0));
+                return 0;
+            }
+        "#;
+        let apps: &[(&str, &str, &[&str])] = &[("Sampler", src, &["main", "sample"])];
+        let seed = 0xB0A7;
+        let run = |os: &mut AmuletOs| -> Vec<i16> {
+            os.boot();
+            for i in 0..8 {
+                os.call_handler(0, "sample", i);
+            }
+            os.services.log.iter().map(|l| l.value).collect()
+        };
+        let mut fresh = AmuletOs::with_options(
+            Aft::new(IsolationMethod::Mpu)
+                .add_app(AppSource::new(apps[0].0, apps[0].1, apps[0].2))
+                .build()
+                .unwrap()
+                .firmware,
+            OsOptions {
+                sensor_seed: seed,
+                ..OsOptions::default()
+            },
+        );
+        let expected = run(&mut fresh);
+
+        // A reused runtime: run with a different seed, reset, *then* seed.
+        let mut reused = build(IsolationMethod::Mpu, apps);
+        run(&mut reused);
+        reused.reset();
+        reused.set_sensor_seed(seed);
+        assert_eq!(run(&mut reused), expected, "reset-then-seed replays");
+
+        // And the opposite ordering (seed before reset) agrees too.
+        let mut reused = build(IsolationMethod::Mpu, apps);
+        run(&mut reused);
+        reused.set_sensor_seed(seed);
+        reused.reset();
+        assert_eq!(run(&mut reused), expected, "seed-then-reset replays");
     }
 
     #[test]

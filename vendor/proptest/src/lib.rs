@@ -59,12 +59,48 @@ pub mod collection {
         }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let span = (self.size.max - self.size.min).max(1) as u64;
             let len = self.size.min + (rng.next_u64() % span) as usize;
             (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            // Structural candidates first (shorter is simpler), never
+            // below the strategy's minimum length; then element-wise
+            // shrinking, one position at a time (the greedy runner loop
+            // composes repeated applications into a minimum).
+            let mut out: Vec<Vec<S::Value>> = Vec::new();
+            let len = value.len();
+            let min = self.size.min;
+            // Deduplicated prefix lengths: each duplicate would re-run the
+            // whole property body on an identical value.
+            let mut keep_lens = [min, len / 2, len.saturating_sub(1)];
+            keep_lens.sort_unstable();
+            let mut prev = usize::MAX;
+            for &n in &keep_lens {
+                if n >= min && n < len && n != prev {
+                    out.push(value[..n].to_vec());
+                    prev = n;
+                }
+            }
+            if len > min && len > 1 {
+                // Dropping from the front reaches counterexamples whose
+                // trigger sits at the tail.
+                out.push(value[len - min.max(len / 2).max(1)..].to_vec());
+            }
+            for (i, v) in value.iter().enumerate() {
+                for cand in self.element.shrink(v) {
+                    let mut next = value.clone();
+                    next[i] = cand;
+                    out.push(next);
+                }
+            }
+            out
         }
     }
 }
@@ -79,6 +115,16 @@ pub mod prelude {
 /// Runs `proptest!`-style property functions: each `arg in strategy`
 /// binding is sampled `cases` times from a deterministic generator and the
 /// body is executed for every sampled tuple.
+///
+/// When a case fails (via the `prop_assert*` macros), the runner
+/// **shrinks** it before reporting: each argument's strategy proposes
+/// simpler candidates ([`strategy::Strategy::shrink`]), the body is
+/// re-run on clones, and any candidate that still fails is greedily
+/// adopted, bounded by
+/// [`ProptestConfig::max_shrink_iters`](test_runner::ProptestConfig).
+/// The panic message carries the *minimised* arguments.  (Bodies that
+/// panic directly instead of using `prop_assert*` abort on the original
+/// sample, unshrunk.)
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
@@ -93,12 +139,57 @@ macro_rules! proptest {
             fn $name() {
                 let config: $crate::test_runner::ProptestConfig = $cfg;
                 let mut rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+                // One strategy tuple serves both re-checking and shrinking;
+                // the argument bundle shrinks through the tuple strategy's
+                // component-wise `shrink`.
+                let __prop_strats = ($(($strat),)*);
+                #[allow(unused_variables)]
+                let __prop_check = $crate::test_runner::check_fn(&__prop_strats, |__prop_args| {
+                    // The body sees owned values, exactly as when they
+                    // were sampled inline; the clone keeps the bundle for
+                    // further shrinking.
+                    let ($($arg,)*) = ::std::clone::Clone::clone(__prop_args);
+                    (move || { $body #[allow(unreachable_code)] Ok(()) })()
+                });
                 for case in 0..config.cases {
+                    // Arguments sample one at a time, in declaration
+                    // order — the exact pre-shrinking RNG stream.
                     $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)*
-                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
-                        (|| { $body #[allow(unreachable_code)] Ok(()) })();
-                    if let Err(e) = outcome {
-                        panic!("property `{}` failed on case {}: {}", stringify!($name), case, e);
+                    let mut __prop_args = ($($arg,)*);
+                    if let Err(mut __prop_failure) = __prop_check(&__prop_args) {
+                        // Greedy minimisation: adopt the first simpler
+                        // candidate bundle that still fails, repeat to a
+                        // fixed point (or the iteration bound).
+                        let mut __prop_attempts: u32 = 0;
+                        let mut __prop_improved = true;
+                        while __prop_improved && __prop_attempts < config.max_shrink_iters {
+                            __prop_improved = false;
+                            for __prop_cand in
+                                $crate::strategy::Strategy::shrink(&__prop_strats, &__prop_args)
+                            {
+                                __prop_attempts += 1;
+                                match __prop_check(&__prop_cand) {
+                                    Err(e) => {
+                                        __prop_failure = e;
+                                        __prop_args = __prop_cand;
+                                        __prop_improved = true;
+                                        break;
+                                    }
+                                    Ok(()) => {}
+                                }
+                                if __prop_attempts >= config.max_shrink_iters {
+                                    break;
+                                }
+                            }
+                        }
+                        panic!(
+                            "property `{}` failed on case {} ({} shrink attempts): {}\nminimal arguments: {:#?}",
+                            stringify!($name),
+                            case,
+                            __prop_attempts,
+                            __prop_failure,
+                            __prop_args,
+                        );
                     }
                 }
             }
@@ -152,4 +243,73 @@ macro_rules! prop_oneof {
             $(::std::boxed::Box::new($strat) as ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>),+
         ])
     };
+}
+
+#[cfg(test)]
+mod shrink_tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        fn fails_above_ten(x in 0u32..1000) {
+            prop_assert!(x <= 10, "x = {} is too big", x);
+        }
+
+        fn fails_when_any_element_is_big(
+            v in crate::collection::vec(0u32..100, 0..20),
+        ) {
+            prop_assert!(v.iter().all(|&x| x < 50), "big element in {:?}", v);
+        }
+
+        fn fails_on_big_pair_products(pair in (1u32..40, 1u32..40)) {
+            prop_assert!(pair.0 * pair.1 < 100, "{} * {} too big", pair.0, pair.1);
+        }
+    }
+
+    fn failure_message(f: fn()) -> String {
+        let err = std::panic::catch_unwind(f).expect_err("property must fail");
+        err.downcast_ref::<String>()
+            .expect("panic carries a String")
+            .clone()
+    }
+
+    #[test]
+    fn integer_counterexamples_minimise_to_the_boundary() {
+        let msg = failure_message(fails_above_ten);
+        // 11 is the smallest value in 0..1000 that violates x <= 10.
+        assert!(
+            msg.contains("minimal arguments: (\n    11,\n)"),
+            "not minimised: {msg}"
+        );
+    }
+
+    #[test]
+    fn vec_counterexamples_minimise_to_one_boundary_element() {
+        let msg = failure_message(fails_when_any_element_is_big);
+        // The minimal counterexample is a single element of exactly 50.
+        assert!(
+            msg.contains("[\n        50,\n    ]"),
+            "not minimised: {msg}"
+        );
+    }
+
+    #[test]
+    fn tuple_components_shrink_jointly() {
+        let msg = failure_message(fails_on_big_pair_products);
+        // Greedy component-wise shrinking lands on a product just at or
+        // above the bound — both components strictly below the raw draw
+        // ceiling and the product within one halving of 100.
+        let body = msg
+            .split("minimal arguments:")
+            .nth(1)
+            .expect("message names the minimal arguments");
+        let nums: Vec<u32> = body
+            .split(|c: char| !c.is_ascii_digit())
+            .filter(|s| !s.is_empty())
+            .map(|s| s.parse().unwrap())
+            .collect();
+        let (a, b) = (nums[0], nums[1]);
+        assert!(a * b >= 100, "still a counterexample: {a} * {b}");
+        assert!(a * b < 200, "near-minimal: {a} * {b} ({msg})");
+    }
 }

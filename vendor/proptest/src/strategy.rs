@@ -11,6 +11,18 @@ pub trait Strategy {
     /// Draws one value.
     fn sample(&self, rng: &mut TestRng) -> Self::Value;
 
+    /// Proposes strictly-simpler candidates for a failing `value`, most
+    /// aggressive first; the runner re-tests each and greedily adopts any
+    /// that still fails, so repeated application minimises the
+    /// counterexample.  The default proposes nothing (no shrinking) —
+    /// integer ranges shrink towards their lower bound, `any` integers
+    /// towards zero, and vectors by dropping elements and shrinking the
+    /// survivors.  Combinators that cannot invert their construction
+    /// (`prop_map`, `prop_flat_map`, `prop_oneof!`) keep the default.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+
     /// Maps every sampled value through `f`.
     fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
     where
@@ -34,12 +46,18 @@ impl<S: Strategy + ?Sized> Strategy for Box<S> {
     fn sample(&self, rng: &mut TestRng) -> Self::Value {
         (**self).sample(rng)
     }
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        (**self).shrink(value)
+    }
 }
 
 impl<S: Strategy + ?Sized> Strategy for &S {
     type Value = S::Value;
     fn sample(&self, rng: &mut TestRng) -> Self::Value {
         (**self).sample(rng)
+    }
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        (**self).shrink(value)
     }
 }
 
@@ -114,12 +132,23 @@ impl<T: Arbitrary> Strategy for AnyStrategy<T> {
     fn sample(&self, rng: &mut TestRng) -> T {
         T::arbitrary(rng)
     }
+    fn shrink(&self, value: &T) -> Vec<T> {
+        T::arbitrary_shrink(value)
+    }
 }
 
 /// Types with a canonical full-range strategy.
 pub trait Arbitrary {
     /// Draws a value from the type's full range.
     fn arbitrary(rng: &mut TestRng) -> Self;
+
+    /// Strictly-simpler candidates for `value` (see [`Strategy::shrink`]).
+    fn arbitrary_shrink(_value: &Self) -> Vec<Self>
+    where
+        Self: Sized,
+    {
+        Vec::new()
+    }
 }
 
 macro_rules! arbitrary_ints {
@@ -127,6 +156,23 @@ macro_rules! arbitrary_ints {
         $(impl Arbitrary for $ty {
             fn arbitrary(rng: &mut TestRng) -> $ty {
                 rng.next_u64() as $ty
+            }
+            fn arbitrary_shrink(value: &$ty) -> Vec<$ty> {
+                // Towards zero: zero itself, the halfway point, one step.
+                let v = *value;
+                let mut out = Vec::new();
+                if v != 0 {
+                    out.push(0);
+                    let half = v / 2;
+                    if half != 0 {
+                        out.push(half);
+                    }
+                    let step = if v > 0 { v - 1 } else { v + 1 };
+                    if step != 0 && step != half {
+                        out.push(step);
+                    }
+                }
+                out
             }
         })*
     };
@@ -137,6 +183,31 @@ impl Arbitrary for bool {
     fn arbitrary(rng: &mut TestRng) -> bool {
         rng.next_u64() & 1 == 1
     }
+    fn arbitrary_shrink(value: &bool) -> Vec<bool> {
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+/// Candidates for shrinking `v` towards the range floor `lo`: the floor
+/// itself, the halfway point, one step down.  Shared by every integer
+/// range (values are lifted to `i128` so every workspace integer fits).
+fn shrink_towards(lo: i128, v: i128) -> Vec<i128> {
+    let mut out = Vec::new();
+    if v > lo {
+        out.push(lo);
+        let half = lo + (v - lo) / 2;
+        if half != lo && half != v {
+            out.push(half);
+        }
+        if v - 1 != lo && v - 1 != half {
+            out.push(v - 1);
+        }
+    }
+    out
 }
 
 macro_rules! range_strategies {
@@ -149,6 +220,12 @@ macro_rules! range_strategies {
                     let span = (self.end - self.start) as u64;
                     self.start + (rng.next_u64() % span) as $ty
                 }
+                fn shrink(&self, value: &$ty) -> Vec<$ty> {
+                    shrink_towards(self.start as i128, *value as i128)
+                        .into_iter()
+                        .map(|v| v as $ty)
+                        .collect()
+                }
             }
             impl Strategy for std::ops::RangeInclusive<$ty> {
                 type Value = $ty;
@@ -157,6 +234,12 @@ macro_rules! range_strategies {
                     assert!(lo <= hi, "empty range strategy");
                     let span = (hi - lo) as u64 + 1;
                     lo + (rng.next_u64() % span) as $ty
+                }
+                fn shrink(&self, value: &$ty) -> Vec<$ty> {
+                    shrink_towards(*self.start() as i128, *value as i128)
+                        .into_iter()
+                        .map(|v| v as $ty)
+                        .collect()
                 }
             }
         )*
@@ -174,6 +257,12 @@ macro_rules! signed_range_strategies {
                     let span = (self.end as i64 - self.start as i64) as u64;
                     (self.start as i64 + (rng.next_u64() % span) as i64) as $ty
                 }
+                fn shrink(&self, value: &$ty) -> Vec<$ty> {
+                    shrink_towards(self.start as i128, *value as i128)
+                        .into_iter()
+                        .map(|v| v as $ty)
+                        .collect()
+                }
             }
         )*
     };
@@ -181,31 +270,68 @@ macro_rules! signed_range_strategies {
 signed_range_strategies!(i8, i16, i32, i64);
 
 macro_rules! tuple_strategies {
-    ($(($($name:ident),+))*) => {
+    ($(($($name:ident : $idx:tt),+))*) => {
         $(
-            #[allow(non_snake_case)]
-            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+)
+            where
+                $($name::Value: Clone),+
+            {
                 type Value = ($($name::Value,)+);
                 fn sample(&self, rng: &mut TestRng) -> Self::Value {
-                    let ($($name,)+) = self;
-                    ($($name.sample(rng),)+)
+                    ($(self.$idx.sample(rng),)+)
+                }
+                fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                    // One component shrinks at a time, the others cloned;
+                    // the runner's greedy loop composes positions.
+                    let mut out = Vec::new();
+                    $(
+                        for cand in self.$idx.shrink(&value.$idx) {
+                            let mut next = value.clone();
+                            next.$idx = cand;
+                            out.push(next);
+                        }
+                    )+
+                    out
                 }
             }
         )*
     };
 }
 tuple_strategies! {
-    (A)
-    (A, B)
-    (A, B, C)
-    (A, B, C, D)
-    (A, B, C, D, E)
-    (A, B, C, D, E, F)
+    (A:0)
+    (A:0, B:1)
+    (A:0, B:1, C:2)
+    (A:0, B:1, C:2, D:3)
+    (A:0, B:1, C:2, D:3, E:4)
+    (A:0, B:1, C:2, D:3, E:4, F:5)
+    (A:0, B:1, C:2, D:3, E:4, F:5, G:6)
+    (A:0, B:1, C:2, D:3, E:4, F:5, G:6, H:7)
 }
 
-impl<S: Strategy> Strategy for Vec<S> {
+/// The empty strategy tuple (a property with no `in` bindings).
+impl Strategy for () {
+    type Value = ();
+    fn sample(&self, _rng: &mut TestRng) {}
+}
+
+impl<S: Strategy> Strategy for Vec<S>
+where
+    S::Value: Clone,
+{
     type Value = Vec<S::Value>;
     fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
         self.iter().map(|s| s.sample(rng)).collect()
+    }
+    fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        // Fixed-structure vector of strategies: shrink position-wise.
+        let mut out = Vec::new();
+        for (i, (s, v)) in self.iter().zip(value).enumerate() {
+            for cand in s.shrink(v) {
+                let mut next = value.clone();
+                next[i] = cand;
+                out.push(next);
+            }
+        }
+        out
     }
 }

@@ -7,18 +7,27 @@ use std::fmt;
 pub struct ProptestConfig {
     /// Number of sampled cases per property function.
     pub cases: u32,
+    /// Upper bound on shrink candidates tried after a failing case (the
+    /// greedy minimisation loop stops here even if still improving).
+    pub max_shrink_iters: u32,
 }
 
 impl ProptestConfig {
     /// Config running `cases` samples per property.
     pub fn with_cases(cases: u32) -> Self {
-        ProptestConfig { cases }
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
     }
 }
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        ProptestConfig { cases: 256 }
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 512,
+        }
     }
 }
 
@@ -40,6 +49,18 @@ impl fmt::Display for TestCaseError {
 }
 
 impl std::error::Error for TestCaseError {}
+
+/// Pins a checking closure's argument type to a strategy's value type —
+/// a type-inference helper for the `proptest!` runner (closures with
+/// unannotated reference parameters would otherwise commit to the wrong
+/// type through deref coercions in the property body).
+pub fn check_fn<S, F>(_strategy: &S, f: F) -> F
+where
+    S: crate::strategy::Strategy,
+    F: Fn(&S::Value) -> Result<(), TestCaseError>,
+{
+    f
+}
 
 /// A small xorshift64* generator, seeded from the property name so every
 /// property gets a distinct but reproducible stream.
