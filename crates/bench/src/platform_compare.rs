@@ -47,14 +47,25 @@ pub struct PlatformComparison {
     pub platform: String,
     /// Human-readable MPU model description.
     pub mpu_model: String,
+    /// Human-readable region base/size rule (region platforms only;
+    /// `"segment boundaries"` on segmented parts).
+    pub size_rule: String,
     /// Whether the MPU bounds apps from below (no software lower-bound
     /// checks needed).
     pub hardware_bounds_below: bool,
+    /// Whether the MPU's jurisdiction covers peripheral space (no software
+    /// function-pointer checks needed either).
+    pub hardware_checks_peripherals: bool,
     /// Bytes of FRAM the nine-app catalogue occupies once planned,
     /// including alignment padding.
     pub catalog_footprint_bytes: u32,
     /// Bytes of that footprint that are pure alignment padding.
     pub catalog_padding_bytes: u32,
+    /// The planner's own per-app waste accounting summed over the
+    /// catalogue ([`amulet_core::layout::MemoryMap::total_padding_bytes`])
+    /// — on NAPOT platforms this is dominated by power-of-two size
+    /// rounding.
+    pub catalog_planner_padding_bytes: u32,
     /// Per-method figures.
     pub methods: Vec<MethodComparison>,
 }
@@ -87,10 +98,12 @@ fn measure_switch_cycles(platform: &PlatformSpec, method: IsolationMethod) -> u6
 }
 
 /// Builds the nine-app catalogue for the platform (under the MPU method)
-/// and reports how the planner packed it: (footprint, padding) in bytes.
-/// Padding is footprint minus the bytes the apps actually need — coarser
-/// MPU alignment wastes more of it.
-fn catalog_packing(platform: &PlatformSpec) -> (u32, u32) {
+/// and reports how the planner packed it: (footprint, padding,
+/// planner-accounted padding) in bytes.  Padding is footprint minus the
+/// bytes the apps actually need — coarser MPU alignment (and, in the
+/// extreme, NAPOT power-of-two rounding) wastes more of it; the third
+/// figure is the planner's own per-app waste accounting.
+fn catalog_packing(platform: &PlatformSpec) -> (u32, u32, u32) {
     let mut aft = Aft::for_platform(IsolationMethod::Mpu, platform);
     for app in amulet_apps::catalog() {
         aft = aft.add_app(app.app_source());
@@ -105,7 +118,11 @@ fn catalog_packing(platform: &PlatformSpec) -> (u32, u32) {
         .iter()
         .map(|a| a.code_bytes + a.data_bytes + a.stack_bytes)
         .sum();
-    (footprint, footprint.saturating_sub(used))
+    (
+        footprint,
+        footprint.saturating_sub(used),
+        out.memory_map.total_padding_bytes(),
+    )
 }
 
 /// Runs the full comparison across every built-in platform.
@@ -118,7 +135,7 @@ pub fn compare() -> Vec<PlatformComparison> {
         .into_iter()
         .map(|platform| {
             let arp = Arp::for_platform(&platform);
-            let (footprint, padding) = catalog_packing(&platform);
+            let (footprint, padding, planner_padding) = catalog_packing(&platform);
             let methods = IsolationMethod::ALL
                 .iter()
                 .map(|&method| {
@@ -139,9 +156,16 @@ pub fn compare() -> Vec<PlatformComparison> {
             PlatformComparison {
                 platform: platform.name.clone(),
                 mpu_model: platform.mpu.to_string(),
+                size_rule: platform
+                    .mpu
+                    .constraints()
+                    .map(|c| c.size_rule.to_string())
+                    .unwrap_or_else(|| "segment boundaries".to_string()),
                 hardware_bounds_below: platform.mpu.bounds_app_below(),
+                hardware_checks_peripherals: platform.mpu.covers_peripherals(),
                 catalog_footprint_bytes: footprint,
                 catalog_padding_bytes: padding,
+                catalog_planner_padding_bytes: planner_padding,
                 methods,
             }
         })
@@ -172,9 +196,18 @@ pub fn render_json(rows: &[PlatformComparison]) -> String {
             Json::obj()
                 .field("name", row.platform.as_str())
                 .field("mpu_model", row.mpu_model.as_str())
+                .field("size_rule", row.size_rule.as_str())
                 .field("hardware_bounds_below", row.hardware_bounds_below)
+                .field(
+                    "hardware_checks_peripherals",
+                    row.hardware_checks_peripherals,
+                )
                 .field("catalog_footprint_bytes", row.catalog_footprint_bytes)
                 .field("catalog_padding_bytes", row.catalog_padding_bytes)
+                .field(
+                    "catalog_planner_padding_bytes",
+                    row.catalog_planner_padding_bytes,
+                )
                 .field("methods", methods)
         })
         .collect();
@@ -266,10 +299,72 @@ mod tests {
     #[test]
     fn json_is_syntactically_plausible_and_complete() {
         let text = render_json(&compare());
-        assert!(text.contains("\"msp430fr5969\""));
-        assert!(text.contains("\"msp430fr5994\""));
+        for platform in [
+            "\"msp430fr5969\"",
+            "\"msp430fr5969-advanced-mpu\"",
+            "\"msp430fr5994\"",
+            "\"riscv-pmp\"",
+            "\"cortex-m33\"",
+        ] {
+            assert!(text.contains(platform), "missing {platform}");
+        }
         assert!(text.contains("\"Software Only\""));
+        assert!(text.contains("\"size_rule\""));
+        assert!(text.contains("\"catalog_planner_padding_bytes\""));
         assert_eq!(text.matches('{').count(), text.matches('}').count());
         assert_eq!(text.matches('[').count(), text.matches(']').count());
+    }
+
+    #[test]
+    fn riscv_pmp_regions_are_napot_valid_and_waste_is_reported() {
+        // The acceptance shape for the NAPOT backend: every planned region
+        // of the nine-app catalogue is a size-aligned power of two, and
+        // the rounding waste shows up in the comparison row.
+        let platform = amulet_core::layout::PlatformSpec::riscv_pmp();
+        let mut aft = Aft::for_platform(IsolationMethod::Mpu, &platform);
+        for app in amulet_apps::catalog() {
+            aft = aft.add_app(app.app_source());
+        }
+        let out = aft.build().unwrap();
+        for i in 0..out.memory_map.apps.len() {
+            let plan = amulet_core::mpu_plan::MpuPlan::for_app_on(&out.memory_map, i).unwrap();
+            for seg in &plan.segments {
+                let len = seg.range.len();
+                assert!(len.is_power_of_two(), "{:?} not a power of two", seg.range);
+                assert!(len >= 0x40, "{:?} under the NAPOT minimum", seg.range);
+                assert_eq!(seg.range.start % len, 0, "{:?} not size-aligned", seg.range);
+            }
+        }
+        let rows = compare();
+        let pmp = rows.iter().find(|r| r.platform == "riscv-pmp").unwrap();
+        let fr5994 = rows.iter().find(|r| r.platform == "msp430fr5994").unwrap();
+        assert!(pmp.size_rule.contains("NAPOT"));
+        assert!(
+            pmp.catalog_planner_padding_bytes > 0,
+            "NAPOT rounding waste is accounted"
+        );
+        // Power-of-two rounding wastes more than 256-byte alignment does.
+        assert!(pmp.catalog_padding_bytes > fr5994.catalog_padding_bytes);
+    }
+
+    #[test]
+    fn peripheral_jurisdiction_platforms_drop_all_pointer_checks() {
+        let rows = compare();
+        for name in ["cortex-m33", "riscv-pmp"] {
+            let row = rows.iter().find(|r| r.platform == name).unwrap();
+            assert!(row.hardware_checks_peripherals, "{name}");
+            let mpu = row
+                .methods
+                .iter()
+                .find(|m| m.method == IsolationMethod::Mpu)
+                .unwrap();
+            assert_eq!(
+                mpu.memory_access_cycles, 23,
+                "{name}: no compiler-inserted access checks"
+            );
+        }
+        // The FR5994 profile's jurisdiction stops at peripherals.
+        let fr5994 = rows.iter().find(|r| r.platform == "msp430fr5994").unwrap();
+        assert!(!fr5994.hardware_checks_peripherals);
     }
 }

@@ -133,7 +133,8 @@ pub struct CheckPolicy {
 
 impl CheckPolicy {
     /// The check policy for a given isolation method **on specific MPU
-    /// hardware**.
+    /// hardware**, derived from the backend's
+    /// [`crate::platform::RegionConstraints`].
     ///
     /// The paper's policy (see [`CheckPolicy::for_method`]) assumes the
     /// FR5969's segmented MPU, which cannot bound the running app from
@@ -142,10 +143,18 @@ impl CheckPolicy {
     /// MPU with deny-by-default coverage of FRAM *and* SRAM bounds the app
     /// on both sides and shields the OS stack, so the data-pointer
     /// lower-bound check becomes redundant — exactly the §5 projection the
-    /// paper makes for more capable MPUs.  Function-pointer and
-    /// return-address checks are kept even then: peripheral space stays
-    /// outside MPU jurisdiction, so a corrupted code pointer could still
-    /// escape into unpoliced memory.
+    /// paper makes for more capable MPUs.  Function-pointer checks are
+    /// kept on backends like the FR5994 profile's, whose jurisdiction
+    /// stops at peripheral space (a corrupted code pointer could still
+    /// escape into unpoliced peripheral, boot-ROM or vector memory); on
+    /// backends that police the **full platform space** (`cortex-m33`,
+    /// `riscv-pmp` — peripherals, boot ROM and vectors are all inside the
+    /// deny-by-default jurisdiction) a stray indirect call faults in
+    /// hardware everywhere outside the app's execute-only code region, so
+    /// the function-pointer check is dropped as well.  Return-address
+    /// checks are retained on every profile: they catch *intra-app* stack
+    /// smashing — a return diverted to the wrong address inside the app's
+    /// own executable region — which no app-granularity MPU can see.
     ///
     /// A *segmented* MPU with four segments can also bound an app from
     /// below (see [`crate::mpu_plan::MpuPlan::for_app_advanced`]), but it
@@ -155,6 +164,9 @@ impl CheckPolicy {
         let mut policy = Self::for_method(method);
         if method == IsolationMethod::Mpu && mpu.is_region_based() {
             policy.data_pointer_lower = false;
+            if mpu.covers_peripherals() {
+                policy.function_pointer_lower = false;
+            }
         }
         policy
     }

@@ -20,7 +20,7 @@
 
 use crate::addr::{align_up, Addr, AddrRange};
 use crate::error::{CoreError, CoreResult};
-use crate::platform::{CycleCostTable, EnergyParams, MpuModel, Platform};
+use crate::platform::{CycleCostTable, EnergyParams, MpuModel, Platform, SizeRule};
 use std::collections::HashSet;
 use std::fmt;
 
@@ -114,10 +114,7 @@ impl PlatformSpec {
             sram: AddrRange::new(0x1C00, 0x2C00),
             fram: AddrRange::new(0x4400, 0xFF80),
             interrupt_vectors: AddrRange::new(0xFF80, 0x1_0000),
-            mpu: MpuModel::Region {
-                regions: 8,
-                alignment: 0x100,
-            },
+            mpu: MpuModel::tock_region(8, 0x100),
             costs: CycleCostTable::default(),
             // The larger part draws slightly more current in both modes
             // (≈118 µA/MHz active, ≈0.9 µA in LPM3 per its datasheet).
@@ -127,6 +124,77 @@ impl PlatformSpec {
                 ..EnergyParams::default()
             },
         }
+    }
+
+    /// An MMU-less RISC-V microcontroller class (FE310-like, clocked at the
+    /// same 16 MHz so cycle figures stay comparable): the FR5969 memory
+    /// geometry re-expressed over flash/SRAM, protected by an 8-entry PMP
+    /// whose NAPOT entries must be power-of-two sized and size-aligned
+    /// (minimum 64 B).  User mode is policed over the whole address space
+    /// — peripherals included — and machine mode bypasses the PMP, so the
+    /// OS-running configuration is a single privilege-mode toggle.
+    pub fn riscv_pmp() -> Self {
+        PlatformSpec {
+            name: "riscv-pmp".into(),
+            peripherals: AddrRange::new(0x0000, 0x1000),
+            bootstrap_loader: AddrRange::new(0x1000, 0x1800),
+            info_mem: AddrRange::new(0x1800, 0x1A00),
+            sram: AddrRange::new(0x1C00, 0x2C00),
+            fram: AddrRange::new(0x4400, 0xFF80),
+            interrupt_vectors: AddrRange::new(0xFF80, 0x1_0000),
+            mpu: MpuModel::riscv_pmp_napot(8, 0x40),
+            costs: CycleCostTable::default(),
+            // RV32 microcontroller-class draw: ≈80 µA/MHz active, ≈0.5 µA
+            // in deep sleep with the RTC running.
+            energy: EnergyParams {
+                active_current_ua: 1300,
+                lpm_current_na: 500,
+                ..EnergyParams::default()
+            },
+        }
+    }
+
+    /// A Cortex-M33-class (ARMv8-M) device: 16 MPU regions at 32-byte
+    /// alignment whose deny-by-default jurisdiction **includes peripheral
+    /// space**, so the OS configuration carries a fifth (peripheral)
+    /// region and the compiler drops the function-pointer checks too.
+    /// Same 16 MHz clock and memory geometry as the FR5994 profile for
+    /// comparability; modelled in the lower 64 KiB window.
+    pub fn cortex_m33() -> Self {
+        PlatformSpec {
+            name: "cortex-m33".into(),
+            peripherals: AddrRange::new(0x0000, 0x1000),
+            bootstrap_loader: AddrRange::new(0x1000, 0x1800),
+            info_mem: AddrRange::new(0x1800, 0x1A00),
+            sram: AddrRange::new(0x1C00, 0x3400),
+            fram: AddrRange::new(0x4400, 0xFF80),
+            interrupt_vectors: AddrRange::new(0xFF80, 0x1_0000),
+            mpu: MpuModel::cortex_m33_region(16),
+            costs: CycleCostTable::default(),
+            // M33-class draw at 16 MHz: ≈110 µA/MHz active, ≈1.1 µA stop
+            // mode with RTC.
+            energy: EnergyParams {
+                active_current_ua: 1750,
+                lpm_current_na: 1100,
+                ..EnergyParams::default()
+            },
+        }
+    }
+
+    /// Every mapped range of the platform that a full-platform-jurisdiction
+    /// MPU polices: FRAM, InfoMem, SRAM, peripheral space, the boot ROM
+    /// and the vector table.  The single source of the "nowhere unpoliced
+    /// to escape to" soundness argument — the simulator's backends and the
+    /// tests that certify it both consume this list.
+    pub fn full_jurisdiction_ranges(&self) -> [AddrRange; 6] {
+        [
+            self.fram,
+            self.info_mem,
+            self.sram,
+            self.peripherals,
+            self.bootstrap_loader,
+            self.interrupt_vectors,
+        ]
     }
 
     /// Granularity at which app bounds must be placed so the MPU can
@@ -173,10 +241,16 @@ impl PlatformSpec {
                     "at least 3 main MPU segments are required, got {main_segments}"
                 )));
             }
-            // An app needs a code and a data region, and the OS needs three.
-            MpuModel::Region { regions, .. } if *regions < 4 => {
+            // An app plan needs a code and a data region; a non-bypass OS
+            // plan needs its full region set resident at once.
+            MpuModel::Region(c)
+                if (c.regions as u32)
+                    < c.os_plan_regions().max(crate::platform::APP_PLAN_REGIONS) =>
+            {
                 return Err(CoreError::InvalidPlatform(format!(
-                    "at least 4 MPU regions are required, got {regions}"
+                    "at least {} MPU regions are required, got {}",
+                    c.os_plan_regions().max(crate::platform::APP_PLAN_REGIONS),
+                    c.regions
                 )));
             }
             _ => {}
@@ -251,6 +325,15 @@ pub struct AppPlacement {
     /// The app's stack region (bottom part of the data/stack segment; grows
     /// downward toward the code region).
     pub stack: AddrRange,
+    /// Bytes consumed for this app (from the previous app's end up to
+    /// `T_i`, so a leading gap forced by base alignment counts too) that
+    /// back none of the requested code, stack or data — pure
+    /// alignment/size-rounding waste the platform's region constraints
+    /// forced (coarse boundary granularity on segmented parts,
+    /// power-of-two size rounding on NAPOT parts).  The planner measures
+    /// this so every report can account for the memory cost of a
+    /// backend's size rule, not just its cycle cost.
+    pub padding_bytes: u32,
     /// The app's global-data region (top part of the data/stack segment).
     pub data: AddrRange,
 }
@@ -342,8 +425,19 @@ impl MemoryMap {
         self.os_stack.end
     }
 
+    /// Total alignment/size-rounding waste across every app placement, in
+    /// bytes (the sum of [`AppPlacement::padding_bytes`]).  Reports use
+    /// this to compare how efficiently different region constraints pack
+    /// the same build — NAPOT's power-of-two rounding is the extreme case.
+    pub fn total_padding_bytes(&self) -> u32 {
+        self.apps.iter().map(|a| a.padding_bytes).sum()
+    }
+
     /// Consistency check: regions must not overlap, must stay inside their
-    /// parent regions, and MPU boundaries must be expressible.
+    /// parent regions, and every app's bounds must be expressible under
+    /// the platform's MPU constraints — boundary granularity on segmented
+    /// parts, the full base/size rule (including NAPOT power-of-two
+    /// sizing) on region parts.
     pub fn validate(&self) -> CoreResult<()> {
         let g = self.platform.mpu_boundary_granularity();
         if !self.platform.fram.contains_range(&self.os_code)
@@ -386,6 +480,22 @@ impl MemoryMap {
                     addr: app.upper_bound(),
                     granularity: g,
                 });
+            }
+            if let Some(c) = self.platform.mpu.constraints() {
+                // Region hardware brackets the app with two regions (code
+                // and data/stack); both must satisfy the backend's full
+                // base/size rule, not just the minimum alignment.
+                for (what, range) in [("code", app.code), ("data/stack", app.data_stack())] {
+                    if !c.size_rule.is_valid_region(&range) {
+                        return Err(CoreError::AppImageInvalid {
+                            app: app.name.clone(),
+                            reason: format!(
+                                "{what} region {range:?} violates the region size rule ({})",
+                                c.size_rule
+                            ),
+                        });
+                    }
+                }
             }
             if app.stack.end != app.data.start {
                 return Err(CoreError::AppImageInvalid {
@@ -447,8 +557,15 @@ impl MemoryMapPlanner {
     /// Produces a memory map placing the OS and the given applications.
     ///
     /// Applications are placed in the order given, from low to high FRAM
-    /// addresses; each app's data/stack segment starts and ends on an MPU
-    /// boundary so that the MPU can bracket it while the app runs.
+    /// addresses, with each app's bounds solved against the platform's MPU
+    /// constraints:
+    ///
+    /// * on segmented and aligned-region hardware, `D_i` and `T_i` land on
+    ///   the boundary granularity / region alignment (the Figure-1 rule);
+    /// * on NAPOT hardware, the code region `[C_i, D_i)` and the
+    ///   data/stack region `[D_i, T_i)` are each rounded up to a
+    ///   power-of-two span and placed size-aligned, and the rounding waste
+    ///   is recorded in [`AppPlacement::padding_bytes`].
     pub fn plan(&self, os: &OsImageSpec, apps: &[AppImageSpec]) -> CoreResult<MemoryMap> {
         let g = self.platform.mpu_boundary_granularity();
 
@@ -496,11 +613,17 @@ impl MemoryMapPlanner {
             });
         }
 
-        // Applications, grouped per app, in high FRAM.
+        // Applications, grouped per app, in high FRAM.  The NAPOT solver
+        // (see `place_napot`) only kicks in for NAPOT constraints; every
+        // other backend reduces to the AnyAligned rule, whose placement is
+        // byte-identical to the original Figure-1 arithmetic.
+        let napot = match self.platform.mpu.constraints().map(|c| c.size_rule) {
+            Some(rule @ SizeRule::NapotPow2 { .. }) => Some(rule),
+            _ => None,
+        };
         let mut placements = Vec::with_capacity(apps.len());
         let mut cursor = align_up(os_data.end, g);
         for (index, app) in apps.iter().enumerate() {
-            let code_start = cursor;
             // Compute every bound in plain integers first so an oversized
             // build is reported as `AppsDoNotFit` instead of panicking while
             // constructing an out-of-space range.
@@ -511,32 +634,47 @@ impl MemoryMapPlanner {
                     available: self.platform.fram.end - align_up(os_data.end, g),
                 }
             };
-            let code_end_unaligned = code_start
-                .checked_add(app.code_size)
-                .ok_or_else(does_not_fit)?;
-            // D_i must land on an MPU boundary.
-            let data_lower = align_up(code_end_unaligned, g);
-            let stack_end = data_lower
-                .checked_add(align_up(app.stack_size, 2))
-                .ok_or_else(does_not_fit)?;
-            let data_end = stack_end
-                .checked_add(align_up(app.data_size.max(2), 2))
-                .ok_or_else(does_not_fit)?;
-            // T_i must land on an MPU boundary too.
-            let upper = align_up(data_end, g);
+            let stack_bytes = align_up(app.stack_size, 2);
+            let data_bytes = align_up(app.data_size.max(2), 2);
+            let (code_start, data_lower, upper) = match napot {
+                Some(rule) => {
+                    Self::place_napot(rule, cursor, app.code_size, stack_bytes, data_bytes)
+                        .ok_or_else(does_not_fit)?
+                }
+                None => {
+                    let code_start = cursor;
+                    let code_end_unaligned = code_start
+                        .checked_add(app.code_size)
+                        .ok_or_else(does_not_fit)?;
+                    // D_i must land on an MPU boundary.
+                    let data_lower = align_up(code_end_unaligned, g);
+                    let data_end = data_lower
+                        .checked_add(stack_bytes)
+                        .and_then(|s| s.checked_add(data_bytes))
+                        .ok_or_else(does_not_fit)?;
+                    // T_i must land on an MPU boundary too.
+                    (code_start, data_lower, align_up(data_end, g))
+                }
+            };
             if upper > self.platform.fram.end {
                 return Err(does_not_fit());
             }
+            let stack_end = data_lower + stack_bytes;
             let stack = AddrRange::new(data_lower, stack_end);
-            // Pad the data region up to the aligned upper bound so the whole
+            // Pad the data region up to the solved upper bound so the whole
             // segment is owned by the app (the linker places nothing there).
             let data = AddrRange::new(stack_end, upper);
+            // Waste is measured from the previous app's end, so a leading
+            // gap forced by NAPOT base alignment is charged to the app
+            // that needed it.
+            let consumed = upper - cursor;
             placements.push(AppPlacement {
                 name: app.name.clone(),
                 index,
                 code: AddrRange::new(code_start, data_lower),
                 stack,
                 data,
+                padding_bytes: consumed - app.code_size - stack_bytes - data_bytes,
             });
             cursor = upper;
         }
@@ -550,6 +688,34 @@ impl MemoryMapPlanner {
         };
         map.validate()?;
         Ok(map)
+    }
+
+    /// Solves one app's bounds under a NAPOT size rule, returning
+    /// `(C_i, D_i, T_i)` — or `None` on arithmetic overflow (the caller
+    /// reports it as an oversized build).
+    ///
+    /// Both hardware regions are rounded up to power-of-two spans
+    /// (`code_span` covers the code, `data_span` covers stack + data) and
+    /// must each be aligned to their own size.  Because the two spans are
+    /// powers of two, aligning the shared boundary `D_i` to the *larger*
+    /// span aligns it to both: `C_i = D_i − code_span` is then
+    /// automatically `code_span`-aligned, and `T_i = D_i + data_span` is
+    /// `data_span`-aligned.  The solver therefore places
+    /// `D_i = align_up(cursor + code_span, max(code_span, data_span))`,
+    /// which is the lowest boundary with `C_i ≥ cursor`.
+    fn place_napot(
+        rule: SizeRule,
+        cursor: Addr,
+        code_size: u32,
+        stack_bytes: u32,
+        data_bytes: u32,
+    ) -> Option<(Addr, Addr, Addr)> {
+        let code_span = rule.region_span(code_size);
+        let data_span = rule.region_span(stack_bytes.checked_add(data_bytes)?);
+        let align = code_span.max(data_span);
+        let data_lower = cursor.checked_add(code_span)?.checked_add(align - 1)? / align * align;
+        let upper = data_lower.checked_add(data_span)?;
+        Some((data_lower - code_span, data_lower, upper))
     }
 }
 

@@ -55,12 +55,13 @@ pub use fault::FaultClass;
 pub use layout::{AppImageSpec, AppPlacement, MemoryMap, MemoryMapPlanner, PlatformSpec};
 pub use method::IsolationMethod;
 pub use mpu_plan::{
-    MpuConfig, MpuPlan, MpuSegmentPlan, RegionDesc, RegionRegisterValues, SegmentRole,
+    MpuConfig, MpuPlan, MpuSegmentPlan, PmpRegisterValues, RegionDesc, RegionRegisterValues,
+    SegmentRole,
 };
 pub use overhead::{OpCounts, OverheadBreakdown, OverheadModel};
 pub use perm::Perm;
 pub use platform::{
-    builtin_platforms, CycleCostTable, MpuModel, Msp430Fr5969, Msp430Fr5969AdvancedMpu,
-    Msp430Fr5994, Platform,
+    builtin_platforms, CortexM33, CycleCostTable, MpuModel, Msp430Fr5969, Msp430Fr5969AdvancedMpu,
+    Msp430Fr5994, Platform, RegionConstraints, RiscvPmp, SizeRule,
 };
 pub use switch::{ContextSwitchPlan, SwitchDirection, SwitchStep};

@@ -60,6 +60,10 @@ pub enum SegmentRole {
     /// SRAM, which is what makes their no-software-lower-check policy
     /// sound.
     OsSram,
+    /// The memory-mapped peripheral space while the OS runs — present only
+    /// on backends whose jurisdiction covers peripherals (the OS must keep
+    /// its own access to the register files it drives).
+    OsPeripherals,
 }
 
 /// Whose execution a plan is for.
@@ -149,22 +153,64 @@ pub struct RegionRegisterValues {
 }
 
 impl RegionRegisterValues {
+    /// Register writes per region of the RNR/RBAR/RLAR interface both
+    /// aligned-region backends share: select the slot, write its base,
+    /// write its limit/attribute word.
+    pub const WRITES_PER_REGION: u32 = 3;
+
     /// Number of peripheral-register writes needed to install this
     /// configuration (select/base/limit per region, then the control word).
     pub fn write_count(&self) -> u32 {
-        self.regions.len() as u32 * crate::platform::REGION_MPU_WRITES_PER_REGION + 1
+        self.regions.len() as u32 * Self::WRITES_PER_REGION + 1
     }
 }
 
-/// A full MPU configuration for either hardware shape — what the firmware
+/// Values for a RISC-V-PMP-style register file: NAPOT entries (each one
+/// `pmpaddr` CSR write; their R/W/X+enable nibbles pack four to a `pmpcfg`
+/// word, and a switch rewrites the register file's **both** `pmpcfg`
+/// words so stale entries from a wider previous configuration are always
+/// disabled) plus the privilege-mode toggle.  `user_mode == false` is the
+/// machine-mode configuration the OS runs under — the PMP does not
+/// constrain machine mode, so installing it is the mode toggle alone.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct PmpRegisterValues {
+    /// NAPOT entries to program, in entry order starting at entry 0.  Every
+    /// range must be NAPOT-valid (power-of-two length, length-aligned
+    /// base) for the `pmpaddr` encoding to round-trip.
+    pub entries: Vec<RegionDesc>,
+    /// Whether the configuration enforces (user mode) or bypasses (machine
+    /// mode) the PMP.
+    pub user_mode: bool,
+}
+
+impl PmpRegisterValues {
+    /// `pmpcfg` words the modelled PMP register file packs its eight
+    /// entry configs into; a user-mode install rewrites all of them.
+    pub const CFG_WORDS: u32 = 2;
+
+    /// Number of register writes needed to install this configuration:
+    /// one `pmpaddr` per entry, both packed `pmpcfg` words, and the
+    /// privilege-mode toggle — or the mode toggle alone for the
+    /// machine-mode configuration.
+    pub fn write_count(&self) -> u32 {
+        if !self.user_mode {
+            return 1;
+        }
+        self.entries.len() as u32 + Self::CFG_WORDS + 1
+    }
+}
+
+/// A full MPU configuration for any hardware shape — what the firmware
 /// image carries per app (and for the OS) and what the OS's switch code
 /// installs through the bus on every transition.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum MpuConfig {
     /// FR5969-style segmented register values.
     Segmented(MpuRegisterValues),
-    /// Region-based register values.
+    /// Aligned-region (RNR/RBAR/RLAR) register values.
     Region(RegionRegisterValues),
+    /// RISC-V-PMP-style NAPOT register values.
+    Pmp(PmpRegisterValues),
 }
 
 impl MpuConfig {
@@ -174,6 +220,7 @@ impl MpuConfig {
         match self {
             MpuConfig::Segmented(_) => MpuRegisterValues::WRITE_COUNT,
             MpuConfig::Region(r) => r.write_count(),
+            MpuConfig::Pmp(p) => p.write_count(),
         }
     }
 }
@@ -354,7 +401,9 @@ impl MpuPlan {
     /// shape the map's platform supports: the Figure-1 segmented plan on
     /// segmented hardware, or a two-region plan (code execute-only,
     /// data/stack read-write, everything else denied by the hardware's full
-    /// coverage) on region hardware.
+    /// coverage) on region hardware — NAPOT backends included, since the
+    /// planner already solved both regions to power-of-two, size-aligned
+    /// spans.
     pub fn for_app_on(map: &MemoryMap, app_index: usize) -> CoreResult<Self> {
         if map.platform.mpu.is_region_based() {
             Self::for_app_region(map, app_index)
@@ -364,12 +413,28 @@ impl MpuPlan {
     }
 
     /// Builds the OS-running configuration in whatever shape the map's
-    /// platform supports.
+    /// platform supports: segmented register values, an OS region set
+    /// (plus a peripheral region when the backend polices peripheral
+    /// space), or — on privileged-bypass (PMP) hardware — the machine-mode
+    /// configuration, which programs no regions at all.
     pub fn for_os_on(map: &MemoryMap) -> CoreResult<Self> {
-        if map.platform.mpu.is_region_based() {
-            Self::for_os_region(map)
-        } else {
-            Self::for_os(map)
+        match map.platform.mpu.constraints() {
+            Some(c) if c.privileged_bypass => Ok(Self::for_os_machine_mode()),
+            Some(_) => Self::for_os_region(map),
+            None => Self::for_os(map),
+        }
+    }
+
+    /// The OS-running plan on privileged-bypass (RISC-V PMP) hardware:
+    /// machine mode is not constrained by the PMP, so the plan carries no
+    /// segments — installing it is a single privilege-mode toggle, and
+    /// every OS access is outside the (inactive) user-mode jurisdiction.
+    pub fn for_os_machine_mode() -> Self {
+        MpuPlan {
+            context: MpuContext::OsRunning,
+            segments: Vec::new(),
+            boundary1: 0,
+            boundary2: 0,
         }
     }
 
@@ -394,6 +459,18 @@ impl MpuPlan {
                     addr: b,
                     granularity: g,
                 });
+            }
+        }
+        if let Some(c) = map.platform.mpu.constraints() {
+            // The backend's full base/size rule (NAPOT hardware rejects
+            // anything that is not a size-aligned power of two).
+            for range in [app.code, app.data_stack()] {
+                if !c.size_rule.is_valid_region(&range) {
+                    return Err(CoreError::UnalignedMpuBoundary {
+                        addr: range.start,
+                        granularity: c.size_rule.min_align(),
+                    });
+                }
             }
         }
         let segments = vec![
@@ -427,6 +504,11 @@ impl MpuPlan {
     /// events and copy buffers.  Applications get no SRAM region, so a
     /// wild app pointer aimed at the OS stack faults in hardware — the
     /// protection the FR5969 needs a compiler-inserted check for.
+    ///
+    /// When the backend's jurisdiction covers peripheral space, a fifth
+    /// region grants the OS read-write access to it (the OS drives the
+    /// timer and MPU register files through the bus); applications get no
+    /// such region, so a wild peripheral access faults in hardware.
     pub fn for_os_region(map: &MemoryMap) -> CoreResult<Self> {
         let fram = map.platform.fram;
         let g = map.platform.mpu_boundary_granularity();
@@ -438,7 +520,7 @@ impl MpuPlan {
                 granularity: g,
             });
         }
-        let segments = vec![
+        let mut segments = vec![
             MpuSegmentPlan {
                 index: 0,
                 range: AddrRange::new(fram.start, b1),
@@ -464,6 +546,14 @@ impl MpuPlan {
                 role: SegmentRole::AppsRegion,
             },
         ];
+        if map.platform.mpu.covers_peripherals() {
+            segments.push(MpuSegmentPlan {
+                index: 4,
+                range: map.platform.peripherals,
+                perm: Perm::RW,
+                role: SegmentRole::OsPeripherals,
+            });
+        }
         Ok(MpuPlan {
             context: MpuContext::OsRunning,
             segments,
@@ -489,9 +579,17 @@ impl MpuPlan {
         }
     }
 
-    /// Encodes the plan in the register shape `mpu` expects.
+    /// Encodes the plan in the register shape `mpu` expects: segmented
+    /// register values, RNR/RBAR/RLAR region values, or PMP NAPOT entries
+    /// (whose user-mode flag follows the plan's context — the OS-running
+    /// plan is machine mode on PMP hardware).
     pub fn config(&self, mpu: &crate::platform::MpuModel) -> MpuConfig {
-        if mpu.is_region_based() {
+        if mpu.is_napot() {
+            MpuConfig::Pmp(PmpRegisterValues {
+                entries: self.region_register_values().regions,
+                user_mode: matches!(self.context, MpuContext::AppRunning { .. }),
+            })
+        } else if mpu.is_region_based() {
             MpuConfig::Region(self.region_register_values())
         } else {
             MpuConfig::Segmented(self.register_values())
@@ -689,36 +787,86 @@ mod tests {
 
     #[test]
     fn region_plans_match_the_analytic_write_counts() {
-        // The cost model charges REGION_MPU_APP_REGIONS / REGION_MPU_OS_REGIONS
-        // per switch; the plans are the other source of that number.  Tie
-        // them together so they cannot drift.
-        use crate::platform::{REGION_MPU_APP_REGIONS, REGION_MPU_OS_REGIONS};
-        let map = MemoryMapPlanner::new(crate::layout::PlatformSpec::msp430fr5994())
+        // The cost model derives per-switch write counts from each
+        // backend's `RegionConstraints`; the encoded plans are the other
+        // source of those numbers.  Tie them together — across every
+        // region-based built-in profile — so they cannot drift.
+        use crate::platform::APP_PLAN_REGIONS;
+        for platform in crate::platform::builtin_platforms() {
+            if !platform.mpu.is_region_based() {
+                continue;
+            }
+            let c = *platform.mpu.constraints().unwrap();
+            let map = MemoryMapPlanner::new(platform.clone())
+                .unwrap()
+                .plan(
+                    &OsImageSpec::default(),
+                    &[AppImageSpec::new("App1", 0x800, 0x200, 0x100)],
+                )
+                .unwrap();
+            let app = MpuPlan::for_app_on(&map, 0).unwrap();
+            let os = MpuPlan::for_os_on(&map).unwrap();
+            assert_eq!(
+                app.region_register_values().regions.len() as u32,
+                APP_PLAN_REGIONS,
+                "{}",
+                platform.name
+            );
+            assert_eq!(
+                os.region_register_values().regions.len() as u32,
+                c.os_plan_regions(),
+                "{}",
+                platform.name
+            );
+            // And the encoded per-config write counts agree with the cost
+            // model's constraint-derived figures.
+            assert_eq!(
+                app.config(&platform.mpu).write_count(),
+                platform.mpu.config_writes_for_app(),
+                "{}",
+                platform.name
+            );
+            assert_eq!(
+                os.config(&platform.mpu).write_count(),
+                platform.mpu.config_writes_for_os(),
+                "{}",
+                platform.name
+            );
+        }
+    }
+
+    #[test]
+    fn pmp_plans_are_napot_valid_and_machine_mode_for_the_os() {
+        let map = MemoryMapPlanner::new(crate::layout::PlatformSpec::riscv_pmp())
             .unwrap()
             .plan(
                 &OsImageSpec::default(),
-                &[AppImageSpec::new("App1", 0x800, 0x200, 0x100)],
+                &[
+                    AppImageSpec::new("A", 0x123, 0x45, 0x67),
+                    AppImageSpec::new("B", 0x800, 0x200, 0x100),
+                ],
             )
             .unwrap();
-        let app = MpuPlan::for_app_on(&map, 0).unwrap();
+        for i in 0..map.apps.len() {
+            let plan = MpuPlan::for_app_on(&map, i).unwrap();
+            let MpuConfig::Pmp(pmp) = plan.config(&map.platform.mpu) else {
+                panic!("PMP platform must encode PMP register values");
+            };
+            assert!(pmp.user_mode);
+            assert_eq!(pmp.entries.len(), 2);
+            for e in &pmp.entries {
+                let len = e.range.len();
+                assert!(len.is_power_of_two(), "{:?} not power-of-two", e.range);
+                assert_eq!(e.range.start % len, 0, "{:?} not size-aligned", e.range);
+            }
+        }
         let os = MpuPlan::for_os_on(&map).unwrap();
-        assert_eq!(
-            app.region_register_values().regions.len() as u32,
-            REGION_MPU_APP_REGIONS
-        );
-        assert_eq!(
-            os.region_register_values().regions.len() as u32,
-            REGION_MPU_OS_REGIONS
-        );
-        // And the per-config write counts agree with the cost model's.
-        assert_eq!(
-            app.region_register_values().write_count(),
-            map.platform.mpu.config_writes_for_app()
-        );
-        assert_eq!(
-            os.region_register_values().write_count(),
-            map.platform.mpu.config_writes_for_os()
-        );
+        assert!(os.segments.is_empty(), "machine mode programs no regions");
+        let MpuConfig::Pmp(pmp) = os.config(&map.platform.mpu) else {
+            panic!("PMP platform must encode PMP register values");
+        };
+        assert!(!pmp.user_mode);
+        assert_eq!(pmp.write_count(), 1, "machine mode is one toggle write");
     }
 
     #[test]

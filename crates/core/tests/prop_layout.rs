@@ -117,6 +117,76 @@ proptest! {
         }
     }
 
+    /// Constraint invariants of the planner, across **all five built-in
+    /// profiles**: every planned hardware region satisfies its backend's
+    /// base/size rule (including NAPOT's power-of-two-and-size-aligned
+    /// rule), app regions never overlap another app or the OS image, and
+    /// the alignment/rounding waste is both *reported*
+    /// (`AppPlacement::padding_bytes` accounts for every byte the app
+    /// consumed beyond its request) and *bounded* (each NAPOT region is at
+    /// most twice the bytes it covers, down to the minimum region size —
+    /// power-of-two rounding can never waste more than half a region
+    /// above that floor).
+    #[test]
+    fn planner_satisfies_every_backends_region_constraints(apps in apps_strategy()) {
+        for platform in builtin_platforms() {
+            let planner = MemoryMapPlanner::new(platform.clone()).unwrap();
+            let Ok(map) = planner.plan(&OsImageSpec::default(), &apps) else {
+                continue; // oversized builds may be rejected
+            };
+            prop_assert!(map.validate().is_ok(), "{}: validate failed", platform.name);
+            // The planner starts placing at the first aligned address
+            // above the OS image; waste is accounted from there.
+            let mut prev_end = amulet_core::addr::align_up(
+                map.os_data.end,
+                platform.mpu_boundary_granularity(),
+            );
+            let mut reported_padding = 0u32;
+            for (i, (app, spec)) in map.apps.iter().zip(&apps).enumerate() {
+                let fp = app.footprint();
+                prop_assert!(fp.start >= prev_end, "{}: app {i} overlaps below", platform.name);
+                for other in map.apps.iter().skip(i + 1) {
+                    prop_assert!(!fp.overlaps(&other.footprint()), "{}: app footprints overlap", platform.name);
+                }
+                // Waste accounting: consumed bytes (from the previous end,
+                // so leading NAPOT gaps count) = requested bytes + padding.
+                let requested = spec.code_size
+                    + amulet_core::addr::align_up(spec.stack_size, 2)
+                    + amulet_core::addr::align_up(spec.data_size.max(2), 2);
+                prop_assert_eq!(
+                    app.upper_bound() - prev_end,
+                    requested + app.padding_bytes,
+                    "{}: app {i} padding accounting broken", platform.name
+                );
+                reported_padding += app.padding_bytes;
+                if let Some(c) = platform.mpu.constraints() {
+                    let code_used = spec.code_size;
+                    let data_used = amulet_core::addr::align_up(spec.stack_size, 2)
+                        + amulet_core::addr::align_up(spec.data_size.max(2), 2);
+                    for (range, used) in [(app.code, code_used), (app.data_stack(), data_used)] {
+                        prop_assert!(
+                            c.size_rule.is_valid_region(&range),
+                            "{}: app {i} region {range:?} violates {}",
+                            platform.name, c.size_rule
+                        );
+                        // Bounded waste: a solved region is at most one
+                        // rounding step above what it covers.
+                        prop_assert!(
+                            range.len() <= c.size_rule.region_span(used),
+                            "{}: app {i} region {range:?} larger than the minimal span for {used} bytes",
+                            platform.name
+                        );
+                    }
+                }
+                prev_end = app.upper_bound();
+            }
+            prop_assert_eq!(
+                map.total_padding_bytes(), reported_padding,
+                "{}: map-level padding disagrees with per-app accounting", platform.name
+            );
+        }
+    }
+
     /// The analytic overhead model is monotone: more operations never cost
     /// fewer overhead cycles, for any method.
     #[test]

@@ -191,7 +191,7 @@ mod tests {
         let methods: std::collections::BTreeSet<_> =
             configs.iter().map(|c| c.method.label()).collect();
         let sizes: std::collections::BTreeSet<_> = configs.iter().map(|c| c.apps.len()).collect();
-        assert_eq!(platforms.len(), 3);
+        assert_eq!(platforms.len(), 5, "all five built-in platforms appear");
         assert_eq!(methods.len(), 4);
         assert_eq!(sizes, [1, 2, 3].into_iter().collect());
     }
@@ -202,8 +202,9 @@ mod tests {
         let keys: std::collections::BTreeSet<_> = (0..500)
             .map(|i| s.device_config(i).firmware_key())
             .collect();
-        // 3 platforms × 4 methods × (9 windows × 3 sizes) is the ceiling;
-        // 500 devices must repeat keys, which is what makes caching pay.
+        // 5 platforms × 4 methods × (9 windows × 3 sizes) = 540 is the
+        // ceiling; 500 devices drawn from it must repeat keys often
+        // (expected ≈330 distinct), which is what makes caching pay.
         assert!(keys.len() < 400, "got {} distinct keys", keys.len());
     }
 }

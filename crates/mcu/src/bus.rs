@@ -34,7 +34,7 @@
 //! itself survives [`Bus::reset`], which is what lets the fleet simulator
 //! reuse attribute tables across `Device::reset` runs.
 
-use crate::mpu::{ExtendedMpu, Mpu, MpuRegisterError, RegionMpu, RegionSlot};
+use crate::mpu::{ExtendedMpu, Mpu, MpuRegisterError, PmpEntry, PmpMpu, RegionMpu, RegionSlot};
 use crate::timer::Timer;
 use amulet_core::addr::{Addr, AddrRange};
 use amulet_core::layout::PlatformSpec;
@@ -135,7 +135,7 @@ const ATTR_FRAM_WRITE: u8 = 1 << 3;
 const MAX_ATTR_TABLES: usize = 16;
 
 /// Everything the attribute table's contents depend on besides the (fixed)
-/// platform memory map: the state of both hardware MPU backends.
+/// platform memory map: the state of all three hardware MPU backends.
 #[derive(Clone, PartialEq)]
 struct MpuFingerprint {
     seg_enabled: bool,
@@ -144,6 +144,20 @@ struct MpuFingerprint {
     seg_perms: [Perm; 4],
     region_enabled: bool,
     region_slots: Vec<RegionSlot>,
+    pmp_user_mode: bool,
+    pmp_entries: Vec<PmpEntry>,
+}
+
+/// Which hardware MPU backend the platform's [`amulet_core::platform::MpuModel`]
+/// selects as the one that polices bus traffic.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum MpuBackendKind {
+    /// FR5969-style segmented MPU ([`Mpu`]).
+    Segmented,
+    /// Aligned-region MPU ([`RegionMpu`]).
+    Region,
+    /// NAPOT PMP ([`PmpMpu`]).
+    Pmp,
 }
 
 /// One memoised attribute table: the MPU state it was built for, and one
@@ -192,9 +206,14 @@ pub struct Bus {
     /// (debug builds assert against this on every access).
     pub mpu: Mpu,
     /// The Tock/Cortex-M-style region MPU (the active backend on
-    /// region-MPU platforms).  Same configuration rule as [`Bus::mpu`]:
+    /// aligned-region platforms).  Same configuration rule as [`Bus::mpu`]:
     /// go through the register interface, not direct field writes.
     pub region_mpu: RegionMpu,
+    /// The RISC-V-PMP-style NAPOT backend (the active backend on NAPOT
+    /// platforms).  Same configuration rule as [`Bus::mpu`].
+    pub pmp: PmpMpu,
+    /// Which backend the platform's MPU model selects.
+    backend: MpuBackendKind,
     /// The hypothetical advanced MPU used by the §5 ablation.
     pub ext_mpu: ExtendedMpu,
     /// The benchmark timer.
@@ -233,7 +252,8 @@ impl Bus {
     /// backend that polices FRAM/InfoMem accesses is chosen by the
     /// platform's [`amulet_core::platform::MpuModel`].
     pub fn new(platform: PlatformSpec) -> Self {
-        let (mpu, region_mpu) = Self::mpu_backends(&platform);
+        let (mpu, region_mpu, pmp) = Self::mpu_backends(&platform);
+        let backend = Self::backend_kind(&platform);
         Bus {
             platform,
             mem: vec![0u8; 0x1_0000]
@@ -242,6 +262,8 @@ impl Bus {
                 .unwrap_or_else(|_| unreachable!("memory array has the fixed size")),
             mpu,
             region_mpu,
+            pmp,
+            backend,
             ext_mpu: ExtendedMpu::default(),
             timer: Timer::new(),
             stats: BusStats::default(),
@@ -252,23 +274,68 @@ impl Bus {
         }
     }
 
-    /// Builds both MPU backends in their power-on (disabled) state for a
-    /// platform — the single backend-selection rule shared by
-    /// [`Bus::new`] and [`Bus::reset`].
-    fn mpu_backends(platform: &PlatformSpec) -> (Mpu, RegionMpu) {
+    /// Builds all three MPU backends in their power-on (disabled) state
+    /// for a platform — the single backend-selection rule shared by
+    /// [`Bus::new`] and [`Bus::reset`].  Only the backend the platform's
+    /// MPU model selects gets slots; the inactive ones stay empty.
+    fn mpu_backends(platform: &PlatformSpec) -> (Mpu, RegionMpu, PmpMpu) {
         let mpu = Mpu::new(platform.fram, platform.info_mem);
-        let region_slots = if platform.mpu.is_region_based() {
-            platform.mpu.main_segments()
-        } else {
-            0
+        let kind = Self::backend_kind(platform);
+        let (region_slots, pmp_entries) = match kind {
+            MpuBackendKind::Segmented => (0, 0),
+            MpuBackendKind::Region => (platform.mpu.main_segments(), 0),
+            MpuBackendKind::Pmp => (0, platform.mpu.main_segments()),
         };
-        let region_mpu = RegionMpu::new(
+        let mut region_mpu = RegionMpu::new(
             region_slots,
             platform.fram,
             platform.info_mem,
             platform.sram,
         );
-        (mpu, region_mpu)
+        if kind == MpuBackendKind::Region && platform.mpu.covers_peripherals() {
+            // A peripheral-jurisdiction profile polices the full platform
+            // space — which is what makes its checkless policy sound (a
+            // corrupted code pointer has nowhere unpoliced to escape to).
+            // The base constructor already covers FRAM/InfoMem/SRAM; the
+            // extension is the rest of the shared platform range list.
+            region_mpu =
+                region_mpu.with_extended_jurisdiction(&platform.full_jurisdiction_ranges()[3..]);
+        }
+        let pmp = PmpMpu::new(pmp_entries, platform.full_jurisdiction_ranges().to_vec());
+        (mpu, region_mpu, pmp)
+    }
+
+    /// Which backend polices this platform's bus traffic.
+    fn backend_kind(platform: &PlatformSpec) -> MpuBackendKind {
+        if platform.mpu.is_napot() {
+            MpuBackendKind::Pmp
+        } else if platform.mpu.is_region_based() {
+            MpuBackendKind::Region
+        } else {
+            MpuBackendKind::Segmented
+        }
+    }
+
+    /// Pure backend property: whether the active backend's deny-by-default
+    /// jurisdiction extends over the **full platform space** — peripheral
+    /// registers, the boot ROM and the vector table.  The single source of
+    /// truth shared by the slow-path oracle ([`Bus::full_platform_policed`])
+    /// and the attribute-table painter, so the fast path and the oracle
+    /// cannot drift.
+    fn backend_polices_full_platform(&self) -> bool {
+        match self.backend {
+            MpuBackendKind::Segmented => false,
+            MpuBackendKind::Region => self.region_mpu.covers_full_platform(),
+            MpuBackendKind::Pmp => true,
+        }
+    }
+
+    /// The slow paths' gate for peripheral/boot-ROM/vector policing: the
+    /// backend's full-platform jurisdiction, unless the extended-MPU
+    /// ablation is active (which keeps the historical unpoliced
+    /// behaviour outside FRAM/InfoMem/SRAM).
+    fn full_platform_policed(&self) -> bool {
+        !self.ext_mpu.enabled && self.backend_polices_full_platform()
     }
 
     /// Creates a bus for the MSP430FR5969.
@@ -287,9 +354,10 @@ impl Bus {
     /// instead of rebuilding a table per context switch.
     pub fn reset(&mut self) {
         self.mem.fill(0);
-        let (mpu, region_mpu) = Self::mpu_backends(&self.platform);
+        let (mpu, region_mpu, pmp) = Self::mpu_backends(&self.platform);
         self.mpu = mpu;
         self.region_mpu = region_mpu;
+        self.pmp = pmp;
         self.ext_mpu = ExtendedMpu::default();
         self.timer = Timer::new();
         self.stats = BusStats::default();
@@ -352,6 +420,8 @@ impl Bus {
             ],
             region_enabled: self.region_mpu.enabled,
             region_slots: self.region_mpu.slots.clone(),
+            pmp_user_mode: self.pmp.user_mode,
+            pmp_entries: self.pmp.entries.clone(),
         }
     }
 
@@ -360,7 +430,7 @@ impl Bus {
     /// epoch.  Hot path: two counter compares and one table index.
     #[inline(always)]
     fn attr(&mut self, addr: Addr) -> u8 {
-        let epoch = self.mpu.config_writes + self.region_mpu.config_writes;
+        let epoch = self.mpu.config_writes + self.region_mpu.config_writes + self.pmp.config_writes;
         if self.attr_epoch != epoch || self.attr_active.is_none() {
             self.resolve_attr_table(epoch);
         }
@@ -371,7 +441,7 @@ impl Bus {
         #[cfg(debug_assertions)]
         if let Some(t) = &self.attr_active {
             debug_assert!(
-                Self::fingerprint_matches(&t.key, &self.mpu, &self.region_mpu),
+                Self::fingerprint_matches(&t.key, &self.mpu, &self.region_mpu, &self.pmp),
                 "MPU state was mutated without a register write; the \
                  attribute cache is stale (configure the MPU through \
                  write_register/install_mpu_config)"
@@ -386,13 +456,20 @@ impl Bus {
 
     /// Whether a memoised table's key matches the *installed* MPU state
     /// (allocation-free — this runs after every context switch).
-    fn fingerprint_matches(key: &MpuFingerprint, mpu: &Mpu, region_mpu: &RegionMpu) -> bool {
+    fn fingerprint_matches(
+        key: &MpuFingerprint,
+        mpu: &Mpu,
+        region_mpu: &RegionMpu,
+        pmp: &PmpMpu,
+    ) -> bool {
         key.seg_enabled == mpu.enabled
             && key.boundary1 == mpu.boundary1
             && key.boundary2 == mpu.boundary2
             && key.seg_perms == [mpu.seg_info, mpu.seg1, mpu.seg2, mpu.seg3]
             && key.region_enabled == region_mpu.enabled
             && key.region_slots == region_mpu.slots
+            && key.pmp_user_mode == pmp.user_mode
+            && key.pmp_entries == pmp.entries
     }
 
     /// Points `attr_current` at the table matching the installed MPU
@@ -406,11 +483,11 @@ impl Bus {
         if let Some(active) = self.attr_active.take() {
             self.attr_spare.push(active);
         }
-        let (mpu, region_mpu) = (&self.mpu, &self.region_mpu);
+        let (mpu, region_mpu, pmp) = (&self.mpu, &self.region_mpu, &self.pmp);
         let table = match self
             .attr_spare
             .iter()
-            .position(|t| Self::fingerprint_matches(&t.key, mpu, region_mpu))
+            .position(|t| Self::fingerprint_matches(&t.key, mpu, region_mpu, pmp))
         {
             Some(i) => self.attr_spare.swap_remove(i),
             None => {
@@ -432,7 +509,11 @@ impl Bus {
     ///
     /// Ranges are painted in reverse priority order of [`Bus::region`]'s
     /// decode cascade, so where ranges overlap the highest-priority
-    /// region's attributes win — exactly the oracle's decision order.
+    /// region's attributes win — exactly the oracle's decision order.  The
+    /// painter consults the active backend's own **jurisdiction** (the
+    /// FR5994 profile's stops at SRAM; the Cortex-M33-class and PMP
+    /// backends also police peripheral space) instead of hardcoding any
+    /// particular range set.
     fn build_attr_table(&self) -> Box<[u8; 0x1_0000]> {
         let p = &self.platform;
         // Base: unmapped — nothing is a plain permitted access.
@@ -445,69 +526,123 @@ impl Bus {
             p.interrupt_vectors,
             ATTR_R | ATTR_W | ATTR_X,
         );
-        if p.mpu.is_region_based() {
-            // Region backend: deny-by-default over its whole jurisdiction
-            // (FRAM, InfoMem *and* SRAM) when enabled, permissive when not.
-            let r = &self.region_mpu;
-            let jurisdiction = [p.fram, p.sram, p.info_mem];
-            let base = if r.enabled {
-                0
-            } else {
-                ATTR_R | ATTR_W | ATTR_X
-            };
-            for range in jurisdiction {
-                paint(&mut attrs[..], range, base);
-            }
-            if r.enabled {
-                // `RegionMpu::slot_of` picks the *first* enabled slot
-                // covering an address, so paint in reverse slot order and
-                // let earlier slots overwrite later ones.
-                for slot in r.slots.iter().rev().filter(|s| s.enabled) {
-                    let v = perm_attr(slot.perm);
-                    for range in jurisdiction {
-                        let clipped = AddrRange::new(
-                            slot.range.start.max(range.start).min(range.end),
-                            slot.range.end.clamp(range.start, range.end),
-                        );
-                        paint(&mut attrs[..], clipped, v);
+        match self.backend {
+            MpuBackendKind::Region | MpuBackendKind::Pmp => {
+                // Region-like backend: deny-by-default over its own
+                // jurisdiction when enforcing, permissive when not.  The
+                // slots/entries match first-hit in slot order, so paint in
+                // reverse and let earlier slots overwrite later ones.
+                let (enforcing, jurisdiction, slots): (
+                    bool,
+                    Vec<AddrRange>,
+                    Vec<(AddrRange, Perm)>,
+                ) = match self.backend {
+                    MpuBackendKind::Region => (
+                        self.region_mpu.enabled,
+                        self.region_mpu.jurisdiction().collect(),
+                        self.region_mpu
+                            .slots
+                            .iter()
+                            .filter(|s| s.enabled)
+                            .map(|s| (s.range, s.perm))
+                            .collect(),
+                    ),
+                    MpuBackendKind::Pmp => (
+                        self.pmp.user_mode,
+                        self.pmp.jurisdiction().collect(),
+                        self.pmp
+                            .entries
+                            .iter()
+                            .filter(|e| e.enabled)
+                            .map(|e| (e.range(), e.perm))
+                            .collect(),
+                    ),
+                    // Every new backend kind must pick its painter state
+                    // explicitly; the outer arm already excludes the
+                    // segmented backend.
+                    MpuBackendKind::Segmented => {
+                        unreachable!("segmented backend painted in its own arm")
+                    }
+                };
+                let base = if enforcing {
+                    0
+                } else {
+                    ATTR_R | ATTR_W | ATTR_X
+                };
+                for range in &jurisdiction {
+                    paint(&mut attrs[..], *range, base);
+                }
+                if enforcing {
+                    for (slot_range, perm) in slots.iter().rev() {
+                        let v = perm_attr(*perm);
+                        for range in &jurisdiction {
+                            let clipped = AddrRange::new(
+                                slot_range.start.max(range.start).min(range.end),
+                                slot_range.end.clamp(range.start, range.end),
+                            );
+                            paint(&mut attrs[..], clipped, v);
+                        }
                     }
                 }
             }
-        } else {
-            // Segmented backend: SRAM is outside its jurisdiction (always
-            // permitted); FRAM splits into three segments at the two
-            // boundaries; InfoMem is the pinned segment.
-            paint(&mut attrs[..], p.sram, ATTR_R | ATTR_W | ATTR_X);
-            if self.mpu.enabled {
-                let f = p.fram;
-                let c1 = self.mpu.boundary1.clamp(f.start, f.end);
-                let c2 = self.mpu.boundary2.clamp(f.start, f.end).max(c1);
-                paint(
-                    &mut attrs[..],
-                    AddrRange::new(f.start, c1),
-                    perm_attr(self.mpu.seg1),
-                );
-                paint(
-                    &mut attrs[..],
-                    AddrRange::new(c1, c2),
-                    perm_attr(self.mpu.seg2),
-                );
-                paint(
-                    &mut attrs[..],
-                    AddrRange::new(c2, f.end),
-                    perm_attr(self.mpu.seg3),
-                );
-                paint(&mut attrs[..], p.info_mem, perm_attr(self.mpu.seg_info));
-            } else {
-                paint(&mut attrs[..], p.fram, ATTR_R | ATTR_W | ATTR_X);
-                paint(&mut attrs[..], p.info_mem, ATTR_R | ATTR_W | ATTR_X);
+            MpuBackendKind::Segmented => {
+                // Segmented backend: SRAM is outside its jurisdiction
+                // (always permitted); FRAM splits into three segments at
+                // the two boundaries; InfoMem is the pinned segment.
+                paint(&mut attrs[..], p.sram, ATTR_R | ATTR_W | ATTR_X);
+                if self.mpu.enabled {
+                    let f = p.fram;
+                    let c1 = self.mpu.boundary1.clamp(f.start, f.end);
+                    let c2 = self.mpu.boundary2.clamp(f.start, f.end).max(c1);
+                    paint(
+                        &mut attrs[..],
+                        AddrRange::new(f.start, c1),
+                        perm_attr(self.mpu.seg1),
+                    );
+                    paint(
+                        &mut attrs[..],
+                        AddrRange::new(c1, c2),
+                        perm_attr(self.mpu.seg2),
+                    );
+                    paint(
+                        &mut attrs[..],
+                        AddrRange::new(c2, f.end),
+                        perm_attr(self.mpu.seg3),
+                    );
+                    paint(&mut attrs[..], p.info_mem, perm_attr(self.mpu.seg_info));
+                } else {
+                    paint(&mut attrs[..], p.fram, ATTR_R | ATTR_W | ATTR_X);
+                    paint(&mut attrs[..], p.info_mem, ATTR_R | ATTR_W | ATTR_X);
+                }
             }
         }
         // FRAM and InfoMem writes are counted separately by the stats.
         paint_or(&mut attrs[..], p.fram, ATTR_FRAM_WRITE);
         paint_or(&mut attrs[..], p.info_mem, ATTR_FRAM_WRITE);
-        paint(&mut attrs[..], p.bootstrap_loader, ATTR_R | ATTR_X);
-        paint(&mut attrs[..], p.peripherals, ATTR_X);
+        // Boot ROM and peripheral space.  Peripheral reads and writes
+        // always take the dispatch path, so their R/W attribute bits stay
+        // clear, and a boot-ROM write is never a plain permitted store
+        // (the ROM is write-protected even where a region grants W).  On
+        // full-platform-jurisdiction backends the remaining bits painted
+        // by the slots above are the MPU's own decision and are masked,
+        // not overwritten — the same `backend_polices_full_platform` rule
+        // the slow-path oracle consults; every other backend keeps the
+        // historical always-readable ROM / always-fetchable peripheral
+        // attributes.
+        let mask = |attrs: &mut [u8; 0x1_0000], range: AddrRange, keep: u8| {
+            let start = (range.start as usize).min(attrs.len());
+            let end = (range.end as usize).min(attrs.len());
+            for a in &mut attrs[start..end] {
+                *a &= keep;
+            }
+        };
+        if self.backend_polices_full_platform() {
+            mask(&mut attrs, p.bootstrap_loader, ATTR_R | ATTR_X);
+            mask(&mut attrs, p.peripherals, ATTR_X);
+        } else {
+            paint(&mut attrs[..], p.bootstrap_loader, ATTR_R | ATTR_X);
+            paint(&mut attrs[..], p.peripherals, ATTR_X);
+        }
         attrs
     }
 
@@ -556,6 +691,14 @@ impl Bus {
                 self.stats.writes += regs.write_count() as u64;
                 self.stats.peripheral_writes += regs.write_count() as u64;
             }
+            MpuConfig::Pmp(regs) => {
+                // Privileged (CSR-style) path, same rule as the region
+                // block: only the OS's trusted switch code programs it.
+                // The machine-mode configuration is the mode toggle alone.
+                self.pmp.apply_config(regs);
+                self.stats.writes += regs.write_count() as u64;
+                self.stats.peripheral_writes += regs.write_count() as u64;
+            }
         }
         Ok(())
     }
@@ -572,10 +715,10 @@ impl Bus {
             }
             return Ok(());
         }
-        let decision = if self.platform.mpu.is_region_based() {
-            self.region_mpu.check(addr, access)
-        } else {
-            self.mpu.check(addr, access)
+        let decision = match self.backend {
+            MpuBackendKind::Segmented => self.mpu.check(addr, access),
+            MpuBackendKind::Region => self.region_mpu.check(addr, access),
+            MpuBackendKind::Pmp => self.pmp.check(addr, access),
         };
         if decision.permits() {
             Ok(())
@@ -618,12 +761,24 @@ impl Bus {
                 access: AccessKind::Read,
                 cause: BusFaultCause::Unmapped,
             }),
-            Region::Peripherals => Ok(self.read_peripheral(addr)),
+            Region::Peripherals => {
+                // Backends whose jurisdiction covers peripheral space
+                // police the access before it reaches any register file.
+                if self.full_platform_policed() {
+                    self.check_protection(addr, AccessKind::Read)?;
+                }
+                Ok(self.read_peripheral(addr))
+            }
             Region::Fram | Region::InfoMem | Region::Sram => {
                 self.check_protection(addr, AccessKind::Read)?;
                 Ok(self.read_raw(addr, size))
             }
-            Region::BootstrapLoader | Region::InterruptVectors => Ok(self.read_raw(addr, size)),
+            Region::BootstrapLoader | Region::InterruptVectors => {
+                if self.full_platform_policed() {
+                    self.check_protection(addr, AccessKind::Read)?;
+                }
+                Ok(self.read_raw(addr, size))
+            }
         }
     }
 
@@ -663,12 +818,23 @@ impl Bus {
                 access: AccessKind::Write,
                 cause: BusFaultCause::Unmapped,
             }),
-            Region::BootstrapLoader => Err(BusFault {
-                addr,
-                access: AccessKind::Write,
-                cause: BusFaultCause::ReadOnly,
-            }),
+            Region::BootstrapLoader => {
+                // On full-jurisdiction backends the MPU faults first (as
+                // the hardware would); otherwise the ROM's write-protect
+                // reports the failure.
+                if self.full_platform_policed() {
+                    self.check_protection(addr, AccessKind::Write)?;
+                }
+                Err(BusFault {
+                    addr,
+                    access: AccessKind::Write,
+                    cause: BusFaultCause::ReadOnly,
+                })
+            }
             Region::Peripherals => {
+                if self.full_platform_policed() {
+                    self.check_protection(addr, AccessKind::Write)?;
+                }
                 self.stats.peripheral_writes += 1;
                 self.write_peripheral(addr, value)
             }
@@ -684,6 +850,9 @@ impl Bus {
                 Ok(())
             }
             Region::InterruptVectors => {
+                if self.full_platform_policed() {
+                    self.check_protection(addr, AccessKind::Write)?;
+                }
                 self.write_raw(addr, size, value);
                 Ok(())
             }
@@ -726,8 +895,14 @@ impl Bus {
                 // whichever backend the platform has.
                 self.check_protection(addr, AccessKind::Execute)
             }
-            // Peripherals etc. are outside every backend's jurisdiction:
-            // fetches from them are architecturally possible.
+            Region::Peripherals | Region::BootstrapLoader | Region::InterruptVectors
+                if self.full_platform_policed() =>
+            {
+                self.check_protection(addr, AccessKind::Execute)
+            }
+            // On every other backend the boot ROM, vectors and peripheral
+            // space are outside the jurisdiction: fetches from them are
+            // architecturally possible.
             _ => Ok(()),
         }
     }
@@ -737,6 +912,8 @@ impl Bus {
             self.mpu.read_register(addr)
         } else if RegionMpu::owns_register(addr) {
             self.region_mpu.read_register(addr)
+        } else if PmpMpu::owns_register(addr) {
+            self.pmp.read_register(addr)
         } else if Timer::owns_register(addr) {
             self.timer.read_register(addr)
         } else {
@@ -751,12 +928,13 @@ impl Bus {
                 access: AccessKind::Write,
                 cause: BusFaultCause::MpuRegisterProtocol(e),
             })
-        } else if RegionMpu::owns_register(addr) {
-            // The region MPU's register block is privileged-only (Cortex-M
-            // PPB style): stores executed by application code fault, and
-            // only the OS's `install_mpu_config` path programs it.  Without
-            // this, an app on a region platform — compiled with no
-            // data-pointer checks — could simply disable the MPU.
+        } else if RegionMpu::owns_register(addr) || PmpMpu::owns_register(addr) {
+            // The region MPU's and the PMP's register blocks are
+            // privileged-only (Cortex-M PPB / RISC-V CSR style): stores
+            // executed by application code fault, and only the OS's
+            // `install_mpu_config` path programs them.  Without this, an
+            // app on a region platform — compiled with no data-pointer
+            // checks — could simply disable the MPU.
             Err(BusFault {
                 addr,
                 access: AccessKind::Write,

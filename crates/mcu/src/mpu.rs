@@ -379,11 +379,14 @@ impl Default for RegionSlot {
 /// slots with per-slot R/W/X permissions.
 ///
 /// Unlike the FR5969's segmented part, this backend **denies by default**:
-/// inside its jurisdiction (main FRAM, InfoMem and SRAM, like its
-/// Cortex-M inspirations) an access no enabled region grants is a
-/// violation.  Peripheral space, the bootstrap loader and the vectors are
-/// still unpoliced — the reason the software keeps its function-pointer
-/// checks even on this hardware.  There is no password protocol, but the
+/// inside its jurisdiction an access no enabled region grants is a
+/// violation.  The base jurisdiction is main FRAM, InfoMem and SRAM,
+/// like its classic Cortex-M inspirations — peripheral space, the
+/// bootstrap loader and the vectors stay unpoliced there, the reason the
+/// software keeps its function-pointer checks on the FR5994 profile.
+/// ARMv8-M-class profiles extend the jurisdiction over those ranges too
+/// ([`RegionMpu::with_extended_jurisdiction`]), which is what lets their
+/// check policy drop the function-pointer check.  There is no password protocol, but the
 /// register block itself is **privileged-only** (like the Cortex-M PPB):
 /// application stores through the bus fault, and only the OS's trusted
 /// switch path ([`crate::bus::Bus::install_mpu_config`]) programs it
@@ -402,6 +405,11 @@ pub struct RegionMpu {
     info_range: AddrRange,
     /// The SRAM range (also policed, unlike the segmented part).
     sram_range: AddrRange,
+    /// Extra ranges the profile's jurisdiction extends over — peripheral
+    /// space, the boot ROM and the vector table on ARMv8-M-style profiles
+    /// that police the full platform space.  Empty reproduces the classic
+    /// Cortex-M shape whose MPU stops at SRAM.
+    extended_ranges: Vec<AddrRange>,
     /// Count of configuration writes (context-switch accounting).
     pub config_writes: u64,
     /// Count of access checks performed **by this backend** — with the
@@ -429,17 +437,42 @@ impl RegionMpu {
             main_range,
             info_range,
             sram_range,
+            extended_ranges: Vec::new(),
             config_writes: 0,
             checks: 0,
             violations: 0,
         }
     }
 
+    /// Extends the MPU's deny-by-default jurisdiction over the given
+    /// additional ranges — peripheral space, boot ROM, vector table — for
+    /// profiles that police the **full platform space** (the
+    /// Cortex-M33-class profile; closes the "unpoliced region-MPU
+    /// peripheral space" gap, and leaves a checkless corrupted code
+    /// pointer nowhere to escape to).
+    pub fn with_extended_jurisdiction(mut self, ranges: &[AddrRange]) -> Self {
+        self.extended_ranges = ranges.to_vec();
+        self
+    }
+
+    /// The address ranges this backend polices (deny-by-default inside
+    /// them when enabled).  The attribute-cache painter consults this
+    /// instead of hardcoding any particular jurisdiction.
+    pub fn jurisdiction(&self) -> impl Iterator<Item = AddrRange> + '_ {
+        [self.main_range, self.info_range, self.sram_range]
+            .into_iter()
+            .chain(self.extended_ranges.iter().copied())
+    }
+
+    /// Whether the jurisdiction extends beyond FRAM/InfoMem/SRAM, over
+    /// the platform's peripheral/boot-ROM/vector space.
+    pub fn covers_full_platform(&self) -> bool {
+        !self.extended_ranges.is_empty()
+    }
+
     /// Whether `addr` falls inside the MPU's jurisdiction.
     pub fn covers(&self, addr: Addr) -> bool {
-        self.main_range.contains(addr)
-            || self.info_range.contains(addr)
-            || self.sram_range.contains(addr)
+        self.jurisdiction().any(|r| r.contains(addr))
     }
 
     /// The enabled slot covering `addr`, if any.
@@ -539,6 +572,250 @@ impl RegionMpu {
             slot.enabled = false;
         }
         self.write_register(RMPU_CTL, 1);
+    }
+}
+
+/// Base address of the PMP register block (present on NAPOT platforms such
+/// as the `riscv-pmp` profile; memory-mapped stand-ins for the CSRs).
+pub const PMP_BASE: Addr = 0x05C0;
+/// `PMPMODE`: bit 0 selects user mode (PMP enforced).  Machine mode —
+/// bit 0 clear — bypasses the PMP entirely, which is how the OS runs.
+pub const PMP_MODE: Addr = 0x05C0;
+/// `PMPCFG0`: packed entry configs for entries 0..4, 4 bits each
+/// (bit 0 read, bit 1 write, bit 2 execute, bit 3 NAPOT-enable).
+pub const PMP_CFG0: Addr = 0x05C2;
+/// `PMPCFG1`: packed entry configs for entries 4..8.
+pub const PMP_CFG1: Addr = 0x05C4;
+/// `PMPADDR0`: first NAPOT address register; entry *i* lives at
+/// `PMP_ADDR_BASE + 2 i`.  Encoding follows the RISC-V NAPOT rule scaled
+/// to the 16-bit space: `pmpaddr = (base >> 2) | ((size >> 3) − 1)` — the
+/// count of trailing one bits selects the power-of-two region size
+/// (minimum 8 bytes), and the bits above them hold the size-aligned base.
+pub const PMP_ADDR_BASE: Addr = 0x05C6;
+/// One past the last PMP register address (8 entries).
+pub const PMP_END: Addr = PMP_ADDR_BASE + 2 * PMP_MAX_ENTRIES as Addr;
+/// Entry registers provided by the modelled PMP.
+pub const PMP_MAX_ENTRIES: usize = 8;
+
+/// One decoded PMP entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct PmpEntry {
+    /// The raw `pmpaddr` register value.
+    pub addr_bits: u16,
+    /// Entry permissions (from the packed config nibble).
+    pub perm: Perm,
+    /// Whether the entry participates in matching (`A` = NAPOT).
+    pub enabled: bool,
+}
+
+impl PmpEntry {
+    /// Decodes the NAPOT address register into the region it grants —
+    /// TOR-free: the trailing-ones count alone fixes the power-of-two
+    /// size, and masking them off yields the size-aligned base.
+    pub fn range(&self) -> AddrRange {
+        let ones = self.addr_bits.trailing_ones().min(13);
+        let size = 8u32 << ones;
+        let base = ((self.addr_bits as Addr) & !((1 << ones) - 1)) << 2;
+        let start = base.min(amulet_core::addr::ADDRESS_SPACE_END);
+        let end = base
+            .saturating_add(size)
+            .min(amulet_core::addr::ADDRESS_SPACE_END);
+        AddrRange::new(start, end)
+    }
+
+    /// Encodes a NAPOT-valid range (power-of-two length, length-aligned
+    /// base) into the register value.
+    pub fn encode(range: AddrRange) -> u16 {
+        debug_assert!(range.len().is_power_of_two() && range.len() >= 8);
+        debug_assert!(range.start.is_multiple_of(range.len()));
+        ((range.start >> 2) | ((range.len() >> 3) - 1)) as u16
+    }
+}
+
+/// A RISC-V-PMP-style backend: NAPOT entries whose power-of-two regions
+/// police **user-mode** accesses over every mapped range of the platform
+/// — flash, InfoMem, SRAM, peripheral space, the boot ROM and the vector
+/// table — while machine mode (the OS) bypasses the PMP entirely.
+/// Deny-by-default: a user-mode access no enabled entry grants is a
+/// violation.  The register block itself is privileged (CSR-style):
+/// application stores through the bus fault, and only the OS's trusted
+/// switch path programs it.
+#[derive(Clone, Debug)]
+pub struct PmpMpu {
+    /// Whether user-mode enforcement is active (`PMPMODE` bit 0).  While
+    /// false the CPU is in machine mode and the PMP checks nothing.
+    pub user_mode: bool,
+    /// The PMP entries.
+    pub entries: Vec<PmpEntry>,
+    /// The mapped platform ranges user-mode execution is policed over.
+    jurisdiction: Vec<AddrRange>,
+    /// Count of configuration writes (context-switch accounting; also the
+    /// bus's attribute-cache epoch contribution).
+    pub config_writes: u64,
+    /// Count of access checks performed **by this backend** — with the
+    /// bus's attribute cache enabled this counts oracle consultations
+    /// only; see [`Mpu::checks`] for the full caveat.
+    pub checks: u64,
+    /// Count of violations detected (exact regardless of the attribute
+    /// cache: denied accesses always reach the backend).
+    pub violations: u64,
+}
+
+impl PmpMpu {
+    /// Creates a machine-mode (non-enforcing) PMP with `entries` empty
+    /// entries policing the given mapped platform ranges (real PMPs
+    /// constrain user mode over the entire address space; restricting the
+    /// model to the mapped ranges lets unmapped holes keep their
+    /// higher-priority bus-fault semantics).
+    pub fn new(entries: usize, jurisdiction: Vec<AddrRange>) -> Self {
+        assert!(
+            entries <= PMP_MAX_ENTRIES,
+            "the modelled PMP register file has {PMP_MAX_ENTRIES} entries, \
+             a {entries}-entry constraint cannot be honoured"
+        );
+        PmpMpu {
+            user_mode: false,
+            entries: vec![PmpEntry::default(); entries],
+            jurisdiction,
+            config_writes: 0,
+            checks: 0,
+            violations: 0,
+        }
+    }
+
+    /// The address ranges this backend polices in user mode.
+    pub fn jurisdiction(&self) -> impl Iterator<Item = AddrRange> + '_ {
+        self.jurisdiction.iter().copied()
+    }
+
+    /// Whether `addr` falls inside the PMP's user-mode jurisdiction.
+    pub fn covers(&self, addr: Addr) -> bool {
+        self.jurisdiction.iter().any(|r| r.contains(addr))
+    }
+
+    /// The first enabled entry covering `addr`, if any (PMP entries match
+    /// in priority order, lowest index first).
+    pub fn entry_of(&self, addr: Addr) -> Option<usize> {
+        self.entries
+            .iter()
+            .position(|e| e.enabled && e.range().contains(addr))
+    }
+
+    /// Checks an access of `kind` at `addr`.
+    pub fn check(&mut self, addr: Addr, kind: AccessKind) -> MpuDecision {
+        self.checks += 1;
+        if !self.user_mode || !self.covers(addr) {
+            return MpuDecision::NotCovered;
+        }
+        match self.entry_of(addr) {
+            Some(i) if self.entries[i].perm.allows(kind.required_perm()) => {
+                MpuDecision::AllowedRegion(i)
+            }
+            matched => {
+                self.violations += 1;
+                MpuDecision::ViolationRegion(matched)
+            }
+        }
+    }
+
+    /// Non-mutating variant of [`PmpMpu::check`].
+    pub fn would_allow(&self, addr: Addr, kind: AccessKind) -> bool {
+        if !self.user_mode || !self.covers(addr) {
+            return true;
+        }
+        self.entry_of(addr)
+            .map(|i| self.entries[i].perm.allows(kind.required_perm()))
+            .unwrap_or(false)
+    }
+
+    /// True when `addr` addresses one of the PMP's memory-mapped registers.
+    pub fn owns_register(addr: Addr) -> bool {
+        (PMP_BASE..PMP_END).contains(&addr)
+    }
+
+    /// Reads a memory-mapped PMP register.
+    pub fn read_register(&self, addr: Addr) -> u16 {
+        let cfg_nibble = |e: &PmpEntry| e.perm.to_bits() | ((e.enabled as u16) << 3);
+        let packed = |lo: usize| -> u16 {
+            self.entries
+                .iter()
+                .skip(lo)
+                .take(4)
+                .enumerate()
+                .map(|(i, e)| cfg_nibble(e) << (4 * i))
+                .sum()
+        };
+        match addr & !1 {
+            PMP_MODE => self.user_mode as u16,
+            PMP_CFG0 => packed(0),
+            PMP_CFG1 => packed(4),
+            a if (PMP_ADDR_BASE..PMP_END).contains(&a) => {
+                let i = ((a - PMP_ADDR_BASE) / 2) as usize;
+                self.entries.get(i).map(|e| e.addr_bits).unwrap_or(0)
+            }
+            _ => 0,
+        }
+    }
+
+    /// Writes a memory-mapped PMP register (the privileged OS path; the
+    /// bus rejects application stores before they reach here).
+    pub fn write_register(&mut self, addr: Addr, value: u16) {
+        self.config_writes += 1;
+        let unpack = |entries: &mut [PmpEntry], lo: usize, value: u16| {
+            for (i, e) in entries.iter_mut().skip(lo).take(4).enumerate() {
+                let nibble = (value >> (4 * i)) & 0xF;
+                e.perm = Perm::from_bits(nibble & 0x7);
+                e.enabled = nibble & 0x8 != 0;
+            }
+        };
+        match addr & !1 {
+            PMP_MODE => self.user_mode = value & 1 != 0,
+            PMP_CFG0 => unpack(&mut self.entries, 0, value),
+            PMP_CFG1 => unpack(&mut self.entries, 4, value),
+            a if (PMP_ADDR_BASE..PMP_END).contains(&a) => {
+                let i = ((a - PMP_ADDR_BASE) / 2) as usize;
+                if let Some(e) = self.entries.get_mut(i) {
+                    e.addr_bits = value;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Applies a full PMP configuration in the order the OS switch code
+    /// writes it: every entry's `pmpaddr`, **both** packed `pmpcfg` words
+    /// (a real RV32 driver rewrites the whole `pmpcfg` CSR set, which also
+    /// guarantees entries a previous, wider configuration enabled are
+    /// disabled), then the privilege-mode toggle — or, for the
+    /// machine-mode (OS) configuration, the mode toggle alone (entries
+    /// are left in place; machine mode ignores them, exactly like
+    /// hardware).  The write sequence is deterministic, so it always
+    /// matches [`PmpRegisterValues::write_count`] and the
+    /// constraint-derived cost model.
+    ///
+    /// [`PmpRegisterValues::write_count`]: amulet_core::mpu_plan::PmpRegisterValues::write_count
+    pub fn apply_config(&mut self, config: &amulet_core::mpu_plan::PmpRegisterValues) {
+        if !config.user_mode {
+            self.write_register(PMP_MODE, 0);
+            return;
+        }
+        let count = config.entries.len().min(self.entries.len());
+        for (i, region) in config.entries.iter().enumerate().take(count) {
+            self.write_register(
+                PMP_ADDR_BASE + 2 * i as Addr,
+                PmpEntry::encode(region.range),
+            );
+        }
+        for (word, base) in [(PMP_CFG0, 0usize), (PMP_CFG1, 4)] {
+            let mut packed = 0u16;
+            for (i, region) in config.entries.iter().enumerate().take(count) {
+                if i >= base && i < base + 4 {
+                    packed |= (region.perm.to_bits() | 0x8) << (4 * (i - base));
+                }
+            }
+            self.write_register(word, packed);
+        }
+        self.write_register(PMP_MODE, 1);
     }
 }
 
@@ -831,6 +1108,173 @@ mod tests {
         assert!(!r.check(b.data.start, AccessKind::Read).permits());
         assert!(!r.check(map.os_data.start, AccessKind::Write).permits());
         assert!(!r.check(map.os_stack.start, AccessKind::Write).permits());
+    }
+
+    #[test]
+    fn region_mpu_with_peripheral_jurisdiction_polices_peripheral_space() {
+        let spec = amulet_core::layout::PlatformSpec::cortex_m33();
+        let mut r = RegionMpu::new(16, spec.fram, spec.info_mem, spec.sram)
+            .with_extended_jurisdiction(&spec.full_jurisdiction_ranges()[3..]);
+        assert!(r.covers_full_platform());
+        assert_eq!(r.jurisdiction().count(), 6);
+        r.apply_config(&amulet_core::mpu_plan::RegionRegisterValues {
+            regions: vec![amulet_core::mpu_plan::RegionDesc {
+                range: AddrRange::new(0x5000, 0x5400),
+                perm: Perm::RW,
+            }],
+        });
+        // Inside jurisdiction, no region grants it: a peripheral write is
+        // a violation — the DESIGN §6 gap closed for this profile.
+        assert_eq!(
+            r.check(0x0200, AccessKind::Write),
+            MpuDecision::ViolationRegion(None)
+        );
+        // A region over peripheral space grants access (the OS plan).
+        r.apply_config(&amulet_core::mpu_plan::RegionRegisterValues {
+            regions: vec![amulet_core::mpu_plan::RegionDesc {
+                range: spec.peripherals,
+                perm: Perm::RW,
+            }],
+        });
+        assert!(r.check(0x0200, AccessKind::Write).permits());
+    }
+
+    fn riscv_pmp() -> PmpMpu {
+        let spec = amulet_core::layout::PlatformSpec::riscv_pmp();
+        PmpMpu::new(8, spec.full_jurisdiction_ranges().to_vec())
+    }
+
+    #[test]
+    fn pmp_napot_encoding_roundtrips() {
+        for (base, size) in [
+            (0x5000u32, 0x400u32),
+            (0x4400, 0x8),
+            (0x8000, 0x8000),
+            (0, 8),
+        ] {
+            let range = AddrRange::from_len(base, size);
+            let entry = PmpEntry {
+                addr_bits: PmpEntry::encode(range),
+                perm: Perm::RW,
+                enabled: true,
+            };
+            assert_eq!(entry.range(), range, "{range:?}");
+        }
+    }
+
+    #[test]
+    fn pmp_machine_mode_bypasses_and_user_mode_denies_by_default() {
+        let mut p = riscv_pmp();
+        // Machine mode (power-on): nothing is policed.
+        assert_eq!(p.check(0x5000, AccessKind::Write), MpuDecision::NotCovered);
+        p.apply_config(&amulet_core::mpu_plan::PmpRegisterValues {
+            entries: vec![
+                amulet_core::mpu_plan::RegionDesc {
+                    range: AddrRange::new(0x5000, 0x5400),
+                    perm: Perm::X,
+                },
+                amulet_core::mpu_plan::RegionDesc {
+                    range: AddrRange::new(0x5400, 0x5800),
+                    perm: Perm::RW,
+                },
+            ],
+            user_mode: true,
+        });
+        assert!(p.user_mode);
+        // Granted accesses pass…
+        assert_eq!(
+            p.check(0x5000, AccessKind::Execute),
+            MpuDecision::AllowedRegion(0)
+        );
+        assert_eq!(
+            p.check(0x5600, AccessKind::Write),
+            MpuDecision::AllowedRegion(1)
+        );
+        // …a matching entry without the permission is a violation…
+        assert_eq!(
+            p.check(0x5100, AccessKind::Write),
+            MpuDecision::ViolationRegion(Some(0))
+        );
+        // …and the full jurisdiction — FRAM, SRAM *and peripherals* — is
+        // denied by default in user mode.
+        assert_eq!(
+            p.check(0x9000, AccessKind::Read),
+            MpuDecision::ViolationRegion(None)
+        );
+        assert_eq!(
+            p.check(0x1C00, AccessKind::Write),
+            MpuDecision::ViolationRegion(None)
+        );
+        assert_eq!(
+            p.check(0x0200, AccessKind::Write),
+            MpuDecision::ViolationRegion(None)
+        );
+        // The boot ROM and the vector table are policed too: nowhere in
+        // the mapped platform space escapes user-mode jurisdiction.
+        assert_eq!(
+            p.check(0x1000, AccessKind::Execute),
+            MpuDecision::ViolationRegion(None)
+        );
+        assert_eq!(
+            p.check(0xFF80, AccessKind::Write),
+            MpuDecision::ViolationRegion(None)
+        );
+        assert_eq!(p.violations, 6);
+
+        // Back to machine mode: one register write, everything permitted.
+        let writes = p.config_writes;
+        p.apply_config(&amulet_core::mpu_plan::PmpRegisterValues {
+            entries: vec![],
+            user_mode: false,
+        });
+        assert_eq!(p.config_writes - writes, 1);
+        assert!(!p.user_mode);
+        assert_eq!(p.check(0x0200, AccessKind::Write), MpuDecision::NotCovered);
+        // The entries are still programmed (machine mode just ignores
+        // them), exactly like hardware.
+        assert!(p.entries[0].enabled);
+    }
+
+    #[test]
+    fn pmp_registers_roundtrip_and_count_writes() {
+        let mut p = riscv_pmp();
+        let range = AddrRange::new(0x5000, 0x5400);
+        p.write_register(PMP_ADDR_BASE + 4, PmpEntry::encode(range));
+        p.write_register(PMP_CFG0, (Perm::RW.to_bits() | 0x8) << 8);
+        p.write_register(PMP_MODE, 1);
+        assert_eq!(p.read_register(PMP_ADDR_BASE + 4), PmpEntry::encode(range));
+        assert_eq!(p.read_register(PMP_CFG0) >> 8, Perm::RW.to_bits() | 0x8);
+        assert_eq!(p.read_register(PMP_MODE), 1);
+        assert_eq!(p.entries[2].range(), range);
+        assert_eq!(p.entries[2].perm, Perm::RW);
+        assert!(p.entries[2].enabled);
+        assert_eq!(p.config_writes, 3);
+    }
+
+    #[test]
+    fn pmp_app_config_write_count_matches_the_cost_model() {
+        // 2 pmpaddr + 1 packed pmpcfg + 1 mode toggle = 4, the figure the
+        // constraint-derived cost model charges for an app install.
+        let mut p = riscv_pmp();
+        let cfg = amulet_core::mpu_plan::PmpRegisterValues {
+            entries: vec![
+                amulet_core::mpu_plan::RegionDesc {
+                    range: AddrRange::new(0x5000, 0x5400),
+                    perm: Perm::X,
+                },
+                amulet_core::mpu_plan::RegionDesc {
+                    range: AddrRange::new(0x5400, 0x5800),
+                    perm: Perm::RW,
+                },
+            ],
+            user_mode: true,
+        };
+        p.apply_config(&cfg);
+        assert_eq!(p.config_writes, u64::from(cfg.write_count()));
+        assert_eq!(
+            cfg.write_count(),
+            amulet_core::platform::MpuModel::riscv_pmp_napot(8, 0x40).config_writes_for_app()
+        );
     }
 
     #[test]

@@ -10,7 +10,9 @@
 
 use amulet_core::addr::{Addr, AddrRange};
 use amulet_core::layout::PlatformSpec;
-use amulet_core::mpu_plan::{MpuConfig, MpuRegisterValues, RegionDesc, RegionRegisterValues};
+use amulet_core::mpu_plan::{
+    MpuConfig, MpuRegisterValues, PmpRegisterValues, RegionDesc, RegionRegisterValues,
+};
 use amulet_core::perm::Perm;
 use amulet_mcu::bus::{Bus, BusStats};
 use proptest::collection::vec;
@@ -34,6 +36,12 @@ enum Op {
     },
     /// Install a region MPU configuration.
     Region { regions: Vec<(Addr, Addr, u16)> },
+    /// Install a PMP configuration: NAPOT entries drawn as
+    /// (base bits, size exponent, perm), or the machine-mode toggle.
+    Pmp {
+        entries: Vec<(Addr, u32, u16)>,
+        user_mode: bool,
+    },
     /// Reconfigure the extended ("advanced") MPU ablation directly.
     Ext {
         segments: Vec<(Addr, Addr, u16)>,
@@ -77,6 +85,11 @@ fn op_strategy() -> impl Strategy<Value = Op> {
             }
         ),
         span(4).prop_map(|regions| Op::Region { regions }),
+        (
+            vec((addr_strategy(), 0u32..9, 0u16..8), 0..4),
+            any::<bool>()
+        )
+            .prop_map(|(entries, user_mode)| Op::Pmp { entries, user_mode }),
         (span(3), any::<bool>()).prop_map(|(segments, enabled)| Op::Ext { segments, enabled }),
         Just(Op::Reset),
     ]
@@ -121,6 +134,27 @@ fn apply(bus: &mut Bus, op: &Op) -> Result<u16, String> {
             bus.install_mpu_config(&MpuConfig::Region(RegionRegisterValues { regions }))
                 .map(|()| 0)
                 .map_err(|e| e.to_string())
+        }
+        Op::Pmp { entries, user_mode } => {
+            let entries = entries
+                .iter()
+                .map(|(base_bits, k, perm)| {
+                    // A NAPOT-valid range: power-of-two size, size-aligned
+                    // base, clamped inside the 64 KiB space.
+                    let size = 8u32 << k;
+                    let base = (base_bits & 0xFFFF & !(size - 1)).min(0x1_0000 - size);
+                    RegionDesc {
+                        range: AddrRange::from_len(base, size),
+                        perm: Perm::from_bits(*perm),
+                    }
+                })
+                .collect();
+            bus.install_mpu_config(&MpuConfig::Pmp(PmpRegisterValues {
+                entries,
+                user_mode: *user_mode,
+            }))
+            .map(|()| 0)
+            .map_err(|e| e.to_string())
         }
         Op::Ext { segments, enabled } => {
             bus.ext_mpu.enabled = *enabled;
@@ -195,6 +229,25 @@ proptest! {
     ) {
         drive(PlatformSpec::msp430fr5994(), &ops);
     }
+
+    /// Cortex-M33-class platform: the aligned-region backend with
+    /// jurisdiction over peripheral space as the oracle — the painter must
+    /// track the jurisdiction, not a hardcoded range set.
+    #[test]
+    fn cache_matches_oracle_on_the_cortex_m33_platform(
+        ops in vec(op_strategy(), 1..60),
+    ) {
+        drive(PlatformSpec::cortex_m33(), &ops);
+    }
+
+    /// RISC-V PMP platform: the NAPOT backend (full user-mode
+    /// jurisdiction, machine-mode bypass) as the oracle.
+    #[test]
+    fn cache_matches_oracle_on_the_riscv_pmp_platform(
+        ops in vec(op_strategy(), 1..60),
+    ) {
+        drive(PlatformSpec::riscv_pmp(), &ops);
+    }
 }
 
 /// Deterministic exhaustive sweep: for a handful of fixed configurations,
@@ -217,6 +270,29 @@ fn cache_matches_oracle_exhaustively() {
             PlatformSpec::msp430fr5994(),
             vec![Op::Region {
                 regions: vec![(0x5000, 0x5400, 0x4), (0x5400, 0x5800, 0x3)],
+            }],
+        ),
+        (
+            PlatformSpec::cortex_m33(),
+            vec![Op::Region {
+                regions: vec![(0x5000, 0x5400, 0x4), (0x5400, 0x5800, 0x3)],
+            }],
+        ),
+        (
+            PlatformSpec::riscv_pmp(),
+            // User mode with two NAPOT entries: everything else inside the
+            // full jurisdiction — peripherals included — is denied.
+            vec![Op::Pmp {
+                entries: vec![(0x5000, 7, 0x4), (0x5400, 7, 0x3)],
+                user_mode: true,
+            }],
+        ),
+        (
+            PlatformSpec::riscv_pmp(),
+            // Machine mode: the PMP checks nothing.
+            vec![Op::Pmp {
+                entries: vec![],
+                user_mode: false,
             }],
         ),
     ];

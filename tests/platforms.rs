@@ -27,7 +27,7 @@ fn fr5969_numbers_survive_the_platform_refactor() {
             ..
         }
     ));
-    assert!(matches!(fr5994.mpu, MpuModel::Region { regions: 8, .. }));
+    assert!(matches!(&fr5994.mpu, MpuModel::Region(c) if c.regions == 8));
 
     // The paper's Table 1 — (method, absolute mem access, absolute switch).
     let table1 = [
@@ -99,12 +99,14 @@ fn apps_run_identically_on_every_builtin_platform() {
                 .add_app(AppSource::new("Fib", src, &["main", "compute"]))
                 .build()
                 .unwrap_or_else(|e| panic!("{}: {method}: {e}", platform.name));
-            match (
-                &out.firmware.apps[0].mpu_config,
-                platform.mpu.is_region_based(),
-            ) {
-                (MpuConfig::Segmented(_), false) | (MpuConfig::Region(_), true) => {}
-                (config, _) => panic!(
+            match &out.firmware.apps[0].mpu_config {
+                MpuConfig::Segmented(_) if !platform.mpu.is_region_based() => {}
+                MpuConfig::Pmp(p) if platform.mpu.is_napot() => {
+                    assert!(p.user_mode, "{}: app config enforces", platform.name)
+                }
+                MpuConfig::Region(_)
+                    if platform.mpu.is_region_based() && !platform.mpu.is_napot() => {}
+                config => panic!(
                     "{}: firmware carries the wrong register shape: {config:?}",
                     platform.name
                 ),
@@ -239,6 +241,192 @@ fn region_mpu_registers_are_privileged_only() {
     );
     // The MPU is still enabled and still blocking.
     assert!(os.device.bus.region_mpu.enabled);
+}
+
+/// DESIGN §6 regression ("unpoliced region-MPU peripheral space"): on
+/// profiles whose MPU jurisdiction covers peripheral space (`cortex-m33`,
+/// `riscv-pmp`), a wild application write aimed at a peripheral register —
+/// including the timer block and generic peripheral backing memory —
+/// faults as an MPU violation in hardware, with no compiler-inserted check
+/// involved.  The FR5994 profile keeps the historical behaviour: its
+/// jurisdiction stops at peripherals, so the same store reaches the
+/// (harmless) generic peripheral space.
+#[test]
+fn peripheral_jurisdiction_faults_wild_peripheral_writes() {
+    let wild = r#"
+        void main(void) { }
+        int poke(int where) {
+            int *p;
+            p = where;
+            *p = 99;
+            return 1;
+        }
+    "#;
+    use amulet_iso::core::platform::{CortexM33, RiscvPmp};
+    for platform in [CortexM33.spec(), RiscvPmp.spec()] {
+        let out = Aft::for_platform(IsolationMethod::Mpu, &platform)
+            .add_app(AppSource::new("Wild", wild, &["main", "poke"]))
+            .build()
+            .unwrap();
+        // No data-pointer software checks were inserted — hardware alone
+        // polices these stores.
+        assert_eq!(
+            *out.report.apps[0]
+                .inserted_checks
+                .get("data pointer lower bound")
+                .unwrap_or(&0),
+            0,
+            "{}",
+            platform.name
+        );
+        // 0x0200: generic peripheral backing memory; 0x0340: timer block
+        // territory; plus OS data, the OS stack in SRAM, and memory above
+        // the app — every one must fault in hardware.
+        let os_data = out.memory_map.os_data.start;
+        let os_stack = out.memory_map.os_stack.end - 2;
+        let above = out.memory_map.platform.fram.end - 0x80;
+        for target in [0x0200u32, 0x0340, os_data, os_stack, above] {
+            let mut os = AmuletOs::new(out.firmware.clone());
+            os.boot();
+            let (outcome, _) = os.call_handler(0, "poke", target as u16);
+            assert!(
+                matches!(
+                    outcome,
+                    DeliveryOutcome::Faulted(amulet_iso::core::fault::FaultClass::MpuViolation)
+                ),
+                "{}: poke({target:#06x}) must fault in hardware, got {outcome:?}",
+                platform.name
+            );
+        }
+    }
+    // Contrast: the FR5994 profile's MPU stops at peripheral space, so the
+    // same peripheral store completes (the documented §6 limitation there).
+    let out = Aft::for_platform(IsolationMethod::Mpu, &Msp430Fr5994.spec())
+        .add_app(AppSource::new("Wild", wild, &["main", "poke"]))
+        .build()
+        .unwrap();
+    let mut os = AmuletOs::new(out.firmware);
+    os.boot();
+    let (outcome, _) = os.call_handler(0, "poke", 0x0200);
+    assert_eq!(outcome, DeliveryOutcome::Completed);
+}
+
+/// An application cannot sabotage the PMP: its register block is
+/// privileged (CSR-style), so storing 0 to `PMPMODE` — which would drop
+/// the device back to machine mode and disable enforcement — faults at
+/// the store, before the follow-up scribble over OS memory.
+#[test]
+fn pmp_registers_are_privileged_only() {
+    // 0x05C0 is PMP_MODE; a store of 0 would disable user-mode checking.
+    let saboteur = r#"
+        void main(void) { }
+        int sabotage(int target) {
+            int *p;
+            p = 0x05C0;
+            *p = 0;
+            p = target;
+            *p = 99;
+            return 1;
+        }
+    "#;
+    use amulet_iso::core::platform::RiscvPmp;
+    let out = Aft::for_platform(IsolationMethod::Mpu, &RiscvPmp.spec())
+        .add_app(AppSource::new("Saboteur", saboteur, &["main", "sabotage"]))
+        .build()
+        .unwrap();
+    let os_data = out.memory_map.os_data.start;
+    let mut os = AmuletOs::new(out.firmware);
+    os.boot();
+    let before = os.device.bus.read_raw(os_data, 2);
+    let (outcome, _) = os.call_handler(0, "sabotage", os_data as u16);
+    assert!(
+        matches!(outcome, DeliveryOutcome::Faulted(_)),
+        "store to PMP_MODE must fault, got {outcome:?}"
+    );
+    assert_eq!(os.device.bus.read_raw(os_data, 2), before);
+    // The fault handler restored the machine-mode (OS) configuration.
+    assert!(!os.device.bus.pmp.user_mode);
+}
+
+/// Peripheral-jurisdiction backends drop the function-pointer software
+/// check too (`CheckPolicy::for_method_on`): a corrupted code pointer
+/// cannot escape into unpoliced peripheral space there.  The FR5994
+/// profile — whose jurisdiction stops at peripherals — keeps it.
+#[test]
+fn peripheral_jurisdiction_drops_function_pointer_checks() {
+    let indirect = r#"
+        int twice(int x) { return x + x; }
+        void main(void) {
+            fnptr f;
+            f = &twice;
+            f(3);
+        }
+    "#;
+    use amulet_iso::core::platform::{CortexM33, RiscvPmp};
+    let fp_lower_checks = |platform: &amulet_iso::core::layout::PlatformSpec| {
+        let out = Aft::for_platform(IsolationMethod::Mpu, platform)
+            .add_app(AppSource::new("Indirect", indirect, &["main"]))
+            .build()
+            .unwrap();
+        *out.report.apps[0]
+            .inserted_checks
+            .get("function pointer lower bound")
+            .unwrap_or(&0)
+    };
+    assert!(fp_lower_checks(&Msp430Fr5994.spec()) > 0, "FR5994 keeps it");
+    assert_eq!(fp_lower_checks(&CortexM33.spec()), 0);
+    assert_eq!(fp_lower_checks(&RiscvPmp.spec()), 0);
+
+    // An indirect call through a *valid* pointer still works on the
+    // checkless builds.
+    for platform in [CortexM33.spec(), RiscvPmp.spec()] {
+        let out = Aft::for_platform(IsolationMethod::Mpu, &platform)
+            .add_app(AppSource::new("Indirect", indirect, &["main"]))
+            .build()
+            .unwrap();
+        let mut os = AmuletOs::new(out.firmware);
+        os.boot();
+        assert_eq!(os.faults.records.len(), 0, "{}", platform.name);
+    }
+}
+
+/// What makes dropping the function-pointer check *sound*: on the
+/// full-jurisdiction profiles a corrupted code pointer aimed at the boot
+/// ROM (or anywhere else outside the app's execute-only region) faults in
+/// hardware at the fetch — there is no unpoliced memory left to escape
+/// into.  On the FR5994 profile the same fetch would be architecturally
+/// permitted, which is exactly why that profile keeps the software check.
+#[test]
+fn corrupted_function_pointer_into_boot_rom_faults_in_hardware() {
+    let corrupt = r#"
+        void main(void) { }
+        int jump(int target) {
+            fnptr f;
+            f = target;
+            f(1);
+            return 0;
+        }
+    "#;
+    use amulet_iso::core::platform::{CortexM33, RiscvPmp};
+    for platform in [CortexM33.spec(), RiscvPmp.spec()] {
+        let out = Aft::for_platform(IsolationMethod::Mpu, &platform)
+            .add_app(AppSource::new("Corrupt", corrupt, &["main", "jump"]))
+            .build()
+            .unwrap();
+        let mut os = AmuletOs::new(out.firmware);
+        os.boot();
+        // 0x1200 is inside the boot ROM — outside every app region, and
+        // (on these profiles) inside the MPU's jurisdiction.
+        let (outcome, _) = os.call_handler(0, "jump", 0x1200);
+        assert!(
+            matches!(
+                outcome,
+                DeliveryOutcome::Faulted(amulet_iso::core::fault::FaultClass::MpuViolation)
+            ),
+            "{}: indirect call into the boot ROM must fault in hardware, got {outcome:?}",
+            platform.name
+        );
+    }
 }
 
 /// Energy models derive from each platform's own electrical parameters —
