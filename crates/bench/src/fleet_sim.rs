@@ -17,14 +17,43 @@
 //! [`TimeMode::Stepped`]: amulet_fleet::TimeMode::Stepped
 
 use crate::json::Json;
-#[cfg(test)]
-use amulet_fleet::FleetScenario;
-use amulet_fleet::{FleetReport, TimeMode};
+use amulet_fleet::{FleetAggregate, FleetReport, FleetScenario, FleetSummary, TimeMode};
 
 /// Renders the deterministic part of a fleet report as a JSON document;
 /// `wall_seconds` (when known) adds the non-deterministic timing object.
 pub fn render_json(report: &FleetReport, wall_seconds: Option<f64>) -> String {
-    let s = &report.scenario;
+    render_document(
+        &report.scenario,
+        report.workers,
+        &report.aggregate,
+        wall_seconds,
+        None,
+    )
+}
+
+/// Renders a streaming [`FleetSummary`] — the same document as
+/// [`render_json`], byte for byte, since the renderer only ever reads the
+/// scenario, the worker count and the aggregate.
+pub fn render_summary_json(summary: &FleetSummary, wall_seconds: Option<f64>) -> String {
+    render_document(
+        &summary.scenario,
+        summary.workers,
+        &summary.aggregate,
+        wall_seconds,
+        None,
+    )
+}
+
+/// The shared render core behind [`render_json`] and
+/// [`render_summary_json`]; `scaling` (when present) appends the
+/// scaling-campaign section the `--scaling` driver composes.
+pub fn render_document(
+    s: &FleetScenario,
+    workers: usize,
+    agg: &FleetAggregate,
+    wall_seconds: Option<f64>,
+    scaling: Option<Json>,
+) -> String {
     let stepped = s.time_mode == TimeMode::Stepped;
     let mut scenario = Json::obj()
         .field("name", s.name.as_str())
@@ -40,8 +69,18 @@ pub fn render_json(report: &FleetReport, wall_seconds: Option<f64>) -> String {
             scenario = scenario.field("lpm_current_override_na", u64::from(na));
         }
     }
+    // Scaling-campaign knobs render only when set, so every historical
+    // document (and its consumers) stays byte-compatible.
+    if s.silent_permille > 0 {
+        scenario = scenario.field("silent_permille", u64::from(s.silent_permille));
+    }
+    if let Some((start, len)) = s.catalog_window {
+        scenario = scenario.field(
+            "catalog_window",
+            Json::obj().field("start", start).field("len", len),
+        );
+    }
 
-    let agg = &report.aggregate;
     let policy = |p: &amulet_fleet::PolicyAggregate| {
         let mut o = Json::obj()
             .field("total_cycles", p.total_cycles)
@@ -72,7 +111,8 @@ pub fn render_json(report: &FleetReport, wall_seconds: Option<f64>) -> String {
                         .field("mean", p.delivery_latency.mean_ms)
                         .field("p50", p.delivery_latency.p50_ms)
                         .field("p99", p.delivery_latency.p99_ms)
-                        .field("max", p.delivery_latency.max_ms),
+                        .field("max", p.delivery_latency.max_ms)
+                        .field("truncated_events", p.truncated_events),
                 )
                 .field("battery_weeks_p50", p.battery_weeks_p50);
         }
@@ -153,18 +193,22 @@ pub fn render_json(report: &FleetReport, wall_seconds: Option<f64>) -> String {
         .field("scenario", scenario)
         .field("aggregate", aggregate);
     if let Some(secs) = wall_seconds {
-        let devices_per_sec = if secs > 0.0 {
-            report.scenario.devices as f64 / secs
-        } else {
-            0.0
-        };
+        // Events/second is the discrete-event headline: a mostly-silent
+        // 10⁵-device fleet does far less work per device than a dense one,
+        // and devices/second alone would hide that.
+        let events = agg.per_event.events_delivered + agg.batched.events_delivered;
+        let rate = |n: f64| if secs > 0.0 { n / secs } else { 0.0 };
         doc = doc.field(
             "timing",
             Json::obj()
-                .field("workers", report.workers)
+                .field("workers", workers)
                 .field("wall_seconds", secs)
-                .field("devices_per_second", devices_per_sec),
+                .field("devices_per_second", rate(s.devices as f64))
+                .field("events_per_second", rate(events as f64)),
         );
+    }
+    if let Some(scaling) = scaling {
+        doc = doc.field("scaling", scaling);
     }
     doc.render()
 }
@@ -232,9 +276,48 @@ mod tests {
             "battery_weeks_p50",
             "latency_vs_batching",
             "lpm_current_override_na",
+            "silent_permille",
+            "catalog_window",
+            "truncated_events",
+            "scaling",
         ] {
             assert!(!text.contains(absent), "{absent} leaked into arrival-order");
         }
+    }
+
+    #[test]
+    fn summary_renders_the_same_document_as_the_materialised_report() {
+        let scenario = FleetScenario {
+            time_mode: amulet_fleet::TimeMode::Stepped,
+            silent_permille: 400,
+            catalog_window: Some((2, 4)),
+            ..tiny()
+        };
+        let report = render_json(&simulate(&scenario, 2), None);
+        let summary = render_summary_json(&amulet_fleet::simulate_summary(&scenario, 2), None);
+        assert_eq!(report, summary);
+        for needle in [
+            "\"silent_permille\": 400",
+            "\"catalog_window\"",
+            "\"truncated_events\"",
+        ] {
+            assert!(report.contains(needle), "missing {needle}");
+        }
+    }
+
+    #[test]
+    fn scaling_section_renders_when_provided() {
+        let report = simulate(&tiny(), 1);
+        let text = render_document(
+            &report.scenario,
+            report.workers,
+            &report.aggregate,
+            Some(1.0),
+            Some(Json::obj().field("speedup_vs_extrapolated_linear_at_1e5", 50.0)),
+        );
+        assert!(text.contains("\"scaling\""));
+        assert!(text.contains("\"events_per_second\""));
+        assert!(text.contains("speedup_vs_extrapolated_linear_at_1e5"));
     }
 
     #[test]

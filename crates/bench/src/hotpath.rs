@@ -129,7 +129,7 @@ fn microbench_device() -> (Device, InstrStore) {
 pub fn run_microbench(steps: u64, attr_cache: bool) -> MicrobenchResult {
     let (mut dev, code) = microbench_device();
     dev.bus.set_attr_cache_enabled(attr_cache);
-    dev.code = code;
+    dev.code = std::sync::Arc::new(code);
     // Warm up (resolves the attribute table outside the timed region).
     assert!(dev.bus.check_execute(0x4400).is_ok());
     let started = Instant::now();
@@ -153,8 +153,8 @@ pub fn verify_equivalence(steps: u64) -> bool {
     let (mut cached, code) = microbench_device();
     let (mut direct, code2) = microbench_device();
     direct.bus.set_attr_cache_enabled(false);
-    cached.code = code;
-    direct.code = code2;
+    cached.code = std::sync::Arc::new(code);
+    direct.code = std::sync::Arc::new(code2);
     for addr in (0u32..0x1_0000).step_by(64) {
         for kind in [AccessKind::Read, AccessKind::Write, AccessKind::Execute] {
             let a = match kind {

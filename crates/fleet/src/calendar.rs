@@ -1,0 +1,277 @@
+//! The discrete-event fleet core: a wake calendar over device blocks.
+//!
+//! PR 4's stepped mode proved fleet devices sleep ~99.99 % of virtual
+//! time, yet the linear walk still paid O(devices) per unit of virtual
+//! time.  This module restructures the stepped runner around the classic
+//! discrete-event shape — work happens only where events are:
+//!
+//! - **Wake calendar.**  Within a block, devices are grouped by firmware
+//!   configuration and each group enters a priority queue keyed by the
+//!   earliest *next-wake* time among its members (the first trace
+//!   arrival; silent devices have no arrivals and sort last).  The runner
+//!   pops the earliest wake, advances the woken devices' virtual clocks
+//!   through the existing `pump_counted`/`flush_counted` machinery (each
+//!   trace arrival is that device's next calendar entry; the LPM idle
+//!   accounting between arrivals is unchanged), and retires the group.
+//!   Fleet devices are causally independent — no event ever crosses from
+//!   one device to another — so running a woken device to completion is
+//!   result-identical to fine-grained interleaving, and the coarse grain
+//!   is what lets one booted runtime serve a whole group through
+//!   [`AmuletOs::reset`].
+//!
+//! - **Block sharding.**  Devices are partitioned into fixed
+//!   [`BLOCK_SIZE`] index blocks; workers claim blocks from a shared
+//!   atomic counter and results are merged **in block order** on the
+//!   calling thread.  The block grid never depends on the worker count,
+//!   and every per-device result is a pure function of the scenario, so
+//!   any worker count produces byte-identical reports — the guarantee CI
+//!   asserts at 10⁴ devices, 1 vs 8 workers.
+//!
+//! - **Silent-device outcome cache.**  A mostly-idle fleet is dominated
+//!   by devices whose campaign trace is empty
+//!   ([`FleetScenario::silent_permille`]).  Such a device still boots and
+//!   flushes — but if its whole two-leg run performs **zero sensor-model
+//!   reads** (every sensor-backed syscall, `amulet_get_time` included,
+//!   advances the model's tick counter), the outcome provably cannot
+//!   depend on the device's `sensor_seed`, because the seed influences
+//!   execution only through a read.  The first silent device of a config
+//!   is simulated as the probe; when the proof holds, every later silent
+//!   device of that config reuses the outcome with only the index
+//!   patched.  When it does not (an app samples sensors at boot or in the
+//!   final flush), the cache records the refusal and every silent device
+//!   of that config is simulated individually — slower, never wrong.
+//!
+//! - **Shared firmware.**  Distinct configurations are built once into a
+//!   process-wide `RwLock<HashMap<_, Arc<Firmware>>>`; builds happen
+//!   outside the lock (a racing duplicate build produces an identical
+//!   image and is dropped), and runtimes share the image by reference.
+
+use crate::run::{build_firmware, device_trace, simulate_device, DeviceResult};
+use crate::scenario::{ConfigContext, DeviceConfig, FleetScenario};
+use amulet_mcu::firmware::Firmware;
+use amulet_os::events::DeliveryPolicy;
+use amulet_os::os::{AmuletOs, OsOptions};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Devices per scheduling block.  Fixed — never derived from the worker
+/// count — so the block grid, and therefore every block-local decision,
+/// is identical no matter how many workers claim blocks.
+pub(crate) const BLOCK_SIZE: usize = 1024;
+
+/// Lazily-built, process-wide cache of firmware images, one per distinct
+/// configuration key.
+#[derive(Default)]
+struct FirmwareStore {
+    images: RwLock<HashMap<String, Arc<Firmware>>>,
+}
+
+impl FirmwareStore {
+    fn get_or_build(&self, key: &str, cfg: &DeviceConfig) -> Arc<Firmware> {
+        if let Some(fw) = self
+            .images
+            .read()
+            .expect("firmware store poisoned")
+            .get(key)
+        {
+            return Arc::clone(fw);
+        }
+        // Build outside the lock: two workers may race to build the same
+        // key, but the images are identical (a pure function of the
+        // config) and the loser's build is simply dropped.
+        let built = build_firmware(key, cfg);
+        let mut images = self.images.write().expect("firmware store poisoned");
+        Arc::clone(images.entry(key.to_string()).or_insert(built))
+    }
+}
+
+/// A device waiting on the block's wake calendar.
+struct Pending {
+    cfg: DeviceConfig,
+    trace: Vec<amulet_apps::TraceEvent>,
+    /// Virtual time of the device's first wake (its first trace arrival);
+    /// `u64::MAX` for devices with no arrivals at all.
+    first_wake_ms: u64,
+}
+
+/// Per-worker state that persists across the blocks a worker claims.
+struct Worker<'a> {
+    scenario: &'a FleetScenario,
+    store: &'a FirmwareStore,
+    ctx: ConfigContext,
+    /// The one live runtime, tagged with its firmware key; re-created
+    /// only when the key changes (the expensive parts — 64 KiB memory,
+    /// attribute tables, API tables — are rebuilt then, never per
+    /// device).
+    runtime: Option<(String, AmuletOs)>,
+    /// Silent-device outcome cache: `Some(template)` when the draw-free
+    /// proof held for this config's probe, `None` when it did not and
+    /// silent devices must be simulated individually.
+    silent_cache: HashMap<String, Option<DeviceResult>>,
+}
+
+impl<'a> Worker<'a> {
+    fn new(scenario: &'a FleetScenario, store: &'a FirmwareStore) -> Self {
+        Worker {
+            scenario,
+            store,
+            ctx: ConfigContext::new(),
+            runtime: None,
+            silent_cache: HashMap::new(),
+        }
+    }
+
+    fn runtime_for(&mut self, key: &str, cfg: &DeviceConfig) -> &mut AmuletOs {
+        let hit = matches!(&self.runtime, Some((k, _)) if k == key);
+        if !hit {
+            let firmware = self.store.get_or_build(key, cfg);
+            let os = AmuletOs::with_options_shared(
+                firmware,
+                OsOptions {
+                    sensor_seed: cfg.sensor_seed,
+                    delivery: DeliveryPolicy::PerEvent,
+                    ..OsOptions::default()
+                },
+            );
+            self.runtime = Some((key.to_string(), os));
+        }
+        &mut self.runtime.as_mut().expect("runtime just installed").1
+    }
+
+    /// Simulates one pending device, probing or consulting the silent
+    /// cache as appropriate.
+    fn run_pending(&mut self, key: &str, p: &Pending) -> DeviceResult {
+        let scenario = self.scenario;
+        if p.cfg.silent {
+            // The cache may have been decided since the block was
+            // planned — by an earlier member of this very group.
+            if let Some(Some(template)) = self.silent_cache.get(key) {
+                let mut r = template.clone();
+                r.index = p.cfg.index;
+                return r;
+            }
+            let undecided = !self.silent_cache.contains_key(key);
+            let os = self.runtime_for(key, &p.cfg);
+            let sim = simulate_device(scenario, &p.cfg, os, &p.trace);
+            if undecided {
+                let template = (sim.sensor_draws == 0).then(|| sim.result.clone());
+                self.silent_cache.insert(key.to_string(), template);
+            }
+            sim.result
+        } else {
+            let os = self.runtime_for(key, &p.cfg);
+            simulate_device(scenario, &p.cfg, os, &p.trace).result
+        }
+    }
+
+    /// Runs device indices `lo..hi` through the wake calendar and returns
+    /// their results sorted by device index.
+    fn run_block(&mut self, lo: usize, hi: usize) -> Vec<DeviceResult> {
+        let mut results = Vec::with_capacity(hi - lo);
+        // Plan the block: derive configs, resolve trivially-cached silent
+        // devices immediately, queue the rest on the calendar grouped by
+        // firmware config.
+        let mut groups: BTreeMap<String, Vec<Pending>> = BTreeMap::new();
+        for index in lo..hi {
+            let cfg = self.scenario.device_config_in(&self.ctx, index);
+            let key = cfg.firmware_key();
+            if cfg.silent {
+                if let Some(Some(template)) = self.silent_cache.get(&key) {
+                    let mut r = template.clone();
+                    r.index = index;
+                    results.push(r);
+                    continue;
+                }
+                groups.entry(key).or_default().push(Pending {
+                    cfg,
+                    trace: Vec::new(),
+                    first_wake_ms: u64::MAX,
+                });
+            } else {
+                let trace = device_trace(self.scenario, &cfg);
+                let first_wake_ms = trace.first().map(|e| e.at_ms).unwrap_or(u64::MAX);
+                groups.entry(key).or_default().push(Pending {
+                    cfg,
+                    trace,
+                    first_wake_ms,
+                });
+            }
+        }
+        // The calendar: groups keyed by their earliest member wake.
+        let mut calendar: BinaryHeap<Reverse<(u64, String)>> = groups
+            .iter()
+            .map(|(key, members)| {
+                let wake = members
+                    .iter()
+                    .map(|p| p.first_wake_ms)
+                    .min()
+                    .unwrap_or(u64::MAX);
+                Reverse((wake, key.clone()))
+            })
+            .collect();
+        while let Some(Reverse((_, key))) = calendar.pop() {
+            let mut members = groups.remove(&key).expect("group scheduled twice");
+            members.sort_by_key(|p| (p.first_wake_ms, p.cfg.index));
+            for p in &members {
+                results.push(self.run_pending(&key, p));
+            }
+        }
+        results.sort_by_key(|r| r.index);
+        results
+    }
+}
+
+/// Runs the scenario's device blocks across `workers` scoped threads and
+/// folds each finished block through `fold` on the worker that ran it;
+/// the folded values are returned **in block order** regardless of which
+/// worker claimed which block.  `fold` receives `(block_index, results)`
+/// with the results sorted by device index.
+pub(crate) fn collect_blocks<R, F>(scenario: &FleetScenario, workers: usize, fold: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize, Vec<DeviceResult>) -> R + Sync,
+{
+    let blocks = scenario.devices.div_ceil(BLOCK_SIZE);
+    let workers = workers.max(1).min(blocks.max(1));
+    let store = FirmwareStore::default();
+    let next = AtomicUsize::new(0);
+    let mut tagged: Vec<(usize, R)> = Vec::with_capacity(blocks);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..workers {
+            let (store, next, fold) = (&store, &next, &fold);
+            handles.push(scope.spawn(move || {
+                let mut worker = Worker::new(scenario, store);
+                let mut out = Vec::new();
+                loop {
+                    let block = next.fetch_add(1, Ordering::Relaxed);
+                    if block >= blocks {
+                        break;
+                    }
+                    let lo = block * BLOCK_SIZE;
+                    let hi = ((block + 1) * BLOCK_SIZE).min(scenario.devices);
+                    out.push((block, fold(block, worker.run_block(lo, hi))));
+                }
+                out
+            }));
+        }
+        for h in handles {
+            tagged.extend(h.join().expect("fleet worker panicked"));
+        }
+    });
+    tagged.sort_by_key(|&(block, _)| block);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Materialises every device's result in device order — the
+/// discrete-event replacement for the linear walk's device vector.
+pub(crate) fn simulate_devices(scenario: &FleetScenario, workers: usize) -> Vec<DeviceResult> {
+    let blocks = collect_blocks(scenario, workers, |_, results| results);
+    let mut devices = Vec::with_capacity(scenario.devices);
+    for block in blocks {
+        devices.extend(block);
+    }
+    devices
+}

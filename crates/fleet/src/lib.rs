@@ -28,6 +28,16 @@
 //! Determinism is a hard guarantee: the report (aggregates included) is a
 //! pure function of the scenario, regardless of worker count or machine.
 //!
+//! Stepped scenarios run on the **discrete-event wake calendar**
+//! (`calendar` module): devices are sharded into fixed blocks that
+//! workers claim from a shared counter, each block's devices wake in
+//! next-event order, silent devices are served from a provably-sound
+//! per-config outcome cache, and results merge in block order — which is
+//! how 10⁵–10⁶-device campaigns stay tractable.  [`simulate_linear`]
+//! keeps the original linear walk as the property-tested oracle, and
+//! [`simulate_summary`] runs whole campaigns without materialising
+//! per-device results (streaming aggregation, bounded memory).
+//!
 //! ```
 //! use amulet_fleet::{simulate, FleetScenario};
 //!
@@ -48,13 +58,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod calendar;
 pub mod run;
 pub mod scenario;
 pub mod stats;
 
-pub use run::{simulate, DeviceResult, FleetReport, PolicyOutcome};
-pub use scenario::{DeviceConfig, FleetScenario, TimeMode};
+pub use run::{
+    simulate, simulate_linear, simulate_summary, DeviceResult, FleetReport, FleetSummary,
+    PolicyOutcome,
+};
+pub use scenario::{ConfigContext, DeviceConfig, FleetScenario, TimeMode};
 pub use stats::{
-    EnergyStats, FleetAggregate, LatencyStats, PolicyAggregate, ProfileHistogram,
+    BlockSummary, EnergyStats, FleetAggregate, LatencyStats, PolicyAggregate, ProfileHistogram,
     BATTERY_IMPACT_BUCKET_EDGES,
 };

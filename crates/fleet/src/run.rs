@@ -13,6 +13,7 @@ use amulet_mcu::firmware::Firmware;
 use amulet_os::events::{DeliveryPolicy, Event, EventKind};
 use amulet_os::os::{AmuletOs, OsOptions};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// What one device did under one delivery policy.
 ///
@@ -54,6 +55,13 @@ pub struct PolicyOutcome {
     /// long-run average power draw ((active + idle energy) / virtual
     /// time) against the Amulet battery.
     pub battery_weeks: f64,
+    /// Stamped trace events still queued when the trace horizon ended
+    /// ([`TimeMode::Stepped`] only).  The final flush delivers them, but
+    /// their latency is an artefact of where the finite trace stops — a
+    /// longer trace would have seen them delivered when the next batch
+    /// formed — so they are counted here instead of being folded into the
+    /// latency population (DESIGN §6).
+    pub truncated_events: u64,
 }
 
 impl PolicyOutcome {
@@ -142,8 +150,11 @@ struct SteppedRun {
     /// handler's executed-cycle time + every inter-event idle gap.
     virtual_seconds: f64,
     /// Delivery latency of each dispatched trace event, in virtual
-    /// milliseconds, in dispatch order.
+    /// milliseconds, in dispatch order.  Events the final flush delivered
+    /// are excluded (they are `truncated_events`).
     latencies_ms: Vec<f64>,
+    /// Stamped events the final flush delivered after the trace horizon.
+    truncated_events: u64,
 }
 
 /// Replays a trace under a virtual clock.
@@ -197,9 +208,13 @@ fn run_trace_stepped(
         harvest(os, &mut cursor, now_s, start_cycles);
         now_s += energy.cycles_to_seconds(pump_cycles);
     }
-    let start_cycles = os.total_cycles();
+    // The final flush delivers whatever the batching policy still held
+    // when the trace ran out.  Those deliveries only happen *here* because
+    // the trace is finite — their latency measures the horizon, not the
+    // policy — so they are counted as truncated instead of being joined
+    // into the latency samples.
     let (_, flush_cycles) = os.flush_counted();
-    harvest(os, &mut cursor, now_s, start_cycles);
+    let truncated_events = (os.delivery_log.len() - cursor) as u64;
     now_s += energy.cycles_to_seconds(flush_cycles);
     debug_assert!(
         now_s * 1000.0 >= amulet_apps::traces::span_ms(trace) as f64,
@@ -208,6 +223,7 @@ fn run_trace_stepped(
     SteppedRun {
         virtual_seconds: now_s,
         latencies_ms,
+        truncated_events,
     }
 }
 
@@ -229,6 +245,7 @@ fn collect(os: &AmuletOs, energy: &EnergyModel, stepped: Option<&SteppedRun>) ->
         virtual_seconds: 0.0,
         active_seconds: 0.0,
         battery_weeks: 0.0,
+        truncated_events: 0,
     };
     for s in &os.stats {
         out.switch_cycles += s.switch_cycles;
@@ -242,6 +259,7 @@ fn collect(os: &AmuletOs, energy: &EnergyModel, stepped: Option<&SteppedRun>) ->
     }
     out.energy_joules = energy.cycles_to_joules(out.total_cycles);
     if let Some(run) = stepped {
+        out.truncated_events = run.truncated_events;
         out.virtual_seconds = run.virtual_seconds;
         out.active_seconds = energy.cycles_to_seconds(out.total_cycles);
         out.idle_joules = energy.idle_joules(run.virtual_seconds - out.active_seconds);
@@ -251,6 +269,30 @@ fn collect(os: &AmuletOs, energy: &EnergyModel, stepped: Option<&SteppedRun>) ->
         }
     }
     out
+}
+
+/// Generates device `cfg`'s event-arrival trace — empty for silent
+/// devices.
+pub(crate) fn device_trace(
+    scenario: &FleetScenario,
+    cfg: &DeviceConfig,
+) -> Vec<amulet_apps::TraceEvent> {
+    match scenario.events_for(cfg) {
+        0 => Vec::new(),
+        n => amulet_apps::traces::generate(&cfg.apps, cfg.trace_seed, n),
+    }
+}
+
+/// A [`DeviceResult`] plus the evidence the discrete-event runner's
+/// outcome cache needs: how many sensor-model reads the two legs
+/// performed in total.  The sensor seed can only influence a run through
+/// a read (every sensor-backed syscall advances the model), so
+/// `sensor_draws == 0` proves the result is identical for every
+/// `sensor_seed` — the soundness condition for reusing one simulated
+/// outcome across a firmware config's silent devices.
+pub(crate) struct SimulatedDevice {
+    pub(crate) result: DeviceResult,
+    pub(crate) sensor_draws: u64,
 }
 
 /// Simulates one device on a (possibly reused) runtime: the same firmware
@@ -267,35 +309,40 @@ fn collect(os: &AmuletOs, energy: &EnergyModel, stepped: Option<&SteppedRun>) ->
 /// replayed run is bit-identical to a fresh runtime's, so results do not
 /// depend on which devices shared a runtime (the worker-count determinism
 /// test pins this down end to end).
-fn simulate_device(
+pub(crate) fn simulate_device(
     scenario: &FleetScenario,
     cfg: &DeviceConfig,
     os: &mut AmuletOs,
-) -> DeviceResult {
-    let trace =
-        amulet_apps::traces::generate(&cfg.apps, cfg.trace_seed, scenario.events_per_device);
+    trace: &[amulet_apps::TraceEvent],
+) -> SimulatedDevice {
     let mut energy = EnergyModel::for_platform(&cfg.platform);
     if let Some(na) = scenario.lpm_current_override_na {
         energy.lpm_current_a = na as f64 / 1e9;
     }
     // One leg under one delivery policy: arrival-order runs replay the
     // trace untimed; stepped runs replay the identical schedule under the
-    // virtual clock and harvest latencies on the side.
-    let leg = |os: &mut AmuletOs, policy: DeliveryPolicy| -> (PolicyOutcome, Vec<f64>) {
+    // virtual clock and harvest latencies on the side.  Alongside the
+    // outcome, each leg reports how many sensor-model reads it performed —
+    // `AmuletOs::reset` zeroes the counter, and every sensor-backed
+    // syscall (including `amulet_get_time`) advances it.
+    let mut sensor_draws = 0u64;
+    let mut leg = |os: &mut AmuletOs, policy: DeliveryPolicy| -> (PolicyOutcome, Vec<f64>) {
         os.reset();
         os.set_delivery_policy(policy);
         os.boot();
-        match scenario.time_mode {
+        let out = match scenario.time_mode {
             TimeMode::ArrivalOrder => {
-                run_trace(os, &trace);
+                run_trace(os, trace);
                 (collect(os, &energy, None), Vec::new())
             }
             TimeMode::Stepped => {
-                let run = run_trace_stepped(os, &trace, &energy);
+                let run = run_trace_stepped(os, trace, &energy);
                 let outcome = collect(os, &energy, Some(&run));
                 (outcome, run.latencies_ms)
             }
-        }
+        };
+        sensor_draws += os.services.sensors.ticks;
+        out
     };
 
     os.set_sensor_seed(cfg.sensor_seed);
@@ -314,28 +361,33 @@ fn simulate_device(
         })
         .collect();
 
-    DeviceResult {
-        index: cfg.index,
-        platform: cfg.platform.name.clone(),
-        method: cfg.method,
-        app_names: cfg.apps.iter().map(|a| a.name.to_string()).collect(),
-        per_event,
-        batched,
-        battery_impacts,
-        per_event_latencies_ms,
-        batched_latencies_ms,
+    SimulatedDevice {
+        result: DeviceResult {
+            index: cfg.index,
+            platform: cfg.platform.name.clone(),
+            method: cfg.method,
+            app_names: cfg.apps.iter().map(|a| a.name.to_string()).collect(),
+            per_event,
+            batched,
+            battery_impacts,
+            per_event_latencies_ms,
+            batched_latencies_ms,
+        },
+        sensor_draws,
     }
 }
 
 /// Builds one device configuration's firmware image.
-fn build_firmware(key: &str, cfg: &DeviceConfig) -> Firmware {
+pub(crate) fn build_firmware(key: &str, cfg: &DeviceConfig) -> Arc<Firmware> {
     let mut aft = Aft::for_platform(cfg.method, &cfg.platform);
     for app in &cfg.apps {
         aft = aft.add_app(app.app_source());
     }
-    aft.build()
-        .unwrap_or_else(|e| panic!("fleet firmware build failed for {key}: {e}"))
-        .firmware
+    Arc::new(
+        aft.build()
+            .unwrap_or_else(|e| panic!("fleet firmware build failed for {key}: {e}"))
+            .firmware,
+    )
 }
 
 /// Fans `items` out across up to `workers` scoped threads in contiguous
@@ -373,7 +425,10 @@ where
 /// contiguous chunks, built in parallel, and merged back in config order —
 /// each image is a pure function of its configuration, so the resulting
 /// cache is identical for every worker count.
-fn build_firmware_cache(configs: &[DeviceConfig], workers: usize) -> BTreeMap<String, Firmware> {
+fn build_firmware_cache(
+    configs: &[DeviceConfig],
+    workers: usize,
+) -> BTreeMap<String, Arc<Firmware>> {
     let mut distinct: Vec<(String, &DeviceConfig)> = Vec::new();
     let mut seen = std::collections::BTreeSet::new();
     for cfg in configs {
@@ -394,11 +449,72 @@ fn build_firmware_cache(configs: &[DeviceConfig], workers: usize) -> BTreeMap<St
 /// Runs the whole scenario on `workers` threads.
 ///
 /// Determinism guarantee: every field of the returned [`FleetReport`]
-/// except `workers` is a pure function of the scenario.  Devices are
-/// partitioned into contiguous index ranges, each device is simulated
-/// independently, and both the result vector and the aggregate reduction
-/// are assembled in device order on the calling thread.
+/// except `workers` is a pure function of the scenario.
+///
+/// [`TimeMode::ArrivalOrder`] scenarios run the linear walk
+/// ([`simulate_linear`]); [`TimeMode::Stepped`] scenarios run the
+/// discrete-event wake calendar, which produces
+/// bit-identical `DeviceResult`s (the equivalence property test pins
+/// this) while skipping the devices that are asleep — the fleet's
+/// dominant state.
 pub fn simulate(scenario: &FleetScenario, workers: usize) -> FleetReport {
+    match scenario.time_mode {
+        TimeMode::ArrivalOrder => simulate_linear(scenario, workers),
+        TimeMode::Stepped => {
+            let devices = crate::calendar::simulate_devices(scenario, workers);
+            let aggregate = aggregate(&devices);
+            FleetReport {
+                scenario: scenario.clone(),
+                workers: workers.max(1).min(scenario.devices.max(1)),
+                devices,
+                aggregate,
+            }
+        }
+    }
+}
+
+/// A fleet run reduced on the fly: the scenario and the aggregate, with
+/// no per-device result vector.  This is how 10⁵–10⁶-device campaigns
+/// run in bounded memory — workers fold each finished device block into a
+/// [`crate::stats::BlockSummary`] and the summaries merge in block order,
+/// so every aggregate field is still a pure function of the scenario.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FleetSummary {
+    /// The scenario that was simulated.
+    pub scenario: FleetScenario,
+    /// Worker threads used (does not affect the aggregate).
+    pub workers: usize,
+    /// The aggregate statistics.
+    pub aggregate: FleetAggregate,
+}
+
+/// Runs the whole scenario on `workers` threads through the
+/// discrete-event calendar and streaming aggregation, materialising block
+/// summaries instead of per-device results.  Works in both time modes.
+///
+/// For fleets that fit one scheduling block (and whose latency-sample
+/// count fits the sketch) the aggregate is identical to
+/// [`simulate`]'s; beyond that, delivery-latency mean/p50/p99 become
+/// deterministic uniform-sample estimates (see
+/// [`crate::stats::BlockSummary`]) while every other field stays exact.
+pub fn simulate_summary(scenario: &FleetScenario, workers: usize) -> FleetSummary {
+    let blocks = crate::calendar::collect_blocks(scenario, workers, |_, devices| {
+        crate::stats::BlockSummary::from_devices(&devices)
+    });
+    FleetSummary {
+        scenario: scenario.clone(),
+        workers: workers.max(1).min(scenario.devices.max(1)),
+        aggregate: crate::stats::reduce_blocks(&blocks),
+    }
+}
+
+/// The original linear walk: every device's trace is replayed
+/// front-to-back, devices are partitioned into contiguous index ranges,
+/// and both the result vector and the aggregate reduction are assembled
+/// in device order on the calling thread.  Kept (and exported) as the
+/// reference oracle the discrete-event runner is property-tested against,
+/// and as the baseline the scaling bench extrapolates from.
+pub fn simulate_linear(scenario: &FleetScenario, workers: usize) -> FleetReport {
     let configs: Vec<DeviceConfig> = (0..scenario.devices)
         .map(|i| scenario.device_config(i))
         .collect();
@@ -421,8 +537,8 @@ pub fn simulate(scenario: &FleetScenario, workers: usize) -> FleetReport {
             let os = match &mut sim {
                 Some((k, os)) if *k == key => os,
                 _ => {
-                    let fresh = AmuletOs::with_options(
-                        cache[&key].clone(),
+                    let fresh = AmuletOs::with_options_shared(
+                        Arc::clone(&cache[&key]),
                         OsOptions {
                             sensor_seed: cfg.sensor_seed,
                             delivery: DeliveryPolicy::PerEvent,
@@ -432,7 +548,8 @@ pub fn simulate(scenario: &FleetScenario, workers: usize) -> FleetReport {
                     &mut sim.insert((key, fresh)).1
                 }
             };
-            results.push(simulate_device(scenario, cfg, os));
+            let trace = device_trace(scenario, cfg);
+            results.push(simulate_device(scenario, cfg, os, &trace).result);
         }
         results
     });

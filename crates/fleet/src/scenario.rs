@@ -67,6 +67,21 @@ pub struct FleetScenario {
     /// the test suite asserts does — reproduce the arrival-order energy
     /// numbers exactly.
     pub lpm_current_override_na: Option<u32>,
+    /// Per-mille of devices whose trace is empty for the whole campaign
+    /// (no sensor wore, no subscription fired): a realistic fleet is
+    /// mostly idle.  Silent devices still boot, arm their timers and
+    /// subscriptions, and pay the final batch flush — they are simulated,
+    /// not skipped — but the discrete-event runner can serve them from a
+    /// per-config outcome cache when the run provably never samples the
+    /// device's seeded sensors.  `0` (the default) reproduces every
+    /// historical report byte for byte.
+    pub silent_permille: u16,
+    /// Restricts the app-mix draw to a window `(start, len)` of the
+    /// nine-app catalogue.  `None` (the default) draws from the whole
+    /// catalogue and is arithmetically identical to the historical
+    /// derivation; the scaling preset uses a subscription-only window so
+    /// silent devices are provably sensor-free.
+    pub catalog_window: Option<(usize, usize)>,
 }
 
 impl Default for FleetScenario {
@@ -84,6 +99,8 @@ impl Default for FleetScenario {
             max_latency_events: 12,
             time_mode: TimeMode::ArrivalOrder,
             lpm_current_override_na: None,
+            silent_permille: 0,
+            catalog_window: None,
         }
     }
 }
@@ -103,6 +120,9 @@ pub struct DeviceConfig {
     pub trace_seed: u64,
     /// Seed of the device's synthetic sensors.
     pub sensor_seed: u32,
+    /// Whether this device's campaign trace is empty (see
+    /// [`FleetScenario::silent_permille`]).
+    pub silent: bool,
 }
 
 impl DeviceConfig {
@@ -111,6 +131,32 @@ impl DeviceConfig {
     pub fn firmware_key(&self) -> String {
         let apps: Vec<&str> = self.apps.iter().map(|a| a.name).collect();
         format!("{}|{}|{}", self.platform.name, self.method, apps.join("+"))
+    }
+}
+
+/// Pre-resolved immutable inputs to [`FleetScenario::device_config`]: the
+/// platform list and the app catalogue both allocate on every call, which
+/// is invisible at 10³ devices and dominant at 10⁶.  Build one context per
+/// worker and derive through [`FleetScenario::device_config_in`].
+#[derive(Clone, Debug)]
+pub struct ConfigContext {
+    platforms: Vec<PlatformSpec>,
+    catalog: Vec<CatalogApp>,
+}
+
+impl ConfigContext {
+    /// Resolves the built-in platforms and the app catalogue once.
+    pub fn new() -> Self {
+        ConfigContext {
+            platforms: builtin_platforms(),
+            catalog: amulet_apps::catalog(),
+        }
+    }
+}
+
+impl Default for ConfigContext {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -136,25 +182,79 @@ impl FleetScenario {
     /// Derives the configuration of device `index` — a pure function of
     /// `(self.seed, index)`.
     pub fn device_config(&self, index: usize) -> DeviceConfig {
+        self.device_config_in(&ConfigContext::new(), index)
+    }
+
+    /// [`FleetScenario::device_config`] against a pre-built
+    /// [`ConfigContext`] — identical output, none of the per-call
+    /// catalogue/platform allocation.
+    pub fn device_config_in(&self, ctx: &ConfigContext, index: usize) -> DeviceConfig {
         let mut state = self.seed ^ (index as u64).wrapping_mul(0xA076_1D64_78BD_642F);
-        let platforms = builtin_platforms();
         let platform =
-            platforms[(splitmix64(&mut state) % platforms.len() as u64) as usize].clone();
+            ctx.platforms[(splitmix64(&mut state) % ctx.platforms.len() as u64) as usize].clone();
         let method = IsolationMethod::ALL
             [(splitmix64(&mut state) % IsolationMethod::ALL.len() as u64) as usize];
-        let catalog = amulet_apps::catalog();
+        let catalog = &ctx.catalog;
         let mix = 1 + (splitmix64(&mut state) % self.max_apps_per_device.max(1) as u64) as usize;
-        let start = (splitmix64(&mut state) % catalog.len() as u64) as usize;
-        let apps: Vec<CatalogApp> = (0..mix.min(catalog.len()))
-            .map(|k| catalog[(start + k) % catalog.len()].clone())
+        // The window draw: with no window, `(wstart, wlen)` spans the whole
+        // catalogue and the arithmetic below reduces to the historical
+        // full-catalogue derivation bit for bit.
+        let (wstart, wlen) = match self.catalog_window {
+            Some((s, l)) => {
+                let s = s.min(catalog.len().saturating_sub(1));
+                (s, l.clamp(1, catalog.len() - s))
+            }
+            None => (0, catalog.len()),
+        };
+        let start = (splitmix64(&mut state) % wlen as u64) as usize;
+        let apps: Vec<CatalogApp> = (0..mix.min(wlen))
+            .map(|k| catalog[wstart + (start + k) % wlen].clone())
             .collect();
+        let trace_seed = splitmix64(&mut state);
+        let sensor_seed = splitmix64(&mut state) as u32;
+        // Appended draw: scenarios with `silent_permille == 0` consume the
+        // same draws as they always did.
+        let silent =
+            self.silent_permille > 0 && splitmix64(&mut state) % 1000 < self.silent_permille as u64;
         DeviceConfig {
             index,
             platform,
             method,
             apps,
-            trace_seed: splitmix64(&mut state),
-            sensor_seed: splitmix64(&mut state) as u32,
+            trace_seed,
+            sensor_seed,
+            silent,
+        }
+    }
+
+    /// Number of trace events device `cfg` replays: zero for silent
+    /// devices, the scenario's `events_per_device` otherwise.
+    pub fn events_for(&self, cfg: &DeviceConfig) -> usize {
+        if cfg.silent {
+            0
+        } else {
+            self.events_per_device
+        }
+    }
+
+    /// The large-N scaling-campaign preset used by the tracked scaling
+    /// bench and the CI discrete-event smoke: a mostly-silent stepped
+    /// fleet (80 % of devices never see an event) drawn from the
+    /// subscription-only window of the catalogue — FallDetection, HR,
+    /// HRLog, Pedometer — whose `main` handlers only subscribe, so a
+    /// silent device's whole run provably never touches the seeded
+    /// sensors and the discrete-event runner may reuse one simulated
+    /// outcome per firmware config.
+    pub fn scaling(devices: usize) -> Self {
+        FleetScenario {
+            name: "scaling-campaign".to_string(),
+            seed: 0x5CA1E,
+            devices,
+            events_per_device: 6,
+            time_mode: TimeMode::Stepped,
+            silent_permille: 800,
+            catalog_window: Some((2, 4)),
+            ..FleetScenario::default()
         }
     }
 }
@@ -194,6 +294,49 @@ mod tests {
         assert_eq!(platforms.len(), 5, "all five built-in platforms appear");
         assert_eq!(methods.len(), 4);
         assert_eq!(sizes, [1, 2, 3].into_iter().collect());
+    }
+
+    #[test]
+    fn window_and_silent_knobs_leave_historical_draws_untouched() {
+        let plain = FleetScenario::default();
+        let knobbed = FleetScenario {
+            silent_permille: 500,
+            catalog_window: Some((0, 9)),
+            ..FleetScenario::default()
+        };
+        let ctx = ConfigContext::new();
+        for i in 0..200 {
+            let a = plain.device_config_in(&ctx, i);
+            let b = knobbed.device_config_in(&ctx, i);
+            assert_eq!(a.firmware_key(), b.firmware_key());
+            assert_eq!(a.trace_seed, b.trace_seed);
+            assert_eq!(a.sensor_seed, b.sensor_seed);
+            assert!(!a.silent, "permille 0 never marks a device silent");
+        }
+    }
+
+    #[test]
+    fn scaling_preset_is_mostly_silent_subscription_only() {
+        let s = FleetScenario::scaling(500);
+        assert_eq!(s.time_mode, TimeMode::Stepped);
+        let ctx = ConfigContext::new();
+        let configs: Vec<_> = (0..500).map(|i| s.device_config_in(&ctx, i)).collect();
+        let silent = configs.iter().filter(|c| c.silent).count();
+        assert!(
+            (300..=490).contains(&silent),
+            "~80% of devices silent, got {silent}/500"
+        );
+        let window = ["FallDetection", "HR", "HRLog", "Pedometer"];
+        for c in &configs {
+            for a in &c.apps {
+                assert!(
+                    window.contains(&a.name),
+                    "app {} outside the subscription-only window",
+                    a.name
+                );
+            }
+            assert_eq!(s.events_for(c), if c.silent { 0 } else { 6 });
+        }
     }
 
     #[test]

@@ -3,6 +3,19 @@
 //! All reductions are performed sequentially in device order, so a fleet
 //! report is bit-identical regardless of how many worker threads produced
 //! the per-device results.
+//!
+//! Two reduction paths share one fold ([`aggregate`] and
+//! [`reduce_blocks`]): the exact path reduces a materialised
+//! `Vec<DeviceResult>`, while the streaming path folds each finished
+//! device block into a [`BlockSummary`] on the worker that simulated it —
+//! no 10⁶-element result vector, no unbounded latency-sample
+//! concatenation — and merges the summaries in block order.  Per-device
+//! energy and lifetime percentiles stay exact at every fleet size (two
+//! `f64`s per device); delivery-latency statistics come from an
+//! order-independent bottom-k sketch that is exact while the fleet's
+//! sample count fits its capacity and a uniform-sample estimate beyond
+//! it, with a property test pinning the small-N case against the exact
+//! computation.
 
 use crate::run::{DeviceResult, PolicyOutcome};
 use std::collections::BTreeMap;
@@ -124,9 +137,116 @@ pub struct PolicyAggregate {
     pub duty_cycle: f64,
     /// Delivery-latency distribution over every dispatched trace event.
     pub delivery_latency: LatencyStats,
+    /// Stamped trace events the final flush delivered after the trace
+    /// horizon, fleet-wide — delivered, but excluded from
+    /// `delivery_latency` because their latency measures where the finite
+    /// trace stopped rather than the delivery policy (DESIGN §6).
+    pub truncated_events: u64,
     /// Median (nearest-rank) per-device battery-lifetime projection, in
     /// weeks.
     pub battery_weeks_p50: f64,
+}
+
+/// The order-sensitive running fold of one policy's outcomes — the single
+/// implementation both the exact reduction ([`aggregate`]) and the
+/// streaming reduction ([`reduce_blocks`]) finish through, so the derived
+/// formulas can never drift apart.  Scalars accumulate in device order;
+/// per-device energies and lifetimes are kept (two `f64`s per device) so
+/// their percentiles are exact at every fleet size.
+#[derive(Clone, Debug, Default)]
+struct PolicyFold {
+    total_cycles: u64,
+    switch_cycles: u64,
+    events_delivered: u64,
+    faults: u64,
+    full_switches: u64,
+    batch_boundaries: u64,
+    truncated_events: u64,
+    idle_joules: f64,
+    active_seconds: f64,
+    virtual_seconds: f64,
+    energies: Vec<f64>,
+    battery_weeks: Vec<f64>,
+}
+
+impl PolicyFold {
+    fn add(&mut self, o: &PolicyOutcome) {
+        self.total_cycles += o.total_cycles;
+        self.switch_cycles += o.switch_cycles;
+        self.events_delivered += o.events_delivered;
+        self.faults += o.faults;
+        self.full_switches += o.full_switches;
+        self.batch_boundaries += o.batch_boundaries;
+        self.truncated_events += o.truncated_events;
+        self.idle_joules += o.idle_joules;
+        self.active_seconds += o.active_seconds;
+        self.virtual_seconds += o.virtual_seconds;
+        self.energies.push(o.energy_joules);
+        self.battery_weeks.push(o.battery_weeks);
+    }
+
+    /// Merges a later block's fold onto this one (block order = device
+    /// order, so the concatenated per-device vectors stay in device
+    /// order).
+    fn merge(&mut self, later: &PolicyFold) {
+        self.total_cycles += later.total_cycles;
+        self.switch_cycles += later.switch_cycles;
+        self.events_delivered += later.events_delivered;
+        self.faults += later.faults;
+        self.full_switches += later.full_switches;
+        self.batch_boundaries += later.batch_boundaries;
+        self.truncated_events += later.truncated_events;
+        self.idle_joules += later.idle_joules;
+        self.active_seconds += later.active_seconds;
+        self.virtual_seconds += later.virtual_seconds;
+        self.energies.extend_from_slice(&later.energies);
+        self.battery_weeks.extend_from_slice(&later.battery_weeks);
+    }
+
+    fn finish(mut self, delivery_latency: LatencyStats) -> PolicyAggregate {
+        self.energies.sort_by(f64::total_cmp);
+        let energy = EnergyStats::from_sorted(&self.energies);
+        let switch_overhead_share = if self.total_cycles == 0 {
+            0.0
+        } else {
+            self.switch_cycles as f64 / self.total_cycles as f64
+        };
+        let switch_cycles_per_event = if self.events_delivered == 0 {
+            0.0
+        } else {
+            self.switch_cycles as f64 / self.events_delivered as f64
+        };
+        let all_joules = energy.total_joules + self.idle_joules;
+        let idle_energy_share = if all_joules > 0.0 {
+            self.idle_joules / all_joules
+        } else {
+            0.0
+        };
+        let duty_cycle = if self.virtual_seconds > 0.0 {
+            self.active_seconds / self.virtual_seconds
+        } else {
+            0.0
+        };
+        self.battery_weeks.sort_by(f64::total_cmp);
+        let battery_weeks_p50 = nearest_rank(&self.battery_weeks, 50.0);
+        PolicyAggregate {
+            total_cycles: self.total_cycles,
+            switch_cycles: self.switch_cycles,
+            switch_overhead_share,
+            switch_cycles_per_event,
+            events_delivered: self.events_delivered,
+            faults: self.faults,
+            full_switches: self.full_switches,
+            batch_boundaries: self.batch_boundaries,
+            energy,
+            idle_joules: self.idle_joules,
+            idle_energy_share,
+            duty_cycle,
+            delivery_latency,
+            truncated_events: self.truncated_events,
+            battery_weeks_p50,
+        }
+    }
 }
 
 fn reduce_policy<'a>(
@@ -134,70 +254,263 @@ fn reduce_policy<'a>(
     outcome: impl Fn(&'a DeviceResult) -> &'a PolicyOutcome,
     latencies: impl Fn(&'a DeviceResult) -> &'a [f64],
 ) -> PolicyAggregate {
-    let mut agg = PolicyAggregate {
-        total_cycles: 0,
-        switch_cycles: 0,
-        switch_overhead_share: 0.0,
-        switch_cycles_per_event: 0.0,
-        events_delivered: 0,
-        faults: 0,
-        full_switches: 0,
-        batch_boundaries: 0,
-        energy: EnergyStats {
-            total_joules: 0.0,
-            mean_joules: 0.0,
-            p50_joules: 0.0,
-            p99_joules: 0.0,
-        },
-        idle_joules: 0.0,
-        idle_energy_share: 0.0,
-        duty_cycle: 0.0,
-        delivery_latency: LatencyStats::default(),
-        battery_weeks_p50: 0.0,
-    };
-    let mut energies: Vec<f64> = Vec::new();
-    let mut battery_weeks: Vec<f64> = Vec::new();
+    let mut fold = PolicyFold::default();
     let mut samples: Vec<f64> = Vec::new();
-    let mut active_seconds = 0.0;
-    let mut virtual_seconds = 0.0;
     for d in devices {
-        let o = outcome(d);
-        agg.total_cycles += o.total_cycles;
-        agg.switch_cycles += o.switch_cycles;
-        agg.events_delivered += o.events_delivered;
-        agg.faults += o.faults;
-        agg.full_switches += o.full_switches;
-        agg.batch_boundaries += o.batch_boundaries;
-        agg.idle_joules += o.idle_joules;
-        active_seconds += o.active_seconds;
-        virtual_seconds += o.virtual_seconds;
-        energies.push(o.energy_joules);
-        battery_weeks.push(o.battery_weeks);
+        fold.add(outcome(d));
         samples.extend_from_slice(latencies(d));
     }
-    energies.sort_by(f64::total_cmp);
-    agg.energy = EnergyStats::from_sorted(&energies);
-    agg.switch_overhead_share = if agg.total_cycles == 0 {
-        0.0
-    } else {
-        agg.switch_cycles as f64 / agg.total_cycles as f64
-    };
-    agg.switch_cycles_per_event = if agg.events_delivered == 0 {
-        0.0
-    } else {
-        agg.switch_cycles as f64 / agg.events_delivered as f64
-    };
-    let all_joules = agg.energy.total_joules + agg.idle_joules;
-    if all_joules > 0.0 {
-        agg.idle_energy_share = agg.idle_joules / all_joules;
+    fold.finish(LatencyStats::from_samples(samples))
+}
+
+/// Capacity of the delivery-latency sketch: statistics are **exact**
+/// while a leg's fleet-wide sample count fits, and a deterministic
+/// uniform-sample estimate beyond it.
+const LATENCY_SKETCH_K: usize = 2048;
+
+/// SplitMix64 finalizer over a sample's identity, giving every latency
+/// sample a pseudo-random priority that depends only on *which* sample it
+/// is — never on which worker or block produced it.
+fn sample_priority(device: u64, seq: u32) -> u64 {
+    let mut z = device
+        .wrapping_mul(0xA076_1D64_78BD_642F)
+        .wrapping_add((seq as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// An order-independent bottom-k sample sketch of delivery latencies.
+///
+/// Every sample gets a deterministic priority hashed from its identity
+/// (global device index, per-device sample sequence); the sketch keeps
+/// the `k` smallest-priority samples.  "Keep the k smallest of a set" is
+/// associative, commutative and duplicate-free (priorities are unique per
+/// leg because ties break on the identity itself), so any merge order —
+/// any worker count, any block claim order — retains exactly the same
+/// sample set.  While the total count fits `k` the retained set is *all*
+/// samples and the finished statistics are exact; beyond `k` the retained
+/// set is a uniform random sample and the statistics are estimates
+/// (`events` and `max_ms` stay exact — they are order-free scalars).
+#[derive(Clone, Debug, Default)]
+struct LatencySketch {
+    /// Retained `(priority, device, seq, value)` entries; pruned to the
+    /// `k` smallest `(priority, device, seq)` whenever it overflows.
+    entries: Vec<(u64, u64, u32, f64)>,
+    /// Total samples observed (not just retained).
+    count: u64,
+    /// Worst latency observed (over all samples).
+    max_ms: f64,
+}
+
+impl LatencySketch {
+    fn push(&mut self, device: u64, seq: u32, value: f64) {
+        self.count += 1;
+        self.max_ms = self.max_ms.max(value);
+        self.entries
+            .push((sample_priority(device, seq), device, seq, value));
+        if self.entries.len() >= 2 * LATENCY_SKETCH_K {
+            self.prune();
+        }
     }
-    if virtual_seconds > 0.0 {
-        agg.duty_cycle = active_seconds / virtual_seconds;
+
+    fn prune(&mut self) {
+        if self.entries.len() > LATENCY_SKETCH_K {
+            self.entries
+                .sort_unstable_by_key(|&(pri, dev, seq, _)| (pri, dev, seq));
+            self.entries.truncate(LATENCY_SKETCH_K);
+        }
     }
-    agg.delivery_latency = LatencyStats::from_samples(samples);
-    battery_weeks.sort_by(f64::total_cmp);
-    agg.battery_weeks_p50 = nearest_rank(&battery_weeks, 50.0);
-    agg
+
+    /// Folds a later (or earlier — order does not matter) sketch in.
+    fn merge(&mut self, other: &LatencySketch) {
+        self.count += other.count;
+        self.max_ms = self.max_ms.max(other.max_ms);
+        self.entries.extend_from_slice(&other.entries);
+        self.prune();
+    }
+
+    /// Finishes the sketch into [`LatencyStats`].
+    fn finish(mut self) -> LatencyStats {
+        self.prune();
+        if self.count == 0 {
+            return LatencyStats::default();
+        }
+        let retained: Vec<f64> = self.entries.iter().map(|&(_, _, _, v)| v).collect();
+        if self.count <= retained.len() as u64 {
+            // Every sample was retained: identical to the exact
+            // computation, sorted-sum mean included.
+            return LatencyStats::from_samples(retained);
+        }
+        let estimate = LatencyStats::from_samples(retained);
+        LatencyStats {
+            events: self.count,
+            mean_ms: estimate.mean_ms,
+            p50_ms: estimate.p50_ms,
+            p99_ms: estimate.p99_ms,
+            max_ms: self.max_ms,
+        }
+    }
+}
+
+/// The streamed reduction of one finished device block: order-free
+/// scalar partials, two per-device `f64`s, and the latency sketches —
+/// everything [`reduce_blocks`] needs, nothing that grows with the
+/// block's event count.  Workers fold each block into its summary as soon
+/// as the block finishes, so a 10⁶-device campaign never materialises
+/// 10⁶ `DeviceResult`s.
+#[derive(Clone, Debug, Default)]
+pub struct BlockSummary {
+    devices: usize,
+    per_event: PolicyFold,
+    batched: PolicyFold,
+    per_event_latency: LatencySketch,
+    batched_latency: LatencySketch,
+    per_platform: BTreeMap<String, u64>,
+    per_method: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, ProfileHistogram>,
+}
+
+impl BlockSummary {
+    /// Folds a finished block's results (in device order) into a summary.
+    pub fn from_devices(devices: &[DeviceResult]) -> Self {
+        let mut s = BlockSummary {
+            devices: devices.len(),
+            ..BlockSummary::default()
+        };
+        for d in devices {
+            s.per_event.add(&d.per_event);
+            s.batched.add(&d.batched);
+            for (seq, v) in d.per_event_latencies_ms.iter().enumerate() {
+                s.per_event_latency.push(d.index as u64, seq as u32, *v);
+            }
+            for (seq, v) in d.batched_latencies_ms.iter().enumerate() {
+                s.batched_latency.push(d.index as u64, seq as u32, *v);
+            }
+            *s.per_platform.entry(d.platform.clone()).or_insert(0) += 1;
+            *s.per_method
+                .entry(d.method.label().to_string())
+                .or_insert(0) += 1;
+            for (profile, impact) in &d.battery_impacts {
+                bucket_impact(&mut s.histograms, profile, *impact);
+            }
+        }
+        s.per_event_latency.prune();
+        s.batched_latency.prune();
+        s
+    }
+}
+
+/// Records one (device, app) battery impact in the per-profile histogram
+/// map — the one bucketing implementation [`aggregate`] and
+/// [`BlockSummary::from_devices`] share.
+fn bucket_impact(histograms: &mut BTreeMap<String, ProfileHistogram>, profile: &str, impact: f64) {
+    let h = histograms
+        .entry(profile.to_string())
+        .or_insert_with(|| ProfileHistogram {
+            profile: profile.to_string(),
+            instances: 0,
+            max_impact_percent: 0.0,
+            buckets: vec![0; BATTERY_IMPACT_BUCKET_EDGES.len() + 1],
+        });
+    h.instances += 1;
+    h.max_impact_percent = h.max_impact_percent.max(impact);
+    let bucket = BATTERY_IMPACT_BUCKET_EDGES
+        .iter()
+        .position(|edge| impact <= *edge)
+        .unwrap_or(BATTERY_IMPACT_BUCKET_EDGES.len());
+    h.buckets[bucket] += 1;
+}
+
+/// Reduces block summaries (must be in block order) to the fleet
+/// aggregate — the streaming counterpart of [`aggregate`], sharing its
+/// fold and formulas.  For a single block the result is identical to
+/// [`aggregate`] over the block's devices, latency statistics included
+/// while the sample count fits the sketch (the equivalence property test
+/// pins both).
+pub fn reduce_blocks(blocks: &[BlockSummary]) -> FleetAggregate {
+    let mut devices = 0usize;
+    let mut per_event = PolicyFold::default();
+    let mut batched = PolicyFold::default();
+    let mut per_event_latency = LatencySketch::default();
+    let mut batched_latency = LatencySketch::default();
+    let mut per_platform: BTreeMap<String, u64> = BTreeMap::new();
+    let mut per_method: BTreeMap<String, u64> = BTreeMap::new();
+    let mut histograms: BTreeMap<String, ProfileHistogram> = BTreeMap::new();
+    for b in blocks {
+        devices += b.devices;
+        per_event.merge(&b.per_event);
+        batched.merge(&b.batched);
+        per_event_latency.merge(&b.per_event_latency);
+        batched_latency.merge(&b.batched_latency);
+        for (k, v) in &b.per_platform {
+            *per_platform.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &b.per_method {
+            *per_method.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, h) in &b.histograms {
+            let into = histograms
+                .entry(k.clone())
+                .or_insert_with(|| ProfileHistogram {
+                    profile: h.profile.clone(),
+                    instances: 0,
+                    max_impact_percent: 0.0,
+                    buckets: vec![0; BATTERY_IMPACT_BUCKET_EDGES.len() + 1],
+                });
+            into.instances += h.instances;
+            into.max_impact_percent = into.max_impact_percent.max(h.max_impact_percent);
+            for (b, add) in into.buckets.iter_mut().zip(&h.buckets) {
+                *b += add;
+            }
+        }
+    }
+    let per_event = per_event.finish(per_event_latency.finish());
+    let batched = batched.finish(batched_latency.finish());
+    finish_aggregate(
+        devices,
+        per_platform,
+        per_method,
+        histograms,
+        per_event,
+        batched,
+    )
+}
+
+/// Assembles the [`FleetAggregate`] from finished pieces — shared by
+/// [`aggregate`] and [`reduce_blocks`] so the savings formulas are
+/// written once.
+fn finish_aggregate(
+    devices: usize,
+    per_platform: BTreeMap<String, u64>,
+    per_method: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, ProfileHistogram>,
+    per_event: PolicyAggregate,
+    batched: PolicyAggregate,
+) -> FleetAggregate {
+    let saved = per_event
+        .switch_cycles
+        .saturating_sub(batched.switch_cycles);
+    FleetAggregate {
+        devices,
+        devices_per_platform: per_platform.into_iter().collect(),
+        devices_per_method: per_method.into_iter().collect(),
+        switch_cycles_saved_percent: if per_event.switch_cycles == 0 {
+            0.0
+        } else {
+            saved as f64 / per_event.switch_cycles as f64 * 100.0
+        },
+        switch_cycles_saved_per_event_percent: if per_event.switch_cycles_per_event <= 0.0 {
+            0.0
+        } else {
+            (per_event.switch_cycles_per_event - batched.switch_cycles_per_event).max(0.0)
+                / per_event.switch_cycles_per_event
+                * 100.0
+        },
+        per_event,
+        batched,
+        battery_histograms: histograms.into_values().collect(),
+    }
 }
 
 /// A battery-impact histogram for one ARP profile across every fleet
@@ -252,47 +565,17 @@ pub fn aggregate(devices: &[DeviceResult]) -> FleetAggregate {
         *per_platform.entry(d.platform.clone()).or_insert(0) += 1;
         *per_method.entry(d.method.label().to_string()).or_insert(0) += 1;
         for (profile, impact) in &d.battery_impacts {
-            let h = histograms
-                .entry(profile.clone())
-                .or_insert_with(|| ProfileHistogram {
-                    profile: profile.clone(),
-                    instances: 0,
-                    max_impact_percent: 0.0,
-                    buckets: vec![0; BATTERY_IMPACT_BUCKET_EDGES.len() + 1],
-                });
-            h.instances += 1;
-            h.max_impact_percent = h.max_impact_percent.max(*impact);
-            let bucket = BATTERY_IMPACT_BUCKET_EDGES
-                .iter()
-                .position(|edge| *impact <= *edge)
-                .unwrap_or(BATTERY_IMPACT_BUCKET_EDGES.len());
-            h.buckets[bucket] += 1;
+            bucket_impact(&mut histograms, profile, *impact);
         }
     }
-
-    let saved = per_event
-        .switch_cycles
-        .saturating_sub(batched.switch_cycles);
-    FleetAggregate {
-        devices: devices.len(),
-        devices_per_platform: per_platform.into_iter().collect(),
-        devices_per_method: per_method.into_iter().collect(),
-        switch_cycles_saved_percent: if per_event.switch_cycles == 0 {
-            0.0
-        } else {
-            saved as f64 / per_event.switch_cycles as f64 * 100.0
-        },
-        switch_cycles_saved_per_event_percent: if per_event.switch_cycles_per_event <= 0.0 {
-            0.0
-        } else {
-            (per_event.switch_cycles_per_event - batched.switch_cycles_per_event).max(0.0)
-                / per_event.switch_cycles_per_event
-                * 100.0
-        },
+    finish_aggregate(
+        devices.len(),
+        per_platform,
+        per_method,
+        histograms,
         per_event,
         batched,
-        battery_histograms: histograms.into_values().collect(),
-    }
+    )
 }
 
 #[cfg(test)]
@@ -315,6 +598,7 @@ mod tests {
             virtual_seconds: 0.0,
             active_seconds: 0.0,
             battery_weeks: 0.0,
+            truncated_events: 0,
         }
     }
 

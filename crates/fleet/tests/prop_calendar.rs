@@ -1,0 +1,122 @@
+//! Property tests for the discrete-event fleet core: the wake-calendar
+//! runner must be **bit-identical** to the original linear stepped walk —
+//! the oracle pattern that made the attribute cache and the NAPOT solver
+//! safe — and the streaming block aggregation must reproduce the exact
+//! reduction at small N, delivery-latency percentiles included.
+
+use amulet_fleet::{simulate, simulate_linear, simulate_summary, FleetScenario, TimeMode};
+use proptest::prelude::*;
+
+fn stepped(seed: u64, devices: usize, events: usize) -> FleetScenario {
+    FleetScenario {
+        seed,
+        devices,
+        events_per_device: events,
+        time_mode: TimeMode::Stepped,
+        ..FleetScenario::default()
+    }
+}
+
+/// All five platform profiles at 64 devices under the default seed — the
+/// deterministic anchor case the issue calls out (≤64 devices, every
+/// profile), checked bit for bit against the linear oracle.
+#[test]
+fn calendar_matches_linear_oracle_on_all_five_platforms() {
+    let sc = stepped(FleetScenario::default().seed, 64, 20);
+    let des = simulate(&sc, 4);
+    let linear = simulate_linear(&sc, 4);
+    let platforms: std::collections::BTreeSet<_> =
+        des.devices.iter().map(|d| d.platform.clone()).collect();
+    assert_eq!(platforms.len(), 5, "64 devices span all five profiles");
+    assert_eq!(des.devices, linear.devices);
+    assert_eq!(des.aggregate, linear.aggregate);
+}
+
+/// Truncation semantics: a per-event leg never defers deliveries past the
+/// horizon, so only batched legs may report truncated events, and those
+/// events are excluded from the latency population.
+#[test]
+fn truncated_events_only_appear_on_the_batched_leg() {
+    let report = simulate(&stepped(0xF1EE7, 48, 16), 2);
+    let mut batched_truncations = 0;
+    for d in &report.devices {
+        assert_eq!(
+            d.per_event.truncated_events, 0,
+            "per-event delivery has no horizon stragglers (device {})",
+            d.index
+        );
+        batched_truncations += d.batched.truncated_events;
+        // Truncated events are excluded from the latency samples, so the
+        // two together never exceed the delivered-event count.
+        assert!(
+            d.batched_latencies_ms.len() as u64 + d.batched.truncated_events
+                <= d.batched.events_delivered,
+            "latency samples + truncated events stay within deliveries (device {})",
+            d.index
+        );
+    }
+    assert_eq!(report.aggregate.per_event.truncated_events, 0);
+    assert_eq!(
+        report.aggregate.batched.truncated_events,
+        batched_truncations
+    );
+    assert!(
+        batched_truncations > 0,
+        "a 48-device batched fleet leaves stragglers at the horizon"
+    );
+}
+
+proptest! {
+    // Each case simulates small fleets end to end; a handful of cases
+    // keeps the suite fast while still roaming the seed space.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The tentpole oracle: for any seed, size and knob setting — silent
+    /// devices and catalogue windows included — the discrete-event
+    /// stepped runner produces the same `DeviceResult`s, bit for bit, as
+    /// the linear stepped walk.
+    #[test]
+    fn calendar_is_bit_identical_to_the_linear_walk(
+        seed in 0u64..1_000_000,
+        devices in 3usize..32,
+        events in 4usize..16,
+        silent_permille in prop_oneof![Just(0u16), Just(500u16), Just(800u16)],
+        windowed in any::<bool>(),
+    ) {
+        let sc = FleetScenario {
+            silent_permille,
+            catalog_window: windowed.then_some((2, 4)),
+            ..stepped(seed, devices, events)
+        };
+        let des = simulate(&sc, 3);
+        let linear = simulate_linear(&sc, 3);
+        prop_assert_eq!(des.devices, linear.devices);
+        prop_assert_eq!(des.aggregate, linear.aggregate);
+    }
+
+    /// The streaming reduction: block summaries folded on the workers
+    /// must reproduce the exact aggregate — every field, latency
+    /// percentiles included — at small N, in both time modes, for any
+    /// worker count.
+    #[test]
+    fn streaming_summary_matches_the_exact_aggregate(
+        seed in 0u64..1_000_000,
+        devices in 3usize..32,
+        arrival_order in any::<bool>(),
+        workers in prop_oneof![Just(1usize), Just(8usize)],
+    ) {
+        let sc = FleetScenario {
+            time_mode: if arrival_order {
+                TimeMode::ArrivalOrder
+            } else {
+                TimeMode::Stepped
+            },
+            silent_permille: 250,
+            ..stepped(seed, devices, 12)
+        };
+        let exact = simulate(&sc, 2);
+        let summary = simulate_summary(&sc, workers);
+        prop_assert_eq!(summary.aggregate, exact.aggregate);
+        prop_assert_eq!(summary.scenario, sc);
+    }
+}

@@ -6,6 +6,7 @@ use crate::cpu::{Cpu, FaultInfo, StepEvent, HANDLER_RETURN};
 use crate::firmware::Firmware;
 use amulet_core::addr::Addr;
 use amulet_core::layout::PlatformSpec;
+use std::sync::Arc;
 
 /// Why a [`Device::run`] call returned.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -45,9 +46,11 @@ pub struct Device {
     /// Memory bus (memory, MPU, timer).
     pub bus: Bus,
     /// Decoded instruction store (flat word-indexed table, O(1) fetch).
-    pub code: InstrStore,
-    /// The firmware image currently loaded, if any.
-    pub firmware: Option<Firmware>,
+    /// Shared: loading firmware installs a reference to the image's store
+    /// rather than copying the slot table.
+    pub code: Arc<InstrStore>,
+    /// The firmware image currently loaded, if any (shared, not copied).
+    pub firmware: Option<Arc<Firmware>>,
 }
 
 impl Device {
@@ -56,7 +59,7 @@ impl Device {
         Device {
             cpu: Cpu::new(),
             bus: Bus::new(platform),
-            code: InstrStore::new(),
+            code: Arc::new(InstrStore::new()),
             firmware: None,
         }
     }
@@ -70,12 +73,20 @@ impl Device {
     /// initialised data into memory, and leaves the MPU disabled (the OS
     /// enables it when it schedules the first app).
     pub fn load_firmware(&mut self, fw: &Firmware) {
-        self.code = fw.code.clone();
+        self.load_firmware_shared(Arc::new(fw.clone()));
+    }
+
+    /// [`Device::load_firmware`] for an already-shared image: no part of the
+    /// firmware is copied — the device holds references to the image's
+    /// instruction store and metadata.  This is what lets a fleet of
+    /// simulated devices with identical configs share one build.
+    pub fn load_firmware_shared(&mut self, fw: Arc<Firmware>) {
+        self.code = Arc::clone(&fw.code);
         for seg in &fw.data {
             self.bus.load_bytes(seg.addr, &seg.bytes);
         }
         self.cpu.set_sp(fw.os.initial_sp);
-        self.firmware = Some(fw.clone());
+        self.firmware = Some(fw);
     }
 
     /// Returns the device to its power-on, freshly-loaded state so it can

@@ -15,6 +15,7 @@ use amulet_core::method::IsolationMethod;
 use amulet_core::mpu_plan::MpuConfig;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// A chunk of initialised data to be copied into memory at load time.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -79,8 +80,11 @@ pub struct Firmware {
     /// The memory map the AFT's final phase produced.
     pub memory_map: MemoryMap,
     /// Decoded instruction store: a flat word-indexed table with O(1)
-    /// fetch (see [`InstrStore`]).
-    pub code: InstrStore,
+    /// fetch (see [`InstrStore`]).  Shared behind an [`Arc`] so cloning a
+    /// firmware image — and loading it onto many simulated devices — never
+    /// copies the (multi-hundred-KiB) slot table; the store is immutable
+    /// once built.
+    pub code: Arc<InstrStore>,
     /// Initialised data segments.
     pub data: Vec<DataSegment>,
     /// Global symbol table (function entry points and data objects).
@@ -303,7 +307,7 @@ impl FirmwareBuilder {
         let fw = Firmware {
             method: self.method,
             memory_map: self.memory_map,
-            code: self.code,
+            code: Arc::new(self.code),
             data: self.data,
             symbols: self.symbols,
             apps: self.apps,

@@ -27,6 +27,7 @@ use amulet_mcu::cpu::FaultInfo;
 use amulet_mcu::device::{Device, StopReason};
 use amulet_mcu::firmware::Firmware;
 use amulet_mcu::isa::Reg;
+use std::sync::Arc;
 
 /// Configuration knobs for the runtime.
 #[derive(Clone, Copy, Debug)]
@@ -161,7 +162,7 @@ impl SwitchCostCache {
 pub struct AmuletOs {
     /// The simulated device the firmware runs on.
     pub device: Device,
-    firmware: Firmware,
+    firmware: Arc<Firmware>,
     api: ApiSpec,
     /// OS services (sensors, log, display).
     pub services: Services,
@@ -196,8 +197,16 @@ impl AmuletOs {
     /// Boots the runtime with explicit options: the simulated device is
     /// built for whatever platform the firmware was linked against.
     pub fn with_options(firmware: Firmware, options: OsOptions) -> Self {
+        Self::with_options_shared(Arc::new(firmware), options)
+    }
+
+    /// [`AmuletOs::with_options`] for an already-shared firmware image: the
+    /// runtime holds a reference instead of cloning the image, so creating
+    /// many runtimes from one build (the fleet case) costs no instruction
+    /// store or metadata copies.
+    pub fn with_options_shared(firmware: Arc<Firmware>, options: OsOptions) -> Self {
         let mut device = Device::new(firmware.memory_map.platform.clone());
-        device.load_firmware(&firmware);
+        device.load_firmware_shared(Arc::clone(&firmware));
         device.bus.timer.start();
         let method = firmware.method;
         let switch_costs = SwitchCostCache::new(&firmware.memory_map.platform, method);
