@@ -16,7 +16,7 @@
 //! * `--preset scaling` starts from [`FleetScenario::scaling`] — the
 //!   mostly-silent, windowed campaign the scaling study runs — before
 //!   the other flags apply.
-//! * `--summary` streams block aggregation ([`simulate_summary`]) instead
+//! * `--summary` streams block aggregation (`simulate_summary`) instead
 //!   of materialising per-device results: bounded memory at 10⁵–10⁶
 //!   devices, byte-identical document.
 //! * `--linear` forces the pre-calendar linear walk (the oracle) — for
@@ -24,16 +24,32 @@
 //! * `--scaling` runs the whole scaling campaign: a linear baseline at
 //!   10³ plus calendar points at {10³, 10⁴, 10⁵}, each in a child
 //!   process so peak RSS is measured per point, then writes the report
-//!   for the largest point with a `"scaling"` section attached.
+//!   for the largest point with a `"scaling"` section attached — plus a
+//!   `"firmware_store"` section timing a cold vs warm store prewarm of
+//!   the top point's distinct configurations.
+//! * `--store DIR` persists built firmwares in a content-addressable
+//!   store under `DIR`: the run prewarms every distinct configuration
+//!   through the store (timed separately from the campaign) and the
+//!   report gains a `firmware_store` section with the store counters.
+//!   `--no-store` forces the in-memory store; `--paranoid` re-builds and
+//!   byte-compares every image loaded from disk (CI runs this).
+//! * `--report-out FILE` additionally writes the *deterministic* document
+//!   (no `timing`, `scaling` or `firmware_store` sections) to `FILE` —
+//!   cold and warm store runs of the same scenario must produce
+//!   byte-identical files, which CI asserts.
 
-use amulet_bench::fleet_sim::{render_document, render_json, render_summary_json};
+use amulet_bench::fleet_sim::{render_document, store_stats_json};
 use amulet_bench::json::Json;
-use amulet_fleet::{simulate, simulate_linear, simulate_summary, FleetScenario, TimeMode};
+use amulet_fleet::{
+    simulate_in, simulate_linear_in, simulate_summary_in, FirmwareStore, FleetScenario, TimeMode,
+};
+use std::path::PathBuf;
 use std::time::Instant;
 
 const USAGE: &str = "usage: fleet_sim [devices] [workers] [events_per_device] [seed] [mode] \
      [--devices N] [--workers N] [--events N] [--seed N] [--mode arrival-order|stepped] \
-     [--silent-permille N] [--preset scaling] [--summary] [--linear] [--no-write] [--scaling]";
+     [--silent-permille N] [--preset scaling] [--summary] [--linear] [--no-write] [--scaling] \
+     [--store DIR] [--no-store] [--paranoid] [--report-out FILE]";
 
 /// Everything the command line can ask for, before it is resolved into a
 /// scenario.
@@ -51,6 +67,10 @@ struct Cli {
     no_write: bool,
     scaling: bool,
     scaling_point: bool,
+    store: Option<PathBuf>,
+    no_store: bool,
+    paranoid: bool,
+    report_out: Option<PathBuf>,
 }
 
 fn fail(msg: &str) -> ! {
@@ -93,6 +113,10 @@ fn parse(args: impl Iterator<Item = String>) -> Cli {
             "--no-write" => cli.no_write = true,
             "--scaling" => cli.scaling = true,
             "--scaling-point" => cli.scaling_point = true,
+            "--store" => cli.store = Some(PathBuf::from(value("--store", &mut it))),
+            "--no-store" => cli.no_store = true,
+            "--paranoid" => cli.paranoid = true,
+            "--report-out" => cli.report_out = Some(PathBuf::from(value("--report-out", &mut it))),
             flag if flag.starts_with("--") => fail(&format!("unknown flag {flag:?}")),
             word => {
                 // Positional compatibility: devices, workers, events, seed,
@@ -141,6 +165,10 @@ fn scenario_from(cli: &Cli) -> (FleetScenario, usize) {
     if let Some(p) = cli.silent_permille {
         scenario.silent_permille = p;
     }
+    if !cli.no_store {
+        scenario.store_dir = cli.store.clone();
+    }
+    scenario.paranoid = cli.paranoid;
     let workers = cli.workers.unwrap_or_else(|| {
         std::thread::available_parallelism()
             .map(|n| n.get())
@@ -193,12 +221,13 @@ impl Point {
 /// space (and therefore its own `VmHWM` high-water mark).
 fn run_point(cli: &Cli) -> ! {
     let (scenario, workers) = scenario_from(cli);
+    let store = FirmwareStore::for_scenario(&scenario);
     let started = Instant::now();
     let events = if cli.linear {
-        let report = simulate_linear(&scenario, workers);
+        let report = simulate_linear_in(&scenario, workers, &store);
         report.aggregate.per_event.events_delivered + report.aggregate.batched.events_delivered
     } else {
-        let summary = simulate_summary(&scenario, workers);
+        let summary = simulate_summary_in(&scenario, workers, &store);
         summary.aggregate.per_event.events_delivered + summary.aggregate.batched.events_delivered
     };
     let wall = started.elapsed().as_secs_f64();
@@ -206,6 +235,8 @@ fn run_point(cli: &Cli) -> ! {
     println!("wall_seconds={wall}");
     println!("events_delivered={events}");
     println!("peak_rss_kb={}", peak_rss_kb());
+    println!("store_builds={}", store.stats().builds);
+    println!("store_disk_hits={}", store.stats().disk_hits);
     std::process::exit(0);
 }
 
@@ -238,6 +269,72 @@ fn spawn_point(extra: &[&str], devices: usize, workers: usize) -> Point {
         events_delivered: get("events_delivered") as u64,
         peak_rss_kb: get("peak_rss_kb") as u64,
     }
+}
+
+/// Cold-vs-warm firmware-store bench over the top point's distinct
+/// configurations.  The config set is derived once, *outside* both timed
+/// phases, so the phases compare exactly what changes between a cold and a
+/// warm process start: cold pays AFT build + encode + atomic write per
+/// config (there is nothing on disk to defer to), warm pays envelope
+/// verification — read + content-hash + key check via
+/// [`FirmwareStore::validate_configs`] — after which every build is
+/// skippable and images decode lazily at first use.
+///
+/// Each phase is timed as the minimum over `STORE_BENCH_REPS`
+/// repetitions (criterion-style) so one-off allocator and page-cache
+/// effects don't masquerade as phase cost.
+fn store_bench(scenario: &FleetScenario, dir: &std::path::Path) -> Json {
+    const STORE_BENCH_REPS: usize = 3;
+    let mut sc = scenario.clone();
+    sc.store_dir = Some(dir.to_path_buf());
+    sc.paranoid = false;
+    let configs = FirmwareStore::distinct_configs(&sc);
+
+    let mut cold_wall = f64::INFINITY;
+    let mut cold_stats = amulet_fleet::FirmwareStoreStats::default();
+    for _ in 0..STORE_BENCH_REPS {
+        let _ = std::fs::remove_dir_all(dir);
+        let cold = FirmwareStore::for_scenario(&sc);
+        let started = Instant::now();
+        cold.prewarm_configs(&configs);
+        let wall = started.elapsed().as_secs_f64();
+        if wall < cold_wall {
+            cold_wall = wall;
+            cold_stats = cold.stats();
+        }
+    }
+
+    // The store directory is now populated by the last cold repetition.
+    let mut warm_wall = f64::INFINITY;
+    let mut warm_stats = amulet_fleet::FirmwareStoreStats::default();
+    for _ in 0..STORE_BENCH_REPS {
+        let warm = FirmwareStore::for_scenario(&sc);
+        let started = Instant::now();
+        let verified = warm.validate_configs(&configs);
+        let wall = started.elapsed().as_secs_f64();
+        assert_eq!(verified, configs.len(), "warm store must verify fully");
+        if wall < warm_wall {
+            warm_wall = wall;
+            warm_stats = warm.stats();
+        }
+    }
+
+    Json::obj()
+        .field("configs", configs.len())
+        .field("repetitions", STORE_BENCH_REPS)
+        .field(
+            "cold",
+            Json::obj()
+                .field("wall_seconds", cold_wall)
+                .field("stats", store_stats_json(&cold_stats)),
+        )
+        .field(
+            "warm",
+            Json::obj()
+                .field("wall_seconds", warm_wall)
+                .field("stats", store_stats_json(&warm_stats)),
+        )
+        .field("warm_start_speedup", cold_wall / warm_wall.max(1e-9))
 }
 
 /// The scaling campaign: linear baselines at 10³, calendar points at
@@ -296,13 +393,32 @@ fn run_scaling(cli: &Cli) {
         .field("speedup_vs_extrapolated_linear_at_top", headline_speedup)
         .field("speedup_vs_same_preset_linear_at_top", same_preset_speedup);
 
+    // The firmware-store cold/warm bench over the top point's distinct
+    // configurations — the committed `firmware_store` section.
+    let store_dir = match (&cli.store, cli.no_store) {
+        (Some(dir), false) => dir.clone(),
+        _ => std::env::temp_dir().join(format!("amulet-fleet-store-bench-{}", std::process::id())),
+    };
+    eprintln!(
+        "scaling: firmware store cold/warm bench, {} devices...",
+        top_point.devices
+    );
+    let store_json = store_bench(&FleetScenario::scaling(top_point.devices), &store_dir);
+
     // The document itself reports the largest calendar point, re-run
     // in-process (cheap next to the campaign) so the full aggregate is
-    // available.
+    // available.  When a store directory is active it was just prewarmed
+    // by the bench above, so this run is the warm-start case: every
+    // firmware loads, none rebuild.
     eprintln!("scaling: rendering the {top}-device report...");
-    let scenario = FleetScenario::scaling(top_point.devices);
+    let mut scenario = FleetScenario::scaling(top_point.devices);
+    if !cli.no_store {
+        scenario.store_dir = cli.store.clone();
+    }
+    scenario.paranoid = cli.paranoid;
+    let store = FirmwareStore::for_scenario(&scenario);
     let started = Instant::now();
-    let summary = simulate_summary(&scenario, workers);
+    let summary = simulate_summary_in(&scenario, workers, &store);
     let wall = started.elapsed().as_secs_f64();
     let json = render_document(
         &summary.scenario,
@@ -310,8 +426,30 @@ fn run_scaling(cli: &Cli) {
         &summary.aggregate,
         Some(wall),
         Some(scaling),
+        Some(store_json),
     );
+    if cli.store.is_none() {
+        let _ = std::fs::remove_dir_all(&store_dir);
+    }
+    write_report_out(cli, &summary.scenario, summary.workers, &summary.aggregate);
     emit(cli, &scenario, workers, wall, json);
+}
+
+/// Writes the deterministic document (no `timing`, `scaling` or
+/// `firmware_store` sections) to `--report-out`, so cold and warm store
+/// runs of one scenario can be byte-compared.
+fn write_report_out(
+    cli: &Cli,
+    s: &FleetScenario,
+    workers: usize,
+    agg: &amulet_fleet::FleetAggregate,
+) {
+    let Some(path) = &cli.report_out else { return };
+    let doc = render_document(s, workers, agg, None, None, None);
+    if let Err(e) = std::fs::write(path, &doc) {
+        fail(&format!("could not write {}: {e}", path.display()));
+    }
+    eprintln!("wrote deterministic report to {}", path.display());
 }
 
 fn emit(cli: &Cli, scenario: &FleetScenario, workers: usize, wall: f64, json: String) {
@@ -343,20 +481,36 @@ fn main() {
     }
 
     let (scenario, workers) = scenario_from(&cli);
+    let store = FirmwareStore::for_scenario(&scenario);
+    // With a persistent store the build/load phase is timed on its own —
+    // that is the phase the store exists to accelerate, and at fleet scale
+    // it is a sliver of campaign wall-clock.
+    let prewarm = store.is_persistent().then(|| {
+        let started = Instant::now();
+        let configs = store.prewarm(&scenario);
+        (configs, started.elapsed().as_secs_f64())
+    });
     let started = Instant::now();
-    let json = if cli.linear {
-        let report = simulate_linear(&scenario, workers);
-        let wall = started.elapsed().as_secs_f64();
-        render_json(&report, Some(wall))
+    let aggregate = if cli.linear {
+        simulate_linear_in(&scenario, workers, &store).aggregate
     } else if cli.summary {
-        let summary = simulate_summary(&scenario, workers);
-        let wall = started.elapsed().as_secs_f64();
-        render_summary_json(&summary, Some(wall))
+        simulate_summary_in(&scenario, workers, &store).aggregate
     } else {
-        let report = simulate(&scenario, workers);
-        let wall = started.elapsed().as_secs_f64();
-        render_json(&report, Some(wall))
+        simulate_in(&scenario, workers, &store).aggregate
     };
     let wall = started.elapsed().as_secs_f64();
+    let store_json = prewarm.map(|(configs, secs)| {
+        Json::obj()
+            .field("paranoid", scenario.paranoid)
+            .field(
+                "prewarm",
+                Json::obj()
+                    .field("configs", configs)
+                    .field("wall_seconds", secs),
+            )
+            .field("stats", store_stats_json(&store.stats()))
+    });
+    let json = render_document(&scenario, workers, &aggregate, Some(wall), None, store_json);
+    write_report_out(&cli, &scenario, workers, &aggregate);
     emit(&cli, &scenario, workers, wall, json);
 }

@@ -28,6 +28,7 @@ pub fn render_json(report: &FleetReport, wall_seconds: Option<f64>) -> String {
         &report.aggregate,
         wall_seconds,
         None,
+        None,
     )
 }
 
@@ -41,18 +42,25 @@ pub fn render_summary_json(summary: &FleetSummary, wall_seconds: Option<f64>) ->
         &summary.aggregate,
         wall_seconds,
         None,
+        None,
     )
 }
 
 /// The shared render core behind [`render_json`] and
 /// [`render_summary_json`]; `scaling` (when present) appends the
-/// scaling-campaign section the `--scaling` driver composes.
+/// scaling-campaign section the `--scaling` driver composes, and `store`
+/// (when present) the `firmware_store` section — prewarm timing plus
+/// [`amulet_fleet::FirmwareStoreStats`] counters.  Both are measurement
+/// sections: like `timing`, they never enter the deterministic document
+/// (`--report-out` renders with all three absent, which is what makes
+/// cold-run and warm-run reports byte-comparable).
 pub fn render_document(
     s: &FleetScenario,
     workers: usize,
     agg: &FleetAggregate,
     wall_seconds: Option<f64>,
     scaling: Option<Json>,
+    store: Option<Json>,
 ) -> String {
     let stepped = s.time_mode == TimeMode::Stepped;
     let mut scenario = Json::obj()
@@ -210,7 +218,24 @@ pub fn render_document(
     if let Some(scaling) = scaling {
         doc = doc.field("scaling", scaling);
     }
+    if let Some(store) = store {
+        doc = doc.field("firmware_store", store);
+    }
     doc.render()
+}
+
+/// Renders [`amulet_fleet::FirmwareStoreStats`] counters as one JSON object
+/// — the `FirmwareStoreStats` line the report carries for each store phase.
+pub fn store_stats_json(stats: &amulet_fleet::FirmwareStoreStats) -> Json {
+    Json::obj()
+        .field("hits", stats.hits)
+        .field("misses", stats.misses)
+        .field("disk_hits", stats.disk_hits)
+        .field("builds", stats.builds)
+        .field("bytes_read", stats.bytes_read)
+        .field("bytes_written", stats.bytes_written)
+        .field("evictions", stats.evictions)
+        .field("verify_failures", stats.verify_failures)
 }
 
 #[cfg(test)]
@@ -280,6 +305,7 @@ mod tests {
             "catalog_window",
             "truncated_events",
             "scaling",
+            "firmware_store",
         ] {
             assert!(!text.contains(absent), "{absent} leaked into arrival-order");
         }
@@ -314,10 +340,61 @@ mod tests {
             &report.aggregate,
             Some(1.0),
             Some(Json::obj().field("speedup_vs_extrapolated_linear_at_1e5", 50.0)),
+            None,
         );
         assert!(text.contains("\"scaling\""));
         assert!(text.contains("\"events_per_second\""));
         assert!(text.contains("speedup_vs_extrapolated_linear_at_1e5"));
+    }
+
+    #[test]
+    fn firmware_store_section_renders_only_when_measured() {
+        let report = simulate(&tiny(), 1);
+        let stats = amulet_fleet::FirmwareStoreStats {
+            hits: 30,
+            misses: 2,
+            disk_hits: 1,
+            builds: 1,
+            bytes_read: 512,
+            bytes_written: 512,
+            ..Default::default()
+        };
+        let text = render_document(
+            &report.scenario,
+            report.workers,
+            &report.aggregate,
+            Some(1.0),
+            None,
+            Some(
+                Json::obj()
+                    .field("prewarm_seconds", 0.25)
+                    .field("stats", store_stats_json(&stats)),
+            ),
+        );
+        for needle in [
+            "\"firmware_store\"",
+            "\"prewarm_seconds\"",
+            "\"hits\": 30",
+            "\"disk_hits\": 1",
+            "\"builds\": 1",
+            "\"bytes_written\": 512",
+            "\"evictions\": 0",
+            "\"verify_failures\": 0",
+        ] {
+            assert!(text.contains(needle), "missing {needle}");
+        }
+        // The deterministic document (the one `--report-out` writes and the
+        // CI cold/warm byte-diff compares) must not carry store state.
+        let bare = render_document(
+            &report.scenario,
+            report.workers,
+            &report.aggregate,
+            None,
+            None,
+            None,
+        );
+        assert!(!bare.contains("firmware_store"));
+        assert!(!bare.contains("timing"));
     }
 
     #[test]

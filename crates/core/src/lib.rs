@@ -45,6 +45,7 @@ pub mod mpu_plan;
 pub mod overhead;
 pub mod perm;
 pub mod platform;
+pub mod serial;
 pub mod switch;
 
 pub use addr::{Addr, AddrRange};
@@ -64,4 +65,5 @@ pub use platform::{
     builtin_platforms, CortexM33, CycleCostTable, MpuModel, Msp430Fr5969, Msp430Fr5969AdvancedMpu,
     Msp430Fr5994, Platform, RegionConstraints, RiscvPmp, SizeRule,
 };
+pub use serial::{fnv1a64, Codec, DecodeError};
 pub use switch::{ContextSwitchPlan, SwitchDirection, SwitchStep};

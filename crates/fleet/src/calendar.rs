@@ -41,51 +41,24 @@
 //!   final flush), the cache records the refusal and every silent device
 //!   of that config is simulated individually — slower, never wrong.
 //!
-//! - **Shared firmware.**  Distinct configurations are built once into a
-//!   process-wide `RwLock<HashMap<_, Arc<Firmware>>>`; builds happen
-//!   outside the lock (a racing duplicate build produces an identical
-//!   image and is dropped), and runtimes share the image by reference.
+//! - **Shared firmware.**  Distinct configurations are materialised once
+//!   through the content-addressable [`FirmwareStore`] — from memory,
+//!   from the cross-run on-disk cache, or by a fresh AFT build — and
+//!   runtimes share the image by reference.
 
-use crate::run::{build_firmware, device_trace, simulate_device, DeviceResult};
+use crate::run::{device_trace, simulate_device, DeviceResult};
 use crate::scenario::{ConfigContext, DeviceConfig, FleetScenario};
-use amulet_mcu::firmware::Firmware;
+use crate::store::FirmwareStore;
 use amulet_os::events::DeliveryPolicy;
 use amulet_os::os::{AmuletOs, OsOptions};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, HashMap};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, RwLock};
 
 /// Devices per scheduling block.  Fixed — never derived from the worker
 /// count — so the block grid, and therefore every block-local decision,
 /// is identical no matter how many workers claim blocks.
 pub(crate) const BLOCK_SIZE: usize = 1024;
-
-/// Lazily-built, process-wide cache of firmware images, one per distinct
-/// configuration key.
-#[derive(Default)]
-struct FirmwareStore {
-    images: RwLock<HashMap<String, Arc<Firmware>>>,
-}
-
-impl FirmwareStore {
-    fn get_or_build(&self, key: &str, cfg: &DeviceConfig) -> Arc<Firmware> {
-        if let Some(fw) = self
-            .images
-            .read()
-            .expect("firmware store poisoned")
-            .get(key)
-        {
-            return Arc::clone(fw);
-        }
-        // Build outside the lock: two workers may race to build the same
-        // key, but the images are identical (a pure function of the
-        // config) and the loser's build is simply dropped.
-        let built = build_firmware(key, cfg);
-        let mut images = self.images.write().expect("firmware store poisoned");
-        Arc::clone(images.entry(key.to_string()).or_insert(built))
-    }
-}
 
 /// A device waiting on the block's wake calendar.
 struct Pending {
@@ -228,20 +201,24 @@ impl<'a> Worker<'a> {
 /// the folded values are returned **in block order** regardless of which
 /// worker claimed which block.  `fold` receives `(block_index, results)`
 /// with the results sorted by device index.
-pub(crate) fn collect_blocks<R, F>(scenario: &FleetScenario, workers: usize, fold: F) -> Vec<R>
+pub(crate) fn collect_blocks_in<R, F>(
+    scenario: &FleetScenario,
+    workers: usize,
+    store: &FirmwareStore,
+    fold: F,
+) -> Vec<R>
 where
     R: Send,
     F: Fn(usize, Vec<DeviceResult>) -> R + Sync,
 {
     let blocks = scenario.devices.div_ceil(BLOCK_SIZE);
     let workers = workers.max(1).min(blocks.max(1));
-    let store = FirmwareStore::default();
     let next = AtomicUsize::new(0);
     let mut tagged: Vec<(usize, R)> = Vec::with_capacity(blocks);
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for _ in 0..workers {
-            let (store, next, fold) = (&store, &next, &fold);
+            let (store, next, fold) = (store, &next, &fold);
             handles.push(scope.spawn(move || {
                 let mut worker = Worker::new(scenario, store);
                 let mut out = Vec::new();
@@ -266,12 +243,108 @@ where
 }
 
 /// Materialises every device's result in device order — the
-/// discrete-event replacement for the linear walk's device vector.
-pub(crate) fn simulate_devices(scenario: &FleetScenario, workers: usize) -> Vec<DeviceResult> {
-    let blocks = collect_blocks(scenario, workers, |_, results| results);
+/// discrete-event replacement for the linear walk's device vector — from
+/// a caller-held [`FirmwareStore`].
+pub(crate) fn simulate_devices_in(
+    scenario: &FleetScenario,
+    workers: usize,
+    store: &FirmwareStore,
+) -> Vec<DeviceResult> {
+    let blocks = collect_blocks_in(scenario, workers, store, |_, results| results);
     let mut devices = Vec::with_capacity(scenario.devices);
     for block in blocks {
         devices.extend(block);
     }
     devices
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::TimeMode;
+
+    /// A mostly-silent stepped fleet drawn from the **full** catalogue,
+    /// which contains apps whose boot path samples the seeded sensors —
+    /// the configs the silent-device outcome cache must refuse.
+    fn sensorful() -> FleetScenario {
+        FleetScenario {
+            name: "refusal-probe".to_string(),
+            devices: 64,
+            events_per_device: 4,
+            silent_permille: 900,
+            time_mode: TimeMode::Stepped,
+            ..FleetScenario::default()
+        }
+    }
+
+    #[test]
+    fn sensor_sampling_probes_are_refused_and_silent_devices_stay_exact() {
+        let scenario = sensorful();
+        let store = FirmwareStore::for_scenario(&scenario);
+        let mut worker = Worker::new(&scenario, &store);
+        let results = worker.run_block(0, scenario.devices);
+        assert_eq!(results.len(), scenario.devices);
+
+        // The refusal path must actually be recorded: at least one config's
+        // probe performed sensor reads, so its cache entry is `None`.
+        let refused: Vec<String> = worker
+            .silent_cache
+            .iter()
+            .filter(|(_, v)| v.is_none())
+            .map(|(k, _)| k.clone())
+            .collect();
+        assert!(
+            !refused.is_empty(),
+            "a full-catalogue fleet must hit at least one sensor-sampling probe"
+        );
+
+        // A refusal is a promise of individual simulation, never a wrong
+        // reuse: every silent device of a refused config must match a
+        // fresh single-device oracle bit for bit, and the probe's grounds
+        // (sensor draws > 0) must hold.
+        let ctx = ConfigContext::new();
+        let mut checked = 0;
+        for (index, block_result) in results.iter().enumerate() {
+            let cfg = scenario.device_config_in(&ctx, index);
+            let key = cfg.firmware_key();
+            if !cfg.silent || !refused.contains(&key) {
+                continue;
+            }
+            let firmware = store.get_or_build(&key, &cfg);
+            let mut os = AmuletOs::with_options_shared(
+                firmware,
+                OsOptions {
+                    sensor_seed: cfg.sensor_seed,
+                    delivery: DeliveryPolicy::PerEvent,
+                    ..OsOptions::default()
+                },
+            );
+            let oracle = simulate_device(&scenario, &cfg, &mut os, &[]);
+            assert!(
+                oracle.sensor_draws > 0,
+                "config {key} was refused, so its silent run must draw sensors"
+            );
+            assert_eq!(*block_result, oracle.result, "device {index}");
+            checked += 1;
+        }
+        assert!(
+            checked > 0,
+            "the fleet must contain a silent device of a refused config"
+        );
+    }
+
+    #[test]
+    fn subscription_only_probes_are_accepted() {
+        // The scaling preset's window is chosen so silent runs are
+        // provably sensor-free — every probe's proof must hold.
+        let scenario = FleetScenario::scaling(64);
+        let store = FirmwareStore::for_scenario(&scenario);
+        let mut worker = Worker::new(&scenario, &store);
+        worker.run_block(0, scenario.devices);
+        assert!(!worker.silent_cache.is_empty(), "probes ran");
+        assert!(
+            worker.silent_cache.values().all(|v| v.is_some()),
+            "no subscription-only config may be refused"
+        );
+    }
 }

@@ -62,13 +62,15 @@ mod calendar;
 pub mod run;
 pub mod scenario;
 pub mod stats;
+pub mod store;
 
 pub use run::{
-    simulate, simulate_linear, simulate_summary, DeviceResult, FleetReport, FleetSummary,
-    PolicyOutcome,
+    simulate, simulate_in, simulate_linear, simulate_linear_in, simulate_summary,
+    simulate_summary_in, DeviceResult, FleetReport, FleetSummary, PolicyOutcome,
 };
 pub use scenario::{ConfigContext, DeviceConfig, FleetScenario, TimeMode};
 pub use stats::{
     BlockSummary, EnergyStats, FleetAggregate, LatencyStats, PolicyAggregate, ProfileHistogram,
     BATTERY_IMPACT_BUCKET_EDGES,
 };
+pub use store::{FirmwareStore, FirmwareStoreStats};

@@ -5,6 +5,7 @@
 
 use crate::scenario::{DeviceConfig, FleetScenario, TimeMode};
 use crate::stats::{aggregate, FleetAggregate};
+use crate::store::FirmwareStore;
 use amulet_aft::aft::Aft;
 use amulet_arp::arp::Arp;
 use amulet_core::energy::{BatteryModel, EnergyModel};
@@ -418,16 +419,20 @@ where
     out
 }
 
-/// Builds every distinct firmware image the fleet needs, exactly once,
-/// fanning the AFT builds out across `workers` scoped threads.
+/// Materialises every distinct firmware image the fleet needs, exactly
+/// once, through the given [`FirmwareStore`] (memory, cross-run disk
+/// cache, or a fresh AFT build), fanning the work out across `workers`
+/// scoped threads.
 ///
 /// Distinct configurations are collected in config order, partitioned into
-/// contiguous chunks, built in parallel, and merged back in config order —
-/// each image is a pure function of its configuration, so the resulting
-/// cache is identical for every worker count.
+/// contiguous chunks, materialised in parallel, and merged back in config
+/// order — each image is a pure function of its configuration, so the
+/// resulting cache is identical for every worker count and every store
+/// state.
 fn build_firmware_cache(
     configs: &[DeviceConfig],
     workers: usize,
+    store: &FirmwareStore,
 ) -> BTreeMap<String, Arc<Firmware>> {
     let mut distinct: Vec<(String, &DeviceConfig)> = Vec::new();
     let mut seen = std::collections::BTreeSet::new();
@@ -439,7 +444,7 @@ fn build_firmware_cache(
     }
     par_map_chunks(&distinct, workers, |part| {
         part.iter()
-            .map(|(key, cfg)| (key.clone(), build_firmware(key, cfg)))
+            .map(|(key, cfg)| (key.clone(), store.get_or_build(key, cfg)))
             .collect()
     })
     .into_iter()
@@ -458,10 +463,18 @@ fn build_firmware_cache(
 /// this) while skipping the devices that are asleep — the fleet's
 /// dominant state.
 pub fn simulate(scenario: &FleetScenario, workers: usize) -> FleetReport {
+    let store = FirmwareStore::for_scenario(scenario);
+    simulate_in(scenario, workers, &store)
+}
+
+/// [`simulate`] against a caller-held [`FirmwareStore`] — identical
+/// results (the store is a pure cache), with the store's hit/build
+/// statistics left readable by the caller afterwards.
+pub fn simulate_in(scenario: &FleetScenario, workers: usize, store: &FirmwareStore) -> FleetReport {
     match scenario.time_mode {
-        TimeMode::ArrivalOrder => simulate_linear(scenario, workers),
+        TimeMode::ArrivalOrder => simulate_linear_in(scenario, workers, store),
         TimeMode::Stepped => {
-            let devices = crate::calendar::simulate_devices(scenario, workers);
+            let devices = crate::calendar::simulate_devices_in(scenario, workers, store);
             let aggregate = aggregate(&devices);
             FleetReport {
                 scenario: scenario.clone(),
@@ -498,7 +511,18 @@ pub struct FleetSummary {
 /// deterministic uniform-sample estimates (see
 /// [`crate::stats::BlockSummary`]) while every other field stays exact.
 pub fn simulate_summary(scenario: &FleetScenario, workers: usize) -> FleetSummary {
-    let blocks = crate::calendar::collect_blocks(scenario, workers, |_, devices| {
+    let store = FirmwareStore::for_scenario(scenario);
+    simulate_summary_in(scenario, workers, &store)
+}
+
+/// [`simulate_summary`] against a caller-held [`FirmwareStore`] (see
+/// [`simulate_in`]).
+pub fn simulate_summary_in(
+    scenario: &FleetScenario,
+    workers: usize,
+    store: &FirmwareStore,
+) -> FleetSummary {
+    let blocks = crate::calendar::collect_blocks_in(scenario, workers, store, |_, devices| {
         crate::stats::BlockSummary::from_devices(&devices)
     });
     FleetSummary {
@@ -515,10 +539,21 @@ pub fn simulate_summary(scenario: &FleetScenario, workers: usize) -> FleetSummar
 /// reference oracle the discrete-event runner is property-tested against,
 /// and as the baseline the scaling bench extrapolates from.
 pub fn simulate_linear(scenario: &FleetScenario, workers: usize) -> FleetReport {
+    let store = FirmwareStore::for_scenario(scenario);
+    simulate_linear_in(scenario, workers, &store)
+}
+
+/// [`simulate_linear`] against a caller-held [`FirmwareStore`] (see
+/// [`simulate_in`]).
+pub fn simulate_linear_in(
+    scenario: &FleetScenario,
+    workers: usize,
+    store: &FirmwareStore,
+) -> FleetReport {
     let configs: Vec<DeviceConfig> = (0..scenario.devices)
         .map(|i| scenario.device_config(i))
         .collect();
-    let cache = build_firmware_cache(&configs, workers);
+    let cache = build_firmware_cache(&configs, workers, store);
 
     let workers = workers.max(1).min(configs.len().max(1));
     let mut devices = par_map_chunks(&configs, workers, |part| {

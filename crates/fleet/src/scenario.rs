@@ -82,6 +82,15 @@ pub struct FleetScenario {
     /// derivation; the scaling preset uses a subscription-only window so
     /// silent devices are provably sensor-free.
     pub catalog_window: Option<(usize, usize)>,
+    /// Directory of the cross-run content-addressable firmware store
+    /// (see `crate::store::FirmwareStore`).  `None` (the default) keeps
+    /// the cache purely in-memory, exactly as before the store existed.
+    /// The store is a pure cache: it never changes a single byte of any
+    /// result, so it is **not** part of the rendered scenario.
+    pub store_dir: Option<std::path::PathBuf>,
+    /// Paranoid store mode: every image loaded from disk is verified
+    /// byte-identical to a fresh build before reuse (CI runs this).
+    pub paranoid: bool,
 }
 
 impl Default for FleetScenario {
@@ -101,6 +110,8 @@ impl Default for FleetScenario {
             lpm_current_override_na: None,
             silent_permille: 0,
             catalog_window: None,
+            store_dir: None,
+            paranoid: false,
         }
     }
 }
@@ -177,6 +188,16 @@ impl FleetScenario {
             max_batch: self.max_batch.max(1),
             max_latency_events: self.max_latency_events.max(1),
         }
+    }
+
+    /// Stable label of the scenario's batched delivery policy, the
+    /// policy component of the on-disk store key.
+    pub fn policy_label(&self) -> String {
+        format!(
+            "batched:{}:{}",
+            self.max_batch.max(1),
+            self.max_latency_events.max(1)
+        )
     }
 
     /// Derives the configuration of device `index` — a pure function of

@@ -44,6 +44,7 @@ pub mod device;
 pub mod firmware;
 pub mod isa;
 pub mod mpu;
+pub mod serial;
 pub mod timer;
 
 pub use bus::{Bus, BusFault, BusFaultCause, BusStats, Region};
@@ -53,4 +54,5 @@ pub use device::{Device, RunExit, StopReason};
 pub use firmware::{AppBinary, DataSegment, Firmware, FirmwareBuilder, FirmwareError, OsBinary};
 pub use isa::{AluOp, Cond, Instr, Reg, UnaryOp, Width};
 pub use mpu::{ExtendedMpu, Mpu, MpuDecision, MpuSegment, RegionMpu, RegionSlot};
+pub use serial::{decode_firmware, encode_firmware, verify_envelope, FORMAT_VERSION, MAGIC};
 pub use timer::{Timer, TIMER_PRECISION_CYCLES};

@@ -19,7 +19,7 @@ use proptest::collection::vec;
 use proptest::prelude::*;
 
 /// One step of a driven access/configuration sequence.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 enum Op {
     /// `Bus::read` of 1 or 2 bytes.
     Read { addr: Addr, size: u32 },

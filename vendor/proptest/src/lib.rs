@@ -6,8 +6,14 @@
 //! use — `proptest!`, `prop_assert*`, `prop_oneof!`, range/tuple/vec
 //! strategies, `Just`, `any`, `prop_map`, `prop_flat_map` and
 //! `proptest::collection::vec` — with a seeded xorshift generator instead
-//! of real shrinking-capable value trees.  Failures therefore reproduce
-//! deterministically across runs, but are not shrunk.
+//! of real shrinking-capable value trees.  Failures reproduce
+//! deterministically across runs and are **shrunk** before reporting:
+//! integer ranges shrink towards their lower bound, vectors drop
+//! elements, tuples shrink component-wise, and `prop_map` shrinks its
+//! recorded pre-image and re-applies the mapping.  The remaining
+//! residuals with no shrinking are `prop_flat_map` and `prop_oneof!`
+//! (no pre-image is recoverable through a flat-map's second sampling
+//! stage or a union's erased branch — DESIGN §6).
 
 #![forbid(unsafe_code)]
 
@@ -152,10 +158,15 @@ macro_rules! proptest {
                     (move || { $body #[allow(unreachable_code)] Ok(()) })()
                 });
                 for case in 0..config.cases {
-                    // Arguments sample one at a time, in declaration
-                    // order — the exact pre-shrinking RNG stream.
-                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)*
-                    let mut __prop_args = ($($arg,)*);
+                    // Sampling goes through the *same* strategy tuple the
+                    // shrink loop consults: combinators that shrink by
+                    // memory (`prop_map` records pre-images while
+                    // sampling) only work when one instance serves both.
+                    // The tuple strategy samples its components in
+                    // declaration order, so the RNG stream is exactly the
+                    // historical per-argument stream.
+                    let mut __prop_args =
+                        $crate::strategy::Strategy::sample(&__prop_strats, &mut rng);
                     if let Err(mut __prop_failure) = __prop_check(&__prop_args) {
                         // Greedy minimisation: adopt the first simpler
                         // candidate bundle that still fails, repeat to a
@@ -264,6 +275,10 @@ mod shrink_tests {
         fn fails_on_big_pair_products(pair in (1u32..40, 1u32..40)) {
             prop_assert!(pair.0 * pair.1 < 100, "{} * {} too big", pair.0, pair.1);
         }
+
+        fn fails_on_big_doubles(x in (0u32..1000).prop_map(|x| x * 2)) {
+            prop_assert!(x <= 80, "x = {} too big", x);
+        }
     }
 
     fn failure_message(f: fn()) -> String {
@@ -290,6 +305,19 @@ mod shrink_tests {
         assert!(
             msg.contains("[\n        50,\n    ]"),
             "not minimised: {msg}"
+        );
+    }
+
+    #[test]
+    fn mapped_counterexamples_shrink_through_the_pre_image() {
+        let msg = failure_message(fails_on_big_doubles);
+        // The mapping x ↦ 2x is not inverted; the pre-image is recorded
+        // at sample time and shrunk instead.  The smallest pre-image in
+        // 0..1000 whose double violates x <= 80 is 41, so the minimal
+        // reported (mapped) argument is 82.
+        assert!(
+            msg.contains("minimal arguments: (\n    82,\n)"),
+            "not minimised through prop_map: {msg}"
         );
     }
 

@@ -2,6 +2,7 @@
 //! proptest's `Strategy` trait and its combinators.
 
 use crate::test_runner::TestRng;
+use std::cell::RefCell;
 
 /// A source of pseudo-random values of one type.
 pub trait Strategy {
@@ -16,9 +17,10 @@ pub trait Strategy {
     /// that still fails, so repeated application minimises the
     /// counterexample.  The default proposes nothing (no shrinking) —
     /// integer ranges shrink towards their lower bound, `any` integers
-    /// towards zero, and vectors by dropping elements and shrinking the
-    /// survivors.  Combinators that cannot invert their construction
-    /// (`prop_map`, `prop_flat_map`, `prop_oneof!`) keep the default.
+    /// towards zero, vectors drop elements and shrink the survivors, and
+    /// `prop_map` shrinks its *pre-image* and re-applies the mapping
+    /// (see [`Map`]).  Combinators that cannot recover a pre-image
+    /// (`prop_flat_map`, `prop_oneof!`) keep the default.
     fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
         Vec::new()
     }
@@ -28,7 +30,11 @@ pub trait Strategy {
     where
         Self: Sized,
     {
-        Map { inner: self, f }
+        Map {
+            inner: self,
+            f,
+            seen: RefCell::new(Vec::new()),
+        }
     }
 
     /// Samples a value, feeds it to `f`, and samples from the strategy `f`
@@ -73,15 +79,57 @@ impl<T: Clone> Strategy for Just<T> {
 }
 
 /// See [`Strategy::prop_map`].
-pub struct Map<S, F> {
+///
+/// A mapping is not invertible in general, so `Map` shrinks by **memory**
+/// instead of inversion: every pre-image it samples — and every shrink
+/// candidate it proposes — is recorded, and `shrink(value)` looks the
+/// failing value's pre-image up by re-applying `f` (newest entry first,
+/// so the candidate the greedy runner just adopted is found immediately),
+/// shrinks that pre-image through the inner strategy, and maps the
+/// candidates forward.  Candidates that map back to the current value are
+/// dropped (progress must be strict, or the runner would spin on
+/// many-to-one mappings).  The memory is cleared on every fresh sample,
+/// so it holds one test case's lineage, bounded by the runner's
+/// `max_shrink_iters`.
+pub struct Map<S: Strategy, F> {
     inner: S,
     f: F,
+    /// Pre-images that may have produced the current failing value.
+    seen: RefCell<Vec<S::Value>>,
 }
 
-impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+impl<S: Strategy, T: PartialEq, F: Fn(S::Value) -> T> Strategy for Map<S, F>
+where
+    S::Value: Clone,
+{
     type Value = T;
     fn sample(&self, rng: &mut TestRng) -> T {
-        (self.f)(self.inner.sample(rng))
+        let pre = self.inner.sample(rng);
+        let mut seen = self.seen.borrow_mut();
+        seen.clear();
+        seen.push(pre.clone());
+        drop(seen);
+        (self.f)(pre)
+    }
+    fn shrink(&self, value: &T) -> Vec<T> {
+        let pre = self
+            .seen
+            .borrow()
+            .iter()
+            .rev()
+            .find(|p| (self.f)((*p).clone()) == *value)
+            .cloned();
+        let Some(pre) = pre else { return Vec::new() };
+        let mut out = Vec::new();
+        for cand in self.inner.shrink(&pre) {
+            let mapped = (self.f)(cand.clone());
+            if mapped == *value {
+                continue;
+            }
+            self.seen.borrow_mut().push(cand);
+            out.push(mapped);
+        }
+        out
     }
 }
 
