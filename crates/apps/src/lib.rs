@@ -12,10 +12,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversarial;
 pub mod benchmarks;
 pub mod catalog;
 pub mod traces;
 
+pub use adversarial::{adversarial_by_name, adversarial_catalog, FaultKind};
 pub use benchmarks::{activity_detection, quicksort, synthetic, BenchmarkApp};
 pub use catalog::{by_name, catalog, CatalogApp};
 pub use traces::TraceEvent;

@@ -15,7 +15,17 @@
 //!
 //! * `--preset scaling` starts from [`FleetScenario::scaling`] — the
 //!   mostly-silent, windowed campaign the scaling study runs — before
-//!   the other flags apply.
+//!   the other flags apply.  `--preset storm` starts from
+//!   [`FleetScenario::storm`]: the fault-injection campaign (adversarial
+//!   apps, watchdog restart policy, OTA re-install wave), whose report
+//!   gains `containment` and `ota_wave` aggregate sections.
+//! * `--fault-permille N`, `--ota-permille N`, `--ota-corrupt-permille N`,
+//!   `--ota-max-retries N` and `--step-budget N` set the campaign knobs
+//!   individually on any scenario.
+//! * `--store-cap-bytes N` bounds the on-disk store (least-recently-used
+//!   images evicted first); requires `--store`.  Contradictory flag
+//!   combinations (`--store --no-store`, `--paranoid --no-store`,
+//!   `--linear --summary`, ...) are rejected up front with exit code 2.
 //! * `--summary` streams block aggregation (`simulate_summary`) instead
 //!   of materialising per-device results: bounded memory at 10⁵–10⁶
 //!   devices, byte-identical document.
@@ -38,7 +48,9 @@
 //!   cold and warm store runs of the same scenario must produce
 //!   byte-identical files, which CI asserts.
 
-use amulet_bench::fleet_sim::{render_document, store_stats_json};
+use amulet_bench::fleet_sim::{
+    containment_json, ota_wave_json, render_document, render_document_with, store_stats_json,
+};
 use amulet_bench::json::Json;
 use amulet_fleet::{
     simulate_in, simulate_linear_in, simulate_summary_in, FirmwareStore, FleetScenario, TimeMode,
@@ -48,8 +60,10 @@ use std::time::Instant;
 
 const USAGE: &str = "usage: fleet_sim [devices] [workers] [events_per_device] [seed] [mode] \
      [--devices N] [--workers N] [--events N] [--seed N] [--mode arrival-order|stepped] \
-     [--silent-permille N] [--preset scaling] [--summary] [--linear] [--no-write] [--scaling] \
-     [--store DIR] [--no-store] [--paranoid] [--report-out FILE]";
+     [--silent-permille N] [--preset scaling|storm] [--fault-permille N] [--ota-permille N] \
+     [--ota-corrupt-permille N] [--ota-max-retries N] [--step-budget N] [--summary] [--linear] \
+     [--no-write] [--scaling] [--store DIR] [--no-store] [--paranoid] [--store-cap-bytes N] \
+     [--report-out FILE]";
 
 /// Everything the command line can ask for, before it is resolved into a
 /// scenario.
@@ -61,7 +75,13 @@ struct Cli {
     seed: Option<u64>,
     mode: Option<TimeMode>,
     silent_permille: Option<u16>,
+    fault_permille: Option<u16>,
+    ota_permille: Option<u16>,
+    ota_corrupt_permille: Option<u16>,
+    ota_max_retries: Option<u32>,
+    step_budget: Option<u64>,
     preset_scaling: bool,
+    preset_storm: bool,
     summary: bool,
     linear: bool,
     no_write: bool,
@@ -70,6 +90,7 @@ struct Cli {
     store: Option<PathBuf>,
     no_store: bool,
     paranoid: bool,
+    store_cap_bytes: Option<u64>,
     report_out: Option<PathBuf>,
 }
 
@@ -104,8 +125,28 @@ fn parse(args: impl Iterator<Item = String>) -> Cli {
             "--silent-permille" => {
                 cli.silent_permille = Some(parse_num(&value("--silent-permille", &mut it)) as u16)
             }
+            "--fault-permille" => {
+                cli.fault_permille = Some(parse_num(&value("--fault-permille", &mut it)) as u16)
+            }
+            "--ota-permille" => {
+                cli.ota_permille = Some(parse_num(&value("--ota-permille", &mut it)) as u16)
+            }
+            "--ota-corrupt-permille" => {
+                cli.ota_corrupt_permille =
+                    Some(parse_num(&value("--ota-corrupt-permille", &mut it)) as u16)
+            }
+            "--ota-max-retries" => {
+                cli.ota_max_retries = Some(parse_num(&value("--ota-max-retries", &mut it)) as u32)
+            }
+            "--step-budget" => {
+                cli.step_budget = Some(parse_num(&value("--step-budget", &mut it)) as u64)
+            }
+            "--store-cap-bytes" => {
+                cli.store_cap_bytes = Some(parse_num(&value("--store-cap-bytes", &mut it)) as u64)
+            }
             "--preset" => match value("--preset", &mut it).as_str() {
                 "scaling" => cli.preset_scaling = true,
+                "storm" => cli.preset_storm = true,
                 other => fail(&format!("unknown preset {other:?}")),
             },
             "--summary" => cli.summary = true,
@@ -144,9 +185,37 @@ fn parse_num(s: &str) -> usize {
         .unwrap_or_else(|_| fail(&format!("not a number: {s:?}")))
 }
 
+/// Rejects contradictory flag combinations up front (exit 2 with usage)
+/// instead of letting one flag silently win over another.
+fn validate(cli: &Cli) {
+    if cli.store.is_some() && cli.no_store {
+        fail("--store and --no-store conflict");
+    }
+    if cli.paranoid && cli.no_store {
+        fail("--paranoid and --no-store conflict");
+    }
+    if cli.paranoid && cli.store.is_none() {
+        fail("--paranoid verifies disk loads and needs --store DIR");
+    }
+    if cli.store_cap_bytes.is_some() && cli.store.is_none() {
+        fail("--store-cap-bytes bounds an on-disk store and needs --store DIR");
+    }
+    if cli.linear && cli.summary {
+        fail("--linear and --summary conflict: the linear oracle materialises per-device results");
+    }
+    if cli.preset_scaling && cli.preset_storm {
+        fail("--preset given twice with different presets");
+    }
+    if cli.scaling && cli.scaling_point {
+        fail("--scaling and --scaling-point conflict");
+    }
+}
+
 fn scenario_from(cli: &Cli) -> (FleetScenario, usize) {
     let mut scenario = if cli.preset_scaling {
         FleetScenario::scaling(cli.devices.unwrap_or(1000))
+    } else if cli.preset_storm {
+        FleetScenario::storm(cli.devices.unwrap_or(1000))
     } else {
         FleetScenario::default()
     };
@@ -165,10 +234,26 @@ fn scenario_from(cli: &Cli) -> (FleetScenario, usize) {
     if let Some(p) = cli.silent_permille {
         scenario.silent_permille = p;
     }
+    if let Some(p) = cli.fault_permille {
+        scenario.fault_permille = p;
+    }
+    if let Some(p) = cli.ota_permille {
+        scenario.ota_permille = p;
+    }
+    if let Some(p) = cli.ota_corrupt_permille {
+        scenario.ota_corrupt_permille = p;
+    }
+    if let Some(n) = cli.ota_max_retries {
+        scenario.ota_max_retries = n;
+    }
+    if let Some(b) = cli.step_budget {
+        scenario.step_budget = Some(b);
+    }
     if !cli.no_store {
         scenario.store_dir = cli.store.clone();
     }
     scenario.paranoid = cli.paranoid;
+    scenario.store_cap_bytes = cli.store_cap_bytes;
     let workers = cli.workers.unwrap_or_else(|| {
         std::thread::available_parallelism()
             .map(|n| n.get())
@@ -405,6 +490,32 @@ fn run_scaling(cli: &Cli) {
     );
     let store_json = store_bench(&FleetScenario::scaling(top_point.devices), &store_dir);
 
+    // The fault-injection campaign: a storm preset sweep whose
+    // containment matrix and OTA-wave tallies ride the committed document
+    // as top-level sections (they measure a different scenario than the
+    // scaling point, so they cannot live inside its aggregate).
+    const STORM_DEVICES: usize = 10_000;
+    eprintln!("scaling: fault storm, {STORM_DEVICES} devices...");
+    let storm_scenario = FleetScenario::storm(STORM_DEVICES);
+    let storm_started = Instant::now();
+    let storm = amulet_fleet::simulate_summary(&storm_scenario, workers);
+    let storm_wall = storm_started.elapsed().as_secs_f64();
+    let extras = vec![
+        (
+            "fault_campaign",
+            Json::obj()
+                .field("name", storm_scenario.name.as_str())
+                .field("seed", storm_scenario.seed)
+                .field("devices", STORM_DEVICES)
+                .field("wall_seconds", storm_wall),
+        ),
+        (
+            "containment",
+            Json::from(containment_json(&storm.aggregate.containment)),
+        ),
+        ("ota_wave", ota_wave_json(&storm.aggregate.ota_wave)),
+    ];
+
     // The document itself reports the largest calendar point, re-run
     // in-process (cheap next to the campaign) so the full aggregate is
     // available.  When a store directory is active it was just prewarmed
@@ -420,13 +531,14 @@ fn run_scaling(cli: &Cli) {
     let started = Instant::now();
     let summary = simulate_summary_in(&scenario, workers, &store);
     let wall = started.elapsed().as_secs_f64();
-    let json = render_document(
+    let json = render_document_with(
         &summary.scenario,
         summary.workers,
         &summary.aggregate,
         Some(wall),
         Some(scaling),
         Some(store_json),
+        extras,
     );
     if cli.store.is_none() {
         let _ = std::fs::remove_dir_all(&store_dir);
@@ -472,6 +584,7 @@ fn emit(cli: &Cli, scenario: &FleetScenario, workers: usize, wall: f64, json: St
 
 fn main() {
     let cli = parse(std::env::args().skip(1));
+    validate(&cli);
     if cli.scaling_point {
         run_point(&cli);
     }

@@ -62,6 +62,23 @@ pub fn render_document(
     scaling: Option<Json>,
     store: Option<Json>,
 ) -> String {
+    render_document_with(s, workers, agg, wall_seconds, scaling, store, Vec::new())
+}
+
+/// [`render_document`] plus arbitrary trailing document-level sections —
+/// how the `--scaling` driver attaches the fault-storm `containment` and
+/// `ota_wave` sections (measured on the storm scenario) to the committed
+/// scaling document without disturbing any earlier field.
+#[allow(clippy::too_many_arguments)]
+pub fn render_document_with(
+    s: &FleetScenario,
+    workers: usize,
+    agg: &FleetAggregate,
+    wall_seconds: Option<f64>,
+    scaling: Option<Json>,
+    store: Option<Json>,
+    extras: Vec<(&'static str, Json)>,
+) -> String {
     let stepped = s.time_mode == TimeMode::Stepped;
     let mut scenario = Json::obj()
         .field("name", s.name.as_str())
@@ -87,6 +104,27 @@ pub fn render_document(
             "catalog_window",
             Json::obj().field("start", start).field("len", len),
         );
+    }
+    // Fault-campaign knobs, same rule: armed scenarios only.
+    if s.fault_permille > 0 {
+        scenario = scenario.field("fault_permille", u64::from(s.fault_permille));
+    }
+    if let Some(budget) = s.step_budget {
+        scenario = scenario.field("step_budget", budget);
+    }
+    if s.watchdog_max_strikes > 0 {
+        scenario = scenario.field(
+            "watchdog",
+            Json::obj()
+                .field("base_backoff", u64::from(s.watchdog_base_backoff))
+                .field("max_strikes", u64::from(s.watchdog_max_strikes)),
+        );
+    }
+    if s.ota_permille > 0 {
+        scenario = scenario
+            .field("ota_permille", u64::from(s.ota_permille))
+            .field("ota_corrupt_permille", u64::from(s.ota_corrupt_permille))
+            .field("ota_max_retries", u64::from(s.ota_max_retries));
     }
 
     let policy = |p: &amulet_fleet::PolicyAggregate| {
@@ -194,6 +232,15 @@ pub fn render_document(
                 .field("batching_added_p99_ms", ba.p99_ms - pe.p99_ms),
         );
     }
+    // The containment matrix and OTA-wave tallies exist only when the
+    // scenario armed faults or waves — absent otherwise, like every
+    // campaign field.
+    if !agg.containment.is_empty() {
+        aggregate = aggregate.field("containment", containment_json(&agg.containment));
+    }
+    if agg.ota_wave.devices > 0 {
+        aggregate = aggregate.field("ota_wave", ota_wave_json(&agg.ota_wave));
+    }
     let aggregate = aggregate.field("battery_impact_histograms", histograms);
 
     let mut doc = Json::obj()
@@ -221,7 +268,43 @@ pub fn render_document(
     if let Some(store) = store {
         doc = doc.field("firmware_store", store);
     }
+    for (name, value) in extras {
+        doc = doc.field(name, value);
+    }
     doc.render()
+}
+
+/// Renders the per-(platform, method, fault) containment matrix as an
+/// array of verdict-count rows, in the aggregate's deterministic
+/// name-sorted order.
+pub fn containment_json(rows: &[amulet_fleet::ContainmentRow]) -> Vec<Json> {
+    rows.iter()
+        .map(|r| {
+            Json::obj()
+                .field("platform", r.platform.as_str())
+                .field("method", r.method.as_str())
+                .field("fault", r.fault.as_str())
+                .field("devices", r.devices)
+                .field("caught_by_mpu", r.caught_by_mpu)
+                .field("caught_by_software", r.caught_by_software)
+                .field("escaped", r.escaped)
+                .field("hung", r.hung)
+                .field("crashed", r.crashed)
+        })
+        .collect()
+}
+
+/// Renders the fleet-wide OTA-wave tallies as one JSON object.
+pub fn ota_wave_json(w: &amulet_fleet::OtaWaveStats) -> Json {
+    Json::obj()
+        .field("devices", w.devices)
+        .field("installed", w.installed)
+        .field("rolled_back", w.rolled_back)
+        .field("bricked", w.bricked)
+        .field("retried_devices", w.retried_devices)
+        .field("attempts", w.attempts)
+        .field("corrupt_attempts", w.corrupt_attempts)
+        .field("backoff_ms", w.backoff_ms)
 }
 
 /// Renders [`amulet_fleet::FirmwareStoreStats`] counters as one JSON object
@@ -235,6 +318,7 @@ pub fn store_stats_json(stats: &amulet_fleet::FirmwareStoreStats) -> Json {
         .field("bytes_read", stats.bytes_read)
         .field("bytes_written", stats.bytes_written)
         .field("evictions", stats.evictions)
+        .field("disk_evictions", stats.disk_evictions)
         .field("verify_failures", stats.verify_failures)
 }
 
@@ -306,9 +390,41 @@ mod tests {
             "truncated_events",
             "scaling",
             "firmware_store",
+            "fault_permille",
+            "step_budget",
+            "watchdog",
+            "ota_permille",
+            "containment",
+            "ota_wave",
         ] {
             assert!(!text.contains(absent), "{absent} leaked into arrival-order");
         }
+    }
+
+    #[test]
+    fn storm_reports_render_the_containment_matrix_and_ota_wave() {
+        let scenario = FleetScenario::storm(600);
+        let text = render_summary_json(&amulet_fleet::simulate_summary(&scenario, 1), None);
+        for needle in [
+            "\"fault_permille\": 400",
+            "\"step_budget\": 20000",
+            "\"watchdog\"",
+            "\"max_strikes\": 3",
+            "\"ota_permille\": 250",
+            "\"ota_corrupt_permille\": 200",
+            "\"ota_max_retries\": 3",
+            "\"containment\"",
+            "\"caught_by_mpu\"",
+            "\"escaped\"",
+            "\"ota_wave\"",
+            "\"bricked\": 0",
+            "\"rolled_back\"",
+        ] {
+            assert!(text.contains(needle), "missing {needle}");
+        }
+        assert_eq!(text.matches('{').count(), text.matches('}').count());
+        let parallel = render_summary_json(&amulet_fleet::simulate_summary(&scenario, 8), None);
+        assert_eq!(text, parallel, "storm reports are worker-count-free");
     }
 
     #[test]

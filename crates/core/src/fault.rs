@@ -41,11 +41,16 @@ pub enum FaultClass {
     /// The CPU fetched an instruction it cannot decode (e.g. after a wild
     /// jump under No Isolation).
     IllegalInstruction,
+    /// The OS watchdog declared the handler runaway: it burned through its
+    /// instruction step budget without returning.  Distinct from
+    /// [`FaultClass::IllegalInstruction`] so fleet campaigns can tell a
+    /// *hung* app (bounded by the watchdog) from one that crashed.
+    WatchdogBudget,
 }
 
 impl FaultClass {
     /// Every fault class, for exhaustive reporting and property tests.
-    pub const ALL: [FaultClass; 10] = [
+    pub const ALL: [FaultClass; 11] = [
         FaultClass::MpuViolation,
         FaultClass::DataPointerLowerBound,
         FaultClass::DataPointerUpperBound,
@@ -56,6 +61,7 @@ impl FaultClass {
         FaultClass::StackOverflow,
         FaultClass::ApiViolation,
         FaultClass::IllegalInstruction,
+        FaultClass::WatchdogBudget,
     ];
 
     /// Whether this fault was raised by hardware (the MPU) rather than a
@@ -70,7 +76,10 @@ impl FaultClass {
     /// Whether this fault indicates an attempted isolation violation (as
     /// opposed to a plain programming error such as an illegal instruction).
     pub fn is_isolation_violation(&self) -> bool {
-        !matches!(self, FaultClass::IllegalInstruction)
+        !matches!(
+            self,
+            FaultClass::IllegalInstruction | FaultClass::WatchdogBudget
+        )
     }
 }
 
@@ -87,6 +96,7 @@ impl fmt::Display for FaultClass {
             FaultClass::StackOverflow => "application stack overflow",
             FaultClass::ApiViolation => "call outside approved system API",
             FaultClass::IllegalInstruction => "illegal instruction",
+            FaultClass::WatchdogBudget => "watchdog step budget exhausted",
         };
         f.write_str(s)
     }
@@ -109,7 +119,7 @@ mod tests {
         for c in FaultClass::ALL {
             assert!(seen.insert(format!("{c:?}")));
         }
-        assert_eq!(seen.len(), 10);
+        assert_eq!(seen.len(), 11);
     }
 
     #[test]

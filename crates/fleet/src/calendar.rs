@@ -117,7 +117,7 @@ impl<'a> Worker<'a> {
     /// cache as appropriate.
     fn run_pending(&mut self, key: &str, p: &Pending) -> DeviceResult {
         let scenario = self.scenario;
-        if p.cfg.silent {
+        if p.cfg.silent_cacheable() {
             // The cache may have been decided since the block was
             // planned — by an earlier member of this very group.
             if let Some(Some(template)) = self.silent_cache.get(key) {
@@ -150,7 +150,10 @@ impl<'a> Worker<'a> {
         for index in lo..hi {
             let cfg = self.scenario.device_config_in(&self.ctx, index);
             let key = cfg.firmware_key();
-            if cfg.silent {
+            // Only trivially-silent devices are cache-eligible: the cache
+            // is keyed by firmware config, and armed or OTA-swept devices
+            // can differ (fault kind, OTA seed) while sharing an image.
+            if cfg.silent_cacheable() {
                 if let Some(Some(template)) = self.silent_cache.get(&key) {
                     let mut r = template.clone();
                     r.index = index;

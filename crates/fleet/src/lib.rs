@@ -59,18 +59,20 @@
 #![warn(missing_docs)]
 
 mod calendar;
+pub mod faults;
 pub mod run;
 pub mod scenario;
 pub mod stats;
 pub mod store;
 
+pub use faults::{FaultProbe, OtaOutcome, Verdict};
 pub use run::{
     simulate, simulate_in, simulate_linear, simulate_linear_in, simulate_summary,
     simulate_summary_in, DeviceResult, FleetReport, FleetSummary, PolicyOutcome,
 };
 pub use scenario::{ConfigContext, DeviceConfig, FleetScenario, TimeMode};
 pub use stats::{
-    BlockSummary, EnergyStats, FleetAggregate, LatencyStats, PolicyAggregate, ProfileHistogram,
-    BATTERY_IMPACT_BUCKET_EDGES,
+    BlockSummary, ContainmentRow, EnergyStats, FleetAggregate, LatencyStats, OtaWaveStats,
+    PolicyAggregate, ProfileHistogram, BATTERY_IMPACT_BUCKET_EDGES,
 };
 pub use store::{FirmwareStore, FirmwareStoreStats};

@@ -102,6 +102,11 @@ pub struct DeviceResult {
     pub per_event_latencies_ms: Vec<f64>,
     /// Latency samples of the batched leg (see `per_event_latencies_ms`).
     pub batched_latencies_ms: Vec<f64>,
+    /// The fault injector's controlled probe and its containment verdict,
+    /// on devices the scenario armed (`None` on clean devices).
+    pub fault: Option<crate::faults::FaultProbe>,
+    /// How this device's OTA re-install ended, on devices the wave swept.
+    pub ota: Option<crate::faults::OtaOutcome>,
 }
 
 /// A complete fleet run: the scenario, every per-device result (in device
@@ -327,10 +332,21 @@ pub(crate) fn simulate_device(
     // `AmuletOs::reset` zeroes the counter, and every sensor-backed
     // syscall (including `amulet_get_time`) advances it.
     let mut sensor_draws = 0u64;
+    let mut probe_verdicts: Vec<crate::faults::Verdict> = Vec::new();
     let mut leg = |os: &mut AmuletOs, policy: DeliveryPolicy| -> (PolicyOutcome, Vec<f64>) {
         os.reset();
         os.set_delivery_policy(policy);
         os.boot();
+        if let Some(kind) = cfg.fault {
+            // The controlled probe: one delivery to the adversarial app
+            // (always installed last) carrying the concrete target address
+            // computed from this image's real memory map.  It runs before
+            // the trace — like boot, busy from t = 0 — so the verdict is
+            // independent of the delivery policy, which both legs assert.
+            let payload = crate::faults::attack_payload(kind, os.firmware());
+            let (outcome, _) = os.call_handler(cfg.apps.len() - 1, "attack", payload);
+            probe_verdicts.push(crate::faults::classify(outcome));
+        }
         let out = match scenario.time_mode {
             TimeMode::ArrivalOrder => {
                 run_trace(os, trace);
@@ -347,8 +363,36 @@ pub(crate) fn simulate_device(
     };
 
     os.set_sensor_seed(cfg.sensor_seed);
+    if let Some(budget) = scenario.step_budget {
+        os.set_step_budget(budget);
+    }
+    if let Some(policy) = scenario.watchdog_policy() {
+        os.set_restart_policy(policy);
+    }
     let (per_event, per_event_latencies_ms) = leg(os, DeliveryPolicy::PerEvent);
     let (batched, batched_latencies_ms) = leg(os, scenario.batched_policy());
+
+    let fault = cfg.fault.map(|kind| {
+        debug_assert!(
+            probe_verdicts.windows(2).all(|w| w[0] == w[1]),
+            "probe verdict must not depend on the delivery policy"
+        );
+        crate::faults::FaultProbe {
+            kind,
+            verdict: probe_verdicts[0],
+        }
+    });
+    let ota = cfg.ota_seed.map(|seed| {
+        crate::faults::run_ota(
+            os.firmware(),
+            &cfg.firmware_key(),
+            seed,
+            amulet_apps::traces::span_ms(trace),
+            scenario.ota_corrupt_permille,
+            scenario.ota_max_retries,
+            cfg.index,
+        )
+    });
 
     let arp = Arp::for_platform(&cfg.platform);
     let battery_impacts = cfg
@@ -373,6 +417,8 @@ pub(crate) fn simulate_device(
             battery_impacts,
             per_event_latencies_ms,
             batched_latencies_ms,
+            fault,
+            ota,
         },
         sensor_draws,
     }

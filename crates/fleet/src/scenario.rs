@@ -91,6 +91,39 @@ pub struct FleetScenario {
     /// Paranoid store mode: every image loaded from disk is verified
     /// byte-identical to a fresh build before reuse (CI runs this).
     pub paranoid: bool,
+    /// Per-mille of devices the fault injector arms with an adversarial
+    /// app: each armed device carries one extra application drawn from
+    /// [`amulet_apps::adversarial::FaultKind::ALL`] (adapted to the
+    /// device's isolation method) and receives one controlled probe whose
+    /// verdict feeds the containment matrix.  `0` (the default) draws
+    /// nothing and reproduces every historical report byte for byte.
+    pub fault_permille: u16,
+    /// OS step budget per delivery, so runaway handlers terminate (and
+    /// classify as [`crate::faults::Verdict::Hung`]) instead of spinning
+    /// to the simulator's own backstop.  `None` keeps the OS default.
+    pub step_budget: Option<u64>,
+    /// `base_backoff` of the watchdog restart policy (deliveries skipped
+    /// after an app's first strike; doubles per strike).  Only meaningful
+    /// when [`FleetScenario::watchdog_max_strikes`] is nonzero.
+    pub watchdog_base_backoff: u32,
+    /// Strikes before the watchdog quarantines an app.  `0` (the
+    /// default) leaves the OS on its baseline kill-on-fault policy.
+    pub watchdog_max_strikes: u32,
+    /// Per-mille of devices swept by the OTA re-install wave.  Each
+    /// swept device re-receives its own firmware image through the
+    /// versioned envelope at a seeded point in the campaign; see
+    /// [`crate::faults::run_ota`].  `0` disables the wave.
+    pub ota_permille: u16,
+    /// Per-mille chance each OTA delivery attempt suffers a seeded
+    /// single-bit flip in transit.
+    pub ota_corrupt_permille: u16,
+    /// Retries after a corrupt OTA attempt before the device rolls back
+    /// to the image it is already running.
+    pub ota_max_retries: u32,
+    /// Byte cap for the on-disk firmware store; least-recently-used
+    /// images are evicted once the directory exceeds it.  `None` (the
+    /// default) never evicts from disk.
+    pub store_cap_bytes: Option<u64>,
 }
 
 impl Default for FleetScenario {
@@ -112,6 +145,14 @@ impl Default for FleetScenario {
             catalog_window: None,
             store_dir: None,
             paranoid: false,
+            fault_permille: 0,
+            step_budget: None,
+            watchdog_base_backoff: 0,
+            watchdog_max_strikes: 0,
+            ota_permille: 0,
+            ota_corrupt_permille: 0,
+            ota_max_retries: 3,
+            store_cap_bytes: None,
         }
     }
 }
@@ -134,6 +175,14 @@ pub struct DeviceConfig {
     /// Whether this device's campaign trace is empty (see
     /// [`FleetScenario::silent_permille`]).
     pub silent: bool,
+    /// The attack the fault injector armed on this device, already
+    /// adapted to the device's isolation method (`None` on clean
+    /// devices).  Armed devices carry the attack's adversarial app as
+    /// their last installed application.
+    pub fault: Option<amulet_apps::FaultKind>,
+    /// Seed of this device's OTA re-install transaction, when the OTA
+    /// wave sweeps it (see [`FleetScenario::ota_permille`]).
+    pub ota_seed: Option<u64>,
 }
 
 impl DeviceConfig {
@@ -142,6 +191,15 @@ impl DeviceConfig {
     pub fn firmware_key(&self) -> String {
         let apps: Vec<&str> = self.apps.iter().map(|a| a.name).collect();
         format!("{}|{}|{}", self.platform.name, self.method, apps.join("+"))
+    }
+
+    /// Whether the discrete-event runner may serve this device from the
+    /// per-config silent-outcome cache.  The cache is keyed by firmware
+    /// key, and two armed devices sharing an image can still differ in
+    /// fault kind (every wild write is one app) or OTA seed — so faulted
+    /// and swept devices are always simulated individually.
+    pub fn silent_cacheable(&self) -> bool {
+        self.silent && self.fault.is_none() && self.ota_seed.is_none()
     }
 }
 
@@ -173,7 +231,7 @@ impl Default for ConfigContext {
 
 /// SplitMix64: a tiny deterministic seed mixer (reference constants), used
 /// so consecutive device indices decorrelate fully.
-fn splitmix64(state: &mut u64) -> u64 {
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
     let mut z = *state;
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -237,6 +295,31 @@ impl FleetScenario {
         // same draws as they always did.
         let silent =
             self.silent_permille > 0 && splitmix64(&mut state) % 1000 < self.silent_permille as u64;
+        // Further appended draws, same contract: each knob consumes draws
+        // only when armed, so zero-knob scenarios stay bit-identical to
+        // every historical report.
+        let fault = if self.fault_permille > 0
+            && splitmix64(&mut state) % 1000 < u64::from(self.fault_permille)
+        {
+            let kind = amulet_apps::FaultKind::ALL
+                [(splitmix64(&mut state) % amulet_apps::FaultKind::ALL.len() as u64) as usize];
+            Some(kind.adapted_for(method))
+        } else {
+            None
+        };
+        let ota_seed = if self.ota_permille > 0
+            && splitmix64(&mut state) % 1000 < u64::from(self.ota_permille)
+        {
+            Some(splitmix64(&mut state))
+        } else {
+            None
+        };
+        let mut apps = apps;
+        if let Some(kind) = fault {
+            // The adversarial app rides last, so `apps[0]` is always a
+            // normal neighbour for the wild-write-neighbor target.
+            apps.push(kind.app());
+        }
         DeviceConfig {
             index,
             platform,
@@ -245,7 +328,24 @@ impl FleetScenario {
             trace_seed,
             sensor_seed,
             silent,
+            fault,
+            ota_seed,
         }
+    }
+
+    /// The watchdog restart policy this scenario configures, when its
+    /// [`FleetScenario::watchdog_max_strikes`] knob is armed.  The jitter
+    /// seed derives from the scenario seed, so backoff schedules are a
+    /// pure function of the scenario.
+    pub fn watchdog_policy(&self) -> Option<amulet_os::policy::RestartPolicy> {
+        if self.watchdog_max_strikes == 0 {
+            return None;
+        }
+        Some(amulet_os::policy::RestartPolicy::RestartWithBackoff {
+            base_backoff: self.watchdog_base_backoff.max(1),
+            max_strikes: self.watchdog_max_strikes,
+            jitter_seed: self.seed ^ 0xBAC0_FF5E,
+        })
     }
 
     /// Number of trace events device `cfg` replays: zero for silent
@@ -275,6 +375,31 @@ impl FleetScenario {
             time_mode: TimeMode::Stepped,
             silent_permille: 800,
             catalog_window: Some((2, 4)),
+            ..FleetScenario::default()
+        }
+    }
+
+    /// The fault-injection storm preset behind the tracked containment
+    /// matrix and the CI fault campaign: 40 % of devices armed with a
+    /// seeded attack, 25 % swept by an OTA wave whose deliveries corrupt
+    /// 20 % of the time, a pinned step budget so runaway verdicts are
+    /// reproducible, and the watchdog restart-with-backoff policy so
+    /// repeat offenders end the run quarantined rather than respawning
+    /// forever.
+    pub fn storm(devices: usize) -> Self {
+        FleetScenario {
+            name: "fault-storm".to_string(),
+            seed: 0x57_0421,
+            devices,
+            events_per_device: 6,
+            time_mode: TimeMode::Stepped,
+            fault_permille: 400,
+            step_budget: Some(20_000),
+            watchdog_base_backoff: 2,
+            watchdog_max_strikes: 3,
+            ota_permille: 250,
+            ota_corrupt_permille: 200,
+            ota_max_retries: 3,
             ..FleetScenario::default()
         }
     }
@@ -323,16 +448,83 @@ mod tests {
         let knobbed = FleetScenario {
             silent_permille: 500,
             catalog_window: Some((0, 9)),
+            fault_permille: 500,
+            ota_permille: 500,
+            watchdog_max_strikes: 3,
+            step_budget: Some(20_000),
             ..FleetScenario::default()
         };
         let ctx = ConfigContext::new();
         for i in 0..200 {
             let a = plain.device_config_in(&ctx, i);
             let b = knobbed.device_config_in(&ctx, i);
-            assert_eq!(a.firmware_key(), b.firmware_key());
+            // The knobbed fleet arms faults (appending an adversarial
+            // app), but every historical draw — platform, method, the
+            // normal app mix, trace and sensor seeds — is untouched.
+            assert_eq!(a.platform.name, b.platform.name);
+            assert_eq!(a.method, b.method);
+            assert_eq!(
+                a.apps.iter().map(|x| x.name).collect::<Vec<_>>(),
+                b.apps
+                    .iter()
+                    .take(a.apps.len())
+                    .map(|x| x.name)
+                    .collect::<Vec<_>>()
+            );
             assert_eq!(a.trace_seed, b.trace_seed);
             assert_eq!(a.sensor_seed, b.sensor_seed);
             assert!(!a.silent, "permille 0 never marks a device silent");
+            assert!(a.fault.is_none() && a.ota_seed.is_none());
+        }
+    }
+
+    #[test]
+    fn storm_preset_arms_faults_and_ota_across_the_fleet() {
+        let s = FleetScenario::storm(500);
+        assert_eq!(s.time_mode, TimeMode::Stepped);
+        assert!(s.watchdog_policy().is_some());
+        assert!(FleetScenario::default().watchdog_policy().is_none());
+        let ctx = ConfigContext::new();
+        let configs: Vec<_> = (0..500).map(|i| s.device_config_in(&ctx, i)).collect();
+        let armed: Vec<_> = configs.iter().filter(|c| c.fault.is_some()).collect();
+        let swept = configs.iter().filter(|c| c.ota_seed.is_some()).count();
+        assert!(
+            (120..=280).contains(&armed.len()),
+            "~40% armed, got {}/500",
+            armed.len()
+        );
+        assert!((60..=190).contains(&swept), "~25% swept, got {swept}/500");
+        let kinds: std::collections::BTreeSet<_> = armed
+            .iter()
+            .filter_map(|c| c.fault)
+            .map(|k| k.label())
+            .collect();
+        assert!(
+            kinds.len() >= 7,
+            "the draw spans the attack kinds: {kinds:?}"
+        );
+        for c in &configs {
+            match c.fault {
+                Some(kind) => {
+                    assert_eq!(kind, kind.adapted_for(c.method), "stored kind is adapted");
+                    assert_eq!(
+                        c.apps.last().map(|a| a.name),
+                        Some(kind.app().name),
+                        "adversarial app rides last"
+                    );
+                    assert!(!c.silent_cacheable());
+                }
+                None => {
+                    let adversarial: Vec<_> = amulet_apps::adversarial_catalog()
+                        .iter()
+                        .map(|a| a.name)
+                        .collect();
+                    assert!(c.apps.iter().all(|a| !adversarial.contains(&a.name)));
+                }
+            }
+            if c.ota_seed.is_some() {
+                assert!(!c.silent_cacheable());
+            }
         }
     }
 

@@ -17,6 +17,7 @@
 //! it, with a property test pinning the small-N case against the exact
 //! computation.
 
+use crate::faults::Verdict;
 use crate::run::{DeviceResult, PolicyOutcome};
 use std::collections::BTreeMap;
 
@@ -369,6 +370,8 @@ pub struct BlockSummary {
     per_platform: BTreeMap<String, u64>,
     per_method: BTreeMap<String, u64>,
     histograms: BTreeMap<String, ProfileHistogram>,
+    containment: ContainmentMap,
+    ota: OtaWaveStats,
 }
 
 impl BlockSummary {
@@ -394,6 +397,8 @@ impl BlockSummary {
             for (profile, impact) in &d.battery_impacts {
                 bucket_impact(&mut s.histograms, profile, *impact);
             }
+            record_fault(&mut s.containment, d);
+            s.ota.record(d);
         }
         s.per_event_latency.prune();
         s.batched_latency.prune();
@@ -437,12 +442,16 @@ pub fn reduce_blocks(blocks: &[BlockSummary]) -> FleetAggregate {
     let mut per_platform: BTreeMap<String, u64> = BTreeMap::new();
     let mut per_method: BTreeMap<String, u64> = BTreeMap::new();
     let mut histograms: BTreeMap<String, ProfileHistogram> = BTreeMap::new();
+    let mut containment = ContainmentMap::new();
+    let mut ota = OtaWaveStats::default();
     for b in blocks {
         devices += b.devices;
         per_event.merge(&b.per_event);
         batched.merge(&b.batched);
         per_event_latency.merge(&b.per_event_latency);
         batched_latency.merge(&b.batched_latency);
+        merge_containment(&mut containment, &b.containment);
+        ota.merge(&b.ota);
         for (k, v) in &b.per_platform {
             *per_platform.entry(k.clone()).or_insert(0) += v;
         }
@@ -472,6 +481,8 @@ pub fn reduce_blocks(blocks: &[BlockSummary]) -> FleetAggregate {
         per_platform,
         per_method,
         histograms,
+        containment,
+        ota,
         per_event,
         batched,
     )
@@ -480,11 +491,14 @@ pub fn reduce_blocks(blocks: &[BlockSummary]) -> FleetAggregate {
 /// Assembles the [`FleetAggregate`] from finished pieces — shared by
 /// [`aggregate`] and [`reduce_blocks`] so the savings formulas are
 /// written once.
+#[allow(clippy::too_many_arguments)]
 fn finish_aggregate(
     devices: usize,
     per_platform: BTreeMap<String, u64>,
     per_method: BTreeMap<String, u64>,
     histograms: BTreeMap<String, ProfileHistogram>,
+    containment: ContainmentMap,
+    ota_wave: OtaWaveStats,
     per_event: PolicyAggregate,
     batched: PolicyAggregate,
 ) -> FleetAggregate {
@@ -510,6 +524,8 @@ fn finish_aggregate(
         per_event,
         batched,
         battery_histograms: histograms.into_values().collect(),
+        containment: finish_containment(containment),
+        ota_wave,
     }
 }
 
@@ -527,6 +543,129 @@ pub struct ProfileHistogram {
     /// [`BATTERY_IMPACT_BUCKET_EDGES`]`[i]`; the final entry counts the
     /// rest.
     pub buckets: Vec<u64>,
+}
+
+/// One cell row of the containment matrix: every device of one
+/// `(platform, method, attack)` combination, with its verdict counts.
+/// The five counters partition `devices` — each probed device gets
+/// exactly one verdict.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ContainmentRow {
+    /// Platform profile name.
+    pub platform: String,
+    /// Isolation-method label.
+    pub method: String,
+    /// Attack label (the adapted [`amulet_apps::FaultKind`]).
+    pub fault: String,
+    /// Armed devices in this cell.
+    pub devices: u64,
+    /// Probes trapped by memory-protection hardware.
+    pub caught_by_mpu: u64,
+    /// Probes refused by compiled-in software checks.
+    pub caught_by_software: u64,
+    /// Probes that ran to completion — the attack landed.
+    pub escaped: u64,
+    /// Probes the OS watchdog cut off.
+    pub hung: u64,
+    /// Probes that crashed on non-protection hardware.
+    pub crashed: u64,
+}
+
+/// The containment matrix under accumulation: verdict counts per
+/// `(platform, method, attack)` cell.  A `BTreeMap` so iteration — and
+/// therefore the finished row order — is deterministic.
+pub(crate) type ContainmentMap = BTreeMap<(String, String, String), [u64; 5]>;
+
+/// Folds one device's probe verdict (if any) into the containment map.
+pub(crate) fn record_fault(map: &mut ContainmentMap, d: &DeviceResult) {
+    if let Some(probe) = &d.fault {
+        let key = (
+            d.platform.clone(),
+            d.method.label().to_string(),
+            probe.kind.label().to_string(),
+        );
+        map.entry(key).or_insert([0; 5])[probe.verdict.index()] += 1;
+    }
+}
+
+/// Merges a later containment map into an earlier one (additive, so any
+/// block order gives the same matrix).
+pub(crate) fn merge_containment(into: &mut ContainmentMap, later: &ContainmentMap) {
+    for (key, counts) in later {
+        let cell = into.entry(key.clone()).or_insert([0; 5]);
+        for (c, add) in cell.iter_mut().zip(counts) {
+            *c += add;
+        }
+    }
+}
+
+/// Finishes the containment map into name-sorted matrix rows.
+pub(crate) fn finish_containment(map: ContainmentMap) -> Vec<ContainmentRow> {
+    map.into_iter()
+        .map(|((platform, method, fault), c)| ContainmentRow {
+            platform,
+            method,
+            fault,
+            devices: c.iter().sum(),
+            caught_by_mpu: c[Verdict::CaughtByMpu.index()],
+            caught_by_software: c[Verdict::CaughtBySoftware.index()],
+            escaped: c[Verdict::Escaped.index()],
+            hung: c[Verdict::Hung.index()],
+            crashed: c[Verdict::Crashed.index()],
+        })
+        .collect()
+}
+
+/// The fleet-wide reduction of the OTA wave: how the swept devices' OTA
+/// transactions ended.  `installed + rolled_back == devices` always —
+/// `bricked` counts the impossible third state so reports can prove it
+/// stays zero.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OtaWaveStats {
+    /// Devices the wave swept.
+    pub devices: u64,
+    /// Devices whose re-install verified and was accepted.
+    pub installed: u64,
+    /// Devices that exhausted their retries and kept the running image.
+    pub rolled_back: u64,
+    /// Devices that ended neither installed nor rolled back (always 0).
+    pub bricked: u64,
+    /// Devices that needed more than one delivery attempt.
+    pub retried_devices: u64,
+    /// Total delivery attempts across the wave.
+    pub attempts: u64,
+    /// Attempts the envelope verification rejected.
+    pub corrupt_attempts: u64,
+    /// Total seeded retry backoff across the wave, in milliseconds.
+    pub backoff_ms: u64,
+}
+
+impl OtaWaveStats {
+    /// Folds one device's OTA outcome (if any) in.
+    pub(crate) fn record(&mut self, d: &DeviceResult) {
+        if let Some(ota) = &d.ota {
+            self.devices += 1;
+            self.installed += u64::from(ota.installed);
+            self.rolled_back += u64::from(ota.rolled_back);
+            self.bricked += u64::from(ota.bricked());
+            self.retried_devices += u64::from(ota.attempts > 1);
+            self.attempts += u64::from(ota.attempts);
+            self.corrupt_attempts += u64::from(ota.corrupt_attempts);
+            self.backoff_ms += ota.backoff_ms;
+        }
+    }
+
+    /// Merges a later block's wave stats in (additive).
+    pub(crate) fn merge(&mut self, later: &OtaWaveStats) {
+        self.devices += later.devices;
+        self.installed += later.installed;
+        self.rolled_back += later.rolled_back;
+        self.bricked += later.bricked;
+        self.retried_devices += later.retried_devices;
+        self.attempts += later.attempts;
+        self.corrupt_attempts += later.corrupt_attempts;
+        self.backoff_ms += later.backoff_ms;
+    }
 }
 
 /// The complete aggregate of a fleet run.
@@ -551,6 +690,12 @@ pub struct FleetAggregate {
     pub switch_cycles_saved_per_event_percent: f64,
     /// Battery-lifetime impact histograms, one per ARP profile, name-sorted.
     pub battery_histograms: Vec<ProfileHistogram>,
+    /// The containment matrix: verdict counts per `(platform, method,
+    /// attack)` cell, name-sorted.  Empty when the scenario armed no
+    /// faults.
+    pub containment: Vec<ContainmentRow>,
+    /// The OTA wave reduction (all-zero when the scenario swept nothing).
+    pub ota_wave: OtaWaveStats,
 }
 
 /// Reduces per-device results (must be in device order) to the aggregate.
@@ -561,18 +706,24 @@ pub fn aggregate(devices: &[DeviceResult]) -> FleetAggregate {
     let mut per_platform: BTreeMap<String, u64> = BTreeMap::new();
     let mut per_method: BTreeMap<String, u64> = BTreeMap::new();
     let mut histograms: BTreeMap<String, ProfileHistogram> = BTreeMap::new();
+    let mut containment = ContainmentMap::new();
+    let mut ota = OtaWaveStats::default();
     for d in devices {
         *per_platform.entry(d.platform.clone()).or_insert(0) += 1;
         *per_method.entry(d.method.label().to_string()).or_insert(0) += 1;
         for (profile, impact) in &d.battery_impacts {
             bucket_impact(&mut histograms, profile, *impact);
         }
+        record_fault(&mut containment, d);
+        ota.record(d);
     }
     finish_aggregate(
         devices.len(),
         per_platform,
         per_method,
         histograms,
+        containment,
+        ota,
         per_event,
         batched,
     )
@@ -613,6 +764,8 @@ mod tests {
             battery_impacts: vec![("Clock".into(), 0.003)],
             per_event_latencies_ms: Vec::new(),
             batched_latencies_ms: Vec::new(),
+            fault: None,
+            ota: None,
         }
     }
 
@@ -657,6 +810,72 @@ mod tests {
         assert_eq!(agg.switch_cycles_saved_percent, 0.0);
         assert_eq!(agg.per_event.delivery_latency, LatencyStats::default());
         assert_eq!(agg.per_event.idle_energy_share, 0.0);
+        assert!(agg.containment.is_empty());
+        assert_eq!(agg.ota_wave, OtaWaveStats::default());
+    }
+
+    #[test]
+    fn containment_rows_partition_devices_by_verdict() {
+        use crate::faults::{FaultProbe, OtaOutcome};
+        use amulet_apps::FaultKind;
+        let mut devices: Vec<DeviceResult> = (0..6).map(|i| device(i, 1.0)).collect();
+        for (i, d) in devices.iter_mut().enumerate().take(4) {
+            d.fault = Some(FaultProbe {
+                kind: FaultKind::WildWriteOsRam,
+                verdict: if i == 0 {
+                    Verdict::Escaped
+                } else {
+                    Verdict::CaughtByMpu
+                },
+            });
+        }
+        devices[4].fault = Some(FaultProbe {
+            kind: FaultKind::RunawayLoop,
+            verdict: Verdict::Hung,
+        });
+        devices[5].ota = Some(OtaOutcome {
+            install_at_ms: 10,
+            attempts: 3,
+            corrupt_attempts: 2,
+            installed: true,
+            rolled_back: false,
+            backoff_ms: 750,
+        });
+        let agg = aggregate(&devices);
+        assert_eq!(agg.containment.len(), 2, "two distinct cells");
+        let wild = agg
+            .containment
+            .iter()
+            .find(|r| r.fault == "wild-write-os-ram")
+            .unwrap();
+        assert_eq!((wild.devices, wild.caught_by_mpu, wild.escaped), (4, 3, 1));
+        assert_eq!(wild.caught_by_software + wild.hung + wild.crashed, 0);
+        assert_eq!(wild.platform, "msp430fr5969");
+        assert_eq!(wild.method, "MPU");
+        let runaway = agg
+            .containment
+            .iter()
+            .find(|r| r.fault == "runaway-loop")
+            .unwrap();
+        assert_eq!((runaway.devices, runaway.hung), (1, 1));
+        let w = &agg.ota_wave;
+        assert_eq!(
+            (w.devices, w.installed, w.rolled_back, w.bricked),
+            (1, 1, 0, 0)
+        );
+        assert_eq!(
+            (w.retried_devices, w.attempts, w.corrupt_attempts),
+            (1, 3, 2)
+        );
+        assert_eq!(w.backoff_ms, 750);
+
+        // The streaming path folds the same devices to the same matrix,
+        // however the blocks are cut.
+        let split = [
+            BlockSummary::from_devices(&devices[..3]),
+            BlockSummary::from_devices(&devices[3..]),
+        ];
+        assert_eq!(reduce_blocks(&split), agg);
     }
 
     #[test]

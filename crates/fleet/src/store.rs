@@ -32,6 +32,14 @@
 //! --paranoid`, run by CI) rebuilds every disk hit from source and
 //! compares the encodings byte for byte before reuse; a mismatch is
 //! counted, the fresh build wins, and the stale file is rewritten.
+//!
+//! **Disk cap** ([`FleetScenario::store_cap_bytes`], `fleet_sim
+//! --store-cap-bytes`): when set, every persist re-checks the
+//! directory's total image size and removes least-recently-*used* files
+//! (by modification time; disk hits refresh it) until the cap holds
+//! again.  Evicting is always safe — an evicted image is just a future
+//! rebuild — so the cap bounds disk footprint without ever affecting
+//! results.
 
 use crate::run::build_firmware;
 use crate::scenario::{ConfigContext, DeviceConfig, FleetScenario};
@@ -67,6 +75,8 @@ pub struct FirmwareStoreStats {
     pub bytes_written: u64,
     /// Images evicted from the in-memory map.
     pub evictions: u64,
+    /// Image files removed from disk to hold the byte cap.
+    pub disk_evictions: u64,
     /// Paranoid verifications where the decoded image was **not**
     /// byte-identical to a fresh build (the fresh build was used and the
     /// file rewritten).  Nonzero means the store directory was corrupted
@@ -83,11 +93,21 @@ struct Counters {
     bytes_read: AtomicU64,
     bytes_written: AtomicU64,
     evictions: AtomicU64,
+    disk_evictions: AtomicU64,
     verify_failures: AtomicU64,
 }
 
 /// The in-memory map plus its FIFO insertion order, kept under one lock.
 type ImageMap = (HashMap<String, Arc<Firmware>>, VecDeque<String>);
+
+/// Best-effort LRU touch: refreshes an image file's modification time so
+/// the disk-cap eviction order tracks recency of *use*, not of writing.
+/// Failure is harmless — the file just keeps its stale position.
+fn touch(path: &Path) {
+    if let Ok(f) = std::fs::File::options().write(true).open(path) {
+        let _ = f.set_times(std::fs::FileTimes::new().set_modified(std::time::SystemTime::now()));
+    }
+}
 
 /// The content-addressable firmware store (see the module docs).
 pub struct FirmwareStore {
@@ -97,6 +117,8 @@ pub struct FirmwareStore {
     /// [`FleetScenario::policy_label`].
     policy_label: String,
     capacity: usize,
+    /// Byte cap for the on-disk directory; `None` never evicts.
+    cap_bytes: Option<u64>,
     /// Builds and disk I/O happen outside the `images` lock.
     images: Mutex<ImageMap>,
     counters: Counters,
@@ -110,6 +132,7 @@ impl FirmwareStore {
             paranoid: false,
             policy_label: String::new(),
             capacity: DEFAULT_CAPACITY,
+            cap_bytes: None,
             images: Mutex::new((HashMap::new(), VecDeque::new())),
             counters: Counters::default(),
         }
@@ -123,6 +146,7 @@ impl FirmwareStore {
         store.dir = scenario.store_dir.clone();
         store.paranoid = scenario.paranoid;
         store.policy_label = scenario.policy_label();
+        store.cap_bytes = scenario.store_cap_bytes;
         store
     }
 
@@ -142,6 +166,11 @@ impl FirmwareStore {
     /// Enables or disables paranoid verification.
     pub fn set_paranoid(&mut self, paranoid: bool) {
         self.paranoid = paranoid;
+    }
+
+    /// Sets (or clears) the on-disk byte cap.
+    pub fn set_cap_bytes(&mut self, cap_bytes: Option<u64>) {
+        self.cap_bytes = cap_bytes;
     }
 
     /// The full store key of a firmware configuration key: the firmware
@@ -170,6 +199,7 @@ impl FirmwareStore {
             bytes_read: self.counters.bytes_read.load(Ordering::Relaxed),
             bytes_written: self.counters.bytes_written.load(Ordering::Relaxed),
             evictions: self.counters.evictions.load(Ordering::Relaxed),
+            disk_evictions: self.counters.disk_evictions.load(Ordering::Relaxed),
             verify_failures: self.counters.verify_failures.load(Ordering::Relaxed),
         }
     }
@@ -245,6 +275,7 @@ impl FirmwareStore {
                 self.counters
                     .bytes_read
                     .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+                touch(&path);
                 Arc::new(firmware)
             }
             // Wrong key (file-name hash collision) or any decode error
@@ -280,8 +311,49 @@ impl FirmwareStore {
             self.counters
                 .bytes_written
                 .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+            self.enforce_disk_cap(path);
         } else {
             let _ = std::fs::remove_file(&tmp);
+        }
+    }
+
+    /// Shrinks the store directory back under the byte cap after a
+    /// persist: image files are removed least-recently-used first (by
+    /// modification time — refreshed on every disk hit — with the file
+    /// name as the deterministic tie-break) until the total fits.  The
+    /// just-written file is never removed, so a cap smaller than one
+    /// image still makes progress.
+    fn enforce_disk_cap(&self, keep: &Path) {
+        let (Some(dir), Some(cap)) = (self.dir.as_deref(), self.cap_bytes) else {
+            return;
+        };
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return;
+        };
+        let mut files: Vec<(std::time::SystemTime, PathBuf, u64)> = entries
+            .flatten()
+            .filter_map(|e| {
+                let path = e.path();
+                if path.extension().is_none_or(|x| x != "bin") {
+                    return None;
+                }
+                let meta = e.metadata().ok()?;
+                Some((meta.modified().ok()?, path, meta.len()))
+            })
+            .collect();
+        let mut total: u64 = files.iter().map(|(_, _, len)| len).sum();
+        files.sort();
+        for (_, path, len) in files {
+            if total <= cap {
+                break;
+            }
+            if path == keep {
+                continue;
+            }
+            if std::fs::remove_file(&path).is_ok() {
+                total -= len;
+                self.counters.disk_evictions.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 
@@ -590,6 +662,82 @@ mod tests {
 
         // An in-memory store has nothing to validate.
         assert_eq!(FirmwareStore::in_memory().validate_configs(&configs), 0);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Pins a file's modification time to a deterministic epoch offset so
+    /// the eviction order under test never depends on write timing.
+    fn set_mtime(path: &Path, secs: u64) {
+        let t = std::time::UNIX_EPOCH + std::time::Duration::from_secs(secs);
+        let f = std::fs::File::options().write(true).open(path).unwrap();
+        f.set_times(std::fs::FileTimes::new().set_modified(t))
+            .unwrap();
+    }
+
+    #[test]
+    fn disk_cap_evicts_least_recently_used_images() {
+        let dir = tmpdir("diskcap");
+        let s = FleetScenario {
+            devices: 64,
+            store_dir: Some(dir.clone()),
+            ..FleetScenario::scaling(64)
+        };
+        let configs = FirmwareStore::distinct_configs(&s);
+        assert!(configs.len() >= 4, "need four distinct configs");
+        let (first3, fourth) = (&configs[..3], &configs[3]);
+
+        // Persist all four images with no cap to measure them, then drop
+        // the fourth again and pin the first three mtimes: configs[0]
+        // oldest, configs[2] newest.
+        let cold = FirmwareStore::for_scenario(&s);
+        cold.prewarm_configs(&configs[..4]);
+        let path_of =
+            |store: &FirmwareStore, key: &str| store.image_path(&store.store_key(key)).unwrap();
+        let len_of = |key: &str| std::fs::metadata(path_of(&cold, key)).unwrap().len();
+        let size: u64 = first3.iter().map(|(key, _)| len_of(key)).sum();
+        let fourth_len = len_of(&fourth.0);
+        std::fs::remove_file(path_of(&cold, &fourth.0)).unwrap();
+        for (i, (key, _)) in first3.iter().enumerate() {
+            set_mtime(&path_of(&cold, key), 1000 + 100 * i as u64);
+        }
+
+        // A capped store: a disk hit on the *oldest* image refreshes its
+        // recency, so when persisting the fourth image overflows the cap
+        // by one byte, the single eviction removes configs[1] — now the
+        // least recently used — and leaves the touched configs[0] alone.
+        let mut capped = FirmwareStore::for_scenario(&s);
+        capped.set_cap_bytes(Some(size + fourth_len - 1));
+        capped.get_or_build(&first3[0].0, &first3[0].1);
+        assert_eq!(capped.stats().disk_hits, 1);
+        capped.get_or_build(&fourth.0, &fourth.1);
+        assert_eq!(capped.stats().disk_evictions, 1, "one file had to go");
+        assert!(!path_of(&capped, &first3[1].0).exists(), "LRU evicted");
+        for key in [&first3[0].0, &first3[2].0, &fourth.0] {
+            assert!(path_of(&capped, key).exists(), "{key} survives");
+        }
+
+        // An evicted image is only a future rebuild, never an error.
+        let reload = FirmwareStore::for_scenario(&s);
+        reload.get_or_build(&first3[1].0, &first3[1].1);
+        assert_eq!(reload.stats().builds, 1);
+
+        // A cap smaller than a single image keeps only the newest file.
+        std::fs::remove_file(path_of(&cold, &first3[1].0)).unwrap();
+        let mut tiny_cap = FirmwareStore::for_scenario(&s);
+        tiny_cap.set_cap_bytes(Some(1));
+        tiny_cap.get_or_build(&first3[1].0, &first3[1].1);
+        let survivors = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .path()
+                    .extension()
+                    .is_some_and(|x| x == "bin")
+            })
+            .count();
+        assert_eq!(survivors, 1, "only the just-written image remains");
 
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -290,6 +290,28 @@ impl AmuletOs {
         self.method
     }
 
+    /// The firmware image the runtime is executing.  Fleet campaigns use
+    /// this to compute attack targets from real placements and to
+    /// serialise the running image for OTA re-install transactions.
+    pub fn firmware(&self) -> &Arc<Firmware> {
+        &self.firmware
+    }
+
+    /// Changes the restart policy, both for the live fault handler and for
+    /// every future [`AmuletOs::reset`], so a shared runtime can serve
+    /// devices with different watchdog configurations.  (Fault counts and
+    /// backoff state are untouched; `reset` clears those.)
+    pub fn set_restart_policy(&mut self, policy: RestartPolicy) {
+        self.options.restart_policy = policy;
+        self.faults.policy = policy;
+    }
+
+    /// Changes the watchdog step budget (maximum instructions one handler
+    /// may execute).  Applies to the next delivery.
+    pub fn set_step_budget(&mut self, budget: u64) {
+        self.options.step_budget = budget;
+    }
+
     /// Number of installed applications.
     pub fn app_count(&self) -> usize {
         self.firmware.apps.len()
@@ -478,7 +500,13 @@ impl AmuletOs {
                     app_index: idx,
                 });
             }
-            if idx >= self.app_count() || self.app_states[idx] == AppState::Killed {
+            if idx >= self.app_count() || self.app_states[idx] != AppState::Active {
+                outcomes.push(DeliveryOutcome::Skipped);
+                continue;
+            }
+            // Restart backoff: an app held back after a watchdog restart
+            // forfeits deliveries until its backoff is spent.
+            if self.faults.consume_backoff(idx) {
                 outcomes.push(DeliveryOutcome::Skipped);
                 continue;
             }
@@ -690,7 +718,7 @@ impl AmuletOs {
                 }
                 StopReason::StepLimit => {
                     let info = FaultInfo {
-                        class: FaultClass::IllegalInstruction,
+                        class: FaultClass::WatchdogBudget,
                         pc: self.device.cpu.pc(),
                         addr: None,
                     };
@@ -721,6 +749,9 @@ impl AmuletOs {
             }
             FaultAction::Restarted => {
                 self.restart_app(idx);
+            }
+            FaultAction::Quarantined => {
+                self.app_states[idx] = AppState::Quarantined;
             }
         }
         DeliveryOutcome::Faulted(info.class)

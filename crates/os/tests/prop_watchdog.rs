@@ -1,0 +1,121 @@
+//! Property tests for the watchdog restart-with-backoff policy: the
+//! backoff schedule is a pure, exponentially-floored function of its
+//! seed, and quarantine is irreversible — a quarantined app never
+//! executes again within a run, no matter how many deliveries follow.
+
+use amulet_aft::aft::{Aft, AppSource};
+use amulet_core::method::IsolationMethod;
+use amulet_os::os::{AmuletOs, DeliveryOutcome, OsOptions};
+use amulet_os::policy::{backoff_delay, AppState, RestartPolicy};
+use proptest::prelude::*;
+
+/// Faults on every delivery: a wild write into OS memory that the MPU
+/// refuses, so each executed handler is exactly one strike.
+const FAULTY: &str = r#"
+    void main(void) { }
+    int go(int x) {
+        int *p;
+        p = 0x4400;
+        *p = 1;
+        return 0;
+    }
+"#;
+
+fn watchdog_os(base_backoff: u32, max_strikes: u32, jitter_seed: u64) -> AmuletOs {
+    let out = Aft::new(IsolationMethod::Mpu)
+        .add_app(AppSource::new("Faulty", FAULTY, &["main", "go"]))
+        .build()
+        .expect("faulty app builds");
+    AmuletOs::with_options(
+        out.firmware,
+        OsOptions {
+            restart_policy: RestartPolicy::RestartWithBackoff {
+                base_backoff,
+                max_strikes,
+                jitter_seed,
+            },
+            ..OsOptions::default()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The backoff schedule is deterministic, at least doubles per strike
+    /// from the base, and jitters by strictly less than one base.
+    #[test]
+    fn backoff_schedule_is_a_pure_exponentially_floored_function(
+        base in 1u32..64,
+        seed in any::<u64>(),
+        app in 0usize..16,
+        strike in 1u32..12,
+    ) {
+        let d = backoff_delay(base, seed, app, strike);
+        prop_assert_eq!(d, backoff_delay(base, seed, app, strike));
+        let floor = base << (strike - 1).min(16);
+        prop_assert!(d >= floor, "delay {} under floor {}", d, floor);
+        prop_assert!(d < floor + base, "jitter must stay under one base");
+    }
+
+    /// Different seeds produce different schedules somewhere: the jitter
+    /// really is seeded, not constant.
+    #[test]
+    fn backoff_schedules_are_seed_sensitive(
+        base in 2u32..64,
+        seed in any::<u64>(),
+    ) {
+        let a: Vec<u32> = (1..10).map(|s| backoff_delay(base, seed, 0, s)).collect();
+        let b: Vec<u32> = (1..10)
+            .map(|s| backoff_delay(base, seed ^ 0x5EED, 0, s))
+            .collect();
+        // Nine strikes of jitter in [0, base) with base ≥ 2: identical
+        // sequences under two decorrelated seeds would defeat the
+        // SplitMix64 finaliser entirely.
+        prop_assert_ne!(a, b);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Driving an always-faulting app under the watchdog policy reaches
+    /// quarantine within the backoff budget, records exactly
+    /// `max_strikes` faults — and afterwards the app *never executes
+    /// again*: every further delivery is skipped and the fault log stops
+    /// growing.
+    #[test]
+    fn quarantined_apps_never_execute_again(
+        base in 1u32..6,
+        max_strikes in 1u32..5,
+        seed in any::<u64>(),
+        extra in 5usize..30,
+    ) {
+        let mut os = watchdog_os(base, max_strikes, seed);
+        os.boot();
+        prop_assert_eq!(os.app_state(0), AppState::Active);
+
+        // Worst case: every strike schedules floor + jitter < 2·(base<<s)
+        // skipped deliveries before the next executed one.
+        let bound = 64 + 2 * (max_strikes as usize) * ((base as usize) << max_strikes);
+        let mut deliveries = 0usize;
+        while os.app_state(0) != AppState::Quarantined {
+            os.call_handler(0, "go", 1);
+            deliveries += 1;
+            prop_assert!(
+                deliveries <= bound,
+                "quarantine must arrive within the backoff budget"
+            );
+        }
+        prop_assert_eq!(os.faults.faults_for(0), max_strikes);
+        let recorded = os.faults.records.len();
+
+        for _ in 0..extra {
+            let (outcome, _) = os.call_handler(0, "go", 1);
+            prop_assert_eq!(outcome, DeliveryOutcome::Skipped);
+        }
+        prop_assert_eq!(os.app_state(0), AppState::Quarantined);
+        prop_assert_eq!(os.faults.records.len(), recorded, "the fault log froze");
+        prop_assert_eq!(os.faults.faults_for(0), max_strikes);
+    }
+}
