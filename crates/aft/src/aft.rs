@@ -87,6 +87,9 @@ pub struct AppReport {
     pub max_stack_estimate: Option<u32>,
     /// Compiler-inserted checks by kind.
     pub inserted_checks: BTreeMap<String, u32>,
+    /// Every inserted check sequence at its final absolute address (the
+    /// static verifier's elision input).
+    pub check_sites: Vec<amulet_core::checks::CheckSite>,
 }
 
 /// The whole build's report (ARP-view consumes this).
@@ -258,6 +261,7 @@ impl Aft {
                 uses_recursion: a.uses_recursion,
                 max_stack_estimate: a.max_stack_bytes,
                 inserted_checks: info.inserted_checks.clone(),
+                check_sites: info.check_sites.clone(),
             });
         }
 

@@ -14,7 +14,7 @@ use crate::error::{AftResult, CompileError};
 use crate::sema::Analysis;
 use crate::token::Loc;
 use crate::types::Type;
-use amulet_core::checks::CheckPolicy;
+use amulet_core::checks::{CheckKind, CheckPolicy};
 use amulet_core::fault::FaultClass;
 use amulet_core::method::IsolationMethod;
 use amulet_mcu::cpu::HANDLER_RETURN;
@@ -55,6 +55,20 @@ pub struct Reloc {
     pub kind: RelocKind,
 }
 
+/// One inserted check sequence, located by instruction index within its
+/// function.  The linker rebases these into the absolute
+/// [`amulet_core::checks::CheckSite`]s the static verifier consumes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LocalCheckSite {
+    /// Which check the sequence implements.
+    pub kind: CheckKind,
+    /// Index of the sequence's first instruction in
+    /// [`FunctionCode::instrs`].
+    pub index: usize,
+    /// Number of instructions in the sequence.
+    pub len: u32,
+}
+
 /// The compiled form of one function, before linking.
 #[derive(Clone, Debug, PartialEq)]
 pub struct FunctionCode {
@@ -69,6 +83,8 @@ pub struct FunctionCode {
     /// Count of compiler-inserted check sequences, by description (for the
     /// build report).
     pub inserted_checks: BTreeMap<String, u32>,
+    /// Every inserted check sequence, in emission order.
+    pub check_sites: Vec<LocalCheckSite>,
 }
 
 impl FunctionCode {
@@ -198,6 +214,7 @@ struct FnCodegen<'a> {
     fault_labels: HashMap<FaultClass, usize>,
     ret_label: usize,
     inserted_checks: BTreeMap<String, u32>,
+    check_sites: Vec<LocalCheckSite>,
 }
 
 impl<'a> FnCodegen<'a> {
@@ -226,6 +243,7 @@ impl<'a> FnCodegen<'a> {
             fault_labels: HashMap::new(),
             ret_label: 0,
             inserted_checks: BTreeMap::new(),
+            check_sites: Vec::new(),
         }
     }
 
@@ -269,6 +287,16 @@ impl<'a> FnCodegen<'a> {
 
     fn note_check(&mut self, what: &str) {
         *self.inserted_checks.entry(what.to_string()).or_insert(0) += 1;
+    }
+
+    /// Records that the instructions from `start` to the current end of the
+    /// stream form one `kind` check sequence.
+    fn note_site(&mut self, kind: CheckKind, start: usize) {
+        self.check_sites.push(LocalCheckSite {
+            kind,
+            index: start,
+            len: (self.instrs.len() - start) as u32,
+        });
     }
 
     fn fault_label(&mut self, class: FaultClass) -> usize {
@@ -395,6 +423,7 @@ impl<'a> FnCodegen<'a> {
     fn emit_data_pointer_checks(&mut self) {
         if self.policy.data_pointer_lower {
             let fault = self.fault_label(FaultClass::DataPointerLowerBound);
+            let start = self.instrs.len();
             self.emit_reloc(
                 Instr::CmpImm {
                     a: Reg::R14,
@@ -403,10 +432,12 @@ impl<'a> FnCodegen<'a> {
                 RelocKind::BoundDataLower,
             );
             self.emit_jcc(Cond::Lo, fault);
+            self.note_site(CheckKind::DataPointerLower, start);
             self.note_check("data pointer lower bound");
         }
         if self.policy.data_pointer_upper {
             let fault = self.fault_label(FaultClass::DataPointerUpperBound);
+            let start = self.instrs.len();
             self.emit_reloc(
                 Instr::CmpImm {
                     a: Reg::R14,
@@ -415,6 +446,7 @@ impl<'a> FnCodegen<'a> {
                 RelocKind::BoundDataUpper,
             );
             self.emit_jcc(Cond::Hs, fault);
+            self.note_site(CheckKind::DataPointerUpper, start);
             self.note_check("data pointer upper bound");
         }
     }
@@ -433,6 +465,7 @@ impl<'a> FnCodegen<'a> {
             return;
         }
         let fault = self.fault_label(FaultClass::ArrayBounds);
+        let start = self.instrs.len();
         self.emit(Instr::CmpImm {
             a: Reg::R14,
             imm: 0,
@@ -463,6 +496,7 @@ impl<'a> FnCodegen<'a> {
             b: Reg::R13,
         });
         self.emit_jcc(Cond::Hs, fault);
+        self.note_site(CheckKind::ArrayBounds, start);
         self.note_check("array bounds");
     }
 
@@ -471,6 +505,7 @@ impl<'a> FnCodegen<'a> {
     fn emit_function_pointer_checks(&mut self) {
         if self.policy.function_pointer_lower {
             let fault = self.fault_label(FaultClass::FunctionPointerLowerBound);
+            let start = self.instrs.len();
             self.emit_reloc(
                 Instr::CmpImm {
                     a: Reg::R14,
@@ -479,10 +514,12 @@ impl<'a> FnCodegen<'a> {
                 RelocKind::BoundCodeLower,
             );
             self.emit_jcc(Cond::Lo, fault);
+            self.note_site(CheckKind::FunctionPointerLower, start);
             self.note_check("function pointer lower bound");
         }
         if self.policy.function_pointer_upper {
             let fault = self.fault_label(FaultClass::FunctionPointerUpperBound);
+            let start = self.instrs.len();
             self.emit_reloc(
                 Instr::CmpImm {
                     a: Reg::R14,
@@ -491,6 +528,7 @@ impl<'a> FnCodegen<'a> {
                 RelocKind::BoundCodeUpper,
             );
             self.emit_jcc(Cond::Hs, fault);
+            self.note_site(CheckKind::FunctionPointerUpper, start);
             self.note_check("function pointer upper bound");
         }
     }
@@ -504,6 +542,7 @@ impl<'a> FnCodegen<'a> {
         }
         let fault = self.fault_label(FaultClass::ReturnAddress);
         let ok = self.new_label();
+        let start = self.instrs.len();
         self.emit(Instr::Load {
             dst: Reg::R3,
             base: Reg::SP,
@@ -528,6 +567,7 @@ impl<'a> FnCodegen<'a> {
         );
         self.emit_jcc(Cond::Hs, fault);
         self.bind_label(ok);
+        self.note_site(CheckKind::ReturnAddress, start);
         self.note_check("return address");
     }
 
@@ -612,6 +652,7 @@ impl<'a> FnCodegen<'a> {
             relocs: self.relocs,
             labels: self.labels,
             inserted_checks: self.inserted_checks,
+            check_sites: self.check_sites,
         })
     }
 

@@ -12,6 +12,7 @@
 use crate::codegen::{AppCode, FunctionCode, Reloc, RelocKind};
 use crate::error::{AftResult, CompileError};
 use amulet_core::addr::Addr;
+use amulet_core::checks::CheckSite;
 use amulet_core::layout::{
     AppImageSpec, AppPlacement, MemoryMap, MemoryMapPlanner, OsImageSpec, PlatformSpec,
 };
@@ -57,6 +58,9 @@ pub struct AppLinkInfo {
     pub placement: AppPlacement,
     /// Total compiler-inserted checks by kind.
     pub inserted_checks: BTreeMap<String, u32>,
+    /// Every inserted check sequence at its final absolute address, in
+    /// ascending address order — the static verifier's elision input.
+    pub check_sites: Vec<CheckSite>,
 }
 
 /// Output of the link phase.
@@ -123,6 +127,7 @@ pub fn link(
         let app_name = &unit.code.name;
         let table = &func_addrs[app_name];
         let mut inserted_checks: BTreeMap<String, u32> = BTreeMap::new();
+        let mut check_sites: Vec<CheckSite> = Vec::new();
 
         for f in &unit.code.functions {
             let base = table[&f.name];
@@ -131,6 +136,13 @@ pub fn link(
             builder.define_symbol(format!("{app_name}::{}", f.name), base);
             for (k, v) in &f.inserted_checks {
                 *inserted_checks.entry(k.clone()).or_insert(0) += v;
+            }
+            for site in &f.check_sites {
+                check_sites.push(CheckSite {
+                    kind: site.kind,
+                    addr: base + byte_offset(&f.instrs, site.index),
+                    len: site.len,
+                });
             }
         }
 
@@ -174,6 +186,7 @@ pub fn link(
             stack_bytes: placement.stack.len(),
             placement: placement.clone(),
             inserted_checks,
+            check_sites,
         });
     }
 
@@ -342,6 +355,54 @@ mod tests {
             // on the app with pointer-free code loosely.
             if app.name == "AppB" {
                 assert!(saw_lower || saw_upper, "AppB has patched bound immediates");
+            }
+        }
+    }
+
+    #[test]
+    fn check_sites_land_on_compare_instructions_with_patched_bounds() {
+        let out = link_two(IsolationMethod::SoftwareOnly);
+        for (info, app) in out.apps.iter().zip(&out.firmware.apps) {
+            assert_eq!(
+                info.check_sites.len() as u32,
+                info.inserted_checks.values().sum::<u32>(),
+                "{}: one site per counted check",
+                info.name
+            );
+            let mut prev = 0;
+            for site in &info.check_sites {
+                assert!(site.addr >= prev, "sites in ascending address order");
+                prev = site.addr;
+                assert!(app.placement.code.contains(site.addr));
+                // An elidable site's first instruction is the CmpImm whose
+                // immediate the linker patched to the app's own bound.
+                if site.kind.is_elidable() {
+                    let (_, instr) = out
+                        .firmware
+                        .code
+                        .range(site.addr..site.addr + 2)
+                        .next()
+                        .expect("site address holds an instruction");
+                    let Instr::CmpImm { imm, .. } = instr else {
+                        panic!("{}: elidable site starts with {instr}", info.name);
+                    };
+                    let expected = match site.kind {
+                        amulet_core::checks::CheckKind::DataPointerLower => {
+                            app.placement.data_lower_bound()
+                        }
+                        amulet_core::checks::CheckKind::DataPointerUpper => {
+                            app.placement.upper_bound()
+                        }
+                        amulet_core::checks::CheckKind::FunctionPointerLower => {
+                            app.placement.code_lower_bound()
+                        }
+                        amulet_core::checks::CheckKind::FunctionPointerUpper => {
+                            app.placement.data_lower_bound()
+                        }
+                        _ => unreachable!(),
+                    };
+                    assert_eq!(u32::from(*imm), expected, "{}: {}", info.name, site);
+                }
             }
         }
     }

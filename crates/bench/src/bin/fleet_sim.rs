@@ -47,9 +47,18 @@
 //!   (no `timing`, `scaling` or `firmware_store` sections) to `FILE` —
 //!   cold and warm store runs of the same scenario must produce
 //!   byte-identical files, which CI asserts.
+//! * `--verify` gates every firmware image through the `amulet-verify`
+//!   static analyser before it enters the fleet (a proven-escape image
+//!   aborts the run) and attaches a `verifier` section with the fleet's
+//!   verdict counters.  `--elide-checks` deploys images rewritten through
+//!   check elision — outcome-identical, fewer retired instructions.
+//!   `--elide-checks` conflicts with `--linear`: the linear oracle is the
+//!   unelided reference baseline, so eliding it would benchmark the
+//!   optimisation against itself (exit 2).
 
 use amulet_bench::fleet_sim::{
     containment_json, ota_wave_json, render_document, render_document_with, store_stats_json,
+    verify_summary_json,
 };
 use amulet_bench::json::Json;
 use amulet_fleet::{
@@ -63,7 +72,7 @@ const USAGE: &str = "usage: fleet_sim [devices] [workers] [events_per_device] [s
      [--silent-permille N] [--preset scaling|storm] [--fault-permille N] [--ota-permille N] \
      [--ota-corrupt-permille N] [--ota-max-retries N] [--step-budget N] [--summary] [--linear] \
      [--no-write] [--scaling] [--store DIR] [--no-store] [--paranoid] [--store-cap-bytes N] \
-     [--report-out FILE]";
+     [--report-out FILE] [--verify] [--elide-checks]";
 
 /// Everything the command line can ask for, before it is resolved into a
 /// scenario.
@@ -92,6 +101,8 @@ struct Cli {
     paranoid: bool,
     store_cap_bytes: Option<u64>,
     report_out: Option<PathBuf>,
+    verify: bool,
+    elide_checks: bool,
 }
 
 fn fail(msg: &str) -> ! {
@@ -158,6 +169,8 @@ fn parse(args: impl Iterator<Item = String>) -> Cli {
             "--no-store" => cli.no_store = true,
             "--paranoid" => cli.paranoid = true,
             "--report-out" => cli.report_out = Some(PathBuf::from(value("--report-out", &mut it))),
+            "--verify" => cli.verify = true,
+            "--elide-checks" => cli.elide_checks = true,
             flag if flag.starts_with("--") => fail(&format!("unknown flag {flag:?}")),
             word => {
                 // Positional compatibility: devices, workers, events, seed,
@@ -209,6 +222,12 @@ fn validate(cli: &Cli) {
     if cli.scaling && cli.scaling_point {
         fail("--scaling and --scaling-point conflict");
     }
+    if cli.elide_checks && cli.linear {
+        fail(
+            "--elide-checks and --linear conflict: the linear oracle is the unelided \
+             reference baseline",
+        );
+    }
 }
 
 fn scenario_from(cli: &Cli) -> (FleetScenario, usize) {
@@ -254,6 +273,8 @@ fn scenario_from(cli: &Cli) -> (FleetScenario, usize) {
     }
     scenario.paranoid = cli.paranoid;
     scenario.store_cap_bytes = cli.store_cap_bytes;
+    scenario.verify = cli.verify;
+    scenario.elide_checks = cli.elide_checks;
     let workers = cli.workers.unwrap_or_else(|| {
         std::thread::available_parallelism()
             .map(|n| n.get())
@@ -623,7 +644,23 @@ fn main() {
             )
             .field("stats", store_stats_json(&store.stats()))
     });
-    let json = render_document(&scenario, workers, &aggregate, Some(wall), None, store_json);
+    // The per-image gate already ran inside the builds; the `verifier`
+    // section reports the fleet-wide verdict counters alongside.
+    let extras = if cli.verify {
+        let summary = amulet_fleet::verify_fleet(&scenario, workers);
+        vec![("verifier", verify_summary_json(&summary))]
+    } else {
+        Vec::new()
+    };
+    let json = render_document_with(
+        &scenario,
+        workers,
+        &aggregate,
+        Some(wall),
+        None,
+        store_json,
+        extras,
+    );
     write_report_out(&cli, &scenario, workers, &aggregate);
     emit(&cli, &scenario, workers, wall, json);
 }

@@ -126,6 +126,13 @@ pub fn render_document_with(
             .field("ota_corrupt_permille", u64::from(s.ota_corrupt_permille))
             .field("ota_max_retries", u64::from(s.ota_max_retries));
     }
+    // Static-verification knobs, same armed-only rule.
+    if s.verify {
+        scenario = scenario.field("verify", Json::Bool(true));
+    }
+    if s.elide_checks {
+        scenario = scenario.field("elide_checks", Json::Bool(true));
+    }
 
     let policy = |p: &amulet_fleet::PolicyAggregate| {
         let mut o = Json::obj()
@@ -307,6 +314,21 @@ pub fn ota_wave_json(w: &amulet_fleet::OtaWaveStats) -> Json {
         .field("backoff_ms", w.backoff_ms)
 }
 
+/// Renders a [`amulet_fleet::FleetVerifySummary`] as one JSON object —
+/// the `verifier` section a `--verify` run attaches to its document.
+/// Deterministic: every field is a pure function of the scenario.
+pub fn verify_summary_json(v: &amulet_fleet::FleetVerifySummary) -> Json {
+    Json::obj()
+        .field("images", v.images)
+        .field("apps", v.apps)
+        .field("proven_safe", v.proven_safe)
+        .field("proven_escape", v.proven_escape)
+        .field("unknown", v.unknown)
+        .field("elidable_sites", v.elidable_sites)
+        .field("elidable_candidates", v.elidable_candidates)
+        .field("passes_gate", Json::Bool(v.passes_gate()))
+}
+
 /// Renders [`amulet_fleet::FirmwareStoreStats`] counters as one JSON object
 /// — the `FirmwareStoreStats` line the report carries for each store phase.
 pub fn store_stats_json(stats: &amulet_fleet::FirmwareStoreStats) -> Json {
@@ -396,9 +418,43 @@ mod tests {
             "ota_permille",
             "containment",
             "ota_wave",
+            "\"verify\"",
+            "elide_checks",
+            "\"verifier\"",
         ] {
             assert!(!text.contains(absent), "{absent} leaked into arrival-order");
         }
+    }
+
+    #[test]
+    fn verifier_knobs_and_section_render_only_when_armed() {
+        let scenario = FleetScenario {
+            verify: true,
+            elide_checks: true,
+            ..tiny()
+        };
+        let report = simulate(&scenario, 2);
+        let summary = amulet_fleet::verify_fleet(&scenario, 2);
+        let text = render_document_with(
+            &report.scenario,
+            report.workers,
+            &report.aggregate,
+            None,
+            None,
+            None,
+            vec![("verifier", verify_summary_json(&summary))],
+        );
+        for needle in [
+            "\"verify\": true",
+            "\"elide_checks\": true",
+            "\"verifier\"",
+            "\"passes_gate\": true",
+            "\"proven_escape\": 0",
+            "\"elidable_sites\"",
+        ] {
+            assert!(text.contains(needle), "missing {needle}");
+        }
+        assert_eq!(text.matches('{').count(), text.matches('}').count());
     }
 
     #[test]

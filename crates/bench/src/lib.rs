@@ -17,7 +17,10 @@
 //!   parallel, with the per-event vs batched delivery comparison, as JSON;
 //! * [`hotpath`] — the simulator's own throughput (instructions/second with
 //!   the bus attribute cache on vs off, fleet devices/second vs the
-//!   recorded pre-optimisation baseline), as JSON.
+//!   recorded pre-optimisation baseline), as JSON;
+//! * [`lint`] — the `firmware_lint` static-verification document: every
+//!   distinct image of a fleet scenario run through `amulet-verify`, as a
+//!   deterministic text report CI pins with a golden fixture.
 //!
 //! Each module exposes a pure function returning structured rows plus a
 //! `render` helper; the `table1`, `fig2`, `fig3`, `ablation_stacks`,
@@ -34,6 +37,7 @@ pub mod fig3;
 pub mod fleet_sim;
 pub mod hotpath;
 pub mod json;
+pub mod lint;
 pub mod platform_compare;
 pub mod table1;
 

@@ -1,0 +1,108 @@
+//! The `firmware_lint` document: every distinct firmware image a fleet
+//! scenario deploys, statically verified, rendered as one deterministic
+//! text report.
+//!
+//! The document is a pure function of the scenario (worker count changes
+//! nothing — the reports come back in derivation order), which is what
+//! lets CI keep a golden fixture of it: any change to the verifier's
+//! verdicts on the committed catalogue shows up as a byte diff, reviewed
+//! like any other behaviour change and re-blessed with `BLESS_GOLDEN=1`.
+
+use amulet_fleet::{verify_fleet_reports, FleetScenario, FleetVerifySummary};
+use std::fmt::Write as _;
+
+/// Renders the lint document for `scenario` and returns it with the
+/// folded fleet-wide counters (whose `passes_gate()` decides the lint's
+/// exit code).
+pub fn lint_document(scenario: &FleetScenario, workers: usize) -> (String, FleetVerifySummary) {
+    let reports = verify_fleet_reports(scenario, workers);
+    let summary = FleetVerifySummary::from_reports(&reports);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "firmware_lint: scenario {:?} seed {:#x} — {} distinct images",
+        scenario.name, scenario.seed, summary.images
+    );
+    // Compact per-image form: counters, structural findings and the
+    // *undecided* accesses — the lines a reviewer needs to act on.  The
+    // full proven-safe listing (one line per access) lives in the
+    // report's `Display` and would swamp a committed fixture.
+    for (key, report) in &reports {
+        let _ = writeln!(out, "== {key}");
+        let _ = writeln!(
+            out,
+            "  {} safe, {} unknown, {} escape, {} elidable",
+            report.proven_safe(),
+            report.unknown(),
+            report.proven_escape(),
+            report.elidable_sites(),
+        );
+        for app in &report.apps {
+            let _ = writeln!(
+                out,
+                "  {}: {} reachable, {} dead, elidable {}/{}",
+                app.app,
+                app.reachable_instrs,
+                app.dead_instrs,
+                app.elidable_sites.len(),
+                app.elidable_candidates,
+            );
+            for finding in &app.findings {
+                let _ = writeln!(out, "    {finding}");
+            }
+            for access in &app.accesses {
+                if access.verdict == amulet_verify::AccessVerdict::Unknown {
+                    let _ = writeln!(
+                        out,
+                        "    unknown: {:#06x} {} targets [{:#06x}, {:#06x}]",
+                        access.at, access.instr, access.lo, access.hi
+                    );
+                }
+                if access.verdict == amulet_verify::AccessVerdict::ProvenEscape {
+                    let _ = writeln!(
+                        out,
+                        "    ESCAPE: {:#06x} {} targets [{:#06x}, {:#06x}]",
+                        access.at, access.instr, access.lo, access.hi
+                    );
+                }
+            }
+        }
+    }
+    let _ = writeln!(
+        out,
+        "firmware_lint: {} images, {} apps — {} safe, {} unknown, {} escape, {}/{} elidable — {}",
+        summary.images,
+        summary.apps,
+        summary.proven_safe,
+        summary.unknown,
+        summary.proven_escape,
+        summary.elidable_sites,
+        summary.elidable_candidates,
+        if summary.passes_gate() {
+            "GATE PASS"
+        } else {
+            "GATE FAIL"
+        },
+    );
+    for key in &summary.gate_failures {
+        let _ = writeln!(out, "firmware_lint: proven escape in {key}");
+    }
+    (out, summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lint_document_is_deterministic_and_passes_on_the_benign_mix() {
+        let scenario = FleetScenario::scaling(40);
+        let (a, summary) = lint_document(&scenario, 1);
+        let (b, _) = lint_document(&scenario, 8);
+        assert_eq!(a, b, "worker count must not reorder the document");
+        assert!(summary.passes_gate(), "benign mix must pass");
+        assert!(a.contains("GATE PASS"));
+        assert!(a.contains("== "), "per-image sections present");
+        assert!(!a.contains("proven escape in"));
+    }
+}

@@ -148,7 +148,7 @@ impl fmt::Display for DecodeError {
 impl std::error::Error for DecodeError {}
 
 /// Little-endian byte sink for encoding.
-#[derive(Default)]
+#[derive(Default, Debug)]
 pub struct Writer {
     buf: Vec<u8>,
 }
@@ -232,6 +232,7 @@ impl Writer {
 /// Bounds-checked little-endian reader for decoding.  Every `take_*`
 /// method returns [`DecodeError::UnexpectedEof`] instead of reading past
 /// the end.
+#[derive(Debug)]
 pub struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,

@@ -68,7 +68,8 @@ pub mod store;
 pub use faults::{FaultProbe, OtaOutcome, Verdict};
 pub use run::{
     simulate, simulate_in, simulate_linear, simulate_linear_in, simulate_summary,
-    simulate_summary_in, DeviceResult, FleetReport, FleetSummary, PolicyOutcome,
+    simulate_summary_in, verify_fleet, verify_fleet_reports, DeviceResult, FleetReport,
+    FleetSummary, FleetVerifySummary, PolicyOutcome,
 };
 pub use scenario::{ConfigContext, DeviceConfig, FleetScenario, TimeMode};
 pub use stats::{

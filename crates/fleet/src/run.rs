@@ -424,17 +424,31 @@ pub(crate) fn simulate_device(
     }
 }
 
-/// Builds one device configuration's firmware image.
+/// Builds one device configuration's firmware image, applying the
+/// scenario's static-verification knobs: with [`DeviceConfig::verify`]
+/// the amulet-verify gate must certify the build free of proven-escape
+/// accesses before the image may enter the fleet, and with
+/// [`DeviceConfig::elide`] the image is rewritten through check elision
+/// (redundant software checks replaced by cycle-neutral fillers).
 pub(crate) fn build_firmware(key: &str, cfg: &DeviceConfig) -> Arc<Firmware> {
     let mut aft = Aft::for_platform(cfg.method, &cfg.platform);
     for app in &cfg.apps {
         aft = aft.add_app(app.app_source());
     }
-    Arc::new(
-        aft.build()
-            .unwrap_or_else(|e| panic!("fleet firmware build failed for {key}: {e}"))
-            .firmware,
-    )
+    let out = aft
+        .build()
+        .unwrap_or_else(|e| panic!("fleet firmware build failed for {key}: {e}"));
+    if cfg.verify {
+        let report = amulet_verify::verify_build(&out);
+        assert!(
+            report.passes_gate(),
+            "fleet verify gate refused firmware {key}:\n{report}"
+        );
+    }
+    if cfg.elide {
+        return Arc::new(amulet_verify::elide_checks(&out).firmware);
+    }
+    Arc::new(out.firmware)
 }
 
 /// Fans `items` out across up to `workers` scoped threads in contiguous
@@ -643,6 +657,124 @@ pub fn simulate_linear_in(
         devices,
         aggregate,
     }
+}
+
+/// Verdict counters from statically verifying every distinct firmware
+/// image a scenario would build.
+///
+/// This is a pure function of the scenario — the images are rebuilt
+/// fresh through the AFT (never read back from a cache), so the counters
+/// cannot depend on what an earlier run left in a [`FirmwareStore`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FleetVerifySummary {
+    /// Distinct firmware images the fleet derivation produces.
+    pub images: usize,
+    /// Application instances verified across those images.
+    pub apps: usize,
+    /// Reachable memory accesses proven inside the app's isolation plan.
+    pub proven_safe: usize,
+    /// Reachable memory accesses proven to escape the plan.  Any
+    /// non-zero count fails the gate.
+    pub proven_escape: usize,
+    /// Reachable memory accesses the abstract domain cannot decide.
+    pub unknown: usize,
+    /// Software bound checks certified redundant (elidable).
+    pub elidable_sites: usize,
+    /// Software bound checks considered for elision.
+    pub elidable_candidates: usize,
+    /// Firmware keys whose report failed [`VerifyReport::passes_gate`],
+    /// in derivation order.
+    ///
+    /// [`VerifyReport::passes_gate`]: amulet_verify::VerifyReport::passes_gate
+    pub gate_failures: Vec<String>,
+}
+
+impl FleetVerifySummary {
+    /// Whether every image in the fleet passed the verify gate.
+    pub fn passes_gate(&self) -> bool {
+        self.gate_failures.is_empty()
+    }
+
+    /// Folds keyed per-image reports (as [`verify_fleet_reports`]
+    /// returns them) into the fleet-wide counters.
+    pub fn from_reports(reports: &[(String, amulet_verify::VerifyReport)]) -> Self {
+        let mut summary = FleetVerifySummary {
+            images: reports.len(),
+            apps: 0,
+            proven_safe: 0,
+            proven_escape: 0,
+            unknown: 0,
+            elidable_sites: 0,
+            elidable_candidates: 0,
+            gate_failures: Vec::new(),
+        };
+        for (key, report) in reports {
+            summary.apps += report.apps.len();
+            summary.proven_safe += report.proven_safe();
+            summary.proven_escape += report.proven_escape();
+            summary.unknown += report.unknown();
+            summary.elidable_sites += report.elidable_sites();
+            summary.elidable_candidates += report
+                .apps
+                .iter()
+                .map(|a| a.elidable_candidates)
+                .sum::<usize>();
+            if !report.passes_gate() {
+                summary.gate_failures.push(key.clone());
+            }
+        }
+        summary
+    }
+}
+
+/// Statically verifies every distinct firmware image `scenario` would
+/// deploy, fanning the builds out across `workers` threads, and reduces
+/// the per-image [`VerifyReport`]s into one [`FleetVerifySummary`] in
+/// derivation order.
+///
+/// Verification always runs on the *unelided* build — elision is itself
+/// justified by this analysis, so the gate must judge the image the
+/// compiler emitted, not the image the verifier rewrote.
+///
+/// [`VerifyReport`]: amulet_verify::VerifyReport
+pub fn verify_fleet(scenario: &FleetScenario, workers: usize) -> FleetVerifySummary {
+    FleetVerifySummary::from_reports(&verify_fleet_reports(scenario, workers))
+}
+
+/// The per-image half of [`verify_fleet`]: statically verifies every
+/// distinct firmware image `scenario` would deploy and returns the keyed
+/// [`VerifyReport`]s in derivation order (the order the fleet's
+/// device-config walk first encounters each image).
+///
+/// [`VerifyReport`]: amulet_verify::VerifyReport
+pub fn verify_fleet_reports(
+    scenario: &FleetScenario,
+    workers: usize,
+) -> Vec<(String, amulet_verify::VerifyReport)> {
+    let ctx = crate::scenario::ConfigContext::new();
+    let mut distinct: Vec<(String, DeviceConfig)> = Vec::new();
+    let mut seen = std::collections::BTreeSet::new();
+    for index in 0..scenario.devices {
+        let cfg = scenario.device_config_in(&ctx, index);
+        let key = cfg.firmware_key();
+        if seen.insert(key.clone()) {
+            distinct.push((key, cfg));
+        }
+    }
+    par_map_chunks(&distinct, workers, |part| {
+        part.iter()
+            .map(|(key, cfg)| {
+                let mut aft = Aft::for_platform(cfg.method, &cfg.platform);
+                for app in &cfg.apps {
+                    aft = aft.add_app(app.app_source());
+                }
+                let out = aft
+                    .build()
+                    .unwrap_or_else(|e| panic!("fleet firmware build failed for {key}: {e}"));
+                (key.clone(), amulet_verify::verify_build(&out))
+            })
+            .collect()
+    })
 }
 
 #[cfg(test)]

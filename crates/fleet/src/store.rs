@@ -84,7 +84,7 @@ pub struct FirmwareStoreStats {
     pub verify_failures: u64,
 }
 
-#[derive(Default)]
+#[derive(Default, Debug)]
 struct Counters {
     hits: AtomicU64,
     misses: AtomicU64,
@@ -110,6 +110,7 @@ fn touch(path: &Path) {
 }
 
 /// The content-addressable firmware store (see the module docs).
+#[derive(Debug)]
 pub struct FirmwareStore {
     dir: Option<PathBuf>,
     paranoid: bool,

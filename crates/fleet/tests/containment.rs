@@ -229,6 +229,63 @@ fn storm_report_contains_faults_and_never_bricks_a_device() {
 }
 
 #[test]
+fn check_elision_changes_no_storm_outcome() {
+    // The static verifier's check elision is sound exactly when it is
+    // invisible to every dynamic outcome: the containment matrix, the
+    // OTA wave, the energy and cycle aggregates of a fault storm must
+    // all be bit-identical with the elided images — elided fleets just
+    // retire fewer instructions.  This is the fleet-level half of the
+    // static/dynamic cross-validation (the per-app half lives in
+    // amulet-verify's certification tests).
+    let base = FleetScenario::storm(120);
+    let elided = FleetScenario {
+        elide_checks: true,
+        ..base.clone()
+    };
+    let a = simulate_summary(&base, 4);
+    let b = simulate_summary(&elided, 4);
+    assert_eq!(a.aggregate, b.aggregate, "elision must be outcome-neutral");
+    assert!(
+        !a.aggregate.containment.is_empty(),
+        "the comparison covered armed probes"
+    );
+}
+
+#[test]
+fn static_verifier_cross_validates_the_dynamic_matrix() {
+    // Soundness criterion from the matrix above: an app whose probe
+    // dynamically escaped (or was caught) may never verify with its
+    // attacking access proven safe.  The probes are payload-controlled,
+    // so every one of them must stay (at best) unknown — summed over a
+    // whole storm's worth of adversarial images, the undecided count is
+    // strictly positive while benign catalogue code still certifies.
+    let summary = amulet_fleet::verify_fleet(&FleetScenario::storm(120), 4);
+    assert!(summary.images > 0, "the storm deploys firmware");
+    assert!(summary.apps > summary.images, "multi-app images verified");
+    assert!(
+        summary.unknown > 0,
+        "payload-controlled probes must stay undecided"
+    );
+    assert!(
+        summary.proven_safe > summary.unknown,
+        "benign catalogue accesses still certify ({} safe vs {} unknown)",
+        summary.proven_safe,
+        summary.unknown
+    );
+    assert!(
+        summary.elidable_sites > 0 && summary.elidable_sites < summary.elidable_candidates,
+        "some checks elide, attack-guarding ones survive ({}/{})",
+        summary.elidable_sites,
+        summary.elidable_candidates
+    );
+    assert!(
+        summary.passes_gate(),
+        "no storm image contains a *proven* escape: {:?}",
+        summary.gate_failures
+    );
+}
+
+#[test]
 fn storm_devices_match_the_linear_oracle() {
     // The discrete-event calendar and the linear walk must agree on every
     // armed device, probes and OTA outcomes included.

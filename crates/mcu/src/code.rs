@@ -44,33 +44,33 @@ impl InstrMeta {
 
     /// Computes the metadata for an instruction.
     fn of(instr: &Instr) -> InstrMeta {
-        let size = instr.size_bytes() as u16; // 2 or 4
+        let size = instr.size_bytes() as u16; // 2 or 4; up to 8 for elided pairs
         let cycles = instr.base_cycles() as u16; // ≤ 17 today
         let touches = instr.touches_data_memory() as u16;
         debug_assert!(
-            size <= 0x7 && cycles <= 0x3F,
+            size <= 0xF && cycles <= 0x3F,
             "instruction metadata does not fit its packed fields \
-             (size {size} in 3 bits, cycles {cycles} in 6 bits)"
+             (size {size} in 4 bits, cycles {cycles} in 6 bits)"
         );
-        InstrMeta(size | (cycles << 3) | (touches << 9))
+        InstrMeta(size | (cycles << 4) | (touches << 10))
     }
 
     /// Encoded size of the instruction in bytes.
     #[inline]
     pub fn size_bytes(self) -> u32 {
-        (self.0 & 0x7) as u32
+        (self.0 & 0xF) as u32
     }
 
     /// Base cycle cost of the instruction.
     #[inline]
     pub fn base_cycles(self) -> u64 {
-        ((self.0 >> 3) & 0x3F) as u64
+        ((self.0 >> 4) & 0x3F) as u64
     }
 
     /// Whether the instruction reads or writes data memory.
     #[inline]
     pub fn touches_data_memory(self) -> bool {
-        self.0 & (1 << 9) != 0
+        self.0 & (1 << 10) != 0
     }
 }
 

@@ -337,6 +337,14 @@ impl AmuletOs {
         self.device.cycles()
     }
 
+    /// Read-only view of the device's CPU execution statistics.  Cycle
+    /// and energy accounting derive from [`Self::total_cycles`], so two
+    /// runs can agree on `total_cycles` while retiring different
+    /// instruction counts — exactly what check elision produces.
+    pub fn cpu_stats(&self) -> amulet_mcu::cpu::CpuStats {
+        self.device.cpu.stats
+    }
+
     /// Delivers each app's `main` handler once (firmware boot).
     ///
     /// Only the boot events themselves are delivered here; events the apps

@@ -1,0 +1,147 @@
+//! Check elision: rewrites a verified image, dropping bound checks the
+//! abstract interpretation proved redundant.
+//!
+//! A check the verifier certifies (see
+//! [`analysis`](crate::analysis)) is a `CmpImm` + `Jcc` pair whose
+//! branch can never be taken: the compared pointer provably lies on the
+//! passing side of the linker-patched bound.  The rewrite replaces the
+//! `CmpImm` with an [`Instr::Elided`] placeholder carrying the pair's
+//! exact encoded size and fall-through cycle cost, and removes the
+//! `Jcc`.  Because the placeholder is cycle- and layout-neutral, an
+//! elided image produces bit-identical simulated time, energy and fault
+//! behaviour — only the retired-instruction count (and host wall-clock
+//! per simulated cycle) drops.  That is what lets the unelided
+//! interpreter serve as a property-tested oracle for the elided one.
+
+use crate::analysis::verify_build;
+use crate::report::VerifyReport;
+use amulet_aft::aft::BuildOutput;
+use amulet_mcu::code::InstrStore;
+use amulet_mcu::firmware::Firmware;
+use amulet_mcu::isa::Instr;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// The result of the elision rewrite.
+#[derive(Clone, Debug)]
+pub struct ElisionOutcome {
+    /// The rewritten firmware (identical layout; redundant checks
+    /// replaced by [`Instr::Elided`] placeholders).
+    pub firmware: Firmware,
+    /// The verifier report the rewrite was based on.
+    pub report: VerifyReport,
+    /// Check sites actually elided.
+    pub elided: usize,
+    /// Elidable-kind check sites the compiler emitted (the denominator).
+    pub candidates: usize,
+    /// Sites the verifier certified but the rewrite skipped because some
+    /// branch targets the interior of the pair (never happens with the
+    /// current compiler, which always branches to sequence heads).
+    pub skipped_targeted: usize,
+}
+
+/// Verifies a build and rewrites its firmware with every certified
+/// check elided.  When nothing is elidable the returned firmware is an
+/// unchanged (cheap, `Arc`-shared) clone.
+pub fn elide_checks(out: &BuildOutput) -> ElisionOutcome {
+    let report = verify_build(out);
+    elide_with_report(&out.firmware, report)
+}
+
+/// The rewrite half of [`elide_checks`], for callers that already hold a
+/// verifier report for exactly this image.
+pub fn elide_with_report(firmware: &Firmware, report: VerifyReport) -> ElisionOutcome {
+    let candidates: usize = report.apps.iter().map(|a| a.elidable_candidates).sum();
+
+    // Safety scan: an elision splices two instructions into one, which
+    // is only sound if nothing ever jumps to the second instruction of
+    // the pair.  Collect every statically-known control-flow target.
+    let mut targets: BTreeSet<u32> = BTreeSet::new();
+    for (_, instr) in firmware.code.iter() {
+        match *instr {
+            Instr::Jmp { target } | Instr::Jcc { target, .. } | Instr::Call { target } => {
+                targets.insert(u32::from(target));
+            }
+            _ => {}
+        }
+    }
+    targets.extend(firmware.symbols.values().copied());
+    for app in &firmware.apps {
+        targets.extend(app.handlers.values().copied());
+    }
+
+    let mut elide_at: BTreeSet<u32> = BTreeSet::new();
+    let mut skipped_targeted = 0usize;
+    for app in &report.apps {
+        for site in &app.elidable_sites {
+            // The pair head may be a branch target (it is the check's
+            // entry); the interior `Jcc` must not be.
+            let interior = site.addr + pair_head_bytes(firmware, site.addr);
+            if targets.contains(&interior) {
+                skipped_targeted += 1;
+            } else {
+                elide_at.insert(site.addr);
+            }
+        }
+    }
+
+    if elide_at.is_empty() {
+        return ElisionOutcome {
+            firmware: firmware.clone(),
+            report,
+            elided: 0,
+            candidates,
+            skipped_targeted,
+        };
+    }
+
+    // Rebuild the store: each elided pair becomes one placeholder with
+    // the pair's encoded size and fall-through cycle cost (`Jcc` costs
+    // the same taken or not, so the fall-through cost is just the sum of
+    // base cycles).
+    let mut rebuilt = InstrStore::new();
+    let mut skip: Option<u32> = None;
+    for (addr, instr) in firmware.code.iter() {
+        if skip == Some(addr) {
+            skip = None;
+            continue;
+        }
+        if elide_at.contains(&addr) {
+            let cmp = *instr;
+            let jcc_addr = addr + cmp.size_bytes();
+            let jcc = *firmware
+                .code
+                .get(jcc_addr)
+                .expect("certified site has its Jcc");
+            rebuilt.insert(
+                addr,
+                Instr::Elided {
+                    words: (cmp.size_words() + jcc.size_words()) as u8,
+                    cycles: (cmp.base_cycles() + jcc.base_cycles()) as u8,
+                },
+            );
+            skip = Some(jcc_addr);
+        } else {
+            rebuilt.insert(addr, *instr);
+        }
+    }
+
+    let mut firmware = firmware.clone();
+    firmware.code = Arc::new(rebuilt);
+    firmware
+        .validate()
+        .expect("elision preserves layout, so the image stays valid");
+
+    ElisionOutcome {
+        firmware,
+        report,
+        elided: elide_at.len(),
+        candidates,
+        skipped_targeted,
+    }
+}
+
+/// Encoded size of the first instruction of the pair at `addr`.
+fn pair_head_bytes(firmware: &Firmware, addr: u32) -> u32 {
+    firmware.code.get(addr).map_or(4, |i| i.size_bytes())
+}

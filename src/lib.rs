@@ -10,3 +10,4 @@ pub use amulet_core as core;
 pub use amulet_fleet as fleet;
 pub use amulet_mcu as mcu;
 pub use amulet_os as os;
+pub use amulet_verify as verify;

@@ -12,6 +12,7 @@
 use std::time::Instant;
 
 /// The benchmark context handed to every registered bench function.
+#[derive(Debug)]
 pub struct Criterion {
     sample_size: usize,
 }
@@ -34,6 +35,7 @@ impl Criterion {
 }
 
 /// A named group of benchmarks.
+#[derive(Debug)]
 pub struct BenchmarkGroup<'a> {
     sample_size: usize,
     _criterion: &'a mut Criterion,
@@ -69,6 +71,7 @@ impl BenchmarkGroup<'_> {
 }
 
 /// Times closures for one benchmark.
+#[derive(Debug)]
 pub struct Bencher {
     samples: Vec<f64>,
 }

@@ -9,11 +9,12 @@
 //! of real shrinking-capable value trees.  Failures reproduce
 //! deterministically across runs and are **shrunk** before reporting:
 //! integer ranges shrink towards their lower bound, vectors drop
-//! elements, tuples shrink component-wise, and `prop_map` shrinks its
-//! recorded pre-image and re-applies the mapping.  The remaining
-//! residuals with no shrinking are `prop_flat_map` and `prop_oneof!`
+//! elements, tuples shrink component-wise, `prop_map` shrinks its
+//! recorded pre-image and re-applies the mapping, and `prop_oneof!`
+//! remembers which branch produced the value and delegates shrinking to
+//! it.  The one remaining residual with no shrinking is `prop_flat_map`
 //! (no pre-image is recoverable through a flat-map's second sampling
-//! stage or a union's erased branch — DESIGN §6).
+//! stage — DESIGN §6).
 
 #![forbid(unsafe_code)]
 
@@ -54,6 +55,14 @@ pub mod collection {
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,
+    }
+
+    impl<S> std::fmt::Debug for VecStrategy<S> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("VecStrategy")
+                .field("size", &self.size)
+                .finish_non_exhaustive()
+        }
     }
 
     /// Creates a strategy producing vectors of `element` values with a
@@ -279,6 +288,16 @@ mod shrink_tests {
         fn fails_on_big_doubles(x in (0u32..1000).prop_map(|x| x * 2)) {
             prop_assert!(x <= 80, "x = {} too big", x);
         }
+
+        fn fails_on_oneof_range_branch(x in prop_oneof![Just(5u32), 100u32..1000]) {
+            prop_assert!(x < 90u32, "x = {} too big", x);
+        }
+
+        fn fails_on_oneof_mapped_branch(
+            x in prop_oneof![(0u32..500).prop_map(|v| v * 3), Just(1u32)],
+        ) {
+            prop_assert!(x <= 30u32, "x = {} too big", x);
+        }
     }
 
     fn failure_message(f: fn()) -> String {
@@ -318,6 +337,34 @@ mod shrink_tests {
         assert!(
             msg.contains("minimal arguments: (\n    82,\n)"),
             "not minimised through prop_map: {msg}"
+        );
+    }
+
+    #[test]
+    fn oneof_counterexamples_shrink_through_the_producing_branch() {
+        // Regression: the union used to erase which branch produced a
+        // value, so `prop_oneof!` counterexamples were reported raw —
+        // here, an arbitrary draw from 100..1000.  With branch memory
+        // the union delegates to the producing range, which minimises to
+        // its floor; only the range branch can violate `x < 90`, so the
+        // pinned minimum is exactly 100.
+        let msg = failure_message(fails_on_oneof_range_branch);
+        assert!(
+            msg.contains("minimal arguments: (\n    100,\n)"),
+            "not minimised through prop_oneof: {msg}"
+        );
+    }
+
+    #[test]
+    fn oneof_delegation_composes_with_mapped_branch_memory() {
+        // The producing branch is itself a memory-based shrinker
+        // (`prop_map`); delegation must reach it.  The smallest
+        // pre-image in 0..500 whose triple violates `x <= 30` is 11, so
+        // the minimal reported (mapped) argument is 33.
+        let msg = failure_message(fails_on_oneof_mapped_branch);
+        assert!(
+            msg.contains("minimal arguments: (\n    33,\n)"),
+            "not minimised through the union's mapped branch: {msg}"
         );
     }
 

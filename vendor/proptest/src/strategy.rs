@@ -19,8 +19,10 @@ pub trait Strategy {
     /// integer ranges shrink towards their lower bound, `any` integers
     /// towards zero, vectors drop elements and shrink the survivors, and
     /// `prop_map` shrinks its *pre-image* and re-applies the mapping
-    /// (see [`Map`]).  Combinators that cannot recover a pre-image
-    /// (`prop_flat_map`, `prop_oneof!`) keep the default.
+    /// (see [`Map`]), and `prop_oneof!` delegates to the branch that
+    /// produced the value (see [`Union`]).  The one combinator that
+    /// cannot recover a pre-image (`prop_flat_map`, whose second sampling
+    /// stage discards the intermediate strategy) keeps the default.
     fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
         Vec::new()
     }
@@ -98,6 +100,15 @@ pub struct Map<S: Strategy, F> {
     seen: RefCell<Vec<S::Value>>,
 }
 
+impl<S: Strategy, F> std::fmt::Debug for Map<S, F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Neither the inner strategy nor the mapping closure is
+        // printable in general; the type name is what matters in a
+        // failure report.
+        f.debug_struct("Map").finish_non_exhaustive()
+    }
+}
+
 impl<S: Strategy, T: PartialEq, F: Fn(S::Value) -> T> Strategy for Map<S, F>
 where
     S::Value: Clone,
@@ -139,6 +150,12 @@ pub struct FlatMap<S, F> {
     f: F,
 }
 
+impl<S, F> std::fmt::Debug for FlatMap<S, F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlatMap").finish_non_exhaustive()
+    }
+}
+
 impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
     type Value = S2::Value;
     fn sample(&self, rng: &mut TestRng) -> S2::Value {
@@ -147,15 +164,28 @@ impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F
 }
 
 /// Uniform choice between several boxed strategies (`prop_oneof!`).
+///
+/// The branch is erased from the sampled value, so — like [`Map`] — the
+/// union shrinks by **memory**: `sample` records which branch produced
+/// the value, and `shrink` delegates to that branch's own shrinker.
+/// Every candidate a branch proposes is (by the shrink contract) a value
+/// that branch could have produced, so delegating again on an adopted
+/// candidate stays on the same branch and the recorded index never goes
+/// stale mid-minimisation.
 pub struct Union<T> {
     options: Vec<Box<dyn Strategy<Value = T>>>,
+    /// Index of the branch that produced the most recent sample.
+    last_branch: RefCell<Option<usize>>,
 }
 
 impl<T> Union<T> {
     /// Creates a union over the given options; panics if empty.
     pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
         assert!(!options.is_empty(), "prop_oneof! needs at least one option");
-        Union { options }
+        Union {
+            options,
+            last_branch: RefCell::new(None),
+        }
     }
 }
 
@@ -163,7 +193,23 @@ impl<T> Strategy for Union<T> {
     type Value = T;
     fn sample(&self, rng: &mut TestRng) -> T {
         let idx = (rng.next_u64() % self.options.len() as u64) as usize;
+        *self.last_branch.borrow_mut() = Some(idx);
         self.options[idx].sample(rng)
+    }
+    fn shrink(&self, value: &T) -> Vec<T> {
+        match *self.last_branch.borrow() {
+            Some(idx) => self.options[idx].shrink(value),
+            None => Vec::new(),
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for Union<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Union")
+            .field("options", &self.options.len())
+            .field("last_branch", &self.last_branch)
+            .finish()
     }
 }
 
@@ -174,6 +220,12 @@ pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
 
 /// Strategy returned by [`any`].
 pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T> std::fmt::Debug for AnyStrategy<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AnyStrategy<{}>", std::any::type_name::<T>())
+    }
+}
 
 impl<T: Arbitrary> Strategy for AnyStrategy<T> {
     type Value = T;
