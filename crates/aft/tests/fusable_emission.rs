@@ -1,0 +1,105 @@
+//! The AFT's stereotyped emission is fusable by construction: the
+//! compiler-inserted check sequences, the function prologues and the
+//! epilogue heads it emits are exactly the shapes the `amulet-mcu`
+//! superinstruction pass matches, so on the check-heavy Software-Only
+//! profile every such site collapses into fused dispatches.  This pins
+//! the emission side of the fusion contract — if codegen ever reorders
+//! or pads these sequences, fusion silently stops firing and this test
+//! (not just the benchmark) catches it.
+
+use amulet_aft::aft::{Aft, AppSource};
+use amulet_core::checks::CheckKind;
+use amulet_core::method::IsolationMethod;
+use amulet_mcu::SuperOp;
+
+/// Pointer-dereference-heavy app: every `*p` access carries the
+/// Software-Only lower+upper data-pointer check pair.
+const CHECKY: &str = r#"
+    int buf[16];
+    void main(void) { }
+    int go(int x) {
+        int *p;
+        p = &buf[0];
+        *p = x;
+        p = p + 1;
+        *p = x + 1;
+        return *p;
+    }
+"#;
+
+#[test]
+fn emitted_check_sites_and_frames_fuse_on_software_only() {
+    let out = Aft::new(IsolationMethod::SoftwareOnly)
+        .add_app(AppSource::new("Checky", CHECKY, &["main", "go"]))
+        .build()
+        .expect("build");
+    let mut firmware = out.firmware;
+    let report = firmware.fuse();
+    assert!(report.sequences > 0, "nothing fused at all");
+    assert!(report.double_checks > 0);
+    assert!(report.prologues > 0);
+    assert!(report.epilogues > 0);
+    let code = &firmware.code;
+
+    let mut sites = 0usize;
+    for app in &out.report.apps {
+        for site in &app.check_sites {
+            sites += 1;
+            let ctx = format!("{}: {site}", app.name);
+            match site.kind {
+                // Lower-bound checks head a lower+upper pair: one fused
+                // double check.
+                CheckKind::DataPointerLower | CheckKind::FunctionPointerLower => {
+                    assert!(
+                        matches!(code.super_op_at(site.addr), Some(SuperOp::Check2(..))),
+                        "{ctx}: pair must fuse as a double check"
+                    );
+                }
+                // Upper-bound checks are the second half of that double
+                // check (8 bytes in): their own head is a sequence
+                // interior, never a second sequence.
+                CheckKind::DataPointerUpper | CheckKind::FunctionPointerUpper => {
+                    assert!(
+                        matches!(code.super_op_at(site.addr - 8), Some(SuperOp::Check2(..))),
+                        "{ctx}: must ride its lower pair's double check"
+                    );
+                    assert!(code.super_op_at(site.addr).is_none(), "{ctx}");
+                }
+                // The return-address site is Load; (CmpImm+Jcc) ×3 — the
+                // three pairs behind the Load fuse as a double check plus
+                // a single check.
+                CheckKind::ReturnAddress => {
+                    let load = code.get(site.addr).expect("site head decodes");
+                    let pairs = site.addr + load.size_bytes();
+                    assert!(
+                        matches!(code.super_op_at(pairs), Some(SuperOp::Check2(..))),
+                        "{ctx}: sentinel+lower pairs must fuse"
+                    );
+                    assert!(
+                        matches!(code.super_op_at(pairs + 16), Some(SuperOp::Check(_))),
+                        "{ctx}: upper pair must fuse"
+                    );
+                }
+                // Feature Limited only; absent from this build.
+                CheckKind::ArrayBounds => {}
+            }
+        }
+    }
+    assert!(sites > 0, "the build emitted no check sites");
+
+    // Every function entry point starts with the fused `Push FP;
+    // Mov FP ← SP` prologue (code symbols only — data symbols point
+    // outside the instruction store).
+    let mut entries = 0usize;
+    for (name, &addr) in &firmware.symbols {
+        if !code.contains(addr) {
+            continue;
+        }
+        entries += 1;
+        assert!(
+            matches!(code.super_op_at(addr), Some(SuperOp::PushMov { .. })),
+            "{name} at {addr:#06x}: prologue must fuse"
+        );
+    }
+    assert!(entries > 0, "no function symbols in the image");
+}

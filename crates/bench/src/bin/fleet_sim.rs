@@ -54,7 +54,11 @@
 //!   check elision — outcome-identical, fewer retired instructions.
 //!   `--elide-checks` conflicts with `--linear`: the linear oracle is the
 //!   unelided reference baseline, so eliding it would benchmark the
-//!   optimisation against itself (exit 2).
+//!   optimisation against itself (exit 2).  `--fuse` deploys images with
+//!   the superinstruction pass applied — byte-identical on disk (fusion
+//!   is derived state, re-applied after decode), identical outcomes,
+//!   faster dispatch.  It conflicts with `--linear` for the same reason
+//!   `--elide-checks` does (exit 2).
 
 use amulet_bench::fleet_sim::{
     containment_json, ota_wave_json, render_document, render_document_with, store_stats_json,
@@ -72,7 +76,7 @@ const USAGE: &str = "usage: fleet_sim [devices] [workers] [events_per_device] [s
      [--silent-permille N] [--preset scaling|storm] [--fault-permille N] [--ota-permille N] \
      [--ota-corrupt-permille N] [--ota-max-retries N] [--step-budget N] [--summary] [--linear] \
      [--no-write] [--scaling] [--store DIR] [--no-store] [--paranoid] [--store-cap-bytes N] \
-     [--report-out FILE] [--verify] [--elide-checks]";
+     [--report-out FILE] [--verify] [--elide-checks] [--fuse]";
 
 /// Everything the command line can ask for, before it is resolved into a
 /// scenario.
@@ -103,6 +107,7 @@ struct Cli {
     report_out: Option<PathBuf>,
     verify: bool,
     elide_checks: bool,
+    fuse: bool,
 }
 
 fn fail(msg: &str) -> ! {
@@ -171,6 +176,7 @@ fn parse(args: impl Iterator<Item = String>) -> Cli {
             "--report-out" => cli.report_out = Some(PathBuf::from(value("--report-out", &mut it))),
             "--verify" => cli.verify = true,
             "--elide-checks" => cli.elide_checks = true,
+            "--fuse" => cli.fuse = true,
             flag if flag.starts_with("--") => fail(&format!("unknown flag {flag:?}")),
             word => {
                 // Positional compatibility: devices, workers, events, seed,
@@ -228,6 +234,12 @@ fn validate(cli: &Cli) {
              reference baseline",
         );
     }
+    if cli.fuse && cli.linear {
+        fail(
+            "--fuse and --linear conflict: the linear oracle is the unfused \
+             reference baseline",
+        );
+    }
 }
 
 fn scenario_from(cli: &Cli) -> (FleetScenario, usize) {
@@ -275,6 +287,7 @@ fn scenario_from(cli: &Cli) -> (FleetScenario, usize) {
     scenario.store_cap_bytes = cli.store_cap_bytes;
     scenario.verify = cli.verify;
     scenario.elide_checks = cli.elide_checks;
+    scenario.fuse = cli.fuse;
     let workers = cli.workers.unwrap_or_else(|| {
         std::thread::available_parallelism()
             .map(|n| n.get())

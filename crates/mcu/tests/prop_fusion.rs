@@ -1,0 +1,484 @@
+//! Equivalence properties for superinstruction fusion and block dispatch.
+//!
+//! Fusion is a pure dispatch optimisation: for arbitrary programs —
+//! including the fusable shapes the AFT compiler emits (double bounds
+//! checks, add-then-check strides, frame prologues/epilogues, adjacent
+//! elision placeholders) interleaved with arbitrary straight-line code,
+//! wild branches and memory traffic — a fused [`InstrStore`] must retire
+//! the **identical** trace as the unfused store on every platform: same
+//! [`StepEvent`] sequence, same [`CpuStats`], same cycles, same register
+//! file and flags, same [`BusStats`] (execute checks included), same
+//! timer ticks, same memory image.
+//!
+//! Independently, `Cpu::run_block` must be partition-invariant: slicing
+//! a run into blocks of any sizes (1, 7, mixed, or one maximal block)
+//! must not change what retires, even though small blocks gate the fused
+//! fast path off at budget boundaries and large ones engage it.
+
+use amulet_core::addr::{Addr, AddrRange};
+use amulet_core::layout::PlatformSpec;
+use amulet_mcu::bus::Bus;
+use amulet_mcu::code::InstrStore;
+use amulet_mcu::cpu::{Cpu, StepEvent};
+use amulet_mcu::isa::{AluOp, Cond, Instr, Reg, UnaryOp, Width};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// An instruction whose branch target (if any) is still a slot index
+/// into the flattened program, resolved to a real address at layout time.
+#[derive(Clone, Debug, PartialEq)]
+enum P {
+    /// A complete instruction with no intra-program target.
+    I(Instr),
+    /// `Jcc` to the instruction at slot `usize % len`.
+    Jcc(Cond, usize),
+    /// `Jmp` to the instruction at slot `usize % len`.
+    Jmp(usize),
+    /// `Call` of the instruction at slot `usize % len`.
+    Call(usize),
+}
+
+const CONDS: [Cond; 8] = [
+    Cond::Eq,
+    Cond::Ne,
+    Cond::Lo,
+    Cond::Hs,
+    Cond::Lt,
+    Cond::Ge,
+    Cond::Mi,
+    Cond::Pl,
+];
+const ALU_OPS: [AluOp; 8] = [
+    AluOp::Add,
+    AluOp::Sub,
+    AluOp::And,
+    AluOp::Or,
+    AluOp::Xor,
+    AluOp::Mul,
+    AluOp::Div,
+    AluOp::Rem,
+];
+const UNARY_OPS: [UnaryOp; 5] = [
+    UnaryOp::Neg,
+    UnaryOp::Not,
+    UnaryOp::Shl(3),
+    UnaryOp::Shr(2),
+    UnaryOp::Sar(1),
+];
+
+/// General-purpose-biased register: mostly `R4`–`R15`, occasionally the
+/// architectural `PC`/`SP`/`SR` — sequences naming those must never fuse,
+/// and the oracle checks the exclusion rather than trusting it.
+fn reg_strategy() -> impl Strategy<Value = Reg> {
+    prop_oneof![
+        (4u8..16).prop_map(Reg),
+        (4u8..16).prop_map(Reg),
+        (4u8..16).prop_map(Reg),
+        (0u8..16).prop_map(Reg),
+    ]
+}
+
+/// Immediates biased toward the bounds AFT checks actually use (SRAM
+/// edges) plus small strides and fully arbitrary words.
+fn imm_strategy() -> impl Strategy<Value = u16> {
+    prop_oneof![0u16..64, 0x1C00u16..0x2400, Just(0x2400u16), 0u16..0xFFFF,]
+}
+
+fn cond_strategy() -> impl Strategy<Value = Cond> {
+    (0usize..CONDS.len()).prop_map(|i| CONDS[i])
+}
+
+/// One generator chunk: either a fusable multi-instruction shape (as the
+/// AFT emits and `InstrStore::fuse` matches) or a single arbitrary
+/// instruction.  Chunks are concatenated and laid out contiguously, so
+/// fusable shapes land adjacent exactly as compiled code would.
+fn chunk_strategy() -> impl Strategy<Value = Vec<P>> {
+    let target = 0usize..256;
+    prop_oneof![
+        // Single bounds check: CmpImm + Jcc.
+        (
+            reg_strategy(),
+            imm_strategy(),
+            cond_strategy(),
+            target.clone()
+        )
+            .prop_map(|(a, imm, cond, t)| vec![P::I(Instr::CmpImm { a, imm }), P::Jcc(cond, t)]),
+        // Double bounds check: CmpImm + Jcc(Lo) + CmpImm + Jcc(Hs).
+        (
+            reg_strategy(),
+            imm_strategy(),
+            imm_strategy(),
+            target.clone(),
+            target.clone()
+        )
+            .prop_map(|(a, lo, hi, t1, t2)| vec![
+                P::I(Instr::CmpImm { a, imm: lo }),
+                P::Jcc(Cond::Lo, t1),
+                P::I(Instr::CmpImm { a, imm: hi }),
+                P::Jcc(Cond::Hs, t2),
+            ]),
+        // Stride advance then check: AluImm(Add) + CmpImm + Jcc.
+        (
+            reg_strategy(),
+            0u16..16,
+            imm_strategy(),
+            cond_strategy(),
+            target.clone()
+        )
+            .prop_map(|(dst, step, imm, cond, t)| vec![
+                P::I(Instr::AluImm {
+                    op: AluOp::Add,
+                    dst,
+                    imm: step,
+                }),
+                P::I(Instr::CmpImm { a: dst, imm }),
+                P::Jcc(cond, t),
+            ]),
+        // Frame prologue: Push + Mov.
+        (reg_strategy(), reg_strategy(), reg_strategy()).prop_map(|(push, dst, src)| vec![
+            P::I(Instr::Push { src: push }),
+            P::I(Instr::Mov { dst, src }),
+        ]),
+        // Frame epilogue: Mov + Pop.
+        (reg_strategy(), reg_strategy(), reg_strategy()).prop_map(|(dst, src, pop)| vec![
+            P::I(Instr::Mov { dst, src }),
+            P::I(Instr::Pop { dst: pop }),
+        ]),
+        // Adjacent elision placeholders (what `elide_checks` leaves behind).
+        (1u8..4, 0u8..8, 1u8..4, 0u8..8).prop_map(|(w1, c1, w2, c2)| vec![
+            P::I(Instr::Elided {
+                words: w1,
+                cycles: c1
+            }),
+            P::I(Instr::Elided {
+                words: w2,
+                cycles: c2
+            }),
+        ]),
+        // A single arbitrary instruction.
+        single_strategy().prop_map(|p| vec![p]),
+    ]
+}
+
+/// A single arbitrary instruction, weighted toward the common cases but
+/// covering memory traffic, wild control flow, syscalls and faults.
+fn single_strategy() -> impl Strategy<Value = P> {
+    let target = 0usize..256;
+    prop_oneof![
+        (reg_strategy(), imm_strategy()).prop_map(|(dst, imm)| P::I(Instr::MovImm { dst, imm })),
+        (reg_strategy(), reg_strategy()).prop_map(|(dst, src)| P::I(Instr::Mov { dst, src })),
+        (0usize..ALU_OPS.len(), reg_strategy(), reg_strategy()).prop_map(|(op, dst, src)| P::I(
+            Instr::Alu {
+                op: ALU_OPS[op],
+                dst,
+                src
+            }
+        )),
+        (0usize..ALU_OPS.len(), reg_strategy(), imm_strategy()).prop_map(|(op, dst, imm)| P::I(
+            Instr::AluImm {
+                op: ALU_OPS[op],
+                dst,
+                imm
+            }
+        )),
+        (0usize..UNARY_OPS.len(), reg_strategy()).prop_map(|(op, reg)| P::I(Instr::Unary {
+            op: UNARY_OPS[op],
+            reg
+        })),
+        (reg_strategy(), reg_strategy()).prop_map(|(a, b)| P::I(Instr::Cmp { a, b })),
+        (reg_strategy(), imm_strategy()).prop_map(|(a, imm)| P::I(Instr::CmpImm { a, imm })),
+        (reg_strategy(), reg_strategy(), -8i16..8).prop_map(|(dst, base, off)| P::I(Instr::Load {
+            dst,
+            base,
+            offset: off * 2,
+            width: Width::Word,
+        })),
+        (reg_strategy(), reg_strategy(), -8i16..8).prop_map(|(src, base, off)| P::I(
+            Instr::Store {
+                src,
+                base,
+                offset: off * 2,
+                width: Width::Word,
+            }
+        )),
+        (reg_strategy(), imm_strategy()).prop_map(|(dst, addr)| P::I(Instr::LoadAbs {
+            dst,
+            addr: addr & !1,
+            width: Width::Word,
+        })),
+        (reg_strategy(), imm_strategy()).prop_map(|(src, addr)| P::I(Instr::StoreAbs {
+            src,
+            addr: addr & !1,
+            width: Width::Word,
+        })),
+        reg_strategy().prop_map(|src| P::I(Instr::Push { src })),
+        reg_strategy().prop_map(|dst| P::I(Instr::Pop { dst })),
+        target.clone().prop_map(P::Jmp),
+        target.clone().prop_map(P::Call),
+        reg_strategy().prop_map(|reg| P::I(Instr::Br { reg })),
+        Just(P::I(Instr::Ret)),
+        (0u16..8).prop_map(|num| P::I(Instr::Syscall { num })),
+        Just(P::I(Instr::Nop)),
+    ]
+}
+
+/// A whole program: concatenated chunks.
+fn program_strategy() -> impl Strategy<Value = Vec<P>> {
+    vec(chunk_strategy(), 1..14).prop_map(|chunks| chunks.into_iter().flatten().collect())
+}
+
+const ORIGIN: Addr = 0x4400;
+
+/// Lays the program out contiguously from [`ORIGIN`], resolves slot-index
+/// branch targets to instruction-start addresses, and terminates it with
+/// a `Halt` so straight-line fall-through stops.
+fn assemble(program: &[P]) -> InstrStore {
+    let mut addrs = Vec::with_capacity(program.len() + 1);
+    let mut at = ORIGIN;
+    for p in program {
+        addrs.push(at);
+        let size = match p {
+            P::I(i) => i.size_bytes(),
+            P::Jcc(..) | P::Jmp(..) | P::Call(..) => 4,
+        };
+        at += size;
+    }
+    addrs.push(at); // the trailing Halt is a valid target too
+    let resolve = |idx: usize| addrs[idx % addrs.len()] as u16;
+    let mut code = InstrStore::new();
+    for (p, &addr) in program.iter().zip(&addrs) {
+        let instr = match p {
+            P::I(i) => *i,
+            P::Jcc(cond, t) => Instr::Jcc {
+                cond: *cond,
+                target: resolve(*t),
+            },
+            P::Jmp(t) => Instr::Jmp {
+                target: resolve(*t),
+            },
+            P::Call(t) => Instr::Call {
+                target: resolve(*t),
+            },
+        };
+        code.insert(addr, instr);
+    }
+    code.insert(at, Instr::Halt);
+    code
+}
+
+/// Everything observable about a run, for exact comparison.
+type Fingerprint = (
+    Vec<StepEvent>,
+    amulet_mcu::CpuStats,
+    u64,       // cpu cycles
+    [u16; 16], // register file
+    u16,       // status word
+    amulet_mcu::BusStats,
+    u64,     // timer raw cycles
+    Vec<u8>, // full memory image
+);
+
+/// Runs `code` from [`ORIGIN`] for at most `cap` steps, pulling block
+/// sizes cyclically from `blocks`, collecting every stopping event.
+/// Syscalls resume (the OS would service them); halts and faults end the
+/// run.
+fn run(platform: PlatformSpec, code: &InstrStore, cap: u64, blocks: &[u64]) -> Fingerprint {
+    let mut cpu = Cpu::new();
+    let mut bus = Bus::new(platform);
+    cpu.set_pc(ORIGIN);
+    cpu.set_sp(0x2400);
+    let mut events = Vec::new();
+    let mut total: u64 = 0;
+    let mut bi = 0usize;
+    while total < cap {
+        let block = blocks[bi % blocks.len()].min(cap - total);
+        bi += 1;
+        let (ev, used) = cpu.run_block(&mut bus, code, block);
+        total += used;
+        if let Some(ev) = ev {
+            events.push(ev);
+            if matches!(ev, StepEvent::Halted | StepEvent::Fault(_)) {
+                break;
+            }
+        }
+    }
+    let regs: [u16; 16] = core::array::from_fn(|i| cpu.reg(Reg(i as u8)));
+    (
+        events,
+        cpu.stats,
+        cpu.cycles,
+        regs,
+        cpu.status_word(),
+        bus.stats,
+        bus.timer.raw_cycles(),
+        bus.dump_bytes(AddrRange::new(0, 0x1_0000)),
+    )
+}
+
+const STEP_CAP: u64 = 3_000;
+
+/// The five platform profiles the repo models.  The advanced-MPU ablation
+/// disables the attribute fast path, so there the fused probe must
+/// decline every sequence and fall back — the property covers both the
+/// engaged and the permanently-declined regimes.
+fn platforms() -> [PlatformSpec; 5] {
+    [
+        PlatformSpec::msp430fr5969(),
+        PlatformSpec::msp430fr5969_advanced_mpu(),
+        PlatformSpec::msp430fr5994(),
+        PlatformSpec::cortex_m33(),
+        PlatformSpec::riscv_pmp(),
+    ]
+}
+
+/// Describes the first differing fingerprint field, compactly — the raw
+/// tuples contain a 64 KiB memory image each.
+fn diff(u: &Fingerprint, f: &Fingerprint) -> Option<String> {
+    if u == f {
+        return None;
+    }
+    Some(if u.0 != f.0 {
+        format!("events {:?} vs {:?}", u.0, f.0)
+    } else if u.1 != f.1 {
+        format!("cpu stats {:?} vs {:?}", u.1, f.1)
+    } else if u.2 != f.2 {
+        format!("cycles {} vs {}", u.2, f.2)
+    } else if u.3 != f.3 {
+        format!("regs {:?} vs {:?}", u.3, f.3)
+    } else if u.4 != f.4 {
+        format!("flags {:#06x} vs {:#06x}", u.4, f.4)
+    } else if u.5 != f.5 {
+        format!("bus stats {:?} vs {:?}", u.5, f.5)
+    } else if u.6 != f.6 {
+        format!("timer {} vs {}", u.6, f.6)
+    } else {
+        let at = u.7.iter().zip(&f.7).position(|(a, b)| a != b).unwrap();
+        format!("memory at {at:#06x}: {} vs {}", u.7[at], f.7[at])
+    })
+}
+
+fn fused_matches_unfused(program: &[P]) -> Result<(), String> {
+    let code = assemble(program);
+    let mut fused = code.clone();
+    fused.fuse();
+    for platform in platforms() {
+        let u = run(platform.clone(), &code, STEP_CAP, &[u64::MAX]);
+        let f = run(platform.clone(), &fused, STEP_CAP, &[u64::MAX]);
+        if let Some(d) = diff(&u, &f) {
+            return Err(format!("fused run diverged on {}: {}", platform.name, d));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Tentpole oracle: fusing an arbitrary program changes nothing
+    /// observable on any platform — events, counters, registers, flags,
+    /// bus statistics, timer and memory are bit-identical.
+    #[test]
+    fn fusion_is_invisible_on_every_platform(program in program_strategy()) {
+        let res = fused_matches_unfused(&program);
+        prop_assert!(res.is_ok(), "{}", res.unwrap_err());
+    }
+
+    /// Block-partition invariance (fused store): slicing the same run
+    /// into blocks of generated sizes — interleaved with the degenerate
+    /// 1 and the awkward 7 — retires the identical trace as one maximal
+    /// block, even though budget gating flips the fused path on and off
+    /// at every boundary.
+    #[test]
+    fn run_block_is_partition_invariant(
+        program in program_strategy(),
+        sizes in vec(1u64..24, 1..8),
+    ) {
+        let code = assemble(&program);
+        let mut fused = code.clone();
+        fused.fuse();
+        let mut blocks = vec![1, 7];
+        blocks.extend(sizes);
+        for store in [&code, &fused] {
+            let whole = run(PlatformSpec::msp430fr5969(), store, STEP_CAP, &[u64::MAX]);
+            let sliced = run(PlatformSpec::msp430fr5969(), store, STEP_CAP, &blocks);
+            let d = diff(&whole, &sliced);
+            prop_assert!(
+                d.is_none(),
+                "partitioned run diverged (fused: {}): {}",
+                store.is_fused(),
+                d.unwrap()
+            );
+        }
+    }
+}
+
+/// The generator must actually produce fusable programs — otherwise the
+/// oracle above tests nothing.  A deterministic fusable image fuses into
+/// at least one sequence of every shape, and executes identically.
+#[test]
+fn generator_shapes_are_fusable_and_sound() {
+    let program = vec![
+        P::I(Instr::MovImm {
+            dst: Reg::R14,
+            imm: 0x1C10,
+        }),
+        // Double check (in range: falls through).
+        P::I(Instr::CmpImm {
+            a: Reg::R14,
+            imm: 0x1C00,
+        }),
+        P::Jcc(Cond::Lo, 250),
+        P::I(Instr::CmpImm {
+            a: Reg::R14,
+            imm: 0x2400,
+        }),
+        P::Jcc(Cond::Hs, 250),
+        // Prologue + epilogue.
+        P::I(Instr::Push { src: Reg::FP }),
+        P::I(Instr::Mov {
+            dst: Reg::FP,
+            src: Reg::SP,
+        }),
+        P::I(Instr::Mov {
+            dst: Reg::SP,
+            src: Reg::FP,
+        }),
+        P::I(Instr::Pop { dst: Reg::FP }),
+        // Add-then-check (branch not taken: R4 stays below the bound).
+        P::I(Instr::AluImm {
+            op: AluOp::Add,
+            dst: Reg::R4,
+            imm: 2,
+        }),
+        P::I(Instr::CmpImm {
+            a: Reg::R4,
+            imm: 0x4000,
+        }),
+        P::Jcc(Cond::Hs, 250),
+        // Elided pair.
+        P::I(Instr::Elided {
+            words: 4,
+            cycles: 4,
+        }),
+        P::I(Instr::Elided {
+            words: 4,
+            cycles: 4,
+        }),
+    ];
+    let code = assemble(&program);
+    let mut fused = code.clone();
+    let report = fused.fuse();
+    assert!(report.double_checks >= 1, "{report:?}");
+    assert!(report.prologues >= 1, "{report:?}");
+    assert!(report.epilogues >= 1, "{report:?}");
+    assert!(report.add_checks >= 1, "{report:?}");
+    assert!(report.elided_pairs >= 1, "{report:?}");
+    fused_matches_unfused(&program).unwrap();
+    // And the fused fast path genuinely engages on the default platform:
+    // fewer per-instruction dispatches is unobservable, but a fused run
+    // must still retire every instruction.
+    let (events, stats, ..) = run(PlatformSpec::msp430fr5969(), &fused, STEP_CAP, &[u64::MAX]);
+    assert_eq!(events.last(), Some(&StepEvent::Halted));
+    assert_eq!(stats.faults, 0);
+    assert!(stats.instructions >= program.len() as u64);
+}

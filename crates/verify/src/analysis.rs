@@ -868,6 +868,20 @@ fn transfer(instr: Instr, s: &mut State, peripherals: &AddrRange) {
             let v = match op {
                 AluOp::Add => s.get(dst).add(&s.get(src)),
                 AluOp::Sub => s.get(dst).sub(&s.get(src)),
+                // `x & y` can exceed neither operand (unsigned).
+                AluOp::And => Interval::new(0, s.get(dst).hi.min(s.get(src).hi)),
+                // `x % y` lands in `[0, max(y)-1]` — but only when the
+                // CPU's *signed* remainder cannot go negative: the
+                // divisor must be provably positive and the dividend
+                // provably non-negative as a signed word (a negative
+                // dividend wraps to a large unsigned remainder).
+                AluOp::Rem
+                    if s.get(src).lo >= 1
+                        && s.get(src).hi <= i16::MAX as u16
+                        && s.get(dst).hi <= i16::MAX as u16 =>
+                {
+                    Interval::new(0, s.get(src).hi - 1)
+                }
                 _ => Interval::TOP,
             };
             s.set(dst, v, None);
@@ -879,6 +893,16 @@ fn transfer(instr: Instr, s: &mut State, peripherals: &AddrRange) {
                 AluOp::Sub => s.get(dst).sub(&Interval::singleton(imm)),
                 // `x & imm` can never exceed `imm`.
                 AluOp::And => Interval::new(0, imm),
+                // `x % imm` lands in `[0, imm-1]` — but only when the
+                // CPU's *signed* remainder cannot go negative: the
+                // divisor must be a positive literal and the dividend
+                // provably non-negative as a signed word (a negative
+                // dividend wraps to a large unsigned remainder).
+                AluOp::Rem
+                    if (1..=i16::MAX as u16).contains(&imm) && s.get(dst).hi <= i16::MAX as u16 =>
+                {
+                    Interval::new(0, imm - 1)
+                }
                 _ => Interval::TOP,
             };
             s.set(dst, v, None);

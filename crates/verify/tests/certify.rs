@@ -123,6 +123,62 @@ fn elision_is_identity_without_software_checks() {
     assert_eq!(outcome.skipped_targeted, 0);
 }
 
+/// The interval domain models remainders (DESIGN §9): `x % N` for a
+/// provably-positive divisor bounds the result to `[0, N-1]`, so a
+/// modular-index array store certifies — but only when the dividend is
+/// provably non-negative, because the CPU's remainder is *signed* and a
+/// negative dividend wraps to a large unsigned remainder.  The
+/// unconstrained variant of the same access must therefore stay Unknown.
+#[test]
+fn modular_index_access_certifies_with_nonnegative_dividend() {
+    const MODULAR_SAFE: &str = r#"
+        int buf[8];
+        void main(void) { }
+        int go(int x) {
+            int i;
+            i = (x & 1023) % 8;
+            buf[i] = x;
+            return i;
+        }
+    "#;
+    // Identical shape, but the payload-controlled dividend may be
+    // negative: (-3) % 8 == -3 on this CPU, i.e. 0xFFFD as an index.
+    const MODULAR_SIGNED: &str = r#"
+        int buf[8];
+        void main(void) { }
+        int go(int x) {
+            int i;
+            i = x % 8;
+            buf[i] = x;
+            return i;
+        }
+    "#;
+    let verify = |src| {
+        verify_build(
+            &Aft::new(IsolationMethod::NoIsolation)
+                .add_app(AppSource::new("Modular", src, &["main", "go"]))
+                .build()
+                .unwrap(),
+        )
+    };
+    let safe = verify(MODULAR_SAFE);
+    let app = &safe.apps[0];
+    assert_eq!(
+        app.count(AccessVerdict::Unknown),
+        0,
+        "the clamped modular index must certify:\n{safe}"
+    );
+    assert_eq!(app.count(AccessVerdict::ProvenEscape), 0);
+    assert!(app.count(AccessVerdict::ProvenSafe) > 0);
+
+    let signed = verify(MODULAR_SIGNED);
+    let app = &signed.apps[0];
+    assert!(
+        app.count(AccessVerdict::Unknown) > 0,
+        "a possibly-negative dividend must not certify:\n{signed}"
+    );
+}
+
 /// Every adversarial variant of the PR 8 fault campaign, on every
 /// platform × method profile, cross-checked against its dynamic verdict
 /// (see module docs): the attack is never statically certified away.

@@ -10,11 +10,12 @@
 //! deterministically across runs and are **shrunk** before reporting:
 //! integer ranges shrink towards their lower bound, vectors drop
 //! elements, tuples shrink component-wise, `prop_map` shrinks its
-//! recorded pre-image and re-applies the mapping, and `prop_oneof!`
+//! recorded pre-image and re-applies the mapping, `prop_oneof!`
 //! remembers which branch produced the value and delegates shrinking to
-//! it.  The one remaining residual with no shrinking is `prop_flat_map`
-//! (no pre-image is recoverable through a flat-map's second sampling
-//! stage — DESIGN §6).
+//! it, and `prop_flat_map` records its pre-images at sample time so both
+//! of its stages shrink — the derived strategy minimises the value in
+//! place, and shrunk pre-images are re-flattened through a deterministic
+//! draw.
 
 #![forbid(unsafe_code)]
 
@@ -298,6 +299,12 @@ mod shrink_tests {
         ) {
             prop_assert!(x <= 30u32, "x = {} too big", x);
         }
+
+        fn fails_on_flat_mapped_offsets(
+            x in (0u32..100).prop_flat_map(|base| base..base + 100),
+        ) {
+            prop_assert!(x <= 10, "x = {} too big", x);
+        }
     }
 
     fn failure_message(f: fn()) -> String {
@@ -365,6 +372,23 @@ mod shrink_tests {
         assert!(
             msg.contains("minimal arguments: (\n    33,\n)"),
             "not minimised through the union's mapped branch: {msg}"
+        );
+    }
+
+    #[test]
+    fn flat_mapped_counterexamples_shrink_through_both_stages() {
+        // Regression: `prop_flat_map` used to be the one combinator with
+        // no shrinking at all (its second sampling stage erased the
+        // intermediate strategy), so counterexamples were reported raw.
+        // With pre-image memory both stages minimise: the derived range
+        // walks the value down to its floor, re-flattened shrunk
+        // pre-images drop the floor itself, and the greedy loop composes
+        // the two into the smallest value violating `x <= 10` — exactly
+        // 11.
+        let msg = failure_message(fails_on_flat_mapped_offsets);
+        assert!(
+            msg.contains("minimal arguments: (\n    11,\n)"),
+            "not minimised through prop_flat_map: {msg}"
         );
     }
 

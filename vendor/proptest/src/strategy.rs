@@ -17,12 +17,11 @@ pub trait Strategy {
     /// that still fails, so repeated application minimises the
     /// counterexample.  The default proposes nothing (no shrinking) —
     /// integer ranges shrink towards their lower bound, `any` integers
-    /// towards zero, vectors drop elements and shrink the survivors, and
+    /// towards zero, vectors drop elements and shrink the survivors,
     /// `prop_map` shrinks its *pre-image* and re-applies the mapping
-    /// (see [`Map`]), and `prop_oneof!` delegates to the branch that
-    /// produced the value (see [`Union`]).  The one combinator that
-    /// cannot recover a pre-image (`prop_flat_map`, whose second sampling
-    /// stage discards the intermediate strategy) keeps the default.
+    /// (see [`Map`]), `prop_oneof!` delegates to the branch that
+    /// produced the value (see [`Union`]), and `prop_flat_map` shrinks
+    /// both of its stages through recorded pre-images (see [`FlatMap`]).
     fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
         Vec::new()
     }
@@ -41,11 +40,15 @@ pub trait Strategy {
 
     /// Samples a value, feeds it to `f`, and samples from the strategy `f`
     /// returns.
-    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F, S::Value>
     where
         Self: Sized,
     {
-        FlatMap { inner: self, f }
+        FlatMap {
+            inner: self,
+            f,
+            seen: RefCell::new(Vec::new()),
+        }
     }
 }
 
@@ -145,21 +148,82 @@ where
 }
 
 /// See [`Strategy::prop_flat_map`].
-pub struct FlatMap<S, F> {
+///
+/// The second sampling stage erases the intermediate strategy, so — like
+/// [`Map`] — `FlatMap` shrinks by **memory**: `sample` records the
+/// pre-image next to the value it flat-mapped into, and `shrink(value)`
+/// recovers the failing value's pre-image from that record, then
+/// proposes two kinds of candidate.  First the *derived* strategy
+/// (`f(pre-image)`, re-derived — `f` must be pure, which the `Fn` bound
+/// already demands for re-sampling) shrinks the value in place: the
+/// second stage minimises while the pre-image stands still.  Then each
+/// inner shrink of the pre-image is *re-flattened* through a
+/// deterministic sample of its own derived strategy: the first stage
+/// minimises, at the cost of re-drawing the second.  Every proposed
+/// candidate is recorded next to the pre-image that produced it, so the
+/// greedy runner can keep shrinking whichever candidate it adopts.  The
+/// memory is cleared on every fresh sample, so it holds one test case's
+/// lineage, bounded by the runner's `max_shrink_iters`.
+pub struct FlatMap<S: Strategy, F, T> {
     inner: S,
     f: F,
+    /// `(pre-image, flat-mapped value)` pairs that may have produced the
+    /// current failing value.
+    seen: RefCell<Vec<(S::Value, T)>>,
 }
 
-impl<S, F> std::fmt::Debug for FlatMap<S, F> {
+impl<S: Strategy, F, T> std::fmt::Debug for FlatMap<S, F, T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("FlatMap").finish_non_exhaustive()
     }
 }
 
-impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F, S2::Value>
+where
+    S::Value: Clone,
+    S2::Value: Clone + PartialEq,
+{
     type Value = S2::Value;
     fn sample(&self, rng: &mut TestRng) -> S2::Value {
-        (self.f)(self.inner.sample(rng)).sample(rng)
+        let pre = self.inner.sample(rng);
+        let value = (self.f)(pre.clone()).sample(rng);
+        let mut seen = self.seen.borrow_mut();
+        seen.clear();
+        seen.push((pre, value.clone()));
+        value
+    }
+    fn shrink(&self, value: &S2::Value) -> Vec<S2::Value> {
+        let pre = self
+            .seen
+            .borrow()
+            .iter()
+            .rev()
+            .find(|(_, v)| v == value)
+            .map(|(p, _)| p.clone());
+        let Some(pre) = pre else { return Vec::new() };
+        let mut out = Vec::new();
+        // Second stage: the derived strategy minimises the value itself,
+        // keeping the pre-image.
+        for cand in (self.f)(pre.clone()).shrink(value) {
+            if cand == *value {
+                continue;
+            }
+            self.seen.borrow_mut().push((pre.clone(), cand.clone()));
+            out.push(cand);
+        }
+        // First stage: shrink the pre-image, then re-flatten each
+        // candidate through a deterministic draw so the proposal is
+        // reproducible run to run.
+        for pre_cand in self.inner.shrink(&pre) {
+            let mut rng = TestRng::deterministic("prop_flat_map::reflatten");
+            let cand = (self.f)(pre_cand.clone()).sample(&mut rng);
+            if cand == *value {
+                continue;
+            }
+            self.seen.borrow_mut().push((pre_cand, cand.clone()));
+            out.push(cand);
+        }
+        out
     }
 }
 
